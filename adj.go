@@ -1,0 +1,198 @@
+// Package adj is a Go implementation of ADJ — Adaptive Distributed Join —
+// from "Fast Distributed Complex Join Processing" (Zhang, Qiao, Yu, Cheng;
+// ICDE 2021, arXiv:2102.13370).
+//
+// ADJ evaluates complex natural-join queries (cyclic subgraph patterns,
+// FK–FK joins) on a cluster in one communication round: an HCube shuffle
+// partitions the join's output space across servers, and a Leapfrog
+// worst-case-optimal join evaluates each partition locally. The system's
+// contribution is *co-optimization*: instead of minimizing communication
+// alone (HCubeJ), ADJ's optimizer may pre-compute selected bags of a
+// generalized hypertree decomposition — trading a little communication and
+// pre-computing for a large cut in Leapfrog computation — choosing the plan
+// that minimizes the combined cost, with cardinalities estimated by a
+// distributed sampler with a Chernoff–Hoeffding guarantee.
+//
+// # Quick start
+//
+//	edges := adj.GenerateGraph("LJ", 0.1)           // synthetic LiveJournal analogue
+//	q := adj.CatalogQuery("Q1")                     // triangle query
+//	report, err := adj.Count(q, edges, adj.Options{Workers: 8})
+//	fmt.Println(report.Results, report.Total())
+//
+// Arbitrary queries and databases:
+//
+//	q, _ := adj.ParseQuery("Q :- R(a,b) ⋈ S(b,c) ⋈ T(a,c)")
+//	db := adj.Database{"R": r, "S": s, "T": t}
+//	report, err := adj.Run("ADJ", q, db, adj.Options{Workers: 4})
+//
+// The baselines the paper compares against (SparkSQL-style binary joins,
+// BigJoin, HCubeJ, HCubeJ+Cache) are available under the same Run API, and
+// cmd/experiments regenerates every figure and table of the evaluation.
+package adj
+
+import (
+	"fmt"
+
+	"adj/internal/costmodel"
+	"adj/internal/dataset"
+	"adj/internal/engine"
+	"adj/internal/ghd"
+	"adj/internal/hypergraph"
+	"adj/internal/optimizer"
+	"adj/internal/relation"
+	"adj/internal/yannakakis"
+)
+
+// Value is the attribute domain (int64; graph vertex ids).
+type Value = relation.Value
+
+// Relation is a named multiset of fixed-arity tuples.
+type Relation = relation.Relation
+
+// Tuple is one row of a relation.
+type Tuple = relation.Tuple
+
+// Query is a natural join query over named relations.
+type Query = hypergraph.Query
+
+// Atom is one relation occurrence in a query.
+type Atom = hypergraph.Atom
+
+// Database maps relation names to relations for Query.Bind.
+type Database = hypergraph.Database
+
+// Report is an engine run's outcome: result count, cost breakdown
+// (optimization / pre-computing / communication / computation seconds),
+// shuffle counters and the chosen plan.
+type Report = engine.Report
+
+// Options configures a run.
+type Options struct {
+	// Workers is the simulated cluster size (default 4; the paper uses up
+	// to 28).
+	Workers int
+	// Samples per cardinality estimation (default 1000).
+	Samples int
+	// Seed makes sampling deterministic.
+	Seed int64
+	// Budget caps intermediate work; exceeded runs return Failed reports
+	// (the paper's 12-hour-timeout analogue). 0 = unlimited.
+	Budget int64
+	// MemoryPerServer bounds HCube load per server in tuples (0 = unbounded).
+	MemoryPerServer int64
+	// CollectOutput materializes result tuples into Report.Output.
+	CollectOutput bool
+}
+
+func (o Options) toConfig() engine.Config {
+	return engine.Config{
+		NumServers:      o.Workers,
+		Samples:         o.Samples,
+		Seed:            o.Seed,
+		Budget:          o.Budget,
+		MemoryPerServer: o.MemoryPerServer,
+		CollectOutput:   o.CollectOutput,
+	}
+}
+
+// EngineNames lists the available engines: "ADJ", "HCubeJ", "HCubeJ+Cache",
+// "BigJoin", "SparkSQL".
+func EngineNames() []string { return engine.EngineNames() }
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(name string, attrs ...string) *Relation {
+	return relation.New(name, attrs...)
+}
+
+// CatalogQuery returns one of the paper's benchmark queries Q1–Q11
+// (Fig. 7). It panics on unknown names; use ParseQuery for ad-hoc queries.
+func CatalogQuery(name string) Query { return hypergraph.Get(name) }
+
+// CatalogQueries returns all benchmark queries in order.
+func CatalogQueries() []Query { return hypergraph.AllQueries() }
+
+// ParseQuery parses "Name :- R1(a,b) ⋈ R2(b,c) ⋈ ..." (JOIN or commas also
+// accepted as separators).
+func ParseQuery(s string) (Query, error) { return hypergraph.ParseQuery(s) }
+
+// GenerateGraph returns a deterministic synthetic analogue of one of the
+// paper's datasets (WB, AS, WT, LJ, EN, OK) at the given scale (1.0 ≈ the
+// paper's edge counts ×10⁻³). Results are memoized; do not mutate.
+func GenerateGraph(name string, scale float64) *Relation {
+	return dataset.Load(name, scale)
+}
+
+// LoadGraph reads a SNAP-format edge list ("src dst" per line, '#'
+// comments) — the format of the paper's real datasets.
+func LoadGraph(path string) (*Relation, error) { return dataset.LoadSNAPFile(path) }
+
+// DatasetNames lists the named synthetic datasets in size order.
+func DatasetNames() []string { return dataset.Names() }
+
+// Run executes a query with the named engine over a database. Every atom
+// of q must name a relation in db with matching arity.
+func Run(engineName string, q Query, db Database, opts Options) (Report, error) {
+	run, ok := engine.Engines()[engineName]
+	if !ok {
+		return Report{}, fmt.Errorf("adj: unknown engine %q (want one of %v)", engineName, EngineNames())
+	}
+	rels, err := q.Bind(db)
+	if err != nil {
+		return Report{}, err
+	}
+	return run(q, rels, opts.toConfig())
+}
+
+// RunGraph executes a subgraph query where every atom binds to the same
+// edge relation — the paper's benchmark setup.
+func RunGraph(engineName string, q Query, edges *Relation, opts Options) (Report, error) {
+	run, ok := engine.Engines()[engineName]
+	if !ok {
+		return Report{}, fmt.Errorf("adj: unknown engine %q (want one of %v)", engineName, EngineNames())
+	}
+	return run(q, q.BindGraph(edges), opts.toConfig())
+}
+
+// Count runs ADJ on a graph-bound query and returns the full report.
+func Count(q Query, edges *Relation, opts Options) (Report, error) {
+	return RunGraph("ADJ", q, edges, opts)
+}
+
+// CountAcyclic evaluates an α-acyclic query with Yannakakis' algorithm
+// (linear in input + output; §VI positions it as the acyclic-query
+// standard). It errors when the query is cyclic — use Run for those.
+func CountAcyclic(q Query, db Database) (int64, error) {
+	rels, err := q.Bind(db)
+	if err != nil {
+		return 0, err
+	}
+	d, err := ghd.Decompose(q, ghd.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return yannakakis.Count(q, rels, d)
+}
+
+// Explain returns ADJ's chosen plan for a graph-bound query without
+// executing the distributed join (it still samples, which is where
+// planning cost lives).
+func Explain(q Query, edges *Relation, opts Options) (string, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	o, err := optimizer.New(q, q.BindGraph(edges), optimizer.Options{
+		Params:  costmodel.DefaultParams(workers),
+		Samples: opts.Samples,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	plan, err := o.CoOptimize()
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}

@@ -1,0 +1,142 @@
+package adj
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	edges := GenerateGraph("WB", 0.05)
+	q := CatalogQuery("Q1")
+	rep, err := Count(q, edges, Options{Workers: 4, Samples: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("failed: %s", rep.FailReason)
+	}
+	if rep.Results <= 0 {
+		t.Fatal("expected triangles in WB")
+	}
+}
+
+func TestRunAdHocQuery(t *testing.T) {
+	q, err := ParseQuery("Qt :- R(a,b) ⋈ S(b,c) ⋈ T(a,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, rows [][]Value) *Relation {
+		r := NewRelation(name, "x", "y")
+		for _, row := range rows {
+			r.Append(row...)
+		}
+		return r
+	}
+	e := [][]Value{{1, 2}, {2, 3}, {1, 3}}
+	db := Database{"R": mk("R", e), "S": mk("S", e), "T": mk("T", e)}
+	rep, err := Run("ADJ", q, db, Options{Workers: 2, Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != 1 {
+		t.Fatalf("triangle count=%d want 1", rep.Results)
+	}
+}
+
+func TestAllEnginesViaPublicAPI(t *testing.T) {
+	edges := GenerateGraph("WB", 0.03)
+	q := CatalogQuery("Q1")
+	var want int64 = -1
+	for _, name := range EngineNames() {
+		rep, err := RunGraph(name, q, edges, Options{Workers: 3, Samples: 100, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Failed {
+			t.Fatalf("%s failed: %s", name, rep.FailReason)
+		}
+		if want < 0 {
+			want = rep.Results
+		} else if rep.Results != want {
+			t.Fatalf("%s: %d results, others got %d", name, rep.Results, want)
+		}
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	q := CatalogQuery("Q1")
+	if _, err := Run("nope", q, Database{}, Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := RunGraph("nope", q, NewRelation("E", "s", "d"), Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunMissingRelation(t *testing.T) {
+	q := CatalogQuery("Q1")
+	if _, err := Run("ADJ", q, Database{}, Options{}); err == nil {
+		t.Fatal("expected bind error")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	edges := GenerateGraph("WB", 0.03)
+	plan, err := Explain(CatalogQuery("Q5"), edges, Options{Workers: 4, Samples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "ord=") {
+		t.Fatalf("plan missing order: %s", plan)
+	}
+}
+
+func TestCollectOutput(t *testing.T) {
+	edges := GenerateGraph("WB", 0.02)
+	q := CatalogQuery("Q1")
+	rep, err := Count(q, edges, Options{Workers: 2, Samples: 50, CollectOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Output == nil || int64(rep.Output.Len()) != rep.Results {
+		t.Fatalf("output len %v vs results %d", rep.Output, rep.Results)
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 || names[0] != "WB" || names[5] != "OK" {
+		t.Fatalf("names=%v", names)
+	}
+	for _, n := range names {
+		if GenerateGraph(n, 0.02).Len() == 0 {
+			t.Fatalf("%s empty", n)
+		}
+	}
+}
+
+func TestCountAcyclic(t *testing.T) {
+	q, err := ParseQuery("Qp :- R(a,b) ⋈ S(b,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRelation("R", "x", "y")
+	r.Append(1, 2)
+	r.Append(3, 2)
+	s := NewRelation("S", "x", "y")
+	s.Append(2, 7)
+	s.Append(2, 8)
+	n, err := CountAcyclic(q, Database{"R": r, "S": s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("count=%d want 4", n)
+	}
+	// Cyclic queries must be rejected.
+	if _, err := CountAcyclic(CatalogQuery("Q1"), Database{
+		"R1": r, "R2": r, "R3": r,
+	}); err == nil {
+		t.Fatal("expected error for cyclic query")
+	}
+}

@@ -1,0 +1,97 @@
+// Command adj runs a join query on a simulated cluster with any of the
+// five engines and prints the paper-style cost breakdown.
+//
+// Examples:
+//
+//	adj -query Q1 -dataset LJ -scale 0.1 -engine ADJ -workers 8
+//	adj -query 'Qt :- R(a,b) ⋈ S(b,c) ⋈ T(a,c)' -snap edges.txt -engine HCubeJ
+//	adj -query Q5 -dataset OK -all            # compare every engine
+//	adj -query Q6 -dataset LJ -explain        # print ADJ's plan only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adj"
+)
+
+func main() {
+	var (
+		queryStr = flag.String("query", "Q1", "catalog name (Q1..Q11) or full query text 'Q :- R1(a,b) ⋈ ...'")
+		dataset  = flag.String("dataset", "LJ", "named synthetic dataset: WB AS WT LJ EN OK")
+		scale    = flag.Float64("scale", 0.1, "dataset scale (1.0 ≈ paper edge counts ×10⁻³)")
+		snap     = flag.String("snap", "", "load a SNAP edge-list file instead of a synthetic dataset")
+		engine   = flag.String("engine", "ADJ", "engine: "+strings.Join(adj.EngineNames(), " "))
+		workers  = flag.Int("workers", 8, "simulated cluster size")
+		samples  = flag.Int("samples", 1000, "sampling budget for the optimizer")
+		seed     = flag.Int64("seed", 1, "random seed")
+		budget   = flag.Int64("budget", 100_000_000, "intermediate-work budget (0 = unlimited)")
+		all      = flag.Bool("all", false, "run every engine and compare")
+		explain  = flag.Bool("explain", false, "print ADJ's chosen plan and exit")
+		phases   = flag.Bool("phases", false, "print per-phase metrics")
+	)
+	flag.Parse()
+
+	q, err := parseQueryArg(*queryStr)
+	exitOn(err)
+
+	var edges *adj.Relation
+	if *snap != "" {
+		edges, err = adj.LoadGraph(*snap)
+		exitOn(err)
+		fmt.Printf("loaded %s: %d edges\n", *snap, edges.Len())
+	} else {
+		edges = adj.GenerateGraph(*dataset, *scale)
+		fmt.Printf("dataset %s@%g: %d edges\n", *dataset, *scale, edges.Len())
+	}
+
+	opts := adj.Options{Workers: *workers, Samples: *samples, Seed: *seed, Budget: *budget}
+
+	if *explain {
+		plan, err := adj.Explain(q, edges, opts)
+		exitOn(err)
+		fmt.Println(plan)
+		return
+	}
+
+	names := []string{*engine}
+	if *all {
+		names = adj.EngineNames()
+	}
+	for _, name := range names {
+		rep, err := adj.RunGraph(name, q, edges, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			continue
+		}
+		fmt.Println(rep.String())
+		if rep.Plan != "" {
+			fmt.Printf("  plan: %s\n", rep.Plan)
+		}
+		if *phases && rep.Metrics != nil {
+			fmt.Print(rep.Metrics.String())
+		}
+	}
+}
+
+func parseQueryArg(s string) (adj.Query, error) {
+	if !strings.ContainsAny(s, "(") {
+		for _, q := range adj.CatalogQueries() {
+			if q.Name == s {
+				return q, nil
+			}
+		}
+		return adj.Query{}, fmt.Errorf("unknown catalog query %q (Q1..Q11) — or pass full query text", s)
+	}
+	return adj.ParseQuery(s)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adj:", err)
+		os.Exit(1)
+	}
+}

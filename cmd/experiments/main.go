@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's evaluation (§VII): every
+// table and figure, printed as text tables with the same rows and series.
+//
+//	experiments -exp all                 # everything (minutes)
+//	experiments -exp fig12d -scale 0.1   # one experiment
+//	experiments -list                    # available ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adj/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))
+		scale   = flag.Float64("scale", 0.1, "dataset scale (1.0 ≈ paper ×10⁻³)")
+		workers = flag.Int("workers", 8, "cluster size (paper figures use 28)")
+		samples = flag.Int("samples", 500, "optimizer sampling budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		budget  = flag.Int64("budget", 30_000_000, "per-run work budget; exceeded runs report FAIL")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{
+		Scale: *scale, Workers: *workers, Samples: *samples, Seed: *seed, Budget: *budget,
+	}
+
+	run := func(id string, fn func(experiments.Config) (experiments.Result, error)) {
+		t0 := time.Now()
+		res, err := fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("   [%s took %.1fs]\n\n", id, time.Since(t0).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, id := range experiments.IDs() {
+			run(id, experiments.ByID(id))
+		}
+		return
+	}
+	fn := experiments.ByID(*exp)
+	if fn == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows ids\n", *exp)
+		os.Exit(1)
+	}
+	run(*exp, fn)
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// Worker is one simulated server: its local relation fragments, local
+// tries, and per-cube databases after an HCube shuffle.
+type Worker struct {
+	ID int
+	N  int
+	// Rels holds local fragments of base/derived relations, keyed by name.
+	Rels map[string]*relation.Relation
+	// Cubes holds, per hypercube coordinate index assigned to this server,
+	// the local database for that cube (relation name -> fragment).
+	Cubes map[int]map[string]*relation.Relation
+	// CubeTries holds pre-merged tries per cube and relation (Merge HCube).
+	CubeTries map[int]map[string]*trie.Trie
+	// Inbox receives envelopes during an exchange.
+	Inbox []Envelope
+	// Scratch carries engine-specific per-phase state.
+	Scratch map[string]interface{}
+}
+
+func newWorker(id, n int) *Worker {
+	return &Worker{
+		ID: id, N: n,
+		Rels:      make(map[string]*relation.Relation),
+		Cubes:     make(map[int]map[string]*relation.Relation),
+		CubeTries: make(map[int]map[string]*trie.Trie),
+		Scratch:   make(map[string]interface{}),
+	}
+}
+
+// CubeDB returns (creating if needed) the local database of cube c.
+func (w *Worker) CubeDB(c int) map[string]*relation.Relation {
+	db, ok := w.Cubes[c]
+	if !ok {
+		db = make(map[string]*relation.Relation)
+		w.Cubes[c] = db
+	}
+	return db
+}
+
+// CubeTrieDB returns (creating if needed) the trie store of cube c.
+func (w *Worker) CubeTrieDB(c int) map[string]*trie.Trie {
+	db, ok := w.CubeTries[c]
+	if !ok {
+		db = make(map[string]*trie.Trie)
+		w.CubeTries[c] = db
+	}
+	return db
+}
+
+// ResetCubes clears per-cube state between shuffles.
+func (w *Worker) ResetCubes() {
+	w.Cubes = make(map[int]map[string]*relation.Relation)
+	w.CubeTries = make(map[int]map[string]*trie.Trie)
+}
+
+// Config configures a cluster.
+type Config struct {
+	// N is the number of workers (the paper uses up to 28).
+	N int
+	// Transport defaults to LocalTransport.
+	Transport Transport
+	// Network models exchange wall time; zero value uses DefaultNetwork.
+	Network NetworkModel
+	// RealParallel runs phases on goroutines (one per worker). The default
+	// (false) runs workers sequentially and defines phase wall time as the
+	// max per-worker time — the deterministic simulation mode every
+	// benchmark uses, so a 28-worker cluster can be timed faithfully on a
+	// 2-core machine.
+	RealParallel bool
+}
+
+// Cluster is a simulated cluster executing BSP phases.
+type Cluster struct {
+	N        int
+	Workers  []*Worker
+	Metrics  *Metrics
+	network  NetworkModel
+	transp   Transport
+	parallel bool
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.N <= 0 {
+		cfg.N = 1
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewLocalTransport(cfg.N)
+	}
+	if cfg.Network == (NetworkModel{}) {
+		cfg.Network = DefaultNetwork()
+	}
+	c := &Cluster{
+		N:        cfg.N,
+		Metrics:  NewMetrics(),
+		network:  cfg.Network,
+		transp:   cfg.Transport,
+		parallel: cfg.RealParallel,
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.Workers = append(c.Workers, newWorker(i, cfg.N))
+	}
+	return c
+}
+
+// Close releases the transport.
+func (c *Cluster) Close() error { return c.transp.Close() }
+
+// ResetMetrics starts a fresh metrics collection (workers keep their data).
+func (c *Cluster) ResetMetrics() { c.Metrics = NewMetrics() }
+
+// Parallel runs fn on every worker and charges the phase's computation time
+// as the maximum per-worker duration (simulated parallel wall clock).
+func (c *Cluster) Parallel(phase string, fn func(w *Worker) error) error {
+	durs := make([]time.Duration, c.N)
+	errs := make([]error, c.N)
+	if c.parallel {
+		var wg sync.WaitGroup
+		for i := 0; i < c.N; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				t0 := time.Now()
+				errs[i] = fn(c.Workers[i])
+				durs[i] = time.Since(t0)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < c.N; i++ {
+			t0 := time.Now()
+			errs[i] = fn(c.Workers[i])
+			durs[i] = time.Since(t0)
+		}
+	}
+	var max time.Duration
+	for _, d := range durs {
+		if d > max {
+			max = d
+		}
+	}
+	c.Metrics.Phase(phase).CompSeconds += max.Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("phase %s worker %d: %w", phase, i, err)
+		}
+	}
+	return nil
+}
+
+// Exchange runs one all-to-all shuffle: produce yields each worker's
+// outgoing envelopes (charged as computation), the transport routes them,
+// and consume processes each worker's inbox (also computation). Network
+// counters and modeled communication time accrue to the phase.
+func (c *Cluster) Exchange(phase string,
+	produce func(w *Worker) ([]Envelope, error),
+	consume func(w *Worker, inbox []Envelope) error) error {
+
+	bySender := make([][]Envelope, c.N)
+	err := c.Parallel(phase+"/send", func(w *Worker) error {
+		envs, err := produce(w)
+		if err != nil {
+			return err
+		}
+		for i := range envs {
+			envs[i].From = w.ID
+		}
+		bySender[w.ID] = envs
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Account network counters.
+	pm := c.Metrics.Phase(phase)
+	outBytes := make([]int64, c.N)
+	inBytes := make([]int64, c.N)
+	outMsgs := make([]int64, c.N)
+	for s, envs := range bySender {
+		for _, e := range envs {
+			b := int64(len(e.Payload))
+			pm.BytesSent += b
+			pm.TuplesSent += e.Tuples
+			pm.Messages += e.MsgWeight()
+			outBytes[s] += b
+			outMsgs[s] += e.MsgWeight()
+			if e.To >= 0 && e.To < c.N {
+				inBytes[e.To] += b
+			}
+		}
+	}
+	var maxBytes, maxMsgs int64
+	for i := 0; i < c.N; i++ {
+		if outBytes[i] > maxBytes {
+			maxBytes = outBytes[i]
+		}
+		if inBytes[i] > maxBytes {
+			maxBytes = inBytes[i]
+		}
+		if outMsgs[i] > maxMsgs {
+			maxMsgs = outMsgs[i]
+		}
+	}
+	pm.CommSeconds += c.network.CommSeconds(maxBytes, maxMsgs)
+
+	routed, err := c.transp.Route(bySender)
+	if err != nil {
+		return fmt.Errorf("phase %s: %w", phase, err)
+	}
+	for i, inbox := range routed {
+		c.Workers[i].Inbox = inbox
+	}
+	defer func() {
+		for _, w := range c.Workers {
+			w.Inbox = nil
+		}
+	}()
+	return c.Parallel(phase+"/recv", func(w *Worker) error {
+		return consume(w, w.Inbox)
+	})
+}
+
+// LoadRelation distributes r across workers round-robin (the arbitrary
+// initial placement a distributed file system gives you). Fragments keep
+// the relation's name.
+func (c *Cluster) LoadRelation(r *relation.Relation) {
+	frags := make([]*relation.Relation, c.N)
+	for i := range frags {
+		frags[i] = relation.New(r.Name, r.Attrs...)
+	}
+	for i, n := 0, r.Len(); i < n; i++ {
+		frags[i%c.N].AppendTuple(r.Tuple(i))
+	}
+	for i, w := range c.Workers {
+		w.Rels[r.Name] = frags[i]
+	}
+}
+
+// LoadDatabase distributes every relation.
+func (c *Cluster) LoadDatabase(rels []*relation.Relation) {
+	for _, r := range rels {
+		c.LoadRelation(r)
+	}
+}
+
+// DropRelation removes a relation's fragments from all workers.
+func (c *Cluster) DropRelation(name string) {
+	for _, w := range c.Workers {
+		delete(w.Rels, name)
+	}
+}
+
+// GatherCounts sums a per-worker int64 extractor (e.g. local result counts).
+func (c *Cluster) GatherCounts(get func(w *Worker) int64) int64 {
+	var t int64
+	for _, w := range c.Workers {
+		t += get(w)
+	}
+	return t
+}
+
+// LocalSize returns the number of tuples of relation name on worker w
+// (0 when absent).
+func (w *Worker) LocalSize(name string) int {
+	if r, ok := w.Rels[name]; ok {
+		return r.Len()
+	}
+	return 0
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"adj/internal/relation"
+)
+
+func TestLoadRelationRoundRobin(t *testing.T) {
+	r := relation.New("R", "a")
+	for i := relation.Value(0); i < 10; i++ {
+		r.Append(i)
+	}
+	c := New(Config{N: 3})
+	defer c.Close()
+	c.LoadRelation(r)
+	sizes := []int{c.Workers[0].LocalSize("R"), c.Workers[1].LocalSize("R"), c.Workers[2].LocalSize("R")}
+	if !reflect.DeepEqual(sizes, []int{4, 3, 3}) {
+		t.Fatalf("sizes=%v", sizes)
+	}
+	total := c.GatherCounts(func(w *Worker) int64 { return int64(w.LocalSize("R")) })
+	if total != 10 {
+		t.Fatalf("total=%d", total)
+	}
+}
+
+func TestParallelChargesMaxTime(t *testing.T) {
+	c := New(Config{N: 4})
+	defer c.Close()
+	err := c.Parallel("work", func(w *Worker) error {
+		// Unequal busy loops: worker 3 does ~4x the work.
+		n := 1 + w.ID
+		s := 0
+		for i := 0; i < n*200000; i++ {
+			s += i
+		}
+		w.Scratch["s"] = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics.Phase("work").CompSeconds <= 0 {
+		t.Fatal("no computation time recorded")
+	}
+}
+
+func TestParallelPropagatesErrors(t *testing.T) {
+	c := New(Config{N: 2})
+	defer c.Close()
+	err := c.Parallel("p", func(w *Worker) error {
+		if w.ID == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestExchangeRoutesAndCounts(t *testing.T) {
+	for _, mode := range []string{"local", "tcp", "parallel"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			cfg := Config{N: 3}
+			switch mode {
+			case "tcp":
+				tr, err := NewTCPTransport(3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Transport = tr
+			case "parallel":
+				cfg.RealParallel = true
+			}
+			c := New(cfg)
+			defer c.Close()
+			// Every worker sends its ID to every other worker.
+			got := make([][]int, 3)
+			err := c.Exchange("x",
+				func(w *Worker) ([]Envelope, error) {
+					var out []Envelope
+					for to := 0; to < 3; to++ {
+						if to == w.ID {
+							continue
+						}
+						out = append(out, Envelope{
+							To:      to,
+							Key:     "id",
+							Payload: []byte{byte(w.ID)},
+							Tuples:  1,
+						})
+					}
+					return out, nil
+				},
+				func(w *Worker, inbox []Envelope) error {
+					for _, e := range inbox {
+						got[w.ID] = append(got[w.ID], int(e.Payload[0]))
+						if e.From != int(e.Payload[0]) {
+							return fmt.Errorf("From field mismatch: %d vs %d", e.From, e.Payload[0])
+						}
+					}
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range got {
+				sort.Ints(got[id])
+				want := []int{0, 1, 2}
+				want = append(want[:id], want[id+1:]...)
+				if !reflect.DeepEqual(got[id], want) {
+					t.Fatalf("worker %d received %v want %v", id, got[id], want)
+				}
+			}
+			pm := c.Metrics.Phase("x")
+			if pm.Messages != 6 || pm.TuplesSent != 6 || pm.BytesSent != 6 {
+				t.Fatalf("metrics: %+v", pm)
+			}
+			if pm.CommSeconds <= 0 {
+				t.Fatal("no modeled communication time")
+			}
+		})
+	}
+}
+
+func TestExchangeRelationPayloadOverTCP(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{N: 2, Transport: tr})
+	defer c.Close()
+	rng := rand.New(rand.NewSource(1))
+	orig := relation.New("R", "a", "b")
+	for i := 0; i < 500; i++ {
+		orig.Append(rng.Int63(), rng.Int63())
+	}
+	var received *relation.Relation
+	err = c.Exchange("ship",
+		func(w *Worker) ([]Envelope, error) {
+			if w.ID != 0 {
+				return nil, nil
+			}
+			return []Envelope{{To: 1, Key: "rel", Payload: relation.Encode(orig), Tuples: int64(orig.Len())}}, nil
+		},
+		func(w *Worker, inbox []Envelope) error {
+			for _, e := range inbox {
+				r, err := relation.Decode(e.Payload)
+				if err != nil {
+					return err
+				}
+				received = r
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if received == nil || !received.Equal(orig) {
+		t.Fatal("relation did not survive the TCP roundtrip")
+	}
+}
+
+func TestTCPMultipleExchanges(t *testing.T) {
+	// The transport must survive repeated Route calls (one per BSP phase).
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{N: 2, Transport: tr})
+	defer c.Close()
+	for round := 0; round < 3; round++ {
+		sum := 0
+		err := c.Exchange("r",
+			func(w *Worker) ([]Envelope, error) {
+				return []Envelope{{To: 1 - w.ID, Payload: []byte{byte(round)}}}, nil
+			},
+			func(w *Worker, inbox []Envelope) error {
+				for _, e := range inbox {
+					sum += int(e.Payload[0])
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if sum != 2*round {
+			t.Fatalf("round %d: sum=%d", round, sum)
+		}
+	}
+}
+
+func TestEnvelopeOutOfRange(t *testing.T) {
+	c := New(Config{N: 2})
+	defer c.Close()
+	err := c.Exchange("bad",
+		func(w *Worker) ([]Envelope, error) {
+			return []Envelope{{To: 5}}, nil
+		},
+		func(w *Worker, inbox []Envelope) error { return nil })
+	if err == nil {
+		t.Fatal("expected routing error")
+	}
+}
+
+func TestMetricsAccumulation(t *testing.T) {
+	m := NewMetrics()
+	m.Phase("a").CompSeconds = 1
+	m.Phase("a").CommSeconds = 2
+	m.Phase("b/send").CompSeconds = 3
+	if m.TotalSeconds() != 6 {
+		t.Fatalf("total=%v", m.TotalSeconds())
+	}
+	comp, comm := m.SumMatching("a")
+	if comp != 1 || comm != 2 {
+		t.Fatalf("SumMatching: %v %v", comp, comm)
+	}
+	if len(m.Phases()) != 2 {
+		t.Fatalf("phases=%d", len(m.Phases()))
+	}
+}
+
+func TestNetworkModel(t *testing.T) {
+	nm := NetworkModel{BandwidthBytesPerSec: 1e9, PerMessageSec: 1e-5}
+	s := nm.CommSeconds(1e9, 100)
+	if s < 1.0 || s > 1.01 {
+		t.Fatalf("comm seconds=%v", s)
+	}
+	if (NetworkModel{}).CommSeconds(100, 100) != 0 {
+		t.Fatal("zero model must cost nothing")
+	}
+}
+
+func TestCubeDBHelpers(t *testing.T) {
+	w := newWorker(0, 1)
+	db := w.CubeDB(3)
+	db["R"] = relation.New("R", "a")
+	if w.CubeDB(3)["R"] == nil {
+		t.Fatal("cube db lost")
+	}
+	w.ResetCubes()
+	if len(w.Cubes) != 0 || len(w.CubeTries) != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport routes envelopes over real loopback TCP sockets using a
+// minimal length-prefixed frame protocol. It exists to keep the
+// serialization and wire path honest: integration tests run the full join
+// engines over it and must produce byte-identical results to the local
+// transport.
+//
+// Frame layout (little-endian):
+//
+//	u32 from | u32 to | u32 keyLen | key | u64 tuples | u64 weight |
+//	u32 payloadLen | payload
+type TCPTransport struct {
+	n         int
+	listeners []net.Listener
+	addrs     []string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewTCPTransport starts n loopback listeners (one per worker).
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	t := &TCPTransport{n: n}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("tcp transport: listen worker %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, l)
+		t.addrs = append(t.addrs, l.Addr().String())
+	}
+	return t, nil
+}
+
+// Addrs returns the listener addresses (for diagnostics).
+func (t *TCPTransport) Addrs() []string { return append([]string(nil), t.addrs...) }
+
+// Route performs one all-to-all exchange: every sender dials every
+// destination it has envelopes for, streams frames, and each listener
+// accepts until all senders signal completion.
+func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
+	out := make([][]Envelope, t.n)
+	var outMu sync.Mutex
+
+	// Count connections each receiver should expect: one per sender that has
+	// at least one envelope for it.
+	expect := make([]int, t.n)
+	perPair := make([][][]Envelope, len(bySender))
+	for s, envs := range bySender {
+		perPair[s] = make([][]Envelope, t.n)
+		for _, e := range envs {
+			if e.To < 0 || e.To >= t.n {
+				return nil, fmt.Errorf("tcp transport: destination %d out of range", e.To)
+			}
+			perPair[s][e.To] = append(perPair[s][e.To], e)
+		}
+		for d := 0; d < t.n; d++ {
+			if len(perPair[s][d]) > 0 {
+				expect[d]++
+			}
+		}
+	}
+
+	errCh := make(chan error, 2*t.n*t.n)
+	var wg sync.WaitGroup
+
+	// Receivers.
+	for d := 0; d < t.n; d++ {
+		if expect[d] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for c := 0; c < expect[d]; c++ {
+				conn, err := t.listeners[d].Accept()
+				if err != nil {
+					errCh <- fmt.Errorf("tcp transport: accept on %d: %w", d, err)
+					return
+				}
+				envs, err := readFrames(conn)
+				conn.Close()
+				if err != nil {
+					errCh <- fmt.Errorf("tcp transport: read on %d: %w", d, err)
+					return
+				}
+				outMu.Lock()
+				out[d] = append(out[d], envs...)
+				outMu.Unlock()
+			}
+		}(d)
+	}
+
+	// Senders.
+	for s := range perPair {
+		for d := 0; d < t.n; d++ {
+			envs := perPair[s][d]
+			if len(envs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(d int, envs []Envelope) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", t.addrs[d])
+				if err != nil {
+					errCh <- fmt.Errorf("tcp transport: dial %d: %w", d, err)
+					return
+				}
+				defer conn.Close()
+				for _, e := range envs {
+					if err := writeFrame(conn, e); err != nil {
+						errCh <- fmt.Errorf("tcp transport: write to %d: %w", d, err)
+						return
+					}
+				}
+			}(d, envs)
+		}
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close shuts all listeners.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	var first error
+	for _, l := range t.listeners {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func writeFrame(w io.Writer, e Envelope) error {
+	head := make([]byte, 0, 32+len(e.Key))
+	var b4 [4]byte
+	var b8 [8]byte
+	p32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b4[:], v)
+		head = append(head, b4[:]...)
+	}
+	p64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		head = append(head, b8[:]...)
+	}
+	p32(uint32(e.From))
+	p32(uint32(e.To))
+	p32(uint32(len(e.Key)))
+	head = append(head, e.Key...)
+	p64(uint64(e.Tuples))
+	p64(uint64(e.MsgWeight()))
+	p32(uint32(len(e.Payload)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	_, err := w.Write(e.Payload)
+	return err
+}
+
+// readFrames consumes frames until EOF.
+func readFrames(r io.Reader) ([]Envelope, error) {
+	var out []Envelope
+	var b4 [4]byte
+	var b8 [8]byte
+	for {
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		var e Envelope
+		e.From = int(binary.LittleEndian.Uint32(b4[:]))
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, err
+		}
+		e.To = int(binary.LittleEndian.Uint32(b4[:]))
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, err
+		}
+		keyLen := binary.LittleEndian.Uint32(b4[:])
+		if keyLen > 1<<20 {
+			return nil, fmt.Errorf("tcp transport: implausible key length %d", keyLen)
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(r, key); err != nil {
+			return nil, err
+		}
+		e.Key = string(key)
+		if _, err := io.ReadFull(r, b8[:]); err != nil {
+			return nil, err
+		}
+		e.Tuples = int64(binary.LittleEndian.Uint64(b8[:]))
+		if _, err := io.ReadFull(r, b8[:]); err != nil {
+			return nil, err
+		}
+		e.Weight = int64(binary.LittleEndian.Uint64(b8[:]))
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, err
+		}
+		plen := binary.LittleEndian.Uint32(b4[:])
+		if plen > 1<<31 {
+			return nil, fmt.Errorf("tcp transport: implausible payload length %d", plen)
+		}
+		e.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, e.Payload); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

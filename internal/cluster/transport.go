@@ -1,0 +1,64 @@
+package cluster
+
+import "fmt"
+
+// Envelope is one logical message between workers. Payload is an opaque
+// serialized blob (relation block, trie block, or control data); Tuples
+// records how many logical tuples it carries for metric accounting, and
+// Weight how many logical envelopes it represents (Push-style shuffles
+// batch physically but count per-tuple messages).
+type Envelope struct {
+	From    int
+	To      int
+	Key     string
+	Payload []byte
+	Tuples  int64
+	Weight  int64
+}
+
+// MsgWeight returns the logical message count of e (min 1).
+func (e Envelope) MsgWeight() int64 {
+	if e.Weight > 0 {
+		return e.Weight
+	}
+	return 1
+}
+
+// Transport routes envelopes between workers. Implementations must deliver
+// every envelope to inboxes grouped by destination and preserve payload
+// bytes exactly.
+type Transport interface {
+	// Route takes all envelopes produced in one exchange (grouped by sender)
+	// and returns them grouped by destination worker.
+	Route(bySender [][]Envelope) ([][]Envelope, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// LocalTransport moves envelopes in-process. Payloads are still serialized
+// bytes (senders encode, receivers decode), so the compute cost of the
+// serialization path is identical to a networked deployment; only the wire
+// is skipped.
+type LocalTransport struct {
+	n int
+}
+
+// NewLocalTransport returns a transport for n workers.
+func NewLocalTransport(n int) *LocalTransport { return &LocalTransport{n: n} }
+
+// Route groups envelopes by destination.
+func (t *LocalTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
+	out := make([][]Envelope, t.n)
+	for _, envs := range bySender {
+		for _, e := range envs {
+			if e.To < 0 || e.To >= t.n {
+				return nil, fmt.Errorf("local transport: destination %d out of range [0,%d)", e.To, t.n)
+			}
+			out[e.To] = append(out[e.To], e)
+		}
+	}
+	return out, nil
+}
+
+// Close is a no-op.
+func (t *LocalTransport) Close() error { return nil }

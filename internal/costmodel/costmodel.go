@@ -1,0 +1,179 @@
+// Package costmodel implements the cost functions of §III-B: communication
+// cost costC (seconds to shuffle a relation set under optimized HCube
+// shares), per-level computation cost costE (partial bindings to extend,
+// divided by the extension rate β and the server count), and pre-computing
+// cost costM (shuffle + join of a GHD bag's relations).
+//
+// The constants are calibrated the way the paper prescribes: α (tuples
+// shuffled per second) by timing a synthetic shuffle on the cluster's
+// network model, β for raw relations by reusing the sampler's measured
+// extension rate, and β for pre-computed relations by timing probes on a
+// pre-built trie.
+package costmodel
+
+import (
+	"math/rand"
+	"time"
+
+	"adj/internal/hcube"
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// Params holds the calibrated constants of §III-B.
+type Params struct {
+	// Alpha is tuples shuffled per second across the cluster.
+	Alpha float64
+	// BetaBase is extension ops per second per server when the traversed
+	// node's relations are raw base relations (from sampling statistics).
+	BetaBase float64
+	// BetaTrie is extension ops per second per server when the node is a
+	// pre-computed (materialized, single-trie) relation. Higher than
+	// BetaBase: one probe replaces a multi-iterator intersection, and the
+	// merged relation enforces the bag's full constraint at once.
+	BetaTrie float64
+	// JoinRate is hash-join throughput (input+output tuples per second per
+	// server) for bag pre-computation.
+	JoinRate float64
+	// NumServers is N*.
+	NumServers int
+	// MemoryPerServer bounds HCube loads (tuples; 0 = unbounded).
+	MemoryPerServer int64
+}
+
+// DefaultParams returns constants roughly calibrated to this repository's
+// simulated cluster; engines re-calibrate α and β at run time.
+func DefaultParams(n int) Params {
+	return Params{
+		Alpha:      40e6,
+		BetaBase:   4e6,
+		BetaTrie:   25e6,
+		JoinRate:   12e6,
+		NumServers: n,
+	}
+}
+
+// CalibrateAlpha measures shuffle throughput in tuples/second implied by
+// the network model nm for blocks of binary tuples.
+func CalibrateAlpha(nm interface {
+	CommSeconds(maxServerBytes, maxServerMsgs int64) float64
+}, numServers int) float64 {
+	const tuples = 1 << 20
+	const bytesPerTuple = 16
+	// Tuples spread evenly: each server ships tuples/numServers in
+	// block-sized messages.
+	perServer := int64(tuples / numServers)
+	msgs := perServer/4096 + 1
+	sec := nm.CommSeconds(perServer*bytesPerTuple, msgs)
+	if sec <= 0 {
+		return 40e6
+	}
+	return float64(tuples) / (sec * float64(numServers))
+}
+
+// CalibrateBetaTrie measures probe throughput on a pre-built trie of the
+// given size, as §III-B prescribes ("pre-measure β_i on tries of various
+// sizes").
+func CalibrateBetaTrie(size int) float64 {
+	if size < 1024 {
+		size = 1024
+	}
+	rng := rand.New(rand.NewSource(1))
+	r := relation.NewWithCapacity("cal", size, "x", "y")
+	for i := 0; i < size; i++ {
+		r.Append(rng.Int63n(int64(size/4+1)), rng.Int63n(int64(size/4+1)))
+	}
+	tr := trie.Build(r, []string{"x", "y"})
+	it := trie.NewIterator(tr)
+	const probes = 200000
+	t0 := time.Now()
+	var sink relation.Value
+	for i := 0; i < probes; i++ {
+		it.Reset()
+		it.Open()
+		it.Seek(rng.Int63n(int64(size/4 + 1)))
+		if !it.AtEnd() {
+			sink += it.Key()
+		}
+	}
+	el := time.Since(t0).Seconds()
+	_ = sink
+	if el <= 0 {
+		return 25e6
+	}
+	return probes / el
+}
+
+// CalibrateJoinRate times a small hash join and returns tuples/second.
+func CalibrateJoinRate() float64 {
+	rng := rand.New(rand.NewSource(2))
+	const n = 50000
+	a := relation.NewWithCapacity("a", n, "x", "y")
+	b := relation.NewWithCapacity("b", n, "y", "z")
+	for i := 0; i < n; i++ {
+		a.Append(rng.Int63n(n), rng.Int63n(n/4))
+		b.Append(rng.Int63n(n/4), rng.Int63n(n))
+	}
+	t0 := time.Now()
+	out := relation.HashJoin(a, b)
+	el := time.Since(t0).Seconds()
+	if el <= 0 {
+		return 12e6
+	}
+	return float64(2*n+out.Len()) / el
+}
+
+// CommCost returns costC(C) in seconds for shuffling the given relation
+// set under the best share vector, plus that vector.
+func CommCost(rels []hcube.RelInfo, attrs []string, p Params) (float64, hcube.Shares, error) {
+	shares, err := hcube.Optimize(rels, hcube.Config{
+		Attrs:           attrs,
+		NumServers:      p.NumServers,
+		MemoryPerServer: p.MemoryPerServer,
+	})
+	if err != nil {
+		return 0, hcube.Shares{}, err
+	}
+	tuples := hcube.TotalComm(rels, shares)
+	if p.Alpha <= 0 {
+		return 0, shares, nil
+	}
+	return float64(tuples) / p.Alpha, shares, nil
+}
+
+// ExtendCost returns costE^i: the seconds to extend `bindings` partial
+// bindings at a traversed node, given the applicable β and N* servers.
+func ExtendCost(bindings float64, beta float64, numServers int) float64 {
+	if beta <= 0 || numServers <= 0 {
+		return 0
+	}
+	return bindings / (beta * float64(numServers))
+}
+
+// PrecomputeCost returns costM(Rv): shuffling λ(v) for a distributed
+// binary join (each tuple moves once) plus the join work spread over the
+// servers.
+func PrecomputeCost(inputs []hcube.RelInfo, outputSize float64, p Params) float64 {
+	var inTuples int64
+	for _, r := range inputs {
+		inTuples += r.Size
+	}
+	comm := 0.0
+	if p.Alpha > 0 {
+		comm = float64(inTuples) / p.Alpha
+	}
+	comp := 0.0
+	if p.JoinRate > 0 && p.NumServers > 0 {
+		comp = (float64(inTuples) + outputSize) / (p.JoinRate * float64(p.NumServers))
+	}
+	return comm + comp
+}
+
+// BetaFor picks the extension rate for a node: trie rate when the node is
+// pre-computed, base rate otherwise.
+func (p Params) BetaFor(precomputed bool) float64 {
+	if precomputed {
+		return p.BetaTrie
+	}
+	return p.BetaBase
+}

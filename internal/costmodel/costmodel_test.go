@@ -1,0 +1,117 @@
+package costmodel
+
+import (
+	"testing"
+
+	"adj/internal/cluster"
+	"adj/internal/hcube"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(8)
+	if p.NumServers != 8 || p.Alpha <= 0 || p.BetaBase <= 0 || p.BetaTrie <= p.BetaBase {
+		t.Fatalf("params=%+v", p)
+	}
+}
+
+func TestCalibrateAlpha(t *testing.T) {
+	a := CalibrateAlpha(cluster.DefaultNetwork(), 8)
+	if a < 1e6 || a > 1e10 {
+		t.Fatalf("alpha=%v implausible", a)
+	}
+	// More servers => more aggregate bandwidth is not modeled per-tuple:
+	// alpha is per-cluster throughput and must stay positive.
+	if CalibrateAlpha(cluster.NetworkModel{}, 4) <= 0 {
+		t.Fatal("zero model must fall back to a positive default")
+	}
+}
+
+func TestCalibrateBetaTrie(t *testing.T) {
+	b := CalibrateBetaTrie(1 << 12)
+	if b <= 0 {
+		t.Fatalf("betaTrie=%v", b)
+	}
+	if CalibrateBetaTrie(0) <= 0 {
+		t.Fatal("degenerate size must still calibrate")
+	}
+}
+
+func TestCalibrateJoinRate(t *testing.T) {
+	if r := CalibrateJoinRate(); r <= 0 {
+		t.Fatalf("joinRate=%v", r)
+	}
+}
+
+func TestCommCost(t *testing.T) {
+	p := DefaultParams(4)
+	rels := []hcube.RelInfo{
+		{Name: "R1", Attrs: []string{"a", "b"}, Size: 1000},
+		{Name: "R2", Attrs: []string{"b", "c"}, Size: 1000},
+		{Name: "R3", Attrs: []string{"a", "c"}, Size: 1000},
+	}
+	sec, shares, err := CommCost(rels, []string{"a", "b", "c"}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatalf("comm cost=%v", sec)
+	}
+	if shares.NumCubes() != 4 {
+		t.Fatalf("cubes=%d want 4", shares.NumCubes())
+	}
+	// Doubling every relation doubles the cost (same shares optimum).
+	big := make([]hcube.RelInfo, len(rels))
+	copy(big, rels)
+	for i := range big {
+		big[i].Size *= 2
+	}
+	sec2, _, err := CommCost(big, []string{"a", "b", "c"}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec2 < sec*1.9 || sec2 > sec*2.1 {
+		t.Fatalf("cost not linear in size: %v vs %v", sec, sec2)
+	}
+}
+
+func TestExtendCost(t *testing.T) {
+	if c := ExtendCost(1e6, 1e6, 4); c != 0.25 {
+		t.Fatalf("extend cost=%v want 0.25", c)
+	}
+	if ExtendCost(100, 0, 4) != 0 || ExtendCost(100, 10, 0) != 0 {
+		t.Fatal("degenerate params must cost 0")
+	}
+}
+
+func TestPrecomputeCost(t *testing.T) {
+	p := DefaultParams(4)
+	inputs := []hcube.RelInfo{
+		{Name: "R4", Attrs: []string{"b", "e"}, Size: 10000},
+		{Name: "R5", Attrs: []string{"c", "e"}, Size: 10000},
+	}
+	small := PrecomputeCost(inputs, 1000, p)
+	large := PrecomputeCost(inputs, 1e9, p)
+	if small <= 0 || large <= small {
+		t.Fatalf("precompute costs: small=%v large=%v", small, large)
+	}
+}
+
+func TestBetaFor(t *testing.T) {
+	p := DefaultParams(2)
+	if p.BetaFor(true) <= p.BetaFor(false) {
+		t.Fatal("precomputed nodes must extend faster")
+	}
+}
+
+func TestCommCostRespectsMemory(t *testing.T) {
+	p := DefaultParams(4)
+	p.MemoryPerServer = 600
+	rels := []hcube.RelInfo{{Name: "R", Attrs: []string{"a", "b"}, Size: 2000}}
+	_, shares, err := CommCost(rels, []string{"a", "b"}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load := hcube.LoadPerCube(rels, shares); load > 600 {
+		t.Fatalf("shares %v violate memory: load=%v", shares.P, load)
+	}
+}

@@ -1,0 +1,184 @@
+// Package dataset provides the evaluation datasets. The paper (Table I)
+// uses six SNAP/LAW graphs — WB (web-BerkStan), AS (as-Skitter), WT
+// (wiki-Talk), LJ (com-LiveJournal), EN (en-wiki2013), OK (com-Orkut) —
+// from 13.2M to 234.4M edges. Those downloads are not available offline, so
+// this package generates deterministic synthetic analogues scaled ~1000×
+// down that preserve the two properties complex-join cost depends on:
+// heavy-tailed degree distributions (skew) and the relative size ordering
+// WB < AS < WT < LJ < EN < OK. A SNAP edge-list loader is included for
+// users with the real files (see DESIGN.md, substitutions).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"adj/internal/relation"
+)
+
+// Kind selects a generator family.
+type Kind int
+
+// Generator families.
+const (
+	// PrefAttach grows a graph by preferential attachment (heavy-tailed
+	// degrees, like web/social graphs).
+	PrefAttach Kind = iota
+	// Uniform is an Erdős–Rényi style uniform random graph.
+	Uniform
+	// Community overlays preferential attachment inside k communities with
+	// sparse random cross links (LiveJournal/Orkut-like structure).
+	Community
+)
+
+// Spec describes a synthetic graph.
+type Spec struct {
+	Name string
+	Kind Kind
+	// Edges is the approximate target edge count (exact count can be
+	// slightly lower after dedup).
+	Edges int
+	// NodesPerEdge controls density: nodes ≈ Edges / NodesPerEdge.
+	NodesPerEdge float64
+	// Hubs tunes skew for PrefAttach (higher = more mass on hubs).
+	Hubs float64
+	// Triadic is the probability of closing a triangle after each accepted
+	// edge (Holme–Kim style): real web/social graphs have high clustering,
+	// which is what makes the cyclic queries Q1–Q6 produce results.
+	Triadic float64
+	// Reciprocal is the probability of also inserting the reverse edge.
+	Reciprocal float64
+	// Communities is the community count for the Community kind.
+	Communities int
+	Seed        int64
+}
+
+// Named dataset table: scaled analogues of the paper's Table I at scale 1.
+// Edge counts are the paper's ×10⁻³; kinds/density/skew are chosen per the
+// source graph's character.
+// Densities (NodesPerEdge = average out-degree at scale 1) follow the real
+// graphs' relative ordering — web-BerkStan ~11, as-Skitter ~7, wiki-Talk ~2
+// (huge hubs), LiveJournal ~17, enwiki ~24, Orkut ~38 — compressed ~2× so
+// that pattern counts stay tractable at the 1000×-reduced edge counts
+// (pattern counts grow like degree^k; see SpecOf for the per-scale rule).
+var specs = map[string]Spec{
+	"WB": {Name: "WB", Kind: PrefAttach, Edges: 13200, NodesPerEdge: 5.5, Hubs: 1.2, Triadic: 0.4, Reciprocal: 0.25, Seed: 101},
+	"AS": {Name: "AS", Kind: PrefAttach, Edges: 22100, NodesPerEdge: 3.5, Hubs: 1.6, Triadic: 0.35, Reciprocal: 0.5, Seed: 102},
+	"WT": {Name: "WT", Kind: PrefAttach, Edges: 50900, NodesPerEdge: 2.0, Hubs: 2.6, Triadic: 0.2, Reciprocal: 0.15, Seed: 103},
+	"LJ": {Name: "LJ", Kind: Community, Edges: 69400, NodesPerEdge: 8.5, Triadic: 0.3, Reciprocal: 0.4, Communities: 24, Seed: 104},
+	"EN": {Name: "EN", Kind: PrefAttach, Edges: 183900, NodesPerEdge: 12.0, Hubs: 1.2, Triadic: 0.35, Reciprocal: 0.3, Seed: 105},
+	"OK": {Name: "OK", Kind: Community, Edges: 234400, NodesPerEdge: 19.0, Triadic: 0.3, Reciprocal: 0.5, Communities: 16, Seed: 106},
+}
+
+// Names returns the dataset names in the paper's (size) order.
+func Names() []string { return []string{"WB", "AS", "WT", "LJ", "EN", "OK"} }
+
+// SpecOf returns the spec of a named dataset scaled by scale (scale 1 =
+// paper ×10⁻³). It panics on unknown names — these are fixed benchmark
+// identifiers.
+//
+// Average degree scales sub-linearly (∝ scale^0.3, floor 2): shrinking a
+// graph while holding degree fixed would turn it into a near-clique whose
+// pattern counts explode combinatorially, destroying the very shapes the
+// benchmarks measure. Sub-linear degree compression keeps the relative
+// density ordering (OK densest … WT sparsest-with-hubs) at every scale.
+func SpecOf(name string, scale float64) Spec {
+	s, ok := specs[name]
+	if !ok {
+		panic(fmt.Sprintf("dataset: unknown dataset %q (want one of %v)", name, Names()))
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	s.Edges = int(float64(s.Edges) * scale)
+	if s.Edges < 100 {
+		s.Edges = 100
+	}
+	s.NodesPerEdge *= math.Pow(scale, 0.3)
+	if s.NodesPerEdge < 2 {
+		s.NodesPerEdge = 2
+	}
+	return s
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*relation.Relation{}
+)
+
+// Load returns the named dataset at the given scale as a deduplicated,
+// sorted binary relation (src, dst). Results are memoized; callers must
+// not mutate them.
+func Load(name string, scale float64) *relation.Relation {
+	key := fmt.Sprintf("%s@%g", name, scale)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if r, ok := cache[key]; ok {
+		return r
+	}
+	r := Generate(SpecOf(name, scale))
+	cache[key] = r
+	return r
+}
+
+// Stats summarizes a graph relation for Table I reporting.
+type Stats struct {
+	Name      string
+	Edges     int
+	Nodes     int
+	MaxOut    int
+	MaxIn     int
+	AvgDegree float64
+	SizeMB    float64
+}
+
+// StatsOf computes graph statistics.
+func StatsOf(name string, r *relation.Relation) Stats {
+	out := make(map[relation.Value]int)
+	in := make(map[relation.Value]int)
+	nodes := make(map[relation.Value]bool)
+	for i, n := 0, r.Len(); i < n; i++ {
+		t := r.Tuple(i)
+		out[t[0]]++
+		in[t[1]]++
+		nodes[t[0]] = true
+		nodes[t[1]] = true
+	}
+	s := Stats{Name: name, Edges: r.Len(), Nodes: len(nodes)}
+	for _, d := range out {
+		if d > s.MaxOut {
+			s.MaxOut = d
+		}
+	}
+	for _, d := range in {
+		if d > s.MaxIn {
+			s.MaxIn = d
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgDegree = float64(s.Edges) / float64(s.Nodes)
+	}
+	s.SizeMB = float64(r.SizeBytes()) / 1e6
+	return s
+}
+
+// DegreeHistogram returns sorted (degree, count) pairs of out-degrees; the
+// generator tests use it to verify heavy tails.
+func DegreeHistogram(r *relation.Relation) [][2]int {
+	deg := make(map[relation.Value]int)
+	for i, n := 0, r.Len(); i < n; i++ {
+		deg[r.Tuple(i)[0]]++
+	}
+	hist := make(map[int]int)
+	for _, d := range deg {
+		hist[d]++
+	}
+	var out [][2]int
+	for d, c := range hist {
+		out = append(out, [2]int{d, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"adj/internal/relation"
+)
+
+// Generate builds the graph described by spec. Output is sorted, has no
+// self-loops or duplicate edges, contains (close to) spec.Edges unique
+// edges, and is deterministic in spec.Seed.
+func Generate(spec Spec) *relation.Relation {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var edges *relation.Relation
+	switch spec.Kind {
+	case PrefAttach:
+		edges = genPrefAttach(rng, spec)
+	case Uniform:
+		edges = genUniform(rng, spec)
+	case Community:
+		edges = genCommunity(rng, spec)
+	default:
+		panic("dataset: unknown generator kind")
+	}
+	edges.Name = spec.Name
+	return edges.Sort()
+}
+
+// nodesOf interprets NodesPerEdge as average degree: nodes = edges/degree.
+func nodesOf(spec Spec) int {
+	npe := spec.NodesPerEdge
+	if npe <= 0 {
+		npe = 10
+	}
+	nodes := int(float64(spec.Edges) / npe)
+	if nodes < 16 {
+		nodes = 16
+	}
+	return nodes
+}
+
+// edgeSet accumulates unique directed edges up to a target count.
+type edgeSet struct {
+	rel    *relation.Relation
+	seen   map[[2]relation.Value]bool
+	target int
+}
+
+func newEdgeSet(name string, target int) *edgeSet {
+	return &edgeSet{
+		rel:    relation.NewWithCapacity(name, target, "src", "dst"),
+		seen:   make(map[[2]relation.Value]bool, target),
+		target: target,
+	}
+}
+
+// add inserts (u,v) if new and not a self-loop; reports acceptance.
+func (s *edgeSet) add(u, v relation.Value) bool {
+	if u == v {
+		return false
+	}
+	k := [2]relation.Value{u, v}
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.rel.Append(u, v)
+	return true
+}
+
+func (s *edgeSet) full() bool { return s.rel.Len() >= s.target }
+
+// attempts bounds generation so dense small graphs terminate.
+func (s *edgeSet) maxAttempts() int { return 30 * s.target }
+
+// genPrefAttach grows a directed graph with preferential attachment: each
+// endpoint is drawn from a degree-proportional pool with probability
+// Hubs/(1+Hubs), uniformly otherwise. High Hubs yields the heavy-tailed
+// hubs that drive complex-join skew. After each accepted edge (u,v), a
+// Holme–Kim triad-formation step closes a triangle with probability
+// Triadic, and the reverse edge is inserted with probability Reciprocal —
+// together reproducing the clustering and reciprocity that give real
+// web/social graphs their cyclic-pattern counts.
+func genPrefAttach(rng *rand.Rand, spec Spec) *relation.Relation {
+	nodes := nodesOf(spec)
+	es := newEdgeSet(spec.Name, spec.Edges)
+	pool := make([]relation.Value, 0, 2*spec.Edges+nodes)
+	for v := 0; v < nodes; v++ {
+		pool = append(pool, relation.Value(v))
+	}
+	adj := make(map[relation.Value][]relation.Value, nodes)
+	pPool := spec.Hubs / (1 + spec.Hubs)
+	draw := func() relation.Value {
+		if rng.Float64() < pPool {
+			return pool[rng.Intn(len(pool))]
+		}
+		return relation.Value(rng.Intn(nodes))
+	}
+	insert := func(u, v relation.Value) bool {
+		if !es.add(u, v) {
+			return false
+		}
+		pool = append(pool, u, v)
+		adj[u] = append(adj[u], v)
+		return true
+	}
+	for att := 0; !es.full() && att < es.maxAttempts(); att++ {
+		u := draw()
+		v := draw()
+		if !insert(u, v) {
+			continue
+		}
+		if rng.Float64() < spec.Reciprocal {
+			insert(v, u)
+		}
+		if !es.full() && rng.Float64() < spec.Triadic {
+			// Close a triangle: connect u to a random out-neighbor of v,
+			// matching Q1's orientation (a→b, b→c, a→c).
+			if nb := adj[v]; len(nb) > 0 {
+				insert(u, nb[rng.Intn(len(nb))])
+			}
+		}
+	}
+	return es.rel
+}
+
+// genUniform is an Erdős–Rényi style G(n, m) graph.
+func genUniform(rng *rand.Rand, spec Spec) *relation.Relation {
+	nodes := nodesOf(spec)
+	es := newEdgeSet(spec.Name, spec.Edges)
+	for att := 0; !es.full() && att < es.maxAttempts(); att++ {
+		es.add(relation.Value(rng.Intn(nodes)), relation.Value(rng.Intn(nodes)))
+	}
+	return es.rel
+}
+
+// genCommunity partitions nodes into communities, generates preferential
+// attachment inside each, and adds ~5% random cross-community edges
+// (LiveJournal/Orkut-like block structure).
+func genCommunity(rng *rand.Rand, spec Spec) *relation.Relation {
+	nodes := nodesOf(spec)
+	k := spec.Communities
+	if k <= 0 {
+		k = 16
+	}
+	if k > nodes/4 {
+		k = nodes / 4
+	}
+	if k < 1 {
+		k = 1
+	}
+	es := newEdgeSet(spec.Name, spec.Edges)
+	perComm := nodes / k
+	pools := make([][]relation.Value, k)
+	for ci := 0; ci < k; ci++ {
+		base := ci * perComm
+		for v := 0; v < perComm; v++ {
+			pools[ci] = append(pools[ci], relation.Value(base+v))
+		}
+	}
+	adj := make(map[relation.Value][]relation.Value)
+	insert := func(ci int, u, v relation.Value) bool {
+		if !es.add(u, v) {
+			return false
+		}
+		pools[ci] = append(pools[ci], u, v)
+		adj[u] = append(adj[u], v)
+		return true
+	}
+	for att := 0; !es.full() && att < es.maxAttempts(); att++ {
+		if att%20 == 0 {
+			// Cross-community uniform edge (~5%).
+			es.add(relation.Value(rng.Intn(nodes)), relation.Value(rng.Intn(nodes)))
+			continue
+		}
+		ci := rng.Intn(k)
+		pool := pools[ci]
+		u := pool[rng.Intn(len(pool))]
+		var v relation.Value
+		if rng.Intn(2) == 0 {
+			v = pool[rng.Intn(len(pool))]
+		} else {
+			v = relation.Value(ci*perComm + rng.Intn(perComm))
+		}
+		if !insert(ci, u, v) {
+			continue
+		}
+		if rng.Float64() < spec.Reciprocal {
+			insert(ci, v, u)
+		}
+		if !es.full() && rng.Float64() < spec.Triadic {
+			if nb := adj[v]; len(nb) > 0 {
+				insert(ci, u, nb[rng.Intn(len(nb))])
+			}
+		}
+	}
+	return es.rel
+}

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"adj/internal/cluster"
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+	"adj/internal/sampling"
+)
+
+// RunBigJoin is the multi-round distributed worst-case-optimal baseline
+// (Ammar et al., PVLDB'18; §VII): the attribute order is processed one
+// attribute per round. Partial bindings are distributed; each round a
+// proposer relation (the smallest containing the attribute) generates
+// candidate extensions, and every other relation containing the attribute
+// verifies them via a shuffle to the worker owning the matching index
+// partition. Low memory per round, but every round shuffles all partial
+// bindings — the multi-round communication cost the one-round engines avoid.
+func RunBigJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{Engine: "BigJoin", Query: q.Name, Servers: cfg.NumServers}
+	c := newCluster(cfg)
+	defer c.Close()
+	c.LoadDatabase(rels)
+
+	t0 := time.Now()
+	order := q.Attrs()
+	chargeSeconds(c, "optimize", t0)
+	rep.Plan = fmt.Sprintf("rounds over ord=%v", order)
+	n := len(order)
+
+	// Round 0: initial bindings = val(A0), computed from distributed
+	// projections and scattered round-robin.
+	vals := sampling.ValA(rels, order[0])
+	bindings := relation.New("bind0", order[0])
+	for _, v := range vals {
+		bindings.Append(v)
+	}
+	scatter(c, "round0", bindings)
+
+	for d := 1; d < n; d++ {
+		attr := order[d]
+		prefix := order[:d]
+		// Relations containing attr, restricted to bound attrs.
+		var active []int
+		for i, r := range rels {
+			if r.HasAttr(attr) {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			return rep, fmt.Errorf("bigjoin: attribute %q uncovered", attr)
+		}
+		// Proposer: smallest active relation.
+		prop := active[0]
+		for _, i := range active[1:] {
+			if rels[i].Len() < rels[prop].Len() {
+				prop = i
+			}
+		}
+		var verifiers []int
+		for _, i := range active {
+			if i != prop {
+				verifiers = append(verifiers, i)
+			}
+		}
+
+		phase := fmt.Sprintf("round%d", d)
+		// Step 1: propose. Bindings are shuffled to the worker owning the
+		// proposer's index partition (hash of bound proposer attrs); that
+		// worker emits (binding ++ candidate).
+		if err := proposeRound(c, phase+"/propose", rels[prop], prefix, attr, cfg); err != nil {
+			return failIfBudget(&rep, c, err)
+		}
+		// Step 2: verify against each other relation in turn.
+		for vi, ridx := range verifiers {
+			if err := verifyRound(c, fmt.Sprintf("%s/verify%d", phase, vi), rels[ridx], prefix, attr, cfg); err != nil {
+				return failIfBudget(&rep, c, err)
+			}
+		}
+		// Budget check on the surviving bindings.
+		if cfg.Budget > 0 {
+			sz := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize("bindings")) })
+			if sz > cfg.Budget {
+				rep.Failed = true
+				rep.FailReason = fmt.Sprintf("budget(round %d: %d bindings)", d, sz)
+				finishReport(&rep, c.Metrics)
+				return rep, nil
+			}
+		}
+	}
+
+	rep.Results = c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize("bindings")) })
+	if cfg.CollectOutput {
+		out := relation.New("out", order...)
+		for _, w := range c.Workers {
+			if frag, ok := w.Rels["bindings"]; ok {
+				out.AppendAll(frag)
+			}
+		}
+		rep.Output = out
+	}
+	finishReport(&rep, c.Metrics)
+	return rep, nil
+}
+
+func failIfBudget(rep *Report, c *cluster.Cluster, err error) (Report, error) {
+	if errors.Is(err, ErrBudget) {
+		rep.Failed = true
+		rep.FailReason = "budget"
+		finishReport(rep, c.Metrics)
+		return *rep, nil
+	}
+	return *rep, err
+}
+
+// scatter distributes a coordinator-built relation round-robin as the
+// workers' "bindings" fragments (counted as a broadcast-free placement).
+func scatter(c *cluster.Cluster, phase string, r *relation.Relation) {
+	frags := make([]*relation.Relation, c.N)
+	for i := range frags {
+		frags[i] = relation.New("bindings", r.Attrs...)
+	}
+	for i := 0; i < r.Len(); i++ {
+		frags[i%c.N].AppendTuple(r.Tuple(i))
+	}
+	for i, w := range c.Workers {
+		w.Rels["bindings"] = frags[i]
+	}
+}
+
+// proposeRound extends every binding with the candidate values of the
+// proposer relation. Bindings travel to the proposer's index partition;
+// the proposer relation's fragments are indexed by their bound attributes
+// within the same exchange (a self-contained simulation of BigJoin's
+// pre-built indexes).
+func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, prefix []string, attr string, cfg Config) error {
+	boundAttrs := sharedAttrs(prop.Attrs, prefix)
+	newAttrs := append(append([]string(nil), prefix...), attr)
+
+	return c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			var out []cluster.Envelope
+			// Ship proposer fragments partitioned by bound attrs (index build).
+			if frag, ok := w.Rels[prop.Name]; ok {
+				var parts []*relation.Relation
+				if len(boundAttrs) == 0 {
+					// Unconstrained: broadcast the projection on attr.
+					proj := frag.Project(attr)
+					for to := 0; to < w.N; to++ {
+						parts = append(parts, proj)
+					}
+					for to, p := range parts {
+						if p.Len() == 0 {
+							continue
+						}
+						out = append(out, cluster.Envelope{
+							To: to, Key: "idx", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+						})
+					}
+				} else {
+					parts = frag.PartitionBy(attrIdx(frag.Attrs, boundAttrs), w.N)
+					for to, p := range parts {
+						if p.Len() == 0 {
+							continue
+						}
+						out = append(out, cluster.Envelope{
+							To: to, Key: "idx", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+						})
+					}
+				}
+			}
+			// Ship bindings partitioned by the same key.
+			if b, ok := w.Rels["bindings"]; ok && b.Len() > 0 {
+				var parts []*relation.Relation
+				if len(boundAttrs) == 0 {
+					parts = []*relation.Relation{b}
+					// Keep bindings local; candidates are broadcast.
+					out = append(out, cluster.Envelope{
+						To: w.ID, Key: "bind", Payload: relation.Encode(b), Tuples: int64(b.Len()),
+					})
+				} else {
+					parts = b.PartitionBy(attrIdx(b.Attrs, boundAttrs), w.N)
+					for to, p := range parts {
+						if p.Len() == 0 {
+							continue
+						}
+						out = append(out, cluster.Envelope{
+							To: to, Key: "bind", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+						})
+					}
+				}
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			idx := relation.New(prop.Name, prop.Attrs...)
+			if len(boundAttrs) == 0 {
+				idx = relation.New(prop.Name, attr)
+			}
+			binds := relation.New("bindings", prefix...)
+			for _, e := range inbox {
+				r, err := relation.Decode(e.Payload)
+				if err != nil {
+					return err
+				}
+				switch e.Key {
+				case "idx":
+					idx.AppendAll(r)
+				case "bind":
+					binds.AppendAll(r)
+				default:
+					return fmt.Errorf("bigjoin propose: bad key %q", e.Key)
+				}
+			}
+			// Build candidate lists per bound-key, aborting as soon as the
+			// proposals alone exceed the budget (SparkSQL/BigJoin-style
+			// blowups must fail fast, not after materializing everything).
+			perWorkerCap := int64(0)
+			if cfg.Budget > 0 {
+				perWorkerCap = cfg.Budget
+			}
+			extended := relation.New("bindings", newAttrs...)
+			overCap := func() bool {
+				return perWorkerCap > 0 && int64(extended.Len()) > perWorkerCap
+			}
+			if len(boundAttrs) == 0 {
+				cands := idx.Distinct(attr)
+				row := make([]relation.Value, len(newAttrs))
+				for i := 0; i < binds.Len(); i++ {
+					copy(row, binds.Tuple(i))
+					for _, v := range cands {
+						row[len(newAttrs)-1] = v
+						extended.AppendTuple(row)
+					}
+					if overCap() {
+						return ErrBudget
+					}
+				}
+			} else {
+				attrPos := idx.AttrIndex(attr)
+				keyCols := attrIdx(idx.Attrs, boundAttrs)
+				index := make(map[string][]relation.Value)
+				kbuf := make([]relation.Value, len(boundAttrs))
+				for i := 0; i < idx.Len(); i++ {
+					t := idx.Tuple(i)
+					for j, kc := range keyCols {
+						kbuf[j] = t[kc]
+					}
+					k := keyString(kbuf)
+					index[k] = append(index[k], t[attrPos])
+				}
+				for k := range index {
+					vs := index[k]
+					sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+					index[k] = dedupVals(vs)
+				}
+				bindCols := attrIdx(binds.Attrs, boundAttrs)
+				row := make([]relation.Value, len(newAttrs))
+				for i := 0; i < binds.Len(); i++ {
+					t := binds.Tuple(i)
+					for j, bc := range bindCols {
+						kbuf[j] = t[bc]
+					}
+					for _, v := range index[keyString(kbuf)] {
+						copy(row, t)
+						row[len(newAttrs)-1] = v
+						extended.AppendTuple(row)
+					}
+					if overCap() {
+						return ErrBudget
+					}
+				}
+			}
+			w.Rels["bindings"] = extended
+			return nil
+		})
+}
+
+// verifyRound filters extended bindings against one relation: bindings are
+// shuffled to the partition owning the relation's matching tuples and kept
+// only when the relation contains the projection.
+func verifyRound(c *cluster.Cluster, phase string, ver *relation.Relation, prefix []string, attr string, cfg Config) error {
+	checkAttrs := append(sharedAttrs(ver.Attrs, prefix), attr)
+	return c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			var out []cluster.Envelope
+			if frag, ok := w.Rels[ver.Name]; ok {
+				parts := frag.PartitionBy(attrIdx(frag.Attrs, checkAttrs), w.N)
+				for to, p := range parts {
+					if p.Len() == 0 {
+						continue
+					}
+					out = append(out, cluster.Envelope{
+						To: to, Key: "idx", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+					})
+				}
+			}
+			if b, ok := w.Rels["bindings"]; ok && b.Len() > 0 {
+				parts := b.PartitionBy(attrIdx(b.Attrs, checkAttrs), w.N)
+				for to, p := range parts {
+					if p.Len() == 0 {
+						continue
+					}
+					out = append(out, cluster.Envelope{
+						To: to, Key: "bind", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+					})
+				}
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			var idx, binds *relation.Relation
+			for _, e := range inbox {
+				r, err := relation.Decode(e.Payload)
+				if err != nil {
+					return err
+				}
+				switch e.Key {
+				case "idx":
+					if idx == nil {
+						idx = r
+					} else {
+						idx.AppendAll(r)
+					}
+				case "bind":
+					if binds == nil {
+						binds = r
+					} else {
+						binds.AppendAll(r)
+					}
+				default:
+					return fmt.Errorf("bigjoin verify: bad key %q", e.Key)
+				}
+			}
+			if binds == nil {
+				w.Rels["bindings"] = relation.New("bindings")
+				return nil
+			}
+			if idx == nil {
+				binds.SetData(binds.Data()[:0])
+				w.Rels["bindings"] = binds
+				return nil
+			}
+			keep := binds.Semijoin(idx, checkAttrs)
+			keep.Name = "bindings"
+			w.Rels["bindings"] = keep
+			return nil
+		})
+}
+
+func keyString(vals []relation.Value) string {
+	b := make([]byte, 0, len(vals)*9)
+	for _, v := range vals {
+		b = strconv.AppendInt(b, int64(v), 36)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+func dedupVals(sorted []relation.Value) []relation.Value {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"adj/internal/cluster"
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+)
+
+// RunBinaryJoin is the SparkSQL-style baseline (§VII): the query is
+// decomposed into a sequence of distributed binary hash joins, shuffling
+// every intermediate result. On cyclic queries the intermediates explode —
+// exactly the failure mode Fig. 12 shows for SparkSQL.
+//
+// The join order is greedy: start from the smallest relation, repeatedly
+// join with the connected relation minimizing a textbook size estimate
+// (|A|·|B| / max distinct on the join key) — the style of plan a
+// cost-based pairwise optimizer would emit.
+func RunBinaryJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{Engine: "SparkSQL", Query: q.Name, Servers: cfg.NumServers}
+	c := newCluster(cfg)
+	defer c.Close()
+	c.LoadDatabase(rels)
+
+	t0 := time.Now()
+	order := binaryJoinOrder(rels)
+	chargeSeconds(c, "optimize", t0)
+	var names []string
+	for _, i := range order {
+		names = append(names, rels[i].Name)
+	}
+	rep.Plan = "pairwise: " + strings.Join(names, " ⋈ ")
+
+	accName := rels[order[0]].Name
+	accAttrs := append([]string(nil), rels[order[0]].Attrs...)
+	for step, idx := range order[1:] {
+		next := rels[idx]
+		outName := fmt.Sprintf("I%d", step+1)
+		size, err := distributedJoin(c, fmt.Sprintf("join%d", step+1),
+			accName, accAttrs, next.Name, next.Attrs, outName, cfg.Budget)
+		if err != nil {
+			if errors.Is(err, ErrBudget) {
+				rep.Failed = true
+				rep.FailReason = fmt.Sprintf("budget(intermediate %d tuples)", size)
+				finishReport(&rep, c.Metrics)
+				return rep, nil
+			}
+			return rep, err
+		}
+		accName = outName
+		accAttrs = joinedAttrs(accAttrs, next.Attrs)
+	}
+
+	rep.Results = c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(accName)) })
+	if cfg.CollectOutput {
+		out := relation.New("out", q.Attrs()...)
+		for _, w := range c.Workers {
+			if frag, ok := w.Rels[accName]; ok {
+				out.AppendAll(frag.ProjectMulti(q.Attrs()...))
+			}
+		}
+		rep.Output = out
+	}
+	finishReport(&rep, c.Metrics)
+	return rep, nil
+}
+
+// binaryJoinOrder returns a greedy connected pairwise order over relation
+// indexes.
+func binaryJoinOrder(rels []*relation.Relation) []int {
+	n := len(rels)
+	used := make([]bool, n)
+	// Start at the smallest relation.
+	start := 0
+	for i := 1; i < n; i++ {
+		if rels[i].Len() < rels[start].Len() {
+			start = i
+		}
+	}
+	order := []int{start}
+	used[start] = true
+	attrs := append([]string(nil), rels[start].Attrs...)
+	for len(order) < n {
+		best := -1
+		bestCost := 0.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			shared := sharedAttrs(attrs, rels[i].Attrs)
+			var cost float64
+			if len(shared) == 0 {
+				cost = 1e30 * float64(rels[i].Len()+1) // cross product: last resort
+			} else {
+				// |A ⋈ B| ≈ |A|·|B| / max(d_A(key), d_B(key)): the classic
+				// independence estimate (the style whose errors §IV criticizes).
+				d := 1
+				for _, a := range shared {
+					di := distinctOf(rels[i], a)
+					if di > d {
+						d = di
+					}
+				}
+				cost = float64(rels[i].Len()) / float64(d)
+			}
+			if best < 0 || cost < bestCost {
+				best = i
+				bestCost = cost
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+		attrs = joinedAttrs(attrs, rels[best].Attrs)
+	}
+	return order
+}
+
+func distinctOf(r *relation.Relation, attr string) int {
+	return len(r.Distinct(attr))
+}

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"adj/internal/cluster"
+	"adj/internal/relation"
+)
+
+// distributedJoin computes A ⋈ B over worker fragments: both sides are
+// hash-partitioned on their shared attributes, each worker joins its
+// partitions locally, and the result fragments are stored as outName. This
+// is the kernel of the SparkSQL-style BinaryJoin baseline and of ADJ's bag
+// pre-computation. Returns the global result size.
+//
+// With no shared attributes the smaller side is broadcast (a cross
+// product; rare, but required for generality).
+func distributedJoin(c *cluster.Cluster, phase string, aName string, aAttrs []string,
+	bName string, bAttrs []string, outName string, budget int64) (int64, error) {
+
+	shared := sharedAttrs(aAttrs, bAttrs)
+	if len(shared) == 0 {
+		return distributedCross(c, phase, aName, aAttrs, bName, bAttrs, outName, budget)
+	}
+	aCols := attrIdx(aAttrs, shared)
+	bCols := attrIdx(bAttrs, shared)
+
+	errJoin := c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			var out []cluster.Envelope
+			for _, side := range []struct {
+				name  string
+				attrs []string
+				cols  []int
+				tag   string
+			}{
+				{aName, aAttrs, aCols, "L"},
+				{bName, bAttrs, bCols, "R"},
+			} {
+				frag, ok := w.Rels[side.name]
+				if !ok {
+					continue
+				}
+				parts := frag.PartitionBy(side.cols, w.N)
+				for to, p := range parts {
+					if p.Len() == 0 {
+						continue
+					}
+					out = append(out, cluster.Envelope{
+						To:      to,
+						Key:     side.tag + "/" + side.name + "/" + strconv.Itoa(to),
+						Payload: relation.Encode(p),
+						Tuples:  int64(p.Len()),
+					})
+				}
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			left := relation.New(aName, aAttrs...)
+			right := relation.New(bName, bAttrs...)
+			for _, e := range inbox {
+				r, err := relation.Decode(e.Payload)
+				if err != nil {
+					return err
+				}
+				switch e.Key[0] {
+				case 'L':
+					left.AppendAll(r)
+				case 'R':
+					right.AppendAll(r)
+				default:
+					return fmt.Errorf("distributedJoin: bad key %q", e.Key)
+				}
+			}
+			res, err := relation.HashJoinLimit(left, right, int(budget))
+			if err != nil {
+				return ErrBudget
+			}
+			res.Name = outName
+			w.Rels[outName] = res
+			return nil
+		})
+	if errJoin != nil {
+		if errors.Is(errJoin, ErrBudget) {
+			return 0, ErrBudget
+		}
+		return 0, errJoin
+	}
+	size := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(outName)) })
+	if budget > 0 && size > budget {
+		return size, ErrBudget
+	}
+	return size, nil
+}
+
+// distributedCross broadcasts the smaller side and joins locally.
+func distributedCross(c *cluster.Cluster, phase string, aName string, aAttrs []string,
+	bName string, bAttrs []string, outName string, budget int64) (int64, error) {
+
+	aSize := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(aName)) })
+	bSize := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(bName)) })
+	small, smallAttrs := bName, bAttrs
+	big, bigAttrs := aName, aAttrs
+	if aSize < bSize {
+		small, smallAttrs = aName, aAttrs
+		big, bigAttrs = bName, bAttrs
+	}
+	err := c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			frag, ok := w.Rels[small]
+			if !ok || frag.Len() == 0 {
+				return nil, nil
+			}
+			payload := relation.Encode(frag)
+			var out []cluster.Envelope
+			for to := 0; to < w.N; to++ {
+				out = append(out, cluster.Envelope{
+					To: to, Key: "B/" + small, Payload: payload, Tuples: int64(frag.Len()),
+				})
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			smallRel := relation.New(small, smallAttrs...)
+			for _, e := range inbox {
+				r, err := relation.Decode(e.Payload)
+				if err != nil {
+					return err
+				}
+				smallRel.AppendAll(r)
+			}
+			bigRel, ok := w.Rels[big]
+			if !ok {
+				bigRel = relation.New(big, bigAttrs...)
+			}
+			var res *relation.Relation
+			if big == aName {
+				res = relation.HashJoin(bigRel, smallRel)
+			} else {
+				res = relation.HashJoin(smallRel, bigRel)
+			}
+			res.Name = outName
+			w.Rels[outName] = res
+			return nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	size := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(outName)) })
+	if budget > 0 && size > budget {
+		return size, ErrBudget
+	}
+	return size, nil
+}
+
+func sharedAttrs(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func attrIdx(attrs, want []string) []int {
+	out := make([]int, len(want))
+	for i, wa := range want {
+		out[i] = -1
+		for j, a := range attrs {
+			if a == wa {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+// joinedAttrs returns the output schema of A ⋈ B.
+func joinedAttrs(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, x := range b {
+		found := false
+		for _, y := range a {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package engine implements the five distributed join engines the paper
+// evaluates (§VII): ADJ (the contribution), HCubeJ (one-round,
+// communication-first), HCubeJ+Cache, BigJoin (multi-round parallel
+// Leapfrog) and BinaryJoin (the SparkSQL-style multi-round pairwise
+// baseline). All run on the cluster runtime and report the paper's cost
+// breakdown: Optimization / Pre-Computing / Communication / Computation.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"adj/internal/cluster"
+	"adj/internal/costmodel"
+	"adj/internal/hcube"
+	"adj/internal/hypergraph"
+	"adj/internal/leapfrog"
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// ErrBudget marks a run that exceeded its work budget — the analogue of
+// the paper's 12-hour timeout / OOM failures (frame-top bars in Fig. 12).
+var ErrBudget = errors.New("engine: work budget exceeded")
+
+// Config is shared engine configuration.
+type Config struct {
+	// NumServers is the cluster size (the paper varies 1..28).
+	NumServers int
+	// Samples for the sampling-based optimizer.
+	Samples int
+	// Seed drives every randomized choice.
+	Seed int64
+	// Budget caps total extension/intermediate work per run (0 = unlimited).
+	Budget int64
+	// MemoryPerServer bounds HCube loads in tuples (0 = unbounded).
+	MemoryPerServer int64
+	// CacheBudget is HCubeJ+Cache's per-level cache size in values; 0 picks
+	// a default derived from MemoryPerServer.
+	CacheBudget int
+	// CubesPerServer assigns multiple hypercubes per server (the paper's
+	// "P can be larger than N*" skew mitigation: finer cubes spread a hub's
+	// work over more, smaller tasks). Default 1.
+	CubesPerServer int
+	// ShuffleKind overrides the engine's default HCube implementation
+	// (HCubeJ family defaults to Push — the original implementation the
+	// paper attributes their failures to; ADJ defaults to Merge).
+	ShuffleKind *hcube.Kind
+	// Transport overrides the cluster transport (default in-process).
+	Transport cluster.Transport
+	// RealParallel uses goroutine-parallel workers instead of the
+	// deterministic sequential simulation.
+	RealParallel bool
+	// CollectOutput materializes result tuples into Report.Output (tests);
+	// default counts only.
+	CollectOutput bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumServers <= 0 {
+		c.NumServers = 4
+	}
+	if c.Samples <= 0 {
+		c.Samples = 1000
+	}
+	return c
+}
+
+// Report is one engine run's outcome.
+type Report struct {
+	Engine  string
+	Query   string
+	Dataset string
+	Servers int
+	Results int64
+	// Cost breakdown in (simulated) seconds, as in Tables II–IV.
+	Optimization  float64
+	PreComputing  float64
+	Communication float64
+	Computation   float64
+	// TuplesShuffled counts every tuple copy moved (Fig. 1a's metric).
+	TuplesShuffled int64
+	BytesShuffled  int64
+	Messages       int64
+	// Failed marks budget/memory failures (frame-top bars).
+	Failed     bool
+	FailReason string
+	// Plan documents the chosen plan (ADJ) or order (others).
+	Plan string
+	// Output holds materialized results when Config.CollectOutput.
+	Output *relation.Relation
+	// Metrics exposes raw per-phase numbers.
+	Metrics *cluster.Metrics
+}
+
+// Total returns the end-to-end cost.
+func (r Report) Total() float64 {
+	return r.Optimization + r.PreComputing + r.Communication + r.Computation
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	status := fmt.Sprintf("results=%d", r.Results)
+	if r.Failed {
+		status = "FAILED(" + r.FailReason + ")"
+	}
+	return fmt.Sprintf("%-12s %-4s opt=%7.3fs pre=%7.3fs comm=%7.3fs comp=%7.3fs total=%8.3fs tuples=%d %s",
+		r.Engine, r.Query, r.Optimization, r.PreComputing, r.Communication, r.Computation,
+		r.Total(), r.TuplesShuffled, status)
+}
+
+// RunFunc is the engine entry signature: bound relations (one per query
+// atom, schemas renamed to query attributes) and a config.
+type RunFunc func(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error)
+
+// Engines returns the registry of all five engines keyed by the paper's
+// names.
+func Engines() map[string]RunFunc {
+	return map[string]RunFunc{
+		"ADJ":          RunADJ,
+		"HCubeJ":       RunHCubeJ,
+		"HCubeJ+Cache": RunHCubeJCache,
+		"BigJoin":      RunBigJoin,
+		"SparkSQL":     RunBinaryJoin,
+	}
+}
+
+// EngineNames returns registry keys in the paper's presentation order.
+func EngineNames() []string {
+	return []string{"SparkSQL", "BigJoin", "HCubeJ", "HCubeJ+Cache", "ADJ"}
+}
+
+// maxCubes returns the hypercube count for a run: one per server unless
+// CubesPerServer requests finer skew-spreading cubes.
+func maxCubes(cfg Config) int {
+	if cfg.CubesPerServer > 1 {
+		return cfg.NumServers * cfg.CubesPerServer
+	}
+	return cfg.NumServers
+}
+
+// newCluster builds the cluster for a run.
+func newCluster(cfg Config) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		N:            cfg.NumServers,
+		Transport:    cfg.Transport,
+		RealParallel: cfg.RealParallel,
+	})
+}
+
+// defaultParams calibrates cost-model constants for a run.
+func defaultParams(cfg Config) costmodel.Params {
+	p := costmodel.DefaultParams(cfg.NumServers)
+	p.Alpha = costmodel.CalibrateAlpha(cluster.DefaultNetwork(), cfg.NumServers)
+	p.MemoryPerServer = cfg.MemoryPerServer
+	return p
+}
+
+// sortAttrsByOrder returns rel attrs sorted by global order position.
+func sortAttrsByOrder(attrs []string, order []string) []string {
+	pos := make(map[string]int, len(order))
+	for i, a := range order {
+		pos[a] = i
+	}
+	out := append([]string(nil), attrs...)
+	sort.Slice(out, func(i, j int) bool { return pos[out[i]] < pos[out[j]] })
+	return out
+}
+
+// localCubeJoin runs Leapfrog on every cube of every worker and returns the
+// summed result count. Pre-merged tries (Merge HCube) are used when
+// available; otherwise tries are built from cube tuples (charged to the
+// same computation phase, as in the paper where trie construction is part
+// of join processing). The per-worker extension budget is cfg.Budget
+// divided across workers.
+func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool) (int64, *relation.Relation, error) {
+	results := make([]int64, c.N)
+	outputs := make([]*relation.Relation, c.N)
+	budgetPer := int64(0)
+	if cfg.Budget > 0 {
+		budgetPer = cfg.Budget / int64(c.N)
+		if budgetPer == 0 {
+			budgetPer = 1
+		}
+	}
+	err := c.Parallel(phase, func(w *cluster.Worker) error {
+		var out *relation.Relation
+		if cfg.CollectOutput {
+			out = relation.New("out", order...)
+		}
+		cubes := allCubes(w)
+		for _, cube := range cubes {
+			tries, err := cubeTries(w, cube, infos, order)
+			if err != nil {
+				return err
+			}
+			opts := leapfrog.Options{Budget: budgetPer}
+			if cfg.CollectOutput {
+				opts.Emit = func(t relation.Tuple) { out.AppendTuple(t) }
+			}
+			var st leapfrog.Stats
+			if cached {
+				cj := leapfrog.NewCachedJoin(tries, order, cacheBudget(cfg))
+				st, err = cj.Run(opts)
+			} else {
+				st, err = leapfrog.Join(tries, order, opts)
+			}
+			if err != nil {
+				if errors.Is(err, leapfrog.ErrBudget) {
+					return ErrBudget
+				}
+				return err
+			}
+			results[w.ID] += st.Results
+		}
+		outputs[w.ID] = out
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	var total int64
+	var merged *relation.Relation
+	if cfg.CollectOutput {
+		merged = relation.New("out", order...)
+	}
+	for i := range results {
+		total += results[i]
+		if merged != nil && outputs[i] != nil {
+			merged.AppendAll(outputs[i])
+		}
+	}
+	return total, merged, nil
+}
+
+func cacheBudget(cfg Config) int {
+	if cfg.CacheBudget > 0 {
+		return cfg.CacheBudget
+	}
+	if cfg.MemoryPerServer > 0 {
+		// The cache gets whatever memory HCube's shuffled load left behind —
+		// the starvation effect §VII describes for HCubeJ+Cache on LJ.
+		b := int(cfg.MemoryPerServer / 4)
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	return 1 << 22
+}
+
+func allCubes(w *cluster.Worker) []int {
+	seen := make(map[int]bool)
+	for c := range w.Cubes {
+		seen[c] = true
+	}
+	for c := range w.CubeTries {
+		seen[c] = true
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// cubeTries assembles the tries of one cube in the global order.
+func cubeTries(w *cluster.Worker, cube int, infos []hcube.RelInfo, order []string) ([]*trie.Trie, error) {
+	var out []*trie.Trie
+	for _, ri := range infos {
+		if ts, ok := w.CubeTries[cube]; ok {
+			if tr, ok := ts[ri.Name]; ok && tr.Arity() > 0 {
+				out = append(out, tr)
+				continue
+			}
+		}
+		var frag *relation.Relation
+		if db, ok := w.Cubes[cube]; ok {
+			frag = db[ri.Name]
+		}
+		if frag == nil {
+			frag = relation.New(ri.Name, ri.Attrs...)
+		}
+		out = append(out, trie.Build(frag, sortAttrsByOrder(ri.Attrs, order)))
+	}
+	return out, nil
+}
+
+// finishReport folds phase metrics into the paper's four buckets by phase
+// name prefix: "optimize", "precompute", everything else splits into comm
+// (modeled network) vs comp (measured worker time).
+func finishReport(r *Report, m *cluster.Metrics) {
+	for _, p := range m.Phases() {
+		switch {
+		case hasPrefix(p.Name, "optimize"):
+			r.Optimization += p.CompSeconds + p.CommSeconds
+		case hasPrefix(p.Name, "precompute"):
+			r.PreComputing += p.CompSeconds + p.CommSeconds
+		default:
+			r.Communication += p.CommSeconds
+			r.Computation += p.CompSeconds
+		}
+		r.TuplesShuffled += p.TuplesSent
+		r.BytesShuffled += p.BytesSent
+		r.Messages += p.Messages
+	}
+	r.Metrics = m
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// chargeSeconds adds measured coordinator-side seconds to a named phase.
+func chargeSeconds(c *cluster.Cluster, phase string, start time.Time) {
+	c.Metrics.Phase(phase).CompSeconds += time.Since(start).Seconds()
+}

@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adj/internal/cluster"
+	"adj/internal/hcube"
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+	"adj/internal/testutil"
+)
+
+func smallCfg(n int) Config {
+	return Config{NumServers: n, Samples: 200, Seed: 1}
+}
+
+// Every engine must produce the naive join's result count on the triangle
+// query over a fixed random graph.
+func TestAllEnginesTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	edges := testutil.RandEdges(rng, "E", 500, 30)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+	if want == 0 {
+		t.Fatal("test instance should have triangles")
+	}
+	for name, run := range Engines() {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			rep, err := run(q, rels, smallCfg(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed {
+				t.Fatalf("failed: %s", rep.FailReason)
+			}
+			if rep.Results != want {
+				t.Fatalf("results=%d want %d\nplan: %s", rep.Results, want, rep.Plan)
+			}
+		})
+	}
+}
+
+// The central cross-engine property: all five engines agree with the naive
+// oracle on random queries, databases and cluster sizes.
+func TestEnginesAgreeProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runs := map[string]RunFunc{
+		"ADJ":          RunADJ,
+		"HCubeJ":       RunHCubeJ,
+		"HCubeJ+Cache": RunHCubeJCache,
+		"BigJoin":      RunBigJoin,
+		"SparkSQL":     RunBinaryJoin,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, rels := testutil.RandQueryInstance(rng, 4, 4, 25, 6)
+		n := 1 + rng.Intn(4)
+		want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+		for name, run := range runs {
+			rep, err := run(q, rels, Config{NumServers: n, Samples: 60, Seed: seed})
+			if err != nil {
+				t.Logf("seed=%d n=%d %s: error %v", seed, n, name, err)
+				return false
+			}
+			if rep.Failed {
+				t.Logf("seed=%d n=%d %s: failed %s", seed, n, name, rep.FailReason)
+				return false
+			}
+			if rep.Results != want {
+				t.Logf("seed=%d n=%d %s: results=%d want %d (q=%s, plan=%s)",
+					seed, n, name, rep.Results, want, q, rep.Plan)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ADJ's materialized output must equal the oracle's tuples, not just the
+// count.
+func TestADJOutputTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q, rels := testutil.RandQueryInstance(rng, 3, 4, 30, 6)
+	cfg := smallCfg(3)
+	cfg.CollectOutput = true
+	rep, err := RunADJ(q, rels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NaiveJoin(rels, q.Attrs())
+	got := rep.Output
+	// ADJ's output order follows its chosen attribute order; project back.
+	got = got.ProjectMulti(q.Attrs()...).SortDedup()
+	if got.Len() != want.Len() {
+		t.Fatalf("output %d tuples, want %d", got.Len(), want.Len())
+	}
+	if !got.Equal(want.Renamed(got.Name)) {
+		t.Fatal("output tuples differ from oracle")
+	}
+}
+
+func TestADJWithPaperExample(t *testing.T) {
+	// The running example (Eq. 2 / Fig. 2): ADJ should consider
+	// pre-computing R2⋈R3 and/or R4⋈R5 and still return the right answer.
+	q := hypergraph.PaperExample()
+	rng := rand.New(rand.NewSource(9))
+	db := hypergraph.Database{}
+	for _, a := range q.Atoms {
+		db[a.Name] = testutil.RandRelation(rng, a.Name, a.Attrs, 60, 6).SortDedup()
+	}
+	rels, err := q.Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+	rep, err := RunADJ(q, rels, smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != want {
+		t.Fatalf("results=%d want %d (plan %s)", rep.Results, want, rep.Plan)
+	}
+}
+
+func TestBudgetFailureReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	edges := testutil.RandEdges(rng, "E", 2000, 40)
+	q := hypergraph.Q2()
+	rels := q.BindGraph(edges)
+	cfg := smallCfg(2)
+	cfg.Budget = 50
+	for _, run := range []RunFunc{RunBinaryJoin, RunBigJoin, RunHCubeJ} {
+		rep, err := run(q, rels, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Failed {
+			t.Fatalf("%s: tiny budget should fail, got %d results", rep.Engine, rep.Results)
+		}
+	}
+}
+
+func TestMemoryFailureReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	edges := testutil.RandEdges(rng, "E", 3000, 60)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	cfg := smallCfg(2)
+	cfg.MemoryPerServer = 10 // absurd: nothing fits
+	rep, err := RunHCubeJ(q, rels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed || rep.FailReason != "memory" {
+		t.Fatalf("expected memory failure, got %+v", rep)
+	}
+}
+
+func TestBinaryJoinShufflesMoreThanOneRound(t *testing.T) {
+	// Fig. 1(a): on a cyclic query the multi-round baseline shuffles far
+	// more tuples than the one-round engines.
+	rng := rand.New(rand.NewSource(13))
+	edges := testutil.RandEdges(rng, "E", 1500, 50)
+	q := hypergraph.Q5()
+	rels := q.BindGraph(edges)
+	bj, err := RunBinaryJoin(q, rels, smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := RunHCubeJ(q, rels, smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bj.Failed || hc.Failed {
+		t.Skipf("instance too heavy: bj=%v hc=%v", bj.FailReason, hc.FailReason)
+	}
+	if bj.TuplesShuffled <= hc.TuplesShuffled {
+		t.Fatalf("multi-round shuffled %d <= one-round %d", bj.TuplesShuffled, hc.TuplesShuffled)
+	}
+}
+
+func TestADJOverTCPTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	edges := testutil.RandEdges(rng, "E", 300, 25)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+
+	tr, err := cluster.NewTCPTransport(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(3)
+	cfg.Transport = tr
+	rep, err := RunADJ(q, rels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != want {
+		t.Fatalf("TCP run: results=%d want %d", rep.Results, want)
+	}
+}
+
+func TestShuffleKindOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	edges := testutil.RandEdges(rng, "E", 400, 25)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+	for _, kind := range []hcube.Kind{hcube.Push, hcube.Pull, hcube.Merge} {
+		kind := kind
+		cfg := smallCfg(4)
+		cfg.ShuffleKind = &kind
+		rep, err := RunHCubeJ(q, rels, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Results != want {
+			t.Fatalf("kind=%v results=%d want %d", kind, rep.Results, want)
+		}
+	}
+}
+
+func TestRealParallelMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	edges := testutil.RandEdges(rng, "E", 400, 25)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+	cfg := smallCfg(4)
+	cfg.RealParallel = true
+	rep, err := RunADJ(q, rels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != want {
+		t.Fatalf("parallel mode results=%d want %d", rep.Results, want)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Engine: "ADJ", Query: "Q1", Results: 5}
+	if r.String() == "" || r.Total() != 0 {
+		t.Fatal("report rendering broken")
+	}
+	r.Failed = true
+	r.FailReason = "budget"
+	if r.String() == "" {
+		t.Fatal("failed report rendering broken")
+	}
+}
+
+func TestEngineNamesComplete(t *testing.T) {
+	reg := Engines()
+	for _, n := range EngineNames() {
+		if _, ok := reg[n]; !ok {
+			t.Fatalf("engine %q missing from registry", n)
+		}
+	}
+	if len(reg) != len(EngineNames()) {
+		t.Fatalf("registry size %d != names %d", len(reg), len(EngineNames()))
+	}
+}
+
+// Multiple cubes per server (skew mitigation) must not change results.
+func TestCubesPerServerCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	edges := testutil.RandEdges(rng, "E", 600, 30)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+	for _, cps := range []int{1, 2, 4} {
+		cfg := smallCfg(3)
+		cfg.CubesPerServer = cps
+		for _, run := range []RunFunc{RunADJ, RunHCubeJ} {
+			rep, err := run(q, rels, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Results != want {
+				t.Fatalf("%s cps=%d: results=%d want %d", rep.Engine, cps, rep.Results, want)
+			}
+		}
+	}
+}
+
+// ADJ's comm-first variant must agree with co-opt on results.
+func TestADJCommFirstParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	edges := testutil.RandEdges(rng, "E", 500, 25)
+	q := hypergraph.Q5()
+	rels := q.BindGraph(edges)
+	co, err := RunADJ(q, rels, smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := RunADJCommFirst(q, rels, smallCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Results != cf.Results {
+		t.Fatalf("co-opt %d vs comm-first %d", co.Results, cf.Results)
+	}
+	if cf.PreComputing != 0 {
+		t.Fatal("comm-first must not pre-compute")
+	}
+}
+
+// Engines must also agree on mixed-arity random instances.
+func TestEnginesAgreeMixedArity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, rels := testutil.RandMixedQueryInstance(rng, 3, 4, 20, 5)
+		want := int64(relation.NaiveJoin(rels, q.Attrs()).Len())
+		for _, run := range []RunFunc{RunADJ, RunHCubeJ, RunBigJoin, RunBinaryJoin} {
+			rep, err := run(q, rels, Config{NumServers: 3, Samples: 60, Seed: seed})
+			if err != nil || rep.Failed || rep.Results != want {
+				if err != nil {
+					t.Logf("seed=%d %s: %v", seed, rep.Engine, err)
+				} else {
+					t.Logf("seed=%d %s: results=%d want=%d failed=%v q=%s", seed, rep.Engine, rep.Results, want, rep.Failed, q)
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adj/internal/hcube"
+	"adj/internal/hypergraph"
+	"adj/internal/optimizer"
+	"adj/internal/relation"
+)
+
+// RunHCubeJ executes the one-round, communication-first baseline (§II-A):
+// HCube shuffle with shares optimized for communication only, then plain
+// Leapfrog per cube. The attribute order is selected from all n! orders by
+// estimated intermediate size (Fig. 8's "All-Selected"), and the original
+// Push shuffle is used unless overridden — both as in the paper's HCubeJ.
+func RunHCubeJ(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
+	return runHCubeJ(q, rels, cfg, false)
+}
+
+// RunHCubeJCache is HCubeJ with the CacheTrieJoin-style cached Leapfrog.
+// Its cache budget shrinks with the memory HCube's shuffled load consumes,
+// reproducing the starvation the paper reports on large datasets.
+func RunHCubeJCache(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
+	return runHCubeJ(q, rels, cfg, true)
+}
+
+func runHCubeJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, cached bool) (Report, error) {
+	cfg = cfg.withDefaults()
+	name := "HCubeJ"
+	if cached {
+		name = "HCubeJ+Cache"
+	}
+	rep := Report{Engine: name, Query: q.Name, Servers: cfg.NumServers}
+	c := newCluster(cfg)
+	defer c.Close()
+	c.LoadDatabase(rels)
+
+	// Optimization: order selection (over all orders) + share optimization,
+	// both charged to the optimize phase like the paper's Optimization
+	// column for the communication-first strategy.
+	t0 := time.Now()
+	params := defaultParams(cfg)
+	opt, err := optimizer.New(q, rels, optimizer.Options{
+		Params:  params,
+		Samples: cfg.Samples,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return rep, err
+	}
+	plan, err := opt.CommunicationFirst()
+	if err != nil {
+		return rep, err
+	}
+	infos := hcube.InfoOf(rels)
+	shares, err := hcube.Optimize(infos, hcube.Config{
+		Attrs:           plan.AttrOrder,
+		NumServers:      cfg.NumServers,
+		MaxCubes:        maxCubes(cfg),
+		MinCubes:        maxCubes(cfg),
+		MemoryPerServer: cfg.MemoryPerServer,
+	})
+	if err != nil {
+		return rep, err
+	}
+	chargeSeconds(c, "optimize", t0)
+	rep.Plan = fmt.Sprintf("ord=%v shares=%v", plan.AttrOrder, shares.P)
+
+	// Memory failure: if even the best shares exceed server memory, the run
+	// dies like the paper's OOM bars.
+	if cfg.MemoryPerServer > 0 && hcube.LoadPerCube(infos, shares) > float64(cfg.MemoryPerServer) {
+		rep.Failed = true
+		rep.FailReason = "memory"
+		finishReport(&rep, c.Metrics)
+		return rep, nil
+	}
+
+	kind := hcube.Push
+	if cfg.ShuffleKind != nil {
+		kind = *cfg.ShuffleKind
+	}
+	if err := hcube.Run(c, "shuffle", hcube.Plan{
+		Shares: shares, Rels: infos, Kind: kind, TrieOrder: plan.AttrOrder,
+	}); err != nil {
+		return rep, err
+	}
+
+	total, output, err := localCubeJoin(c, "join", infos, plan.AttrOrder, cfg, cached)
+	if err != nil {
+		if errors.Is(err, ErrBudget) {
+			rep.Failed = true
+			rep.FailReason = "budget"
+			finishReport(&rep, c.Metrics)
+			return rep, nil
+		}
+		return rep, err
+	}
+	rep.Results = total
+	rep.Output = output
+	finishReport(&rep, c.Metrics)
+	return rep, nil
+}

@@ -1,0 +1,188 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on the simulated cluster. Each experiment returns a
+// structured result plus a text rendering with the same rows/series the
+// paper reports; cmd/experiments prints them and bench_test.go wraps them
+// in testing.B benchmarks.
+//
+// Scale note: datasets are the synthetic Table-I analogues at a
+// configurable scale (1.0 ≈ paper ×10⁻³). Absolute seconds differ from the
+// paper's 28-node cluster by construction; the *shapes* (who wins, by what
+// factor, where methods fail) are the reproduction target — see
+// EXPERIMENTS.md for paper-vs-measured notes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adj/internal/dataset"
+	"adj/internal/engine"
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+)
+
+// Config tunes all experiments.
+type Config struct {
+	// Scale multiplies dataset sizes (1.0 ≈ paper ×10⁻³). Default 0.1 keeps
+	// the full suite under a few minutes.
+	Scale float64
+	// Workers is the cluster size (default 8; the paper's figures use 28).
+	Workers int
+	// Samples per estimation (default 500).
+	Samples int
+	Seed    int64
+	// Budget caps per-run intermediate work; exceeded runs are reported as
+	// failures, like the paper's 12-hour/OOM bars. Default 30M units.
+	Budget int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Samples <= 0 {
+		c.Samples = 500
+	}
+	if c.Budget == 0 {
+		c.Budget = 30_000_000
+	}
+	return c
+}
+
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
+		NumServers: c.Workers,
+		Samples:    c.Samples,
+		Seed:       c.Seed,
+		Budget:     c.Budget,
+	}
+}
+
+// graph loads a named dataset at the config's scale.
+func (c Config) graph(name string) *relation.Relation {
+	return dataset.Load(name, c.Scale)
+}
+
+// bind binds a catalog query to a dataset's edge relation.
+func bindQ(qname string, edges *relation.Relation) (hypergraph.Query, []*relation.Relation) {
+	q := hypergraph.Get(qname)
+	return q, q.BindGraph(edges)
+}
+
+// Row is one labelled series entry of a figure.
+type Row struct {
+	Label  string
+	Values map[string]float64
+	Note   string
+}
+
+// Result is a rendered experiment.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// String renders the result as an aligned text table.
+func (r Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "%-24s", "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&sb, "%16s", c)
+	}
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-24s", row.Label)
+		for _, c := range r.Columns {
+			v, ok := row.Values[c]
+			if !ok {
+				fmt.Fprintf(&sb, "%16s", "-")
+				continue
+			}
+			fmt.Fprintf(&sb, "%16.4g", v)
+		}
+		if row.Note != "" {
+			fmt.Fprintf(&sb, "  %s", row.Note)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// All runs every experiment (the full §VII regeneration) and returns the
+// results in paper order.
+func All(cfg Config) ([]Result, error) {
+	type namedFn struct {
+		name string
+		fn   func(Config) (Result, error)
+	}
+	fns := []namedFn{
+		{"table1", Table1},
+		{"fig1a", Fig1a},
+		{"fig1b", Fig1b},
+		{"fig6", Fig6},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12a", Fig12Datasets},
+		{"fig12d", Fig12Queries},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"table4", Table4},
+	}
+	var out []Result
+	for _, nf := range fns {
+		r, err := nf.fn(cfg)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", nf.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID returns the experiment runner for an id, or nil.
+func ByID(id string) func(Config) (Result, error) {
+	switch id {
+	case "table1":
+		return Table1
+	case "fig1a":
+		return Fig1a
+	case "fig1b":
+		return Fig1b
+	case "fig6":
+		return Fig6
+	case "fig8":
+		return Fig8
+	case "fig9":
+		return Fig9
+	case "fig10":
+		return Fig10
+	case "fig11":
+		return Fig11
+	case "fig12a":
+		return Fig12Datasets
+	case "fig12d":
+		return Fig12Queries
+	case "table2":
+		return Table2
+	case "table3":
+		return Table3
+	case "table4":
+		return Table4
+	default:
+		return nil
+	}
+}
+
+// IDs lists experiment ids in paper order.
+func IDs() []string {
+	return []string{"table1", "fig1a", "fig1b", "fig6", "fig8", "fig9",
+		"fig10", "fig11", "fig12a", "fig12d", "table2", "table3", "table4"}
+}

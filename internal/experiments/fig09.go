@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"adj/internal/cluster"
+	"adj/internal/dataset"
+	"adj/internal/hcube"
+	"adj/internal/trie"
+)
+
+// Fig9 reproduces Fig. 9: the three HCube implementations (Push, Pull,
+// Merge) compared on communication and computation cost, for Q2 over every
+// dataset. Communication is the modeled exchange time; computation covers
+// the shuffle's local work plus trie construction at the receivers (which
+// Merge skips by shipping pre-built tries).
+func Fig9(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:      "Fig9",
+		Title:   "HCube implementations (Q2): comm/comp seconds",
+		Columns: []string{"Push-Comm", "Pull-Comm", "Merge-Comm", "Push-Comp", "Pull-Comp", "Merge-Comp"},
+	}
+	for _, ds := range dataset.Names() {
+		edges := cfg.graph(ds)
+		q, rels := bindQ("Q2", edges)
+		order := q.Attrs()
+		infos := hcube.InfoOf(rels)
+		row := Row{Label: "Q2/" + ds, Values: map[string]float64{}}
+		for _, kind := range []hcube.Kind{hcube.Push, hcube.Pull, hcube.Merge} {
+			c := cluster.New(cluster.Config{N: cfg.Workers})
+			c.LoadDatabase(rels)
+			shares, err := hcube.Optimize(infos, hcube.Config{Attrs: order, NumServers: cfg.Workers})
+			if err != nil {
+				return res, err
+			}
+			if err := hcube.Run(c, "shuffle", hcube.Plan{
+				Shares: shares, Rels: infos, Kind: kind, TrieOrder: order,
+			}); err != nil {
+				return res, err
+			}
+			// Receiver-side trie construction: Merge already has tries; the
+			// others build them now (as the join engine would).
+			err = c.Parallel("tries", func(w *cluster.Worker) error {
+				for cube, db := range w.Cubes {
+					tdb := w.CubeTrieDB(cube)
+					for name, frag := range db {
+						if _, ok := tdb[name]; ok {
+							continue
+						}
+						var attrs []string
+						for _, ri := range infos {
+							if ri.Name == name {
+								attrs = sortByOrder(ri.Attrs, order)
+								break
+							}
+						}
+						tdb[name] = trie.Build(frag, attrs)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return res, err
+			}
+			var comm, comp float64
+			for _, p := range c.Metrics.Phases() {
+				comm += p.CommSeconds
+				comp += p.CompSeconds
+			}
+			label := kind.String()
+			label = string(label[0]-('a'-'A')) + label[1:]
+			row.Values[label+"-Comm"] = comm
+			row.Values[label+"-Comp"] = comp
+			c.Close()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func sortByOrder(attrs, order []string) []string {
+	pos := map[string]int{}
+	for i, a := range order {
+		pos[a] = i
+	}
+	out := append([]string(nil), attrs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && pos[out[j]] < pos[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

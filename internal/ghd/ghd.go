@@ -1,0 +1,340 @@
+// Package ghd computes generalized hypertree decompositions of query
+// hypergraphs (§III-A of the paper). ADJ restricts the plan search space to
+// one optimal hypertree T: its hypernodes (bags) are the only candidate
+// pre-computed relations, and valid Leapfrog attribute orders must follow a
+// traversal order of T's nodes.
+//
+// Decompositions here are edge partitions: every atom of the query belongs
+// to exactly one bag (matching the paper, where a bag is "a subset of
+// hyperedges … computed by joining the corresponding relations"). A
+// partition is a valid decomposition when each group is connected and the
+// bag hypergraph is α-acyclic (GYO-reducible), which yields a join tree
+// with the running-intersection property. Among valid decompositions we
+// pick the one minimizing the maximum fractional edge cover of any bag —
+// the fhw criterion that bounds each pre-computed relation by
+// |Rmax|^fhw (AGM).
+package ghd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adj/internal/hypergraph"
+	"adj/internal/lp"
+)
+
+// Bag is a hypernode of the decomposition: a group of query atoms.
+type Bag struct {
+	ID int
+	// Atoms are the indexes of the query atoms joined by this bag.
+	Atoms []int
+	// Vertices is the sorted union of the atoms' attributes.
+	Vertices []string
+	// Width is the fractional edge cover number ρ*(Vertices) with respect to
+	// all query edges; |output| ≤ |Rmax|^Width by AGM.
+	Width float64
+}
+
+// IsBase reports whether the bag is a single original relation (nothing to
+// pre-compute).
+func (b Bag) IsBase() bool { return len(b.Atoms) == 1 }
+
+// Decomposition is a hypertree T = (bags, join tree).
+type Decomposition struct {
+	Query hypergraph.Query
+	Bags  []Bag
+	// Adj is the join-tree adjacency list over bag IDs.
+	Adj [][]int
+	// MaxWidth = max over bags of Width (the fhw achieved by T).
+	MaxWidth float64
+}
+
+// String renders the decomposition compactly.
+func (d *Decomposition) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GHD of %s (fhw=%.2f):", d.Query.Name, d.MaxWidth)
+	for _, b := range d.Bags {
+		names := make([]string, len(b.Atoms))
+		for i, ai := range b.Atoms {
+			names[i] = d.Query.Atoms[ai].Name
+		}
+		fmt.Fprintf(&sb, "\n  v%d{%s} attrs=%v width=%.2f adj=%v",
+			b.ID, strings.Join(names, "⋈"), b.Vertices, b.Width, d.Adj[b.ID])
+	}
+	return sb.String()
+}
+
+// Options tunes the enumeration.
+type Options struct {
+	// MaxBagAtoms caps the number of atoms per bag (0 = no cap). The paper's
+	// bags are "as small as possible"; capping keeps pre-computed relations
+	// near-binary and bounds enumeration on large queries.
+	MaxBagAtoms int
+}
+
+// Decompose enumerates edge-partition decompositions of q's hypergraph and
+// returns one minimizing (max bag width, then sum of widths, then fewer
+// non-base bags, then more bags).
+func Decompose(q hypergraph.Query, opt Options) (*Decomposition, error) {
+	h := q.Hypergraph()
+	m := len(h.Edges)
+	if m == 0 {
+		return nil, fmt.Errorf("ghd: query %s has no atoms", q.Name)
+	}
+	widthCache := make(map[string]float64)
+	bagWidth := func(verts []string) float64 {
+		key := strings.Join(verts, "\x00")
+		if w, ok := widthCache[key]; ok {
+			return w
+		}
+		w := FractionalEdgeCover(verts, h.Edges)
+		widthCache[key] = w
+		return w
+	}
+
+	var best *Decomposition
+	bestKey := scoreKey{maxW: 1e18}
+
+	// Enumerate set partitions via restricted growth strings, pruning
+	// disconnected groups eagerly.
+	assign := make([]int, m)
+	consider := func(numGroups int) {
+		groups := make([][]int, numGroups)
+		for e, g := range assign {
+			groups[g] = append(groups[g], e)
+		}
+		if opt.MaxBagAtoms > 0 {
+			for _, g := range groups {
+				if len(g) > opt.MaxBagAtoms {
+					return
+				}
+			}
+		}
+		for _, g := range groups {
+			if !h.ConnectedEdges(g) {
+				return
+			}
+		}
+		bags := make([]Bag, numGroups)
+		for i, g := range groups {
+			verts := h.VerticesOf(g)
+			bags[i] = Bag{ID: i, Atoms: g, Vertices: verts, Width: bagWidth(verts)}
+		}
+		adj, ok := joinTree(bags)
+		if !ok {
+			return
+		}
+		d := &Decomposition{Query: q, Bags: bags, Adj: adj}
+		for _, b := range bags {
+			if b.Width > d.MaxWidth {
+				d.MaxWidth = b.Width
+			}
+		}
+		k := scoreOf(d)
+		if k.less(bestKey) {
+			bestKey = k
+			best = d
+		}
+	}
+	var rec func(i, maxG int)
+	rec = func(i, maxG int) {
+		if i == m {
+			consider(maxG)
+			return
+		}
+		for g := 0; g <= maxG && g <= i; g++ {
+			assign[i] = g
+			next := maxG
+			if g == maxG {
+				next = maxG + 1
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, 0)
+	if best == nil {
+		return nil, fmt.Errorf("ghd: no valid decomposition for %s", q.Name)
+	}
+	normalize(best)
+	return best, nil
+}
+
+type scoreKey struct {
+	maxW    float64
+	sumW    float64
+	nonBase int
+	negBags int
+}
+
+func scoreOf(d *Decomposition) scoreKey {
+	k := scoreKey{maxW: d.MaxWidth}
+	for _, b := range d.Bags {
+		k.sumW += b.Width
+		if !b.IsBase() {
+			k.nonBase++
+		}
+	}
+	k.negBags = -len(d.Bags)
+	return k
+}
+
+func (a scoreKey) less(b scoreKey) bool {
+	const tol = 1e-9
+	if a.maxW < b.maxW-tol {
+		return true
+	}
+	if a.maxW > b.maxW+tol {
+		return false
+	}
+	if a.sumW < b.sumW-tol {
+		return true
+	}
+	if a.sumW > b.sumW+tol {
+		return false
+	}
+	if a.nonBase != b.nonBase {
+		return a.nonBase < b.nonBase
+	}
+	return a.negBags < b.negBags
+}
+
+// normalize sorts bags deterministically (by first atom index) and remaps
+// IDs and adjacency so equal inputs give identical decompositions.
+func normalize(d *Decomposition) {
+	order := make([]int, len(d.Bags))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return d.Bags[order[x]].Atoms[0] < d.Bags[order[y]].Atoms[0]
+	})
+	remap := make([]int, len(d.Bags))
+	for newID, oldID := range order {
+		remap[oldID] = newID
+	}
+	newBags := make([]Bag, len(d.Bags))
+	newAdj := make([][]int, len(d.Bags))
+	for newID, oldID := range order {
+		b := d.Bags[oldID]
+		b.ID = newID
+		newBags[newID] = b
+		for _, nb := range d.Adj[oldID] {
+			newAdj[newID] = append(newAdj[newID], remap[nb])
+		}
+		sort.Ints(newAdj[newID])
+	}
+	d.Bags = newBags
+	d.Adj = newAdj
+}
+
+// joinTree runs GYO reduction over the bag vertex sets. It returns the
+// join-tree adjacency and whether the bag hypergraph is α-acyclic.
+func joinTree(bags []Bag) ([][]int, bool) {
+	n := len(bags)
+	adj := make([][]int, n)
+	if n == 1 {
+		return adj, true
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	for remaining > 1 {
+		removed := false
+		for i := 0; i < n && remaining > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			// S = vertices of bag i shared with any other alive bag.
+			shared := make(map[string]bool)
+			for _, v := range bags[i].Vertices {
+				for j := 0; j < n; j++ {
+					if j == i || !alive[j] {
+						continue
+					}
+					if containsStr(bags[j].Vertices, v) {
+						shared[v] = true
+						break
+					}
+				}
+			}
+			// Find witness bag w ⊇ S.
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				if coversSet(bags[j].Vertices, shared) {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+					alive[i] = false
+					remaining--
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return nil, false // irreducible: cyclic
+		}
+	}
+	return adj, true
+}
+
+func containsStr(sorted []string, v string) bool {
+	i := sort.SearchStrings(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+func coversSet(sorted []string, set map[string]bool) bool {
+	for v := range set {
+		if !containsStr(sorted, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// FractionalEdgeCover computes ρ*(verts): the minimum total weight
+// assignment to edges such that every vertex in verts is covered with
+// weight ≥ 1. Solved exactly with the simplex solver in package lp.
+func FractionalEdgeCover(verts []string, edges [][]string) float64 {
+	if len(verts) == 0 {
+		return 0
+	}
+	n := len(edges)
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	var a [][]float64
+	var b []float64
+	var op []lp.ConstraintOp
+	for _, v := range verts {
+		row := make([]float64, n)
+		any := false
+		for j, e := range edges {
+			for _, x := range e {
+				if x == v {
+					row[j] = 1
+					any = true
+					break
+				}
+			}
+		}
+		if !any {
+			// Vertex not coverable: infinite width. Callers only pass bag
+			// vertices, which are always covered; treat as a huge penalty.
+			return 1e18
+		}
+		a = append(a, row)
+		b = append(b, 1)
+		op = append(op, lp.GE)
+	}
+	sol, err := lp.Solve(lp.Problem{C: c, A: a, B: b, Op: op})
+	if err != nil {
+		return 1e18
+	}
+	return sol.Value
+}

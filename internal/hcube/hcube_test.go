@@ -1,0 +1,362 @@
+package hcube
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adj/internal/cluster"
+	"adj/internal/hypergraph"
+	"adj/internal/leapfrog"
+	"adj/internal/relation"
+	"adj/internal/testutil"
+	"adj/internal/trie"
+)
+
+func TestSharesBasics(t *testing.T) {
+	s := Shares{Attrs: []string{"a", "b", "c", "d", "e"}, P: []int{1, 2, 2, 1, 1}}
+	if s.NumCubes() != 4 {
+		t.Fatalf("cubes=%d", s.NumCubes())
+	}
+	// R3(c,d): dup = p_a * p_b * p_e = 2.
+	if d := s.Dup([]string{"c", "d"}); d != 2 {
+		t.Fatalf("dup=%d want 2", d)
+	}
+	if f := s.Frac([]string{"c", "d"}); f != 0.5 {
+		t.Fatalf("frac=%v want 0.5", f)
+	}
+	if f := s.Frac([]string{"b", "c"}); f != 0.25 {
+		t.Fatalf("frac=%v want 0.25", f)
+	}
+}
+
+func TestCoordsRoundtrip(t *testing.T) {
+	s := Shares{Attrs: []string{"a", "b", "c"}, P: []int{2, 3, 2}}
+	strides := s.Strides()
+	if !reflect.DeepEqual(strides, []int{1, 2, 6}) {
+		t.Fatalf("strides=%v", strides)
+	}
+	for cube := 0; cube < s.NumCubes(); cube++ {
+		coords := s.CoordsOf(cube)
+		idx := 0
+		for i, c := range coords {
+			idx += c * strides[i]
+		}
+		if idx != cube {
+			t.Fatalf("roundtrip %d -> %v -> %d", cube, coords, idx)
+		}
+	}
+}
+
+// Every tuple must reach exactly dup(R) cubes, and those cubes' coordinates
+// must match the tuple's hashes on the relation's attributes.
+func TestDestCubesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		attrs := []string{"a", "b", "c", "d"}
+		p := []int{1 + rng.Intn(3), 1 + rng.Intn(3), 1 + rng.Intn(3), 1 + rng.Intn(3)}
+		s := Shares{Attrs: attrs, P: p}
+		relAttrs := []string{"b", "d"}
+		relPos := s.RelPositions(relAttrs)
+		tuple := []relation.Value{rng.Int63n(100), rng.Int63n(100)}
+		cubes := s.DestCubes(relPos, tuple)
+		if int64(len(cubes)) != s.Dup(relAttrs) {
+			return false
+		}
+		for _, cube := range cubes {
+			coords := s.CoordsOf(cube)
+			if coords[1] != relation.HashValue(tuple[0], p[1]) {
+				return false
+			}
+			if coords[3] != relation.HashValue(tuple[1], p[3]) {
+				return false
+			}
+		}
+		// No duplicates.
+		seen := map[int]bool{}
+		for _, c := range cubes {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockSigConsistentWithDestCubes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Shares{Attrs: []string{"a", "b", "c"}, P: []int{2, 2, 2}}
+	relPos := s.RelPositions([]string{"a", "c"})
+	for i := 0; i < 100; i++ {
+		tu := []relation.Value{rng.Int63n(50), rng.Int63n(50)}
+		sig := s.BlockSig(relPos, tu)
+		if sig < 0 || sig >= s.NumBlocks(relPos) {
+			t.Fatalf("sig %d out of range", sig)
+		}
+		a := s.DestCubes(relPos, tu)
+		b := s.BlockCubes(relPos, sig)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("DestCubes=%v BlockCubes=%v", a, b)
+		}
+	}
+}
+
+func TestOptimizeUsesAllServers(t *testing.T) {
+	q := hypergraph.Q1()
+	rels := []RelInfo{
+		{Name: "R1", Attrs: []string{"a", "b"}, Size: 1000},
+		{Name: "R2", Attrs: []string{"b", "c"}, Size: 1000},
+		{Name: "R3", Attrs: []string{"a", "c"}, Size: 1000},
+	}
+	s, err := Optimize(rels, Config{Attrs: q.Attrs(), NumServers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCubes() != 8 {
+		t.Fatalf("cubes=%d want 8 (MinCubes defaults to N)", s.NumCubes())
+	}
+	// Triangle with equal sizes: balanced shares (2,2,2) minimize comm
+	// (each relation duplicated by the share of its missing attribute).
+	if !reflect.DeepEqual(s.P, []int{2, 2, 2}) {
+		t.Fatalf("p=%v want [2 2 2]", s.P)
+	}
+}
+
+func TestOptimizeSkewedSizes(t *testing.T) {
+	// One giant relation: its missing attribute should get share 1 so the
+	// giant is never replicated.
+	attrs := []string{"a", "b", "c"}
+	rels := []RelInfo{
+		{Name: "BIG", Attrs: []string{"a", "b"}, Size: 1_000_000},
+		{Name: "S1", Attrs: []string{"b", "c"}, Size: 10},
+		{Name: "S2", Attrs: []string{"a", "c"}, Size: 10},
+	}
+	s, err := Optimize(rels, Config{Attrs: attrs, NumServers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P[2] != 1 {
+		t.Fatalf("p=%v: share of c should be 1 to avoid replicating BIG", s.P)
+	}
+	if s.P[0]*s.P[1] != 4 {
+		t.Fatalf("p=%v: a,b shares should multiply to 4", s.P)
+	}
+}
+
+func TestOptimizeMemoryConstraint(t *testing.T) {
+	attrs := []string{"a", "b"}
+	rels := []RelInfo{{Name: "R", Attrs: []string{"a", "b"}, Size: 1000}}
+	// With 4 servers and memory for only 300 tuples each, p=(2,2) is needed
+	// (frac 1/4 → 250 ≤ 300); p=(4,1) also works. Either way load must fit.
+	s, err := Optimize(rels, Config{Attrs: attrs, NumServers: 4, MemoryPerServer: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load := LoadPerCube(rels, s); load > 300 {
+		t.Fatalf("p=%v load=%v exceeds memory", s.P, load)
+	}
+}
+
+func TestOptimizeInfeasibleMemoryFallsBack(t *testing.T) {
+	attrs := []string{"a"}
+	rels := []RelInfo{{Name: "R", Attrs: []string{"a"}, Size: 1000}}
+	s, err := Optimize(rels, Config{Attrs: attrs, NumServers: 2, MemoryPerServer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Falls back to min-load vector (max split).
+	if s.P[0] != 2 {
+		t.Fatalf("p=%v want max split", s.P)
+	}
+}
+
+func TestCubesOfServer(t *testing.T) {
+	got := CubesOfServer(1, 7, 3)
+	if !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("cubes=%v", got)
+	}
+	total := 0
+	for sv := 0; sv < 3; sv++ {
+		total += len(CubesOfServer(sv, 7, 3))
+	}
+	if total != 7 {
+		t.Fatalf("cube assignment lost cubes: %d", total)
+	}
+}
+
+// The big HCube correctness property: for a random query/database and
+// random share vector, running Leapfrog per cube over shuffled data and
+// summing per-cube results (restricted to outputs whose full-tuple cube is
+// the local cube) equals the sequential join. Each output is produced by
+// exactly one cube, so plain summation must match.
+func TestShuffleJoinEqualsSequential(t *testing.T) {
+	for _, kind := range []Kind{Push, Pull, Merge} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				q, rels := testutil.RandQueryInstance(rng, 3, 4, 30, 6)
+				order := q.Attrs()
+				n := 1 + rng.Intn(5)
+				c := cluster.New(cluster.Config{N: n})
+				defer c.Close()
+				c.LoadDatabase(rels)
+				info := InfoOf(rels)
+				shares, err := Optimize(info, Config{Attrs: order, NumServers: n})
+				if err != nil {
+					t.Logf("optimize: %v", err)
+					return false
+				}
+				plan := Plan{Shares: shares, Rels: info, Kind: kind, TrieOrder: order}
+				if err := Run(c, "shuffle", plan); err != nil {
+					t.Logf("shuffle: %v", err)
+					return false
+				}
+				var total int64
+				for _, w := range c.Workers {
+					for cube := range mergeCubeKeys(w) {
+						tries, err := cubeTries(w, cube, info, order)
+						if err != nil {
+							t.Logf("cubeTries: %v", err)
+							return false
+						}
+						st, err := leapfrog.Join(tries, order, leapfrog.Options{})
+						if err != nil {
+							t.Logf("join: %v", err)
+							return false
+						}
+						total += st.Results
+					}
+				}
+				want := relation.NaiveJoin(rels, order).Len()
+				if int(total) != want {
+					t.Logf("seed=%d n=%d kind=%v: got %d want %d (shares %v)", seed, n, kind, total, want, shares)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// mergeCubeKeys returns the union of cube ids present on a worker.
+func mergeCubeKeys(w *cluster.Worker) map[int]bool {
+	out := make(map[int]bool)
+	for c := range w.Cubes {
+		out[c] = true
+	}
+	for c := range w.CubeTries {
+		out[c] = true
+	}
+	return out
+}
+
+// cubeTries builds (or fetches pre-merged) tries for one cube. Relations
+// with no local tuples for the cube are empty.
+func cubeTries(w *cluster.Worker, cube int, info []RelInfo, order []string) ([]*trie.Trie, error) {
+	pos := make(map[string]int, len(order))
+	for i, a := range order {
+		pos[a] = i
+	}
+	var out []*trie.Trie
+	for _, ri := range info {
+		if ts, ok := w.CubeTries[cube]; ok {
+			if tr, ok := ts[ri.Name]; ok {
+				out = append(out, tr)
+				continue
+			}
+		}
+		var frag *relation.Relation
+		if db, ok := w.Cubes[cube]; ok {
+			frag = db[ri.Name]
+		}
+		if frag == nil {
+			frag = relation.New(ri.Name, ri.Attrs...)
+		}
+		attrs := append([]string(nil), ri.Attrs...)
+		sort.Slice(attrs, func(x, y int) bool { return pos[attrs[x]] < pos[attrs[y]] })
+		out = append(out, trie.Build(frag, attrs))
+	}
+	return out, nil
+}
+
+// Push, Pull and Merge must deliver identical cube contents.
+func TestShuffleKindsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	edges := testutil.RandEdges(rng, "E", 400, 30)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	order := q.Attrs()
+	info := InfoOf(rels)
+
+	contents := make([]map[string]string, 3)
+	for ki, kind := range []Kind{Push, Pull, Merge} {
+		c := cluster.New(cluster.Config{N: 4})
+		c.LoadDatabase(rels)
+		shares, err := Optimize(info, Config{Attrs: order, NumServers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Run(c, "shuffle", Plan{Shares: shares, Rels: info, Kind: kind, TrieOrder: order}); err != nil {
+			t.Fatal(err)
+		}
+		snap := make(map[string]string)
+		for _, w := range c.Workers {
+			for cube := range mergeCubeKeys(w) {
+				tries, _ := cubeTries(w, cube, info, order)
+				for i, tr := range tries {
+					key := info[i].Name + "/" + string(rune('0'+cube))
+					snap[key] = tr.ToRelation("x").SortDedup().String()
+				}
+			}
+		}
+		contents[ki] = snap
+		c.Close()
+	}
+	if !reflect.DeepEqual(contents[0], contents[1]) {
+		t.Error("push vs pull cube contents differ")
+	}
+	if !reflect.DeepEqual(contents[1], contents[2]) {
+		t.Error("pull vs merge cube contents differ")
+	}
+}
+
+// Pull must move fewer messages than Push; Merge fewer bytes than Pull on
+// prefix-heavy data.
+func TestShuffleCostOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := testutil.RandEdges(rng, "E", 3000, 60)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	order := q.Attrs()
+	info := InfoOf(rels)
+	shares, err := Optimize(info, Config{Attrs: order, NumServers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := map[Kind]int64{}
+	for _, kind := range []Kind{Push, Pull, Merge} {
+		c := cluster.New(cluster.Config{N: 8})
+		c.LoadDatabase(rels)
+		if err := Run(c, "sh", Plan{Shares: shares, Rels: info, Kind: kind, TrieOrder: order}); err != nil {
+			t.Fatal(err)
+		}
+		msgs[kind] = c.Metrics.Phase("sh").Messages
+		c.Close()
+	}
+	if msgs[Pull] >= msgs[Push] {
+		t.Fatalf("pull messages %d should be < push %d", msgs[Pull], msgs[Push])
+	}
+	if msgs[Merge] != msgs[Pull] {
+		t.Fatalf("merge messages %d should equal pull %d", msgs[Merge], msgs[Pull])
+	}
+}

@@ -1,0 +1,348 @@
+package hcube
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"adj/internal/cluster"
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// Kind selects the HCube implementation (§V).
+type Kind int
+
+// The three implementations compared in Fig. 9.
+const (
+	// Push is the original map/reduce-style HCube: every tuple is shuffled
+	// individually to each matching cube (per-tuple message accounting; the
+	// runtime batches the physical transfer to stay memory-sane, which only
+	// helps Push).
+	Push Kind = iota
+	// Pull groups tuples into blocks by their hash signature; each block is
+	// serialized once and fetched by the matching servers.
+	Pull
+	// Merge ships blocks as pre-built tries; receivers merge tries instead
+	// of re-sorting raw tuples.
+	Merge
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case Merge:
+		return "merge"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Plan carries everything one shuffle needs.
+type Plan struct {
+	Shares Shares
+	// Rels names the relations (already loaded as worker fragments) to
+	// shuffle, with their attrs.
+	Rels []RelInfo
+	// Kind selects push/pull/merge.
+	Kind Kind
+	// TrieOrder, for Merge, gives the global attribute order that block
+	// tries are built in (each relation uses its attrs sorted by this
+	// order). Ignored otherwise.
+	TrieOrder []string
+}
+
+// Run executes the shuffle on the cluster: afterwards every worker's cube
+// databases hold the tuples (or merged tries) of its assigned cubes.
+// Phase metrics accrue under the given phase name.
+func Run(c *cluster.Cluster, phase string, p Plan) error {
+	for _, w := range c.Workers {
+		w.ResetCubes()
+	}
+	switch p.Kind {
+	case Push:
+		return runPush(c, phase, p)
+	case Pull:
+		return runPull(c, phase, p)
+	case Merge:
+		return runMerge(c, phase, p)
+	default:
+		return fmt.Errorf("hcube: unknown kind %d", p.Kind)
+	}
+}
+
+// runPush replicates tuple-by-tuple. Envelopes batch tuples per (relation,
+// cube) to bound memory, but Weight counts one message per tuple copy.
+func runPush(c *cluster.Cluster, phase string, p Plan) error {
+	return c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			var out []cluster.Envelope
+			for _, ri := range p.Rels {
+				frag, ok := w.Rels[ri.Name]
+				if !ok {
+					continue
+				}
+				relPos := p.Shares.RelPositions(ri.Attrs)
+				// batch[cube] accumulates this fragment's tuples for a cube.
+				batch := make(map[int]*relation.Relation)
+				for i, n := 0, frag.Len(); i < n; i++ {
+					t := frag.Tuple(i)
+					for _, cube := range p.Shares.DestCubes(relPos, t) {
+						b, ok := batch[cube]
+						if !ok {
+							b = relation.New(ri.Name, ri.Attrs...)
+							batch[cube] = b
+						}
+						b.AppendTuple(t)
+					}
+				}
+				cubes := make([]int, 0, len(batch))
+				for cube := range batch {
+					cubes = append(cubes, cube)
+				}
+				sort.Ints(cubes)
+				for _, cube := range cubes {
+					b := batch[cube]
+					out = append(out, cluster.Envelope{
+						To:      ServerOfCube(cube, c.N),
+						Key:     ri.Name + "#" + strconv.Itoa(cube),
+						Payload: relation.Encode(b),
+						Tuples:  int64(b.Len()),
+						Weight:  int64(b.Len()), // per-tuple shuffle messages
+					})
+				}
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			return consumeTupleBlocks(w, inbox)
+		})
+}
+
+// runPull groups by block signature and ships each block once per server.
+func runPull(c *cluster.Cluster, phase string, p Plan) error {
+	return c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			var out []cluster.Envelope
+			for _, ri := range p.Rels {
+				frag, ok := w.Rels[ri.Name]
+				if !ok {
+					continue
+				}
+				relPos := p.Shares.RelPositions(ri.Attrs)
+				blocks := groupBlocks(frag, p.Shares, relPos, ri)
+				sigs := sortedSigs(blocks)
+				for _, sig := range sigs {
+					b := blocks[sig]
+					payload := relation.Encode(b)
+					for _, server := range blockServers(p.Shares, relPos, sig, c.N) {
+						out = append(out, cluster.Envelope{
+							To:      server,
+							Key:     ri.Name + "@" + strconv.Itoa(sig),
+							Payload: payload,
+							Tuples:  int64(b.Len()),
+							Weight:  1, // one message per block copy
+						})
+					}
+				}
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			for _, e := range inbox {
+				name, sig, err := splitKey(e.Key, '@')
+				if err != nil {
+					return err
+				}
+				blk, err := relation.Decode(e.Payload)
+				if err != nil {
+					return err
+				}
+				ri, ok := relByName(p.Rels, name)
+				if !ok {
+					return fmt.Errorf("hcube pull: unknown relation %q", name)
+				}
+				relPos := p.Shares.RelPositions(ri.Attrs)
+				for _, cube := range p.Shares.BlockCubes(relPos, sig) {
+					if ServerOfCube(cube, w.N) != w.ID {
+						continue
+					}
+					db := w.CubeDB(cube)
+					tgt, ok := db[name]
+					if !ok {
+						tgt = relation.New(name, ri.Attrs...)
+						db[name] = tgt
+					}
+					tgt.AppendAll(blk)
+				}
+			}
+			return nil
+		})
+}
+
+// runMerge ships pre-built block tries and merges them at the receiver.
+func runMerge(c *cluster.Cluster, phase string, p Plan) error {
+	if len(p.TrieOrder) == 0 {
+		return fmt.Errorf("hcube merge: TrieOrder required")
+	}
+	pos := make(map[string]int, len(p.TrieOrder))
+	for i, a := range p.TrieOrder {
+		pos[a] = i
+	}
+	err := c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			var out []cluster.Envelope
+			for _, ri := range p.Rels {
+				frag, ok := w.Rels[ri.Name]
+				if !ok {
+					continue
+				}
+				relPos := p.Shares.RelPositions(ri.Attrs)
+				// Trie attribute order for this relation.
+				attrs := append([]string(nil), ri.Attrs...)
+				sort.Slice(attrs, func(x, y int) bool { return pos[attrs[x]] < pos[attrs[y]] })
+				blocks := groupBlocks(frag, p.Shares, relPos, ri)
+				sigs := sortedSigs(blocks)
+				for _, sig := range sigs {
+					bt := trie.Build(blocks[sig], attrs)
+					payload := trie.Encode(bt)
+					for _, server := range blockServers(p.Shares, relPos, sig, c.N) {
+						out = append(out, cluster.Envelope{
+							To:      server,
+							Key:     ri.Name + "@" + strconv.Itoa(sig),
+							Payload: payload,
+							Tuples:  int64(bt.Len()),
+							Weight:  1,
+						})
+					}
+				}
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			// Collect block tries per (cube, relation), then merge.
+			pending := make(map[int]map[string][]*trie.Trie)
+			for _, e := range inbox {
+				name, sig, err := splitKey(e.Key, '@')
+				if err != nil {
+					return err
+				}
+				bt, err := trie.Decode(e.Payload)
+				if err != nil {
+					return err
+				}
+				ri, ok := relByName(p.Rels, name)
+				if !ok {
+					return fmt.Errorf("hcube merge: unknown relation %q", name)
+				}
+				relPos := p.Shares.RelPositions(ri.Attrs)
+				for _, cube := range p.Shares.BlockCubes(relPos, sig) {
+					if ServerOfCube(cube, w.N) != w.ID {
+						continue
+					}
+					m, ok := pending[cube]
+					if !ok {
+						m = make(map[string][]*trie.Trie)
+						pending[cube] = m
+					}
+					m[name] = append(m[name], bt)
+				}
+			}
+			for cube, m := range pending {
+				db := w.CubeTrieDB(cube)
+				for name, ts := range m {
+					db[name] = trie.Merge(ts)
+				}
+			}
+			return nil
+		})
+	return err
+}
+
+// --- helpers ---
+
+func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope) error {
+	for _, e := range inbox {
+		name, cube, err := splitKey(e.Key, '#')
+		if err != nil {
+			return err
+		}
+		blk, err := relation.Decode(e.Payload)
+		if err != nil {
+			return err
+		}
+		db := w.CubeDB(cube)
+		tgt, ok := db[name]
+		if !ok {
+			tgt = relation.New(blk.Name, blk.Attrs...)
+			db[name] = tgt
+		}
+		tgt.AppendAll(blk)
+	}
+	return nil
+}
+
+func groupBlocks(frag *relation.Relation, s Shares, relPos []int, ri RelInfo) map[int]*relation.Relation {
+	blocks := make(map[int]*relation.Relation)
+	for i, n := 0, frag.Len(); i < n; i++ {
+		t := frag.Tuple(i)
+		sig := s.BlockSig(relPos, t)
+		b, ok := blocks[sig]
+		if !ok {
+			b = relation.New(ri.Name, ri.Attrs...)
+			blocks[sig] = b
+		}
+		b.AppendTuple(t)
+	}
+	return blocks
+}
+
+func sortedSigs(blocks map[int]*relation.Relation) []int {
+	sigs := make([]int, 0, len(blocks))
+	for s := range blocks {
+		sigs = append(sigs, s)
+	}
+	sort.Ints(sigs)
+	return sigs
+}
+
+// blockServers returns the distinct servers hosting cubes matching sig.
+func blockServers(s Shares, relPos []int, sig, n int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, cube := range s.BlockCubes(relPos, sig) {
+		sv := ServerOfCube(cube, n)
+		if !seen[sv] {
+			seen[sv] = true
+			out = append(out, sv)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func relByName(rels []RelInfo, name string) (RelInfo, bool) {
+	for _, r := range rels {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RelInfo{}, false
+}
+
+func splitKey(key string, sep byte) (string, int, error) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == sep {
+			v, err := strconv.Atoi(key[i+1:])
+			if err != nil {
+				return "", 0, fmt.Errorf("hcube: bad envelope key %q: %w", key, err)
+			}
+			return key[:i], v, nil
+		}
+	}
+	return "", 0, fmt.Errorf("hcube: bad envelope key %q", key)
+}

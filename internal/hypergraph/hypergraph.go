@@ -1,0 +1,196 @@
+// Package hypergraph models natural-join queries as hypergraphs (§II of the
+// paper): vertices are query attributes, hyperedges are atom schemas. It
+// also carries the paper's benchmark query catalog Q1–Q11 (Fig. 7).
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adj/internal/relation"
+)
+
+// Atom is one relation occurrence in a join query, e.g. R1(a,b).
+type Atom struct {
+	Name  string
+	Attrs []string
+}
+
+func (a Atom) String() string {
+	return fmt.Sprintf("%s(%s)", a.Name, strings.Join(a.Attrs, ","))
+}
+
+// Query is a natural join query Q :- R1(...) ⋈ ... ⋈ Rm(...).
+type Query struct {
+	Name  string
+	Atoms []Atom
+}
+
+// Attrs returns the query attributes attrs(Q) in order of first appearance.
+func (q Query) Attrs() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, v := range a.Attrs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// AtomsWith returns the indexes of atoms whose schema contains attribute v.
+func (q Query) AtomsWith(v string) []int {
+	var out []int
+	for i, a := range q.Atoms {
+		for _, x := range a.Attrs {
+			if x == v {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders the query in the paper's notation.
+func (q Query) String() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s :- %s", q.Name, strings.Join(parts, " ⋈ "))
+}
+
+// Hypergraph returns the hypergraph representation H = (V, E).
+func (q Query) Hypergraph() *Hypergraph {
+	h := &Hypergraph{Vertices: q.Attrs()}
+	for _, a := range q.Atoms {
+		h.Edges = append(h.Edges, append([]string(nil), a.Attrs...))
+	}
+	return h
+}
+
+// Hypergraph is H = (V, E): V the attributes, E the atom schemas.
+type Hypergraph struct {
+	Vertices []string
+	Edges    [][]string
+}
+
+// EdgesWith returns the indexes of hyperedges containing vertex v.
+func (h *Hypergraph) EdgesWith(v string) []int {
+	var out []int
+	for i, e := range h.Edges {
+		for _, x := range e {
+			if x == v {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ConnectedEdges reports whether the sub-hypergraph induced by the edge
+// index set is connected (shares vertices transitively). Single edges and
+// empty sets are connected by convention.
+func (h *Hypergraph) ConnectedEdges(edgeIdx []int) bool {
+	if len(edgeIdx) <= 1 {
+		return true
+	}
+	visited := make(map[int]bool, len(edgeIdx))
+	inSet := make(map[int]bool, len(edgeIdx))
+	for _, i := range edgeIdx {
+		inSet[i] = true
+	}
+	stack := []int{edgeIdx[0]}
+	visited[edgeIdx[0]] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, other := range edgeIdx {
+			if visited[other] {
+				continue
+			}
+			if shareVertex(h.Edges[cur], h.Edges[other]) {
+				visited[other] = true
+				stack = append(stack, other)
+			}
+		}
+	}
+	return len(visited) == len(edgeIdx)
+}
+
+func shareVertex(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// VerticesOf returns the sorted union of vertices in the given edges.
+func (h *Hypergraph) VerticesOf(edgeIdx []int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, i := range edgeIdx {
+		for _, v := range h.Edges[i] {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Database maps atom names to base relations.
+type Database map[string]*relation.Relation
+
+// Bind instantiates the query atoms against db: each atom's relation is
+// looked up by name and its schema renamed to the atom's attributes. The
+// returned relations share tuple storage with the originals (no copy).
+func (q Query) Bind(db Database) ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r, ok := db[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("query %s: relation %q not in database", q.Name, a.Name)
+		}
+		if r.Arity() != len(a.Attrs) {
+			return nil, fmt.Errorf("query %s: atom %s arity %d != relation arity %d",
+				q.Name, a, len(a.Attrs), r.Arity())
+		}
+		b := r.Renamed(a.Name)
+		b.Attrs = append([]string(nil), a.Attrs...)
+		out[i] = b
+	}
+	return out, nil
+}
+
+// BindGraph builds the paper's test-case database: every atom of q is a
+// copy of the same graph edge relation (§VII-A: "the database is
+// constructed by allocating each relation of the query with a copy of the
+// graph").
+func (q Query) BindGraph(edges *relation.Relation) []*relation.Relation {
+	if edges.Arity() != 2 {
+		panic("BindGraph requires a binary edge relation")
+	}
+	out := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		if len(a.Attrs) != 2 {
+			panic(fmt.Sprintf("BindGraph: atom %s is not binary", a))
+		}
+		b := edges.Renamed(a.Name)
+		b.Attrs = append([]string(nil), a.Attrs...)
+		out[i] = b
+	}
+	return out
+}

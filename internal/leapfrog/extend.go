@@ -1,0 +1,176 @@
+package leapfrog
+
+import (
+	"fmt"
+	"sort"
+
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// Extender answers "given a partial binding of the first d attributes of
+// the global order, which values of attribute d+1 join with it?" — the
+// val(t_i → A_{i+1}) primitive of Alg. 1. BigJoin uses it to extend
+// distributed partial bindings one attribute per round, and the sampler
+// uses it to count extensions per level.
+type Extender struct {
+	order []string
+	pos   map[string]int
+	// rels[d] lists, for each depth, the tries of relations containing
+	// order[d], with the positions (in the global order) of their attributes.
+	rels [][]extRel
+}
+
+type extRel struct {
+	t *trie.Trie
+	// attrPos are the global-order positions of the trie's attributes.
+	attrPos []int
+}
+
+// NewExtender prepares tries for extension queries. Tries must come from
+// BuildTries(rels, order).
+func NewExtender(tries []*trie.Trie, order []string) (*Extender, error) {
+	e := &Extender{order: order, pos: make(map[string]int, len(order))}
+	for i, a := range order {
+		e.pos[a] = i
+	}
+	e.rels = make([][]extRel, len(order))
+	for _, t := range tries {
+		ap := make([]int, len(t.Attrs))
+		for i, a := range t.Attrs {
+			p, ok := e.pos[a]
+			if !ok {
+				return nil, fmt.Errorf("extender: attribute %q not in order %v", a, order)
+			}
+			ap[i] = p
+		}
+		if !sort.IntsAreSorted(ap) {
+			return nil, fmt.Errorf("extender: trie attrs %v not sorted by order", t.Attrs)
+		}
+		er := extRel{t: t, attrPos: ap}
+		for _, p := range ap {
+			e.rels[p] = append(e.rels[p], er)
+		}
+	}
+	return e, nil
+}
+
+// Extend returns the sorted values v of attribute order[d] such that the
+// binding (values for order[0..d-1]) extended with v satisfies every
+// relation containing order[d], restricted to its bound attributes. The
+// second return is the number of candidate values scanned (seek work).
+func (e *Extender) Extend(binding []Value, d int) ([]Value, int64) {
+	var lists [][]Value
+	var work int64
+	for _, er := range e.rels[d] {
+		vals, w := er.candidates(binding, d)
+		work += w
+		if vals == nil {
+			return nil, work
+		}
+		lists = append(lists, vals)
+	}
+	if len(lists) == 0 {
+		return nil, work
+	}
+	// Intersect smallest-first.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		acc = relation.IntersectSorted(acc, l)
+		work += int64(len(acc))
+		if len(acc) == 0 {
+			return []Value{}, work
+		}
+	}
+	// acc may alias trie storage; copy so callers can retain it.
+	out := append([]Value(nil), acc...)
+	return out, work
+}
+
+// candidates walks er's trie down the bound prefix and returns the child
+// values at the level corresponding to global attribute d. Returns nil when
+// the bound prefix is absent from the relation (no extension possible), and
+// an empty non-nil slice for "present but no children" (cannot happen in a
+// static trie, kept for clarity).
+func (er extRel) candidates(binding []Value, d int) ([]Value, int64) {
+	var node int32 // node position at current level
+	var work int64
+	level := -1 // trie level of the last matched attribute
+	for i, p := range er.attrPos {
+		if p == d {
+			// All earlier trie levels are bound (trie attrs sorted by global
+			// order and relations containing d must have their earlier attrs
+			// among the bound prefix).
+			return er.childValues(i, level, node), work
+		}
+		if p > d {
+			break
+		}
+		// Attribute p is bound: descend by binary search.
+		vals := er.childValues(i, level, node)
+		idx := sort.Search(len(vals), func(k int) bool { return vals[k] >= binding[p] })
+		work++
+		if idx == len(vals) || vals[idx] != binding[p] {
+			return nil, work
+		}
+		l := er.t.Levels[i]
+		var base int32
+		if i == 0 {
+			base = l.Starts[0]
+		} else {
+			base = l.Starts[node]
+		}
+		node = base + int32(idx)
+		level = i
+	}
+	// d not an attribute of this relation (callers prevent this).
+	return nil, work
+}
+
+// childValues returns the children at trie level i under the node reached
+// at level `level` (with position `node`); level -1 means the root.
+func (er extRel) childValues(i, level int, node int32) []Value {
+	l := er.t.Levels[i]
+	if level < 0 {
+		return l.Vals[l.Starts[0]:l.Starts[1]]
+	}
+	return l.Vals[l.Starts[node]:l.Starts[node+1]]
+}
+
+// CountPerLevel runs a full (budgeted) traversal counting partial bindings
+// per level without materializing them, starting from the given first-level
+// values (or all when firstVals is nil). The sampler uses it with a handful
+// of sampled first values; Fig. 6 uses it with all of them.
+func (e *Extender) CountPerLevel(firstVals []Value, budget int64) (levels []int64, truncated bool) {
+	n := len(e.order)
+	levels = make([]int64, n)
+	binding := make([]Value, n)
+	var work int64
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == n {
+			return true
+		}
+		var vals []Value
+		if d == 0 && firstVals != nil {
+			vals = firstVals
+		} else {
+			vals, _ = e.Extend(binding, d)
+		}
+		for _, v := range vals {
+			binding[d] = v
+			levels[d]++
+			work++
+			if budget > 0 && work > budget {
+				return false
+			}
+			if !rec(d + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	completed := rec(0)
+	return levels, !completed
+}

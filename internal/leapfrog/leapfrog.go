@@ -1,0 +1,308 @@
+// Package leapfrog implements the Leapfrog Triejoin worst-case-optimal join
+// (Veldhuizen 2012; §II-A and Alg. 1 of the paper). The join walks a global
+// attribute order; at each depth it intersects, by leapfrogging seeks, the
+// sorted child ranges of every relation containing that attribute. The
+// implementation is iterative ("a series of iterators", as the paper notes)
+// and leaves no intermediate results in memory.
+//
+// Per-level extension counters feed the cost model (§III-B) and reproduce
+// Fig. 6 and Fig. 8.
+package leapfrog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// Value aliases relation.Value.
+type Value = relation.Value
+
+// ErrBudget is returned when a run exceeds Options.Budget; the experiment
+// harness maps it to the paper's frame-top "did not finish" bars.
+var ErrBudget = errors.New("leapfrog: extension budget exceeded")
+
+// Stats captures the work a join performed.
+type Stats struct {
+	// LevelTuples[d] counts the partial bindings materialized at depth d
+	// (|T_{d+1}| in the paper's notation: bindings of the first d+1 attrs).
+	LevelTuples []int64
+	// LevelSeeks[d] counts iterator seek operations at depth d, the unit of
+	// computation cost the β calibration uses.
+	LevelSeeks []int64
+	// Results is the number of full output tuples.
+	Results int64
+}
+
+// Total returns the total number of intermediate tuples across levels,
+// excluding final results.
+func (s Stats) Total() int64 {
+	var t int64
+	for d := 0; d < len(s.LevelTuples)-1; d++ {
+		t += s.LevelTuples[d]
+	}
+	return t
+}
+
+// TotalWithResults sums all levels including the last.
+func (s Stats) TotalWithResults() int64 {
+	var t int64
+	for _, v := range s.LevelTuples {
+		t += v
+	}
+	return t
+}
+
+// Options configures a run.
+type Options struct {
+	// Emit, when non-nil, receives every result tuple (values in the global
+	// attribute order). The tuple aliases an internal buffer; copy to retain.
+	Emit func(relation.Tuple)
+	// Budget caps total extension work (sum of level tuples); 0 = unlimited.
+	Budget int64
+	// FirstFixed, when non-nil, restricts the first attribute to one value —
+	// the constrained Leapfrog the sampler runs per sampled value (§IV).
+	FirstFixed *Value
+}
+
+// BuildTries builds, for each bound relation, a trie whose attribute order
+// is the relation's attributes sorted by position in the global order. All
+// engines share this preparation step.
+func BuildTries(rels []*relation.Relation, order []string) []*trie.Trie {
+	pos := make(map[string]int, len(order))
+	for i, a := range order {
+		pos[a] = i
+	}
+	out := make([]*trie.Trie, len(rels))
+	for i, r := range rels {
+		attrs := append([]string(nil), r.Attrs...)
+		sort.Slice(attrs, func(x, y int) bool { return pos[attrs[x]] < pos[attrs[y]] })
+		out[i] = trie.Build(r, attrs)
+	}
+	return out
+}
+
+// Join runs Leapfrog Triejoin over pre-built tries. Each trie's attribute
+// list must be sorted by position in order (as BuildTries produces), and
+// every trie attribute must appear in order.
+func Join(tries []*trie.Trie, order []string, opt Options) (Stats, error) {
+	j, err := newJoiner(tries, order)
+	if err != nil {
+		return Stats{}, err
+	}
+	return j.run(opt)
+}
+
+// JoinRelations is the convenience form: build tries then join.
+func JoinRelations(rels []*relation.Relation, order []string, opt Options) (Stats, error) {
+	return Join(BuildTries(rels, order), order, opt)
+}
+
+// Count runs the join and returns only the result count.
+func Count(rels []*relation.Relation, order []string) (int64, error) {
+	st, err := JoinRelations(rels, order, Options{})
+	return st.Results, err
+}
+
+// joiner holds the per-run state.
+type joiner struct {
+	order []string
+	n     int
+	// active[d] lists the trie iterators participating at depth d.
+	active [][]*trie.Iterator
+	// iters owns one iterator per trie.
+	iters []*trie.Iterator
+	// binding holds the current prefix values.
+	binding []Value
+}
+
+func newJoiner(tries []*trie.Trie, order []string) (*joiner, error) {
+	pos := make(map[string]int, len(order))
+	for i, a := range order {
+		pos[a] = i
+	}
+	j := &joiner{order: order, n: len(order)}
+	j.active = make([][]*trie.Iterator, len(order))
+	j.binding = make([]Value, len(order))
+	for ti, t := range tries {
+		prev := -1
+		for _, a := range t.Attrs {
+			p, ok := pos[a]
+			if !ok {
+				return nil, fmt.Errorf("leapfrog: trie attribute %q not in order %v", a, order)
+			}
+			if p < prev {
+				return nil, fmt.Errorf("leapfrog: trie %d attrs %v not sorted by order %v", ti, t.Attrs, order)
+			}
+			prev = p
+		}
+		it := trie.NewIterator(t)
+		j.iters = append(j.iters, it)
+		for _, a := range t.Attrs {
+			j.active[pos[a]] = append(j.active[pos[a]], it)
+		}
+	}
+	for d, as := range j.active {
+		if len(as) == 0 {
+			return nil, fmt.Errorf("leapfrog: attribute %q not covered by any relation", order[d])
+		}
+	}
+	return j, nil
+}
+
+// run executes the join iteratively.
+func (j *joiner) run(opt Options) (Stats, error) {
+	st := Stats{LevelTuples: make([]int64, j.n), LevelSeeks: make([]int64, j.n)}
+	// Empty relation: no results.
+	for _, it := range j.iters {
+		_ = it
+	}
+	lf := make([]*frame, j.n)
+	for d := range lf {
+		lf[d] = &frame{iters: j.active[d]}
+	}
+	var work int64
+	d := 0
+	if !lf[0].open(&st, 0) {
+		return st, nil
+	}
+	if opt.FirstFixed != nil {
+		if !lf[0].seekExact(*opt.FirstFixed, &st, 0) {
+			return st, nil
+		}
+	}
+	for d >= 0 {
+		f := lf[d]
+		if f.atEnd {
+			// Exhausted this level: go up and advance.
+			f.close()
+			d--
+			if d >= 0 {
+				if opt.FirstFixed != nil && d == 0 {
+					// Constrained run: only the fixed value at level 0.
+					lf[0].atEnd = true
+					continue
+				}
+				lf[d].next(&st, d)
+			}
+			continue
+		}
+		// A value is bound at depth d.
+		j.binding[d] = f.key
+		st.LevelTuples[d]++
+		work++
+		if opt.Budget > 0 && work > opt.Budget {
+			return st, ErrBudget
+		}
+		if d == j.n-1 {
+			st.Results++
+			if opt.Emit != nil {
+				opt.Emit(j.binding)
+			}
+			f.next(&st, d)
+			continue
+		}
+		// Descend.
+		d++
+		lf[d].open(&st, d)
+	}
+	return st, nil
+}
+
+// frame is the leapfrog state for one depth: the classic ring of iterators.
+type frame struct {
+	iters []*trie.Iterator
+	p     int
+	key   Value
+	atEnd bool
+	open_ bool
+}
+
+// open descends all active iterators and runs leapfrog-init. Returns false
+// when the intersection is immediately empty.
+func (f *frame) open(st *Stats, d int) bool {
+	for _, it := range f.iters {
+		it.Open()
+	}
+	f.open_ = true
+	f.atEnd = false
+	for _, it := range f.iters {
+		if it.AtEnd() {
+			f.atEnd = true
+			return false
+		}
+	}
+	// Sort iterators by current key (ring invariant).
+	sort.Slice(f.iters, func(a, b int) bool { return f.iters[a].Key() < f.iters[b].Key() })
+	f.p = 0
+	f.search(st, d)
+	return !f.atEnd
+}
+
+// close pops all active iterators back to the parent level.
+func (f *frame) close() {
+	if !f.open_ {
+		return
+	}
+	for _, it := range f.iters {
+		it.Up()
+	}
+	f.open_ = false
+}
+
+// search is leapfrog-search: advance the ring until all keys agree.
+func (f *frame) search(st *Stats, d int) {
+	k := len(f.iters)
+	xPrime := f.iters[(f.p+k-1)%k].Key()
+	for {
+		x := f.iters[f.p].Key()
+		if x == xPrime {
+			f.key = x
+			return
+		}
+		f.iters[f.p].Seek(xPrime)
+		st.LevelSeeks[d]++
+		if f.iters[f.p].AtEnd() {
+			f.atEnd = true
+			return
+		}
+		xPrime = f.iters[f.p].Key()
+		f.p = (f.p + 1) % k
+	}
+}
+
+// next is leapfrog-next: advance past the current match.
+func (f *frame) next(st *Stats, d int) {
+	f.iters[f.p].Next()
+	st.LevelSeeks[d]++
+	if f.iters[f.p].AtEnd() {
+		f.atEnd = true
+		return
+	}
+	f.p = (f.p + 1) % len(f.iters)
+	f.search(st, d)
+}
+
+// seekExact positions the level at exactly v; returns false if v is not in
+// the intersection.
+func (f *frame) seekExact(v Value, st *Stats, d int) bool {
+	for !f.atEnd && f.key < v {
+		// Seek all iterators to v then re-search.
+		f.iters[f.p].Seek(v)
+		st.LevelSeeks[d]++
+		if f.iters[f.p].AtEnd() {
+			f.atEnd = true
+			return false
+		}
+		f.p = (f.p + 1) % len(f.iters)
+		f.search(st, d)
+	}
+	if f.atEnd || f.key != v {
+		f.atEnd = true
+		return false
+	}
+	return true
+}

@@ -1,0 +1,267 @@
+// Package lp implements a small dense two-phase simplex solver. ADJ uses it
+// to compute fractional edge covers: the fractional hypertree width (fhw)
+// that scores candidate decompositions in §III-A is a max over bags of a
+// tiny linear program (minimize Σ x_e subject to Σ_{e∋v} x_e ≥ 1 for every
+// vertex v in the bag, x ≥ 0).
+//
+// The implementation is a classic tableau simplex with Bland's rule (no
+// cycling) and a phase-1 artificial objective to find an initial basic
+// feasible solution. Problems here have at most a few dozen variables, so a
+// dense float64 tableau is the right tool.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ConstraintOp is the relation of one constraint row.
+type ConstraintOp int
+
+// Constraint operators.
+const (
+	LE ConstraintOp = iota // Σ a_j x_j ≤ b
+	GE                     // Σ a_j x_j ≥ b
+	EQ                     // Σ a_j x_j = b
+)
+
+// Problem is a linear program over x ≥ 0:
+//
+//	minimize  c·x
+//	s.t.      A[i]·x  Op[i]  B[i]   for every row i
+type Problem struct {
+	C  []float64
+	A  [][]float64
+	B  []float64
+	Op []ConstraintOp
+}
+
+// Solution is an optimal solution of a Problem.
+type Solution struct {
+	X     []float64
+	Value float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Solve minimizes the problem with two-phase simplex.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m || len(p.Op) != m {
+		return Solution{}, fmt.Errorf("lp: inconsistent sizes: %d rows, %d b, %d ops", m, len(p.B), len(p.Op))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+
+	// Normalize to b >= 0 by flipping rows.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	op := make([]ConstraintOp, m)
+	for i := range p.A {
+		a[i] = append([]float64(nil), p.A[i]...)
+		b[i] = p.B[i]
+		op[i] = p.Op[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+			switch op[i] {
+			case LE:
+				op[i] = GE
+			case GE:
+				op[i] = LE
+			}
+		}
+	}
+
+	// Column layout: [x (n)] [slack/surplus (one per LE/GE row)] [artificial].
+	nSlack := 0
+	for _, o := range op {
+		if o != EQ {
+			nSlack++
+		}
+	}
+	// Artificial variables for GE and EQ rows (LE rows use their slack as the
+	// initial basis).
+	nArt := 0
+	for _, o := range op {
+		if o != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Tableau: m rows of coefficients + rhs, basis tracking.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total+1)
+		copy(t[i], a[i])
+		t[i][total] = b[i]
+		switch op[i] {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase 1: minimize sum of artificial variables.
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for j := n + nSlack; j < total; j++ {
+			obj[j] = 1
+		}
+		// Express objective in terms of non-basic variables (price out basis).
+		for i, bv := range basis {
+			if bv >= n+nSlack {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		if err := iterate(t, obj, basis, total); err != nil {
+			return Solution{}, err
+		}
+		if -obj[total] > 1e-7 { // objective value = -obj[rhs]
+			return Solution{}, ErrInfeasible
+		}
+		// Drive any remaining artificial variables out of the basis.
+		for i, bv := range basis {
+			if bv < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; harmless. Leave the artificial at zero.
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: minimize c·x, artificial columns frozen at zero.
+	obj := make([]float64, total+1)
+	copy(obj, p.C)
+	for i, bv := range basis {
+		if bv < total && math.Abs(obj[bv]) > eps {
+			coef := obj[bv]
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * t[i][j]
+			}
+		}
+	}
+	limit := n + nSlack // never re-enter artificial columns
+	if err := iteratePhase2(t, obj, basis, total, limit); err != nil {
+		return Solution{}, err
+	}
+
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = t[i][total]
+		}
+	}
+	val := 0.0
+	for j := 0; j < n; j++ {
+		val += p.C[j] * x[j]
+	}
+	return Solution{X: x, Value: val}, nil
+}
+
+// iterate runs simplex until optimal over all columns (phase 1).
+func iterate(t [][]float64, obj []float64, basis []int, total int) error {
+	return iteratePhase2(t, obj, basis, total, total)
+}
+
+// iteratePhase2 runs simplex allowing only columns < limit to enter.
+func iteratePhase2(t [][]float64, obj []float64, basis []int, total, limit int) error {
+	m := len(t)
+	for iter := 0; iter < 10000; iter++ {
+		// Bland's rule: entering = lowest-index column with negative reduced cost.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test; Bland tie-break on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][total] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter, total)
+		// Update objective row.
+		coef := obj[enter]
+		if math.Abs(coef) > eps {
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * t[leave][j]
+			}
+		}
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column j basic in row i.
+func pivot(t [][]float64, basis []int, i, j, total int) {
+	p := t[i][j]
+	for k := 0; k <= total; k++ {
+		t[i][k] /= p
+	}
+	for r := range t {
+		if r == i {
+			continue
+		}
+		f := t[r][j]
+		if math.Abs(f) <= eps {
+			continue
+		}
+		for k := 0; k <= total; k++ {
+			t[r][k] -= f * t[i][k]
+		}
+	}
+	basis[i] = j
+}

@@ -1,0 +1,215 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// minimize -x-y s.t. x+y<=4, x<=3, y<=3  -> x=3,y=1 or x=1,y=3, value -4.
+	sol, err := Solve(Problem{
+		C:  []float64{-1, -1},
+		A:  [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		B:  []float64{4, 3, 3},
+		Op: []ConstraintOp{LE, LE, LE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Value, -4) {
+		t.Fatalf("value=%v want -4", sol.Value)
+	}
+}
+
+func TestGERequiresPhase1(t *testing.T) {
+	// minimize x+y s.t. x+y>=2, x>=0.5 -> value 2.
+	sol, err := Solve(Problem{
+		C:  []float64{1, 1},
+		A:  [][]float64{{1, 1}, {1, 0}},
+		B:  []float64{2, 0.5},
+		Op: []ConstraintOp{GE, GE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Value, 2) {
+		t.Fatalf("value=%v want 2", sol.Value)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// minimize 2x+3y s.t. x+y=10, x<=4 -> x=4,y=6 -> 26.
+	sol, err := Solve(Problem{
+		C:  []float64{2, 3},
+		A:  [][]float64{{1, 1}, {1, 0}},
+		B:  []float64{10, 4},
+		Op: []ConstraintOp{EQ, LE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Value, 26) {
+		t.Fatalf("value=%v want 26", sol.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	_, err := Solve(Problem{
+		C:  []float64{1},
+		A:  [][]float64{{1}, {1}},
+		B:  []float64{1, 3},
+		Op: []ConstraintOp{LE, GE},
+	})
+	if err != ErrInfeasible {
+		t.Fatalf("err=%v want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// minimize -x with only x >= 1: unbounded below.
+	_, err := Solve(Problem{
+		C:  []float64{-1},
+		A:  [][]float64{{1}},
+		B:  []float64{1},
+		Op: []ConstraintOp{GE},
+	})
+	if err != ErrUnbounded {
+		t.Fatalf("err=%v want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x <= -1 written as -x >= 1: minimize x s.t. -x >= 1 means x <= -1,
+	// infeasible with x >= 0.
+	_, err := Solve(Problem{
+		C:  []float64{1},
+		A:  [][]float64{{1}},
+		B:  []float64{-1},
+		Op: []ConstraintOp{LE},
+	})
+	if err != ErrInfeasible {
+		t.Fatalf("err=%v want ErrInfeasible", err)
+	}
+}
+
+func TestTriangleFractionalCover(t *testing.T) {
+	// Fractional edge cover of a triangle: 3 edges ab, bc, ac covering
+	// vertices a,b,c; optimum is 1/2 each = 1.5 (the AGM bound exponent).
+	sol, err := Solve(Problem{
+		C: []float64{1, 1, 1},
+		A: [][]float64{
+			{1, 0, 1}, // a: edges ab, ac
+			{1, 1, 0}, // b: edges ab, bc
+			{0, 1, 1}, // c: edges bc, ac
+		},
+		B:  []float64{1, 1, 1},
+		Op: []ConstraintOp{GE, GE, GE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Value, 1.5) {
+		t.Fatalf("triangle cover=%v want 1.5", sol.Value)
+	}
+}
+
+func TestDegenerateZeroRows(t *testing.T) {
+	sol, err := Solve(Problem{C: []float64{1, 2}, A: nil, B: nil, Op: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sol.Value, 0) {
+		t.Fatalf("unconstrained min of nonneg objective should be 0, got %v", sol.Value)
+	}
+}
+
+func TestSizeMismatch(t *testing.T) {
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Op: []ConstraintOp{LE}}); err == nil {
+		t.Fatal("expected error for ragged row")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Op: []ConstraintOp{LE}}); err == nil {
+		t.Fatal("expected error for b/op mismatch")
+	}
+}
+
+// Property test: on random small covering LPs, simplex matches a
+// brute-force grid search within tolerance.
+func TestRandomCoverAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(3) // variables (edges)
+		nc := 1 + rng.Intn(3) // constraints (vertices)
+		a := make([][]float64, nc)
+		feasible := false
+		for i := range a {
+			a[i] = make([]float64, nv)
+			any := false
+			for j := range a[i] {
+				if rng.Intn(2) == 1 {
+					a[i][j] = 1
+					any = true
+				}
+			}
+			if !any {
+				a[i][rng.Intn(nv)] = 1
+			}
+			feasible = true
+		}
+		if !feasible {
+			return true
+		}
+		c := make([]float64, nv)
+		for j := range c {
+			c[j] = 1
+		}
+		b := make([]float64, nc)
+		ops := make([]ConstraintOp, nc)
+		for i := range b {
+			b[i] = 1
+			ops[i] = GE
+		}
+		sol, err := Solve(Problem{C: c, A: a, B: b, Op: ops})
+		if err != nil {
+			return false
+		}
+		// Brute force over a grid of x in {0, 0.25, ..., 2}.
+		best := math.Inf(1)
+		var grid func(j int, x []float64)
+		x := make([]float64, nv)
+		grid = func(j int, x []float64) {
+			if j == nv {
+				for i := range a {
+					s := 0.0
+					for k := range x {
+						s += a[i][k] * x[k]
+					}
+					if s < b[i]-1e-9 {
+						return
+					}
+				}
+				tot := 0.0
+				for _, v := range x {
+					tot += v
+				}
+				if tot < best {
+					best = tot
+				}
+				return
+			}
+			for v := 0.0; v <= 2.0; v += 0.25 {
+				x[j] = v
+				grid(j+1, x)
+			}
+		}
+		grid(0, x)
+		// Simplex must be at least as good as the grid (grid is coarser).
+		return sol.Value <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

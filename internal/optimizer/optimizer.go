@@ -1,0 +1,500 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adj/internal/costmodel"
+	"adj/internal/ghd"
+	"adj/internal/hcube"
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+	"adj/internal/sampling"
+)
+
+// Options configures the planner.
+type Options struct {
+	// Params are the calibrated cost constants.
+	Params costmodel.Params
+	// Samples per cardinality estimation (§IV; the paper uses 10^5 at full
+	// scale, scaled instances need fewer).
+	Samples int
+	Seed    int64
+	// GHDMaxBagAtoms caps bag size during decomposition (0 = none).
+	GHDMaxBagAtoms int
+}
+
+// Optimizer plans one query over one database.
+type Optimizer struct {
+	Q      hypergraph.Query
+	Rels   []*relation.Relation
+	Decomp *ghd.Decomposition
+	opts   Options
+
+	attrs []string
+	// tCache memoizes |T_S| estimates by attribute-set key.
+	tCache map[string]float64
+	// bagCache memoizes |Rv| estimates by bag ID.
+	bagCache map[int]float64
+	// SampleOps / SampleSeconds accumulate measured sampling work, exposed
+	// so engines can charge it to their Optimization phase and derive β.
+	SampleOps     int64
+	SampleSeconds float64
+}
+
+// New builds an optimizer: it computes the GHD immediately (cheap for the
+// catalog queries) and defers sampling until costs are needed.
+func New(q hypergraph.Query, rels []*relation.Relation, opts Options) (*Optimizer, error) {
+	if opts.Samples <= 0 {
+		opts.Samples = 1000
+	}
+	if opts.Params.NumServers <= 0 {
+		opts.Params.NumServers = 1
+	}
+	d, err := ghd.Decompose(q, ghd.Options{MaxBagAtoms: opts.GHDMaxBagAtoms})
+	if err != nil {
+		return nil, err
+	}
+	return &Optimizer{
+		Q: q, Rels: rels, Decomp: d, opts: opts,
+		attrs:    q.Attrs(),
+		tCache:   make(map[string]float64),
+		bagCache: make(map[int]float64),
+	}, nil
+}
+
+// SubsetSize estimates |T_S|: the number of Leapfrog partial bindings over
+// the given attribute set (order-independent; memoized). The empty set has
+// size 1 (the empty binding t0).
+func (o *Optimizer) SubsetSize(attrSet []string) float64 {
+	if len(attrSet) == 0 {
+		return 1
+	}
+	key := setKey(attrSet)
+	if v, ok := o.tCache[key]; ok {
+		return v
+	}
+	order := o.orderWithPrefix(attrSet)
+	// Loose attribute sets (few constraining relations) can have enormous
+	// partial joins; a per-sample work cap keeps planning cost bounded —
+	// truncated estimates read as "at least huge", which is all ordering
+	// decisions need.
+	samples := o.opts.Samples
+	if samples > 150 {
+		samples = 150
+	}
+	est, err := sampling.EstimateCardinality(o.Rels, order, sampling.Config{
+		Samples:         samples,
+		Seed:            o.opts.Seed,
+		MaxDepth:        len(attrSet),
+		PerSampleBudget: 5000,
+	})
+	v := 0.0
+	if err == nil {
+		v = est.LevelCounts[len(attrSet)-1]
+		o.SampleOps += est.WorkOps
+		o.SampleSeconds += est.Seconds
+	}
+	o.tCache[key] = v
+	return v
+}
+
+// orderWithPrefix returns a full attribute order starting with the subset
+// (in canonical attrs order) followed by the remaining attributes.
+func (o *Optimizer) orderWithPrefix(subset []string) []string {
+	in := make(map[string]bool, len(subset))
+	for _, a := range subset {
+		in[a] = true
+	}
+	var out []string
+	for _, a := range o.attrs {
+		if in[a] {
+			out = append(out, a)
+		}
+	}
+	for _, a := range o.attrs {
+		if !in[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BagSize estimates |Rv| = |⋈ λ(v)| for a bag (memoized). Base bags use
+// the exact relation size.
+func (o *Optimizer) BagSize(id int) float64 {
+	if v, ok := o.bagCache[id]; ok {
+		return v
+	}
+	b := o.Decomp.Bags[id]
+	var v float64
+	if b.IsBase() {
+		v = float64(o.Rels[b.Atoms[0]].Len())
+	} else {
+		rels := make([]*relation.Relation, len(b.Atoms))
+		for i, ai := range b.Atoms {
+			rels[i] = o.Rels[ai]
+		}
+		est, err := sampling.EstimateCardinality(rels, bagOrder(rels), sampling.Config{
+			Samples: o.opts.Samples, Seed: o.opts.Seed,
+		})
+		if err == nil {
+			v = est.Cardinality
+			o.SampleOps += est.WorkOps
+			o.SampleSeconds += est.Seconds
+		}
+	}
+	o.bagCache[id] = v
+	return v
+}
+
+// bagOrder returns the attribute order for a bag-local estimation.
+func bagOrder(rels []*relation.Relation) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range rels {
+		for _, a := range r.Attrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// relSetFor returns the HCube relation infos of the query candidate Qi
+// defined by precomputing the bags in C: materialized bags contribute their
+// estimated output, other bags contribute their base relations.
+func (o *Optimizer) relSetFor(c map[int]bool) []hcube.RelInfo {
+	var out []hcube.RelInfo
+	for _, b := range o.Decomp.Bags {
+		if c[b.ID] && !b.IsBase() {
+			out = append(out, hcube.RelInfo{
+				Name:  BagRelationName(o.Decomp, b.ID),
+				Attrs: b.Vertices,
+				Size:  int64(o.BagSize(b.ID)),
+			})
+			continue
+		}
+		for _, ai := range b.Atoms {
+			r := o.Rels[ai]
+			out = append(out, hcube.RelInfo{Name: r.Name, Attrs: r.Attrs, Size: int64(r.Len())})
+		}
+	}
+	return out
+}
+
+// commCost returns costC for the candidate set C.
+func (o *Optimizer) commCost(c map[int]bool) float64 {
+	sec, _, err := costmodel.CommCost(o.relSetFor(c), o.attrs, o.opts.Params)
+	if err != nil {
+		return 1e18
+	}
+	return sec
+}
+
+// precomputeCost returns costM(Rv).
+func (o *Optimizer) precomputeCost(id int) float64 {
+	b := o.Decomp.Bags[id]
+	if b.IsBase() {
+		return 0
+	}
+	var inputs []hcube.RelInfo
+	for _, ai := range b.Atoms {
+		r := o.Rels[ai]
+		inputs = append(inputs, hcube.RelInfo{Name: r.Name, Attrs: r.Attrs, Size: int64(r.Len())})
+	}
+	return costmodel.PrecomputeCost(inputs, o.BagSize(id), o.opts.Params)
+}
+
+// CoOptimize runs Alg. 2: build the traversal order in reverse, choosing at
+// each position the node (and whether to pre-compute it) with the lowest
+// combined cost.
+func (o *Optimizer) CoOptimize() (*Plan, error) {
+	d := o.Decomp
+	n := len(d.Bags)
+	remaining := make(map[int]bool, n)
+	for _, b := range d.Bags {
+		remaining[b.ID] = true
+	}
+	chosen := make(map[int]bool) // C: bags to pre-compute
+	var reverse []int
+	est := Cost{}
+
+	for len(remaining) > 0 {
+		type candidate struct {
+			v          int
+			precompute bool
+			cost       float64
+			extendCost float64
+			preCost    float64
+		}
+		var best *candidate
+		for v := range remaining {
+			if !o.prefixConnected(remaining, v) {
+				continue
+			}
+			// |T_{v_{i-1}}|: bindings over the attrs of the remaining prefix.
+			prefixAttrs := o.attrsOfBags(remaining, v)
+			bindings := o.SubsetSize(prefixAttrs)
+
+			// Branch 1: do not pre-compute v.
+			ext1 := costmodel.ExtendCost(bindings, o.opts.Params.BetaFor(chosen[v]), o.opts.Params.NumServers)
+			cost1 := o.commCost(chosen) + ext1
+			// Branch 2: pre-compute v (only meaningful for non-base bags).
+			if !d.Bags[v].IsBase() && !chosen[v] {
+				c2 := cloneSet(chosen)
+				c2[v] = true
+				pre := o.precomputeCost(v)
+				ext2 := costmodel.ExtendCost(bindings, o.opts.Params.BetaFor(true), o.opts.Params.NumServers)
+				cost2 := pre + o.commCost(c2) + ext2
+				if best == nil || cost2 < best.cost {
+					best = &candidate{v: v, precompute: true, cost: cost2, extendCost: ext2, preCost: pre}
+				}
+			}
+			if best == nil || cost1 < best.cost {
+				best = &candidate{v: v, precompute: false, cost: cost1, extendCost: ext1}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("optimizer: no orderable node among %v (tree disconnected?)", keys(remaining))
+		}
+		if best.precompute {
+			chosen[best.v] = true
+		}
+		reverse = append(reverse, best.v)
+		delete(remaining, best.v)
+		est.Computation += best.extendCost
+		est.PreCompute += best.preCost
+	}
+
+	// Reverse into a forward traversal.
+	traversal := make([]int, n)
+	for i, v := range reverse {
+		traversal[n-1-i] = v
+	}
+	est.Communication = o.commCost(chosen)
+
+	plan := &Plan{Query: o.Q, Decomp: d, Traversal: traversal, Est: est}
+	for id := range chosen {
+		plan.Precompute = append(plan.Precompute, id)
+	}
+	sort.Ints(plan.Precompute)
+	plan.AttrOrder = o.attrOrderFor(traversal)
+	return plan, nil
+}
+
+// CommunicationFirst builds the HCubeJ baseline plan: no pre-computation,
+// shares chosen purely for communication, and the attribute order selected
+// from all n! orders with the cheap sketch estimator (Fig. 8's
+// "All-Selected") — the exact strategy whose estimation errors §IV blames
+// for sub-optimal orders.
+func (o *Optimizer) CommunicationFirst() (*Plan, error) {
+	order := o.ChooseOrderSketch(ghd.AllAttrOrders(o.attrs))
+	// A canonical traversal covering all bags, for reporting only.
+	traversals := o.Decomp.TraversalOrders()
+	plan := &Plan{Query: o.Q, Decomp: o.Decomp, Traversal: traversals[0], AttrOrder: order}
+	plan.Est.Communication = o.commCost(nil)
+	return plan, nil
+}
+
+// ValidOrderPlan is CoOptimize restricted to order selection (no
+// pre-computation): ADJ's plan when every bag is kept as base relations.
+// Used by the Fig. 8 experiment as "Valid-Selected".
+func (o *Optimizer) ValidOrderPlan() (*Plan, error) {
+	order := o.ChooseOrder(o.Decomp.ValidAttrOrders())
+	traversals := o.Decomp.TraversalOrders()
+	plan := &Plan{Query: o.Q, Decomp: o.Decomp, Traversal: traversals[0], AttrOrder: order}
+	plan.Est.Communication = o.commCost(nil)
+	plan.Est.Computation = o.estimateOrderCost(order)
+	return plan, nil
+}
+
+// ChooseOrder returns the order minimizing the estimated total number of
+// intermediate tuples Σ_i |T_prefix_i| (prefix sizes are set-memoized, so
+// enumerating all orders shares almost all sampling work).
+func (o *Optimizer) ChooseOrder(orders [][]string) []string {
+	best := orders[0]
+	bestCost := 1e308
+	for _, ord := range orders {
+		c := o.estimateOrderCost(ord)
+		if c < bestCost {
+			bestCost = c
+			best = ord
+		}
+	}
+	return best
+}
+
+// estimateOrderCost sums estimated intermediate sizes over the order's
+// proper prefixes.
+func (o *Optimizer) estimateOrderCost(order []string) float64 {
+	t := 0.0
+	for i := 1; i < len(order); i++ {
+		t += o.SubsetSize(order[:i])
+	}
+	return t
+}
+
+// attrOrderFor converts a bag traversal into a full attribute order,
+// choosing each bag's within-bag order by estimated intermediate size.
+func (o *Optimizer) attrOrderFor(traversal []int) []string {
+	groups := o.Decomp.NewAttrsAt(traversal)
+	var out []string
+	for _, grp := range groups {
+		grp = append([]string(nil), grp...)
+		for len(grp) > 0 {
+			// Greedily pick the next attribute minimizing |T_{prefix+a}|.
+			bestI := 0
+			bestV := 1e308
+			for i, a := range grp {
+				v := o.SubsetSize(append(append([]string(nil), out...), a))
+				if v < bestV {
+					bestV = v
+					bestI = i
+				}
+			}
+			out = append(out, grp[bestI])
+			grp = append(grp[:bestI], grp[bestI+1:]...)
+		}
+	}
+	return out
+}
+
+// ExhaustivePlan searches every (C, traversal) pair with the same cost
+// model — exponential, used only by the ablation benchmark to check the
+// greedy's quality.
+func (o *Optimizer) ExhaustivePlan() (*Plan, error) {
+	d := o.Decomp
+	var nonBase []int
+	for _, b := range d.Bags {
+		if !b.IsBase() {
+			nonBase = append(nonBase, b.ID)
+		}
+	}
+	traversals := d.TraversalOrders()
+	var best *Plan
+	for mask := 0; mask < 1<<len(nonBase); mask++ {
+		c := make(map[int]bool)
+		for i, id := range nonBase {
+			if mask&(1<<i) != 0 {
+				c[id] = true
+			}
+		}
+		for _, tr := range traversals {
+			cost := o.planCost(c, tr)
+			if best == nil || cost.Total() < best.Est.Total() {
+				plan := &Plan{Query: o.Q, Decomp: d, Traversal: append([]int(nil), tr...), Est: cost}
+				for id := range c {
+					plan.Precompute = append(plan.Precompute, id)
+				}
+				sort.Ints(plan.Precompute)
+				best = plan
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("optimizer: no plan found")
+	}
+	best.AttrOrder = o.attrOrderFor(best.Traversal)
+	return best, nil
+}
+
+// planCost evaluates the full model cost of (C, traversal).
+func (o *Optimizer) planCost(c map[int]bool, traversal []int) Cost {
+	var cost Cost
+	for id := range c {
+		cost.PreCompute += o.precomputeCost(id)
+	}
+	cost.Communication = o.commCost(c)
+	prefix := make(map[int]bool)
+	for i, v := range traversal {
+		if i > 0 {
+			bindings := o.SubsetSize(o.attrsOfBags(prefix, -1))
+			cost.Computation += costmodel.ExtendCost(bindings, o.opts.Params.BetaFor(c[v]), o.opts.Params.NumServers)
+		} else {
+			cost.Computation += costmodel.ExtendCost(1, o.opts.Params.BetaFor(c[v]), o.opts.Params.NumServers)
+		}
+		prefix[v] = true
+	}
+	return cost
+}
+
+// prefixConnected reports whether remaining \ {v} stays connected in the
+// join tree (Alg. 2 line 6).
+func (o *Optimizer) prefixConnected(remaining map[int]bool, v int) bool {
+	var rest []int
+	for u := range remaining {
+		if u != v {
+			rest = append(rest, u)
+		}
+	}
+	if len(rest) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(rest))
+	for _, u := range rest {
+		in[u] = true
+	}
+	vis := map[int]bool{rest[0]: true}
+	stack := []int{rest[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range o.Decomp.Adj[u] {
+			if in[w] && !vis[w] {
+				vis[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(vis) == len(rest)
+}
+
+// attrsOfBags returns the attribute union of the bags in set minus skip.
+func (o *Optimizer) attrsOfBags(set map[int]bool, skip int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range o.attrs {
+		for id := range set {
+			if id == skip {
+				continue
+			}
+			if containsVert(o.Decomp.Bags[id].Vertices, a) && !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func containsVert(sorted []string, v string) bool {
+	i := sort.SearchStrings(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+func cloneSet(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func setKey(attrs []string) string {
+	s := append([]string(nil), attrs...)
+	sort.Strings(s)
+	return strings.Join(s, "\x00")
+}

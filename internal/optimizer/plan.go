@@ -1,0 +1,77 @@
+// Package optimizer implements ADJ's query planner (§III): given a join
+// query, its optimal hypertree decomposition, and sampled statistics, it
+// selects which GHD bags to pre-compute and the Leapfrog traversal order so
+// that pre-computing + communication + computation cost is minimal (Alg. 2).
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"adj/internal/ghd"
+	"adj/internal/hypergraph"
+)
+
+// Cost is the estimated cost breakdown of a plan, in seconds — the columns
+// of Tables II–IV.
+type Cost struct {
+	PreCompute    float64
+	Communication float64
+	Computation   float64
+}
+
+// Total sums the components.
+func (c Cost) Total() float64 { return c.PreCompute + c.Communication + c.Computation }
+
+// Plan is the optimizer's output: a query candidate Qi (which bags to
+// pre-compute) plus an attribute order for Leapfrog.
+type Plan struct {
+	Query  hypergraph.Query
+	Decomp *ghd.Decomposition
+	// Precompute lists the bag IDs whose relations are materialized before
+	// the one-round join. Base bags (single relations) never appear.
+	Precompute []int
+	// Traversal is the bag traversal order (every prefix connected).
+	Traversal []int
+	// AttrOrder is the Leapfrog attribute order induced by Traversal with
+	// within-bag orders chosen by estimated intermediate size.
+	AttrOrder []string
+	// Est is the model's cost estimate for this plan.
+	Est Cost
+}
+
+// IsPrecomputed reports whether bag id is materialized by this plan.
+func (p *Plan) IsPrecomputed(id int) bool {
+	for _, v := range p.Precompute {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// BagRelationName returns the name of a bag's materialized relation.
+func BagRelationName(d *ghd.Decomposition, id int) string {
+	names := make([]string, len(d.Bags[id].Atoms))
+	for i, ai := range d.Bags[id].Atoms {
+		names[i] = d.Query.Atoms[ai].Name
+	}
+	return strings.Join(names, "_")
+}
+
+// String renders the plan like the paper's examples (Q2 = R1 ⋈ R23 ⋈ R45).
+func (p *Plan) String() string {
+	var parts []string
+	for _, b := range p.Decomp.Bags {
+		if p.IsPrecomputed(b.ID) {
+			parts = append(parts, BagRelationName(p.Decomp, b.ID)+"*")
+		} else {
+			for _, ai := range b.Atoms {
+				parts = append(parts, p.Query.Atoms[ai].Name)
+			}
+		}
+	}
+	return fmt.Sprintf("%s := %s ord=%v traversal=%v est={pre %.3fs comm %.3fs comp %.3fs}",
+		p.Query.Name, strings.Join(parts, " ⋈ "), p.AttrOrder, p.Traversal,
+		p.Est.PreCompute, p.Est.Communication, p.Est.Computation)
+}

@@ -1,0 +1,107 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary wire codec for relations: the payload format of tuple blocks in
+// the cluster transport. Layout (little-endian):
+//
+//	u32 name length, name bytes
+//	u32 arity; per attr: u32 len, bytes
+//	u64 tuple count
+//	values row-major as u64
+
+// Encode serializes r.
+func Encode(r *Relation) []byte {
+	size := 4 + len(r.Name) + 4 + 8 + 8*len(r.data)
+	for _, a := range r.Attrs {
+		size += 4 + len(a)
+	}
+	buf := make([]byte, 0, size)
+	var b4 [4]byte
+	var b8 [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b4[:], v)
+		buf = append(buf, b4[:]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		buf = append(buf, b8[:]...)
+	}
+	put32(uint32(len(r.Name)))
+	buf = append(buf, r.Name...)
+	put32(uint32(len(r.Attrs)))
+	for _, a := range r.Attrs {
+		put32(uint32(len(a)))
+		buf = append(buf, a...)
+	}
+	put64(uint64(r.Len()))
+	for _, v := range r.data {
+		put64(uint64(v))
+	}
+	return buf
+}
+
+// Decode deserializes a relation encoded by Encode.
+func Decode(buf []byte) (*Relation, error) {
+	off := 0
+	get32 := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("relation decode: truncated at %d", off)
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	getStr := func() (string, error) {
+		n, err := get32()
+		if err != nil {
+			return "", err
+		}
+		if off+int(n) > len(buf) {
+			return "", fmt.Errorf("relation decode: truncated string at %d", off)
+		}
+		s := string(buf[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+	name, err := getStr()
+	if err != nil {
+		return nil, err
+	}
+	arity, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if arity > 64 {
+		return nil, fmt.Errorf("relation decode: implausible arity %d", arity)
+	}
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i], err = getStr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if off+8 > len(buf) {
+		return nil, fmt.Errorf("relation decode: truncated count at %d", off)
+	}
+	count := binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	total := int(count) * int(arity)
+	if off+8*total > len(buf) {
+		return nil, fmt.Errorf("relation decode: truncated data: need %d values", total)
+	}
+	data := make([]Value, total)
+	for i := range data {
+		data[i] = Value(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("relation decode: %d trailing bytes", len(buf)-off)
+	}
+	r := &Relation{Name: name, Attrs: attrs, data: data}
+	return r, nil
+}

@@ -1,0 +1,61 @@
+package relation
+
+// HashValue maps a value to a bucket in [0, parts). It is the hash function
+// h_A of HCube (§II-A): every site must agree on it, so it is a pure
+// function of the value. A 64-bit finalizer (splitmix64) avoids the
+// pathological collisions a plain modulo would produce on consecutive vertex
+// ids, which matters because graph datasets number vertices densely.
+func HashValue(v Value, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	x := uint64(v)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(parts))
+}
+
+// HashTuple combines all values of a tuple into one bucket in [0, parts);
+// used to hash-partition intermediate results in the multi-round baselines.
+func HashTuple(t Tuple, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, v := range t {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	return int(h % uint64(parts))
+}
+
+// PartitionBy splits r into parts relations by hashing the listed columns.
+// Tuples with equal values on cols land in the same partition — the
+// contract hash joins rely on.
+func (r *Relation) PartitionBy(cols []int, parts int) []*Relation {
+	out := make([]*Relation, parts)
+	for i := range out {
+		out[i] = New(r.Name, r.Attrs...)
+	}
+	kbuf := make([]Value, len(cols))
+	for i, n := 0, r.Len(); i < n; i++ {
+		t := r.Tuple(i)
+		var p int
+		if len(cols) == 1 {
+			p = HashValue(t[cols[0]], parts)
+		} else {
+			for j, c := range cols {
+				kbuf[j] = t[c]
+			}
+			p = HashTuple(kbuf, parts)
+		}
+		out[p].AppendTuple(t)
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Project returns a new relation containing only the given attributes, in
+// the given order, with duplicates removed (set semantics, as required for
+// the val(A) intersections of the sampler and for trie construction).
+func (r *Relation) Project(attrs ...string) *Relation {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			panic(fmt.Sprintf("relation %q: project on missing attribute %q", r.Name, a))
+		}
+		idx[i] = j
+	}
+	out := NewWithCapacity(r.Name+"_proj", r.Len(), attrs...)
+	row := make([]Value, len(attrs))
+	for i, n := 0, r.Len(); i < n; i++ {
+		t := r.Tuple(i)
+		for j, c := range idx {
+			row[j] = t[c]
+		}
+		out.AppendTuple(row)
+	}
+	return out.SortDedup()
+}
+
+// ProjectMulti keeps duplicates (bag semantics); used where counts matter.
+func (r *Relation) ProjectMulti(attrs ...string) *Relation {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			panic(fmt.Sprintf("relation %q: project on missing attribute %q", r.Name, a))
+		}
+		idx[i] = j
+	}
+	out := NewWithCapacity(r.Name+"_proj", r.Len(), attrs...)
+	row := make([]Value, len(attrs))
+	for i, n := 0, r.Len(); i < n; i++ {
+		t := r.Tuple(i)
+		for j, c := range idx {
+			row[j] = t[c]
+		}
+		out.AppendTuple(row)
+	}
+	return out
+}
+
+// Filter returns the tuples for which keep returns true.
+func (r *Relation) Filter(keep func(Tuple) bool) *Relation {
+	out := New(r.Name+"_filt", r.Attrs...)
+	for i, n := 0, r.Len(); i < n; i++ {
+		t := r.Tuple(i)
+		if keep(t) {
+			out.AppendTuple(t)
+		}
+	}
+	return out
+}
+
+// Select returns tuples whose attribute a equals v.
+func (r *Relation) Select(a string, v Value) *Relation {
+	c := r.AttrIndex(a)
+	if c < 0 {
+		panic(fmt.Sprintf("relation %q: select on missing attribute %q", r.Name, a))
+	}
+	return r.Filter(func(t Tuple) bool { return t[c] == v })
+}
+
+// Distinct returns the sorted set of values of attribute a.
+func (r *Relation) Distinct(a string) []Value {
+	c := r.AttrIndex(a)
+	if c < 0 {
+		panic(fmt.Sprintf("relation %q: distinct on missing attribute %q", r.Name, a))
+	}
+	seen := make(map[Value]struct{}, r.Len())
+	for i, n := 0, r.Len(); i < n; i++ {
+		seen[r.Tuple(i)[c]] = struct{}{}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Semijoin returns the tuples of r that join with at least one tuple of s on
+// the shared attributes `on` (which must exist in both schemas). This is the
+// database-reduction step of the distributed sampler (§IV of the paper).
+func (r *Relation) Semijoin(s *Relation, on []string) *Relation {
+	ri := make([]int, len(on))
+	si := make([]int, len(on))
+	for i, a := range on {
+		ri[i] = r.AttrIndex(a)
+		si[i] = s.AttrIndex(a)
+		if ri[i] < 0 || si[i] < 0 {
+			panic(fmt.Sprintf("semijoin: attribute %q missing from %q or %q", a, r.Name, s.Name))
+		}
+	}
+	keys := make(map[string]struct{}, s.Len())
+	kbuf := make([]Value, len(on))
+	for i, n := 0, s.Len(); i < n; i++ {
+		t := s.Tuple(i)
+		for j, c := range si {
+			kbuf[j] = t[c]
+		}
+		keys[encodeKey(kbuf)] = struct{}{}
+	}
+	out := New(r.Name, r.Attrs...)
+	for i, n := 0, r.Len(); i < n; i++ {
+		t := r.Tuple(i)
+		for j, c := range ri {
+			kbuf[j] = t[c]
+		}
+		if _, ok := keys[encodeKey(kbuf)]; ok {
+			out.AppendTuple(t)
+		}
+	}
+	return out
+}
+
+// SemijoinValues keeps tuples whose attribute a takes a value in vals.
+func (r *Relation) SemijoinValues(a string, vals []Value) *Relation {
+	set := make(map[Value]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	c := r.AttrIndex(a)
+	if c < 0 {
+		panic(fmt.Sprintf("relation %q: semijoinValues on missing attribute %q", r.Name, a))
+	}
+	return r.Filter(func(t Tuple) bool { _, ok := set[t[c]]; return ok })
+}
+
+// SharedAttrs returns the attributes common to both schemas, in r's order.
+func SharedAttrs(r, s *Relation) []string {
+	var out []string
+	for _, a := range r.Attrs {
+		if s.HasAttr(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ErrTooLarge reports a join whose output exceeded the caller's limit; the
+// engines map it to the paper's OOM/timeout failures without paying for
+// the full materialization first.
+var ErrTooLarge = errors.New("relation: join output limit exceeded")
+
+// HashJoinLimit is HashJoin with an output cap: it aborts with ErrTooLarge
+// as soon as the output exceeds limit tuples (limit 0 = unlimited).
+func HashJoinLimit(r, s *Relation, limit int) (*Relation, error) {
+	out := hashJoin(r, s, limit)
+	if out == nil {
+		return nil, ErrTooLarge
+	}
+	return out, nil
+}
+
+// HashJoin computes the natural join r ⋈ s with a classic build/probe hash
+// join on all shared attributes. It is the kernel of the BinaryJoin baseline
+// (the paper's SparkSQL analogue) and of GHD bag pre-computation. The output
+// schema is r's attributes followed by s's non-shared attributes.
+func HashJoin(r, s *Relation) *Relation {
+	return hashJoin(r, s, 0)
+}
+
+// hashJoin returns nil when the limit is exceeded.
+func hashJoin(r, s *Relation, limit int) *Relation {
+	shared := SharedAttrs(r, s)
+	// Build side: the smaller input.
+	build, probe := s, r
+	swapped := false
+	if r.Len() < s.Len() {
+		build, probe, swapped = r, s, true
+	}
+	bi := make([]int, len(shared))
+	pi := make([]int, len(shared))
+	for i, a := range shared {
+		bi[i] = build.AttrIndex(a)
+		pi[i] = probe.AttrIndex(a)
+	}
+	// Output schema and the column picks for each side.
+	var outAttrs []string
+	outAttrs = append(outAttrs, r.Attrs...)
+	var sExtra []int
+	for j, a := range s.Attrs {
+		if r.AttrIndex(a) < 0 {
+			outAttrs = append(outAttrs, a)
+			sExtra = append(sExtra, j)
+		}
+	}
+	out := New(fmt.Sprintf("(%s⋈%s)", r.Name, s.Name), outAttrs...)
+	if build.Len() == 0 || probe.Len() == 0 {
+		return out
+	}
+	ht := make(map[string][]int, build.Len())
+	kbuf := make([]Value, len(shared))
+	for i, n := 0, build.Len(); i < n; i++ {
+		t := build.Tuple(i)
+		for j, c := range bi {
+			kbuf[j] = t[c]
+		}
+		k := encodeKey(kbuf)
+		ht[k] = append(ht[k], i)
+	}
+	row := make([]Value, len(outAttrs))
+	for i, n := 0, probe.Len(); i < n; i++ {
+		pt := probe.Tuple(i)
+		for j, c := range pi {
+			kbuf[j] = pt[c]
+		}
+		matches, ok := ht[encodeKey(kbuf)]
+		if !ok {
+			continue
+		}
+		for _, m := range matches {
+			bt := build.Tuple(m)
+			var rt, st Tuple
+			if swapped {
+				rt, st = bt, pt
+			} else {
+				rt, st = pt, bt
+			}
+			// Keys are exact encodings, so shared attrs are equal here.
+			copy(row, rt)
+			for j, c := range sExtra {
+				row[len(rt)+j] = st[c]
+			}
+			out.AppendTuple(row)
+			if limit > 0 && out.Len() > limit {
+				return nil
+			}
+		}
+	}
+	return out
+}
+
+// JoinAll left-folds HashJoin over rels; with set-semantics inputs the
+// result equals the natural join of all of them.
+func JoinAll(rels []*Relation) *Relation {
+	if len(rels) == 0 {
+		return New("empty")
+	}
+	acc := rels[0]
+	for _, r := range rels[1:] {
+		acc = HashJoin(acc, r)
+	}
+	return acc
+}
+
+// CrossCount returns the product of the sizes; a quick upper bound used by
+// guards in the test harness.
+func CrossCount(rels []*Relation) int64 {
+	p := int64(1)
+	for _, r := range rels {
+		p *= int64(r.Len())
+		if p < 0 { // overflow
+			return 1 << 62
+		}
+	}
+	return p
+}
+
+// encodeKey packs values into a string key for map-based joins. Values are
+// written in fixed-width big-endian-ish form so distinct tuples always get
+// distinct keys.
+func encodeKey(vals []Value) string {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		u := uint64(v)
+		o := i * 8
+		b[o] = byte(u >> 56)
+		b[o+1] = byte(u >> 48)
+		b[o+2] = byte(u >> 40)
+		b[o+3] = byte(u >> 32)
+		b[o+4] = byte(u >> 24)
+		b[o+5] = byte(u >> 16)
+		b[o+6] = byte(u >> 8)
+		b[o+7] = byte(u)
+	}
+	return string(b)
+}

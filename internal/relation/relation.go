@@ -1,0 +1,294 @@
+// Package relation implements the relational substrate of ADJ: schemas,
+// typed tuples stored in flat row-major blocks, and the operations the join
+// engines need (sort, dedup, project, semijoin, hash partitioning).
+//
+// Values are int64. A Relation is a multiset of fixed-arity tuples over a
+// named schema; most operations return new relations and leave the receiver
+// untouched, matching the immutable dataflow style of the distributed
+// runtime (package cluster).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is the domain of every attribute. Graph datasets use vertex ids.
+type Value = int64
+
+// Tuple is a single row. It aliases the relation's backing array; callers
+// must copy before retaining it across mutations.
+type Tuple = []Value
+
+// Relation is a multiset of tuples with a fixed schema.
+// Tuples are stored row-major in a single flat slice.
+type Relation struct {
+	Name  string
+	Attrs []string
+	data  []Value
+}
+
+// New returns an empty relation with the given name and schema.
+func New(name string, attrs ...string) *Relation {
+	return &Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+}
+
+// NewWithCapacity returns an empty relation pre-sized for n tuples.
+func NewWithCapacity(name string, n int, attrs ...string) *Relation {
+	r := New(name, attrs...)
+	r.data = make([]Value, 0, n*len(attrs))
+	return r
+}
+
+// FromTuples builds a relation from explicit rows. Rows are copied.
+func FromTuples(name string, attrs []string, rows [][]Value) *Relation {
+	r := NewWithCapacity(name, len(rows), attrs...)
+	for _, row := range rows {
+		r.Append(row...)
+	}
+	return r
+}
+
+// FromEdges builds a binary relation over (src, dst) attribute names from an
+// edge list, the representation used for all graph datasets in the paper.
+func FromEdges(name, srcAttr, dstAttr string, edges [][2]Value) *Relation {
+	r := NewWithCapacity(name, len(edges), srcAttr, dstAttr)
+	for _, e := range edges {
+		r.data = append(r.data, e[0], e[1])
+	}
+	return r
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if len(r.Attrs) == 0 {
+		return 0
+	}
+	return len(r.data) / len(r.Attrs)
+}
+
+// Tuple returns the i-th row as a slice aliasing internal storage.
+func (r *Relation) Tuple(i int) Tuple {
+	k := len(r.Attrs)
+	return r.data[i*k : (i+1)*k]
+}
+
+// Append adds one row. It panics if the arity does not match the schema:
+// that is always a programming error, never a data error.
+func (r *Relation) Append(vals ...Value) {
+	if len(vals) != len(r.Attrs) {
+		panic(fmt.Sprintf("relation %q: append arity %d != schema arity %d", r.Name, len(vals), len(r.Attrs)))
+	}
+	r.data = append(r.data, vals...)
+}
+
+// AppendTuple adds one row without the variadic copy.
+func (r *Relation) AppendTuple(t Tuple) {
+	if len(t) != len(r.Attrs) {
+		panic(fmt.Sprintf("relation %q: append arity %d != schema arity %d", r.Name, len(t), len(r.Attrs)))
+	}
+	r.data = append(r.data, t...)
+}
+
+// AppendAll concatenates all tuples of s (same arity required) onto r.
+func (r *Relation) AppendAll(s *Relation) {
+	if len(s.Attrs) != len(r.Attrs) {
+		panic(fmt.Sprintf("relation %q: appendAll arity %d != %d", r.Name, len(s.Attrs), len(r.Attrs)))
+	}
+	r.data = append(r.data, s.data...)
+}
+
+// Data exposes the raw row-major value block (read-only by convention).
+func (r *Relation) Data() []Value { return r.data }
+
+// SetData replaces the backing array. len(d) must be a multiple of arity.
+func (r *Relation) SetData(d []Value) {
+	if len(r.Attrs) > 0 && len(d)%len(r.Attrs) != 0 {
+		panic(fmt.Sprintf("relation %q: data length %d not a multiple of arity %d", r.Name, len(d), len(r.Attrs)))
+	}
+	r.data = d
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Name: r.Name, Attrs: append([]string(nil), r.Attrs...)}
+	c.data = append([]Value(nil), r.data...)
+	return c
+}
+
+// Renamed returns a shallow copy with a different name (shares tuple data).
+func (r *Relation) Renamed(name string) *Relation {
+	return &Relation{Name: name, Attrs: r.Attrs, data: r.data}
+}
+
+// AttrIndex returns the position of attribute a in the schema, or -1.
+func (r *Relation) AttrIndex(a string) int {
+	for i, x := range r.Attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttr reports whether a is part of the schema.
+func (r *Relation) HasAttr(a string) bool { return r.AttrIndex(a) >= 0 }
+
+// SizeBytes returns the in-memory payload size (8 bytes per value), the unit
+// the cost model charges for communication.
+func (r *Relation) SizeBytes() int64 { return int64(len(r.data)) * 8 }
+
+// String renders a compact human-readable form (used by tests and the CLI).
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) [%d tuples]", r.Name, strings.Join(r.Attrs, ","), r.Len())
+	n := r.Len()
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\n  %v", r.Tuple(i))
+	}
+	if r.Len() > n {
+		fmt.Fprintf(&b, "\n  ... (%d more)", r.Len()-n)
+	}
+	return b.String()
+}
+
+// Sort orders tuples lexicographically in place and returns the receiver.
+func (r *Relation) Sort() *Relation {
+	k := len(r.Attrs)
+	if k == 0 || r.Len() < 2 {
+		return r
+	}
+	sort.Sort(&rowSorter{data: r.data, k: k, tmp: make([]Value, k)})
+	return r
+}
+
+// SortByColumns orders tuples in place by the given column permutation:
+// first compare column cols[0], then cols[1], etc. Columns not listed keep
+// their relative influence last in schema order to make the sort total.
+func (r *Relation) SortByColumns(cols []int) *Relation {
+	k := len(r.Attrs)
+	if k == 0 || r.Len() < 2 {
+		return r
+	}
+	full := append([]int(nil), cols...)
+	seen := make(map[int]bool, k)
+	for _, c := range cols {
+		seen[c] = true
+	}
+	for c := 0; c < k; c++ {
+		if !seen[c] {
+			full = append(full, c)
+		}
+	}
+	sort.Sort(&rowSorterCols{data: r.data, k: k, cols: full, tmp: make([]Value, k)})
+	return r
+}
+
+// Dedup removes duplicate tuples in place. The relation must be sorted (in
+// any total order). Returns the receiver.
+func (r *Relation) Dedup() *Relation {
+	k := len(r.Attrs)
+	n := r.Len()
+	if n < 2 {
+		return r
+	}
+	w := 1
+	for i := 1; i < n; i++ {
+		if !equalRows(r.data, (w-1)*k, i*k, k) {
+			copy(r.data[w*k:(w+1)*k], r.data[i*k:(i+1)*k])
+			w++
+		}
+	}
+	r.data = r.data[:w*k]
+	return r
+}
+
+// SortDedup sorts lexicographically then removes duplicates.
+func (r *Relation) SortDedup() *Relation { return r.Sort().Dedup() }
+
+// Equal reports whether two relations have identical schema and identical
+// tuple sequences (order-sensitive; sort both first for multiset equality).
+func (r *Relation) Equal(s *Relation) bool {
+	if len(r.Attrs) != len(s.Attrs) {
+		return false
+	}
+	for i := range r.Attrs {
+		if r.Attrs[i] != s.Attrs[i] {
+			return false
+		}
+	}
+	if len(r.data) != len(s.data) {
+		return false
+	}
+	for i := range r.data {
+		if r.data[i] != s.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalRows(d []Value, a, b, k int) bool {
+	for i := 0; i < k; i++ {
+		if d[a+i] != d[b+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowSorter sorts flat row-major data lexicographically.
+type rowSorter struct {
+	data []Value
+	k    int
+	tmp  []Value
+}
+
+func (s *rowSorter) Len() int { return len(s.data) / s.k }
+func (s *rowSorter) Less(i, j int) bool {
+	a, b := i*s.k, j*s.k
+	for x := 0; x < s.k; x++ {
+		if s.data[a+x] != s.data[b+x] {
+			return s.data[a+x] < s.data[b+x]
+		}
+	}
+	return false
+}
+func (s *rowSorter) Swap(i, j int) {
+	a, b := i*s.k, j*s.k
+	copy(s.tmp, s.data[a:a+s.k])
+	copy(s.data[a:a+s.k], s.data[b:b+s.k])
+	copy(s.data[b:b+s.k], s.tmp)
+}
+
+// rowSorterCols sorts by an explicit column priority list.
+type rowSorterCols struct {
+	data []Value
+	k    int
+	cols []int
+	tmp  []Value
+}
+
+func (s *rowSorterCols) Len() int { return len(s.data) / s.k }
+func (s *rowSorterCols) Less(i, j int) bool {
+	a, b := i*s.k, j*s.k
+	for _, c := range s.cols {
+		if s.data[a+c] != s.data[b+c] {
+			return s.data[a+c] < s.data[b+c]
+		}
+	}
+	return false
+}
+func (s *rowSorterCols) Swap(i, j int) {
+	a, b := i*s.k, j*s.k
+	copy(s.tmp, s.data[a:a+s.k])
+	copy(s.data[a:a+s.k], s.data[b:b+s.k])
+	copy(s.data[b:b+s.k], s.tmp)
+}

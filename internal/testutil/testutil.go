@@ -1,0 +1,132 @@
+// Package testutil provides deterministic random instance generators shared
+// by the test suites: random relations, random graph databases bound to the
+// catalog queries, and comparison helpers against the naive join oracle.
+package testutil
+
+import (
+	"math/rand"
+
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+)
+
+// RandRelation builds a random relation with the given schema: n tuples
+// with values drawn uniformly from [0, domain).
+func RandRelation(rng *rand.Rand, name string, attrs []string, n int, domain int64) *relation.Relation {
+	r := relation.NewWithCapacity(name, n, attrs...)
+	row := make([]relation.Value, len(attrs))
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Int63n(domain)
+		}
+		r.AppendTuple(row)
+	}
+	return r
+}
+
+// RandEdges builds a random simple directed edge relation with ~n edges
+// over `nodes` vertices (duplicates removed).
+func RandEdges(rng *rand.Rand, name string, n int, nodes int64) *relation.Relation {
+	r := relation.NewWithCapacity(name, n, "src", "dst")
+	for i := 0; i < n; i++ {
+		r.Append(rng.Int63n(nodes), rng.Int63n(nodes))
+	}
+	return r.SortDedup()
+}
+
+// RandQueryInstance generates a random query (random binary atoms over a
+// small attribute alphabet, guaranteed connected) and a random database for
+// it. Used by cross-engine equivalence property tests.
+func RandQueryInstance(rng *rand.Rand, maxAtoms, maxAttrs int, tuples int, domain int64) (hypergraph.Query, []*relation.Relation) {
+	attrsAll := []string{"a", "b", "c", "d", "e", "f"}
+	if maxAttrs > len(attrsAll) {
+		maxAttrs = len(attrsAll)
+	}
+	nAttrs := 2 + rng.Intn(maxAttrs-1)
+	attrs := attrsAll[:nAttrs]
+	nAtoms := 2 + rng.Intn(maxAtoms-1)
+	var q hypergraph.Query
+	q.Name = "Qrand"
+	for i := 0; i < nAtoms; i++ {
+		// Pick 2 distinct attributes; chain the first atom's attrs to keep
+		// the query connected: atom i shares an attribute with atom i-1.
+		var a1 string
+		if i == 0 {
+			a1 = attrs[rng.Intn(len(attrs))]
+		} else {
+			prev := q.Atoms[i-1].Attrs
+			a1 = prev[rng.Intn(len(prev))]
+		}
+		a2 := attrs[rng.Intn(len(attrs))]
+		for a2 == a1 {
+			a2 = attrs[rng.Intn(len(attrs))]
+		}
+		q.Atoms = append(q.Atoms, hypergraph.Atom{
+			Name:  atomName(i),
+			Attrs: []string{a1, a2},
+		})
+	}
+	rels := make([]*relation.Relation, nAtoms)
+	for i, at := range q.Atoms {
+		rels[i] = RandRelation(rng, at.Name, at.Attrs, tuples, domain).SortDedup()
+	}
+	return q, rels
+}
+
+func atomName(i int) string {
+	return "R" + string(rune('1'+i))
+}
+
+// RandMixedQueryInstance is RandQueryInstance with atom arities 1–3,
+// exercising the non-binary paths (the paper's running example has a
+// ternary relation).
+func RandMixedQueryInstance(rng *rand.Rand, maxAtoms, maxAttrs int, tuples int, domain int64) (hypergraph.Query, []*relation.Relation) {
+	attrsAll := []string{"a", "b", "c", "d", "e", "f"}
+	if maxAttrs > len(attrsAll) {
+		maxAttrs = len(attrsAll)
+	}
+	nAttrs := 2 + rng.Intn(maxAttrs-1)
+	attrs := attrsAll[:nAttrs]
+	nAtoms := 2 + rng.Intn(maxAtoms-1)
+	var q hypergraph.Query
+	q.Name = "Qmix"
+	for i := 0; i < nAtoms; i++ {
+		arity := 1 + rng.Intn(3)
+		if arity > nAttrs {
+			arity = nAttrs
+		}
+		// Keep the query connected: reuse an attribute of the previous atom.
+		var first string
+		if i == 0 {
+			first = attrs[rng.Intn(len(attrs))]
+		} else {
+			prev := q.Atoms[i-1].Attrs
+			first = prev[rng.Intn(len(prev))]
+		}
+		atomAttrs := []string{first}
+		for len(atomAttrs) < arity {
+			a := attrs[rng.Intn(len(attrs))]
+			dup := false
+			for _, x := range atomAttrs {
+				if x == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				atomAttrs = append(atomAttrs, a)
+			}
+		}
+		q.Atoms = append(q.Atoms, hypergraph.Atom{Name: atomName(i), Attrs: atomAttrs})
+	}
+	rels := make([]*relation.Relation, nAtoms)
+	for i, at := range q.Atoms {
+		rels[i] = RandRelation(rng, at.Name, at.Attrs, tuples, domain).SortDedup()
+	}
+	return q, rels
+}
+
+// CountDistinct returns the number of distinct tuples in r (non-mutating).
+func CountDistinct(r *relation.Relation) int {
+	return r.Clone().SortDedup().Len()
+}

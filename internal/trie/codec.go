@@ -1,0 +1,133 @@
+package trie
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for tries: the wire format the Merge HCube ships between
+// servers. Tries serialize to contiguous arrays, which is the efficiency
+// argument the paper gives for Merge over Pull ("one trie, implemented
+// using three arrays, is easier to serialize and deserialize than many
+// tuples").
+//
+// Layout (all little-endian):
+//   u32 arity
+//   per attr: u32 name length, name bytes
+//   u64 numTuples
+//   per level: u64 len(vals), vals as u64; u64 len(starts), starts as u32
+
+// Encode serializes the trie.
+func Encode(t *Trie) []byte {
+	size := 4 + 8
+	for _, a := range t.Attrs {
+		size += 4 + len(a)
+	}
+	for _, l := range t.Levels {
+		size += 8 + 8*len(l.Vals) + 8 + 4*len(l.Starts)
+	}
+	buf := make([]byte, 0, size)
+	var u32 [4]byte
+	var u64 [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	put32(uint32(len(t.Attrs)))
+	for _, a := range t.Attrs {
+		put32(uint32(len(a)))
+		buf = append(buf, a...)
+	}
+	put64(uint64(t.NumTuples))
+	for _, l := range t.Levels {
+		put64(uint64(len(l.Vals)))
+		for _, v := range l.Vals {
+			put64(uint64(v))
+		}
+		put64(uint64(len(l.Starts)))
+		for _, s := range l.Starts {
+			put32(uint32(s))
+		}
+	}
+	return buf
+}
+
+// Decode deserializes a trie encoded by Encode.
+func Decode(buf []byte) (*Trie, error) {
+	off := 0
+	get32 := func() (uint32, error) {
+		if off+4 > len(buf) {
+			return 0, fmt.Errorf("trie decode: truncated at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	get64 := func() (uint64, error) {
+		if off+8 > len(buf) {
+			return 0, fmt.Errorf("trie decode: truncated at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, nil
+	}
+	arity, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if arity > 64 {
+		return nil, fmt.Errorf("trie decode: implausible arity %d", arity)
+	}
+	t := &Trie{Attrs: make([]string, arity), Levels: make([]Level, arity)}
+	for i := range t.Attrs {
+		n, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(n) > len(buf) {
+			return nil, fmt.Errorf("trie decode: truncated attr name at offset %d", off)
+		}
+		t.Attrs[i] = string(buf[off : off+int(n)])
+		off += int(n)
+	}
+	nt, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	t.NumTuples = int(nt)
+	for d := range t.Levels {
+		nv, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		if off+8*int(nv) > len(buf) {
+			return nil, fmt.Errorf("trie decode: truncated level %d vals", d)
+		}
+		vals := make([]Value, nv)
+		for i := range vals {
+			vals[i] = Value(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		ns, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		if off+4*int(ns) > len(buf) {
+			return nil, fmt.Errorf("trie decode: truncated level %d starts", d)
+		}
+		starts := make([]int32, ns)
+		for i := range starts {
+			starts[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+		t.Levels[d] = Level{Vals: vals, Starts: starts}
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("trie decode: %d trailing bytes", len(buf)-off)
+	}
+	return t, nil
+}

@@ -1,0 +1,126 @@
+package trie
+
+// Iterator is the Leapfrog trie iterator interface over a static Trie
+// (open/up/next/seek/key/atEnd, as in Veldhuizen's LFTJ). The iterator
+// starts positioned at the root (depth -1); Open descends to the first
+// child of the current node, Up returns to the parent.
+//
+// Seeks use galloping (exponential) search, giving the amortized
+// O(log(N/m)) bound the worst-case-optimality argument of Leapfrog needs.
+type Iterator struct {
+	t *Trie
+	// depth is the current level, -1 at the root.
+	depth int
+	// pos[d] is the index into t.Levels[d].Vals of the node currently open
+	// at depth d; end[d] is the exclusive end of its sibling range.
+	pos []int32
+	end []int32
+}
+
+// NewIterator returns an iterator positioned at the root of t.
+func NewIterator(t *Trie) *Iterator {
+	k := t.Arity()
+	return &Iterator{t: t, depth: -1, pos: make([]int32, k), end: make([]int32, k)}
+}
+
+// Reset repositions at the root without reallocating.
+func (it *Iterator) Reset() { it.depth = -1 }
+
+// Depth returns the current level (-1 = root).
+func (it *Iterator) Depth() int { return it.depth }
+
+// Open descends to the first child of the current node. It must not be
+// called when AtEnd() is true or at the deepest level.
+func (it *Iterator) Open() {
+	d := it.depth + 1
+	l := &it.t.Levels[d]
+	var parent int32
+	if d == 0 {
+		parent = 0
+	} else {
+		parent = it.pos[d-1]
+	}
+	it.pos[d] = l.Starts[parent]
+	it.end[d] = l.Starts[parent+1]
+	it.depth = d
+}
+
+// Up returns to the parent level.
+func (it *Iterator) Up() { it.depth-- }
+
+// Key returns the value at the current position. Only valid when !AtEnd().
+func (it *Iterator) Key() Value { return it.t.Levels[it.depth].Vals[it.pos[it.depth]] }
+
+// AtEnd reports whether the iterator has moved past the last sibling.
+func (it *Iterator) AtEnd() bool { return it.pos[it.depth] >= it.end[it.depth] }
+
+// Next advances to the next sibling.
+func (it *Iterator) Next() { it.pos[it.depth]++ }
+
+// Seek positions at the least sibling with key >= v, or AtEnd if none.
+// Galloping search from the current position: cheap for small forward
+// steps, logarithmic for long ones.
+func (it *Iterator) Seek(v Value) {
+	d := it.depth
+	l := it.t.Levels[d]
+	lo := it.pos[d]
+	hi := it.end[d]
+	if lo >= hi || l.Vals[lo] >= v {
+		return
+	}
+	// Gallop: find a bound b with Vals[lo+b] >= v.
+	step := int32(1)
+	prev := lo
+	for lo+step < hi && l.Vals[lo+step] < v {
+		prev = lo + step
+		step <<= 1
+	}
+	// Binary search in (prev, min(lo+step, hi)].
+	a, b := prev+1, hi
+	if lo+step < hi {
+		b = lo + step + 1
+		if b > hi {
+			b = hi
+		}
+	}
+	for a < b {
+		mid := a + (b-a)/2
+		if l.Vals[mid] < v {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	it.pos[d] = a
+}
+
+// NodePos returns the value-array index of the current node at its depth;
+// it identifies the node when calling Trie.Children on the next level.
+func (it *Iterator) NodePos() int32 { return it.pos[it.depth] }
+
+// SiblingCount returns the size of the current sibling range (an upper
+// bound on remaining Next calls from the range start).
+func (it *Iterator) SiblingCount() int32 { return it.end[it.depth] - it.t.Levels[it.depth].Starts[0] }
+
+// CurrentRange returns the full sibling slice at the current depth; used by
+// the cached join to materialize intersections.
+func (it *Iterator) CurrentRange() []Value {
+	d := it.depth
+	var parent int32
+	if d == 0 {
+		parent = 0
+	} else {
+		parent = it.pos[d-1]
+	}
+	l := it.t.Levels[d]
+	return l.Vals[l.Starts[parent]:l.Starts[parent+1]]
+}
+
+// ParentPos returns the node position of the parent at depth d-1 (0 for the
+// root); used as a cache key by the cached Leapfrog variant.
+func (it *Iterator) ParentPos() int32 {
+	if it.depth == 0 {
+		return 0
+	}
+	return it.pos[it.depth-1]
+}

@@ -1,0 +1,164 @@
+package trie
+
+import (
+	"container/heap"
+
+	"adj/internal/relation"
+)
+
+// Merge combines block tries of the same schema into a single trie. This is
+// the server-side half of the Merge HCube implementation (§V): each block
+// arrives with its trie pre-built by the sender, and the receiver merges the
+// sorted tuple streams rather than re-sorting raw tuples.
+func Merge(ts []*Trie) *Trie {
+	// Remember the schema before dropping empty blocks so a fully-empty
+	// merge still yields a correctly-typed empty trie.
+	var schema []string
+	for _, t := range ts {
+		if t != nil && len(t.Attrs) > 0 {
+			schema = t.Attrs
+			break
+		}
+	}
+	ts = nonEmpty(ts)
+	if len(ts) == 0 {
+		if schema == nil {
+			return &Trie{}
+		}
+		return FromSorted(relation.New("merged", schema...))
+	}
+	if len(ts) == 1 {
+		return ts[0]
+	}
+	k := ts[0].Arity()
+	attrs := ts[0].Attrs
+	// K-way merge of sorted tuple streams with dedup, feeding FromSorted.
+	streams := make([]*tupleStream, 0, len(ts))
+	for _, t := range ts {
+		s := newTupleStream(t)
+		if s.next() {
+			streams = append(streams, s)
+		}
+	}
+	h := &streamHeap{items: streams, k: k}
+	heap.Init(h)
+	out := relation.NewWithCapacity("merged", totalTuples(ts), attrs...)
+	last := make([]Value, k)
+	havLast := false
+	for h.Len() > 0 {
+		s := h.items[0]
+		if !havLast || !equalTuple(last, s.cur) {
+			copy(last, s.cur)
+			havLast = true
+			out.AppendTuple(s.cur)
+		}
+		if s.next() {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return FromSorted(out)
+}
+
+func nonEmpty(ts []*Trie) []*Trie {
+	var out []*Trie
+	for _, t := range ts {
+		if t != nil && t.NumTuples > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func totalTuples(ts []*Trie) int {
+	n := 0
+	for _, t := range ts {
+		n += t.NumTuples
+	}
+	return n
+}
+
+func equalTuple(a, b []Value) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleStream walks a trie's tuples in lexicographic order iteratively.
+type tupleStream struct {
+	t   *Trie
+	it  *Iterator
+	cur []Value
+	// started marks whether the depth-first walk has begun.
+	started bool
+}
+
+func newTupleStream(t *Trie) *tupleStream {
+	return &tupleStream{t: t, it: NewIterator(t), cur: make([]Value, t.Arity())}
+}
+
+// next advances to the next tuple; returns false when exhausted.
+func (s *tupleStream) next() bool {
+	k := s.t.Arity()
+	if k == 0 || s.t.NumTuples == 0 {
+		return false
+	}
+	it := s.it
+	if !s.started {
+		s.started = true
+		for it.Depth() < k-1 {
+			it.Open()
+			if it.AtEnd() {
+				return false
+			}
+			s.cur[it.Depth()] = it.Key()
+		}
+		return true
+	}
+	// Advance deepest level; on exhaustion pop up and advance there.
+	for {
+		it.Next()
+		if !it.AtEnd() {
+			s.cur[it.Depth()] = it.Key()
+			// Re-descend to the deepest level.
+			for it.Depth() < k-1 {
+				it.Open()
+				s.cur[it.Depth()] = it.Key()
+			}
+			return true
+		}
+		it.Up()
+		if it.Depth() < 0 {
+			return false
+		}
+	}
+}
+
+type streamHeap struct {
+	items []*tupleStream
+	k     int
+}
+
+func (h *streamHeap) Len() int { return len(h.items) }
+func (h *streamHeap) Less(i, j int) bool {
+	a, b := h.items[i].cur, h.items[j].cur
+	for x := 0; x < h.k; x++ {
+		if a[x] != b[x] {
+			return a[x] < b[x]
+		}
+	}
+	return false
+}
+func (h *streamHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *streamHeap) Push(x interface{}) { h.items = append(h.items, x.(*tupleStream)) }
+func (h *streamHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

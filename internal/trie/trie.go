@@ -1,0 +1,177 @@
+// Package trie implements the sorted trie representation of relations used
+// by the Leapfrog triejoin (§II-A of the paper) and by the Merge variant of
+// HCube (§V), where tries are pre-built per block and merged at the
+// receiving server.
+//
+// A trie over a relation of arity k has k levels. Level d stores, for every
+// node of level d-1, the ascending distinct values that extend it. The
+// layout is the "three arrays" scheme the paper mentions, generalized to
+// arbitrary arity: per level a flat value array plus a starts array that
+// delimits each parent's child range.
+package trie
+
+import (
+	"fmt"
+
+	"adj/internal/relation"
+)
+
+// Value mirrors relation.Value.
+type Value = relation.Value
+
+// Level is one depth of the trie.
+type Level struct {
+	// Vals holds the child values of every parent node, grouped by parent,
+	// ascending within each group.
+	Vals []Value
+	// Starts has one entry per parent node plus a terminator: children of
+	// parent p are Vals[Starts[p]:Starts[p+1]]. Level 0 has exactly one
+	// parent (the root), so Starts is [0, numRootChildren].
+	Starts []int32
+}
+
+// Trie is a static, immutable sorted trie over a relation.
+type Trie struct {
+	Attrs  []string
+	Levels []Level
+	// NumTuples is the number of distinct tuples represented.
+	NumTuples int
+}
+
+// Build constructs a trie from r with columns reordered to `attrs` (which
+// must be a permutation of r.Attrs). The relation is copied, sorted and
+// deduplicated; r itself is not modified.
+func Build(r *relation.Relation, attrs []string) *Trie {
+	if len(attrs) != len(r.Attrs) {
+		panic(fmt.Sprintf("trie: attr order %v is not a permutation of %v", attrs, r.Attrs))
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			panic(fmt.Sprintf("trie: attr order %v is not a permutation of %v", attrs, r.Attrs))
+		}
+		cols[i] = j
+	}
+	// Materialize the permuted relation, then sort+dedup.
+	perm := relation.NewWithCapacity(r.Name, r.Len(), attrs...)
+	row := make([]Value, len(attrs))
+	for i, n := 0, r.Len(); i < n; i++ {
+		t := r.Tuple(i)
+		for j, c := range cols {
+			row[j] = t[c]
+		}
+		perm.AppendTuple(row)
+	}
+	perm.SortDedup()
+	return FromSorted(perm)
+}
+
+// FromSorted constructs a trie from a relation already sorted
+// lexicographically with duplicates removed, without copying the data again.
+func FromSorted(r *relation.Relation) *Trie {
+	k := r.Arity()
+	n := r.Len()
+	t := &Trie{Attrs: append([]string(nil), r.Attrs...), Levels: make([]Level, k), NumTuples: n}
+	if k == 0 || n == 0 {
+		for d := 0; d < k; d++ {
+			t.Levels[d] = Level{Starts: []int32{0}}
+		}
+		if k > 0 {
+			t.Levels[0].Starts = []int32{0, 0}
+		}
+		return t
+	}
+	// prevGroup[i] = index of the level-(d-1) node owning tuple row i.
+	// At level 0 all rows share the root.
+	group := make([]int32, n)
+	for d := 0; d < k; d++ {
+		lvl := &t.Levels[d]
+		var parents int32
+		if d == 0 {
+			parents = 1
+		} else {
+			parents = int32(len(t.Levels[d-1].Vals))
+		}
+		lvl.Starts = make([]int32, 0, parents+1)
+		newGroup := make([]int32, n)
+		prevParent := int32(-1)
+		for i := 0; i < n; i++ {
+			p := group[i]
+			v := r.Tuple(i)[d]
+			if p != prevParent {
+				// Starting a new parent: close out starts up to p.
+				for int32(len(lvl.Starts)) <= p {
+					lvl.Starts = append(lvl.Starts, int32(len(lvl.Vals)))
+				}
+				prevParent = p
+				lvl.Vals = append(lvl.Vals, v)
+			} else if lvl.Vals[len(lvl.Vals)-1] != v {
+				lvl.Vals = append(lvl.Vals, v)
+			}
+			newGroup[i] = int32(len(lvl.Vals) - 1)
+		}
+		for int32(len(lvl.Starts)) <= parents {
+			lvl.Starts = append(lvl.Starts, int32(len(lvl.Vals)))
+		}
+		group = newGroup
+	}
+	return t
+}
+
+// Arity returns the number of levels.
+func (t *Trie) Arity() int { return len(t.Levels) }
+
+// Len returns the number of tuples.
+func (t *Trie) Len() int { return t.NumTuples }
+
+// SizeValues returns the total number of stored values across levels; the
+// Merge HCube uses it to account serialized size.
+func (t *Trie) SizeValues() int {
+	s := 0
+	for _, l := range t.Levels {
+		s += len(l.Vals)
+	}
+	return s
+}
+
+// Children returns the child value slice of parent node p at level d.
+func (t *Trie) Children(d int, p int32) []Value {
+	l := t.Levels[d]
+	return l.Vals[l.Starts[p]:l.Starts[p+1]]
+}
+
+// Enumerate streams all tuples in lexicographic order into fn; fn must copy
+// the tuple if it retains it. Enumeration order equals the sorted relation.
+func (t *Trie) Enumerate(fn func(relation.Tuple)) {
+	k := t.Arity()
+	if k == 0 || t.NumTuples == 0 {
+		return
+	}
+	row := make([]Value, k)
+	var rec func(d int, parent int32)
+	rec = func(d int, parent int32) {
+		l := t.Levels[d]
+		for i := l.Starts[parent]; i < l.Starts[parent+1]; i++ {
+			row[d] = l.Vals[i]
+			if d == k-1 {
+				fn(row)
+			} else {
+				rec(d+1, i)
+			}
+		}
+	}
+	rec(0, 0)
+}
+
+// ToRelation materializes the trie back into a sorted relation.
+func (t *Trie) ToRelation(name string) *relation.Relation {
+	out := relation.NewWithCapacity(name, t.NumTuples, t.Attrs...)
+	t.Enumerate(func(tp relation.Tuple) { out.AppendTuple(tp) })
+	return out
+}
+
+// String summarizes the trie shape.
+func (t *Trie) String() string {
+	return fmt.Sprintf("trie(%v) tuples=%d values=%d", t.Attrs, t.NumTuples, t.SizeValues())
+}

@@ -1,0 +1,287 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"adj/internal/relation"
+)
+
+func mkRel(attrs []string, rows [][]Value) *relation.Relation {
+	return relation.FromTuples("R", attrs, rows)
+}
+
+func TestBuildAndEnumerateRoundtrip(t *testing.T) {
+	r := mkRel([]string{"a", "b"}, [][]Value{{2, 1}, {1, 2}, {1, 1}, {2, 1}})
+	tr := Build(r, []string{"a", "b"})
+	if tr.Len() != 3 {
+		t.Fatalf("tuples=%d want 3 (dedup)", tr.Len())
+	}
+	var got [][]Value
+	tr.Enumerate(func(tp relation.Tuple) {
+		got = append(got, append([]Value(nil), tp...))
+	})
+	want := [][]Value{{1, 1}, {1, 2}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("enumerate=%v want %v", got, want)
+	}
+}
+
+func TestBuildPermutedOrder(t *testing.T) {
+	r := mkRel([]string{"a", "b"}, [][]Value{{1, 5}, {2, 4}})
+	tr := Build(r, []string{"b", "a"})
+	var got [][]Value
+	tr.Enumerate(func(tp relation.Tuple) {
+		got = append(got, append([]Value(nil), tp...))
+	})
+	want := [][]Value{{4, 2}, {5, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("permuted enumerate=%v want %v", got, want)
+	}
+}
+
+func TestBuildBadOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-permutation order")
+		}
+	}()
+	Build(mkRel([]string{"a", "b"}, nil), []string{"a", "z"})
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := Build(mkRel([]string{"a", "b"}, nil), []string{"a", "b"})
+	if tr.Len() != 0 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	count := 0
+	tr.Enumerate(func(relation.Tuple) { count++ })
+	if count != 0 {
+		t.Fatal("empty trie enumerated tuples")
+	}
+	it := NewIterator(tr)
+	it.Open()
+	if !it.AtEnd() {
+		t.Fatal("iterator over empty trie must be at end")
+	}
+}
+
+// Property: enumerate(Build(R)) == sorted(dedup(R)) for random R.
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed int64, arityRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := int(arityRaw%3) + 1
+		n := int(nRaw % 80)
+		attrs := []string{"a", "b", "c"}[:arity]
+		r := relation.New("R", attrs...)
+		for i := 0; i < n; i++ {
+			row := make([]Value, arity)
+			for j := range row {
+				row[j] = rng.Int63n(6)
+			}
+			r.AppendTuple(row)
+		}
+		tr := Build(r, attrs)
+		back := tr.ToRelation("back")
+		want := r.Clone().SortDedup()
+		want.Name = "back"
+		return back.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIteratorSeekSemantics(t *testing.T) {
+	r := mkRel([]string{"a"}, [][]Value{{1}, {3}, {5}, {9}})
+	tr := Build(r, []string{"a"})
+	it := NewIterator(tr)
+	it.Open()
+	it.Seek(4)
+	if it.AtEnd() || it.Key() != 5 {
+		t.Fatalf("seek(4) -> %v", it.Key())
+	}
+	it.Seek(5)
+	if it.Key() != 5 {
+		t.Fatal("seek to current key must not move")
+	}
+	it.Seek(10)
+	if !it.AtEnd() {
+		t.Fatal("seek past end must be AtEnd")
+	}
+}
+
+func TestIteratorDescend(t *testing.T) {
+	r := mkRel([]string{"a", "b"}, [][]Value{{1, 4}, {1, 7}, {2, 5}})
+	tr := Build(r, []string{"a", "b"})
+	it := NewIterator(tr)
+	it.Open() // level a
+	if it.Key() != 1 {
+		t.Fatalf("first a=%d", it.Key())
+	}
+	it.Open() // level b under a=1
+	var bs []Value
+	for !it.AtEnd() {
+		bs = append(bs, it.Key())
+		it.Next()
+	}
+	if !reflect.DeepEqual(bs, []Value{4, 7}) {
+		t.Fatalf("children of a=1: %v", bs)
+	}
+	it.Up()
+	it.Next()
+	if it.Key() != 2 {
+		t.Fatalf("after up+next a=%d", it.Key())
+	}
+	it.Open()
+	if it.Key() != 5 {
+		t.Fatalf("children of a=2 start at %d", it.Key())
+	}
+}
+
+// Property: Seek lands on the first value >= target within the sibling range.
+func TestSeekProperty(t *testing.T) {
+	f := func(seed int64, targetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		r := relation.New("R", "a")
+		for i := 0; i < n; i++ {
+			r.Append(rng.Int63n(50))
+		}
+		tr := Build(r, []string{"a"})
+		vals := tr.Levels[0].Vals
+		target := Value(targetRaw % 60)
+		it := NewIterator(tr)
+		it.Open()
+		it.Seek(target)
+		// Expected: first val >= target.
+		for _, v := range vals {
+			if v >= target {
+				return !it.AtEnd() && it.Key() == v
+			}
+		}
+		return it.AtEnd()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTwoTries(t *testing.T) {
+	r1 := mkRel([]string{"a", "b"}, [][]Value{{1, 2}, {3, 4}})
+	r2 := mkRel([]string{"a", "b"}, [][]Value{{1, 2}, {2, 9}})
+	m := Merge([]*Trie{Build(r1, []string{"a", "b"}), Build(r2, []string{"a", "b"})})
+	got := m.ToRelation("m")
+	want := relation.FromTuples("m", []string{"a", "b"}, [][]Value{{1, 2}, {2, 9}, {3, 4}})
+	if !got.Equal(want) {
+		t.Fatalf("merge=%v", got)
+	}
+}
+
+// Property: Merge(block tries) == trie of concatenated blocks.
+func TestMergeProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%4) + 1
+		all := relation.New("all", "a", "b")
+		var ts []*Trie
+		for b := 0; b < k; b++ {
+			blk := relation.New("blk", "a", "b")
+			n := rng.Intn(30)
+			for i := 0; i < n; i++ {
+				x, y := rng.Int63n(8), rng.Int63n(8)
+				blk.Append(x, y)
+				all.Append(x, y)
+			}
+			ts = append(ts, Build(blk, []string{"a", "b"}))
+		}
+		merged := Merge(ts).ToRelation("m")
+		want := Build(all, []string{"a", "b"}).ToRelation("m")
+		return merged.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if Merge(nil).Len() != 0 {
+		t.Fatal("merge of nothing must be empty")
+	}
+	tr := Build(mkRel([]string{"a"}, [][]Value{{1}}), []string{"a"})
+	if Merge([]*Trie{tr}).Len() != 1 {
+		t.Fatal("merge of single trie must be itself")
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := relation.New("R", "x", "y", "z")
+	for i := 0; i < 200; i++ {
+		r.Append(rng.Int63n(20), rng.Int63n(20), rng.Int63n(20))
+	}
+	tr := Build(r, []string{"x", "y", "z"})
+	buf := Encode(tr)
+	back, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !back.ToRelation("b").Equal(tr.ToRelation("b")) {
+		t.Fatal("codec roundtrip mismatch")
+	}
+	if !reflect.DeepEqual(back.Attrs, tr.Attrs) {
+		t.Fatalf("attrs mismatch: %v vs %v", back.Attrs, tr.Attrs)
+	}
+}
+
+func TestCodecRejectsTruncated(t *testing.T) {
+	tr := Build(mkRel([]string{"a", "b"}, [][]Value{{1, 2}}), []string{"a", "b"})
+	buf := Encode(tr)
+	for _, cut := range []int{1, len(buf) / 2, len(buf) - 1} {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes should fail", cut, len(buf))
+		}
+	}
+	if _, err := Decode(append(buf, 0)); err == nil {
+		t.Fatal("decode with trailing bytes should fail")
+	}
+}
+
+func TestCodecPropertyRoundtrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := relation.New("R", "a", "b")
+		for i := 0; i < int(nRaw%60); i++ {
+			r.Append(rng.Int63n(9), rng.Int63n(9))
+		}
+		tr := Build(r, []string{"a", "b"})
+		back, err := Decode(Encode(tr))
+		if err != nil {
+			return false
+		}
+		return back.ToRelation("x").Equal(tr.ToRelation("x"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrieShape(t *testing.T) {
+	// Shared prefixes must be stored once.
+	r := mkRel([]string{"a", "b"}, [][]Value{{1, 1}, {1, 2}, {1, 3}, {2, 1}})
+	tr := Build(r, []string{"a", "b"})
+	if len(tr.Levels[0].Vals) != 2 {
+		t.Fatalf("level0 vals=%v want [1 2]", tr.Levels[0].Vals)
+	}
+	if len(tr.Levels[1].Vals) != 4 {
+		t.Fatalf("level1 vals=%v", tr.Levels[1].Vals)
+	}
+	if got := tr.Children(1, 0); !reflect.DeepEqual(got, []Value{1, 2, 3}) {
+		t.Fatalf("children of a=1: %v", got)
+	}
+	if got := tr.Children(1, 1); !reflect.DeepEqual(got, []Value{1}) {
+		t.Fatalf("children of a=2: %v", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package yannakakis implements Yannakakis' algorithm for acyclic joins
+// (VLDB'81): a full semijoin reduction pass down and up a join tree
+// followed by joins along the tree, with total cost linear in input +
+// output. §VI of the paper positions it (via EmptyHeaded) as the standard
+// way to exploit acyclicity; ADJ uses it as a fast path when the query's
+// GHD has fhw = 1 — i.e. every bag is a single relation and the query is
+// α-acyclic — where worst-case-optimal machinery buys nothing.
+package yannakakis
+
+import (
+	"fmt"
+
+	"adj/internal/ghd"
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+)
+
+// IsAcyclic reports whether the decomposition certifies an α-acyclic query
+// evaluable by this package: every bag is a single base relation.
+func IsAcyclic(d *ghd.Decomposition) bool {
+	for _, b := range d.Bags {
+		if !b.IsBase() {
+			return false
+		}
+	}
+	return true
+}
+
+// Join evaluates an acyclic query over bound relations using the
+// decomposition's join tree. It returns the full join result with set
+// semantics. The three classic phases:
+//
+//  1. bottom-up semijoin: children reduce parents,
+//  2. top-down semijoin: parents reduce children,
+//  3. bottom-up join along the tree.
+//
+// After phase 2 every remaining tuple participates in at least one output
+// tuple, so phase 3 never builds dead intermediates.
+func Join(q hypergraph.Query, rels []*relation.Relation, d *ghd.Decomposition) (*relation.Relation, error) {
+	if !IsAcyclic(d) {
+		return nil, fmt.Errorf("yannakakis: query %s is not acyclic (fhw=%.2f)", q.Name, d.MaxWidth)
+	}
+	n := len(d.Bags)
+	if n == 0 {
+		return relation.New("empty"), nil
+	}
+	// Working copies, one per bag (bag i holds atom d.Bags[i].Atoms[0]).
+	work := make([]*relation.Relation, n)
+	for i, b := range d.Bags {
+		work[i] = rels[b.Atoms[0]].Clone()
+	}
+	if n == 1 {
+		return work[0].SortDedup().ProjectMulti(q.Attrs()...).SortDedup(), nil
+	}
+
+	// Root the tree at bag 0 and compute a BFS order.
+	parent := make([]int, n)
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	parent[0] = -1
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range d.Adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("yannakakis: join tree disconnected")
+	}
+
+	// Phase 1: bottom-up (reverse BFS): parent ⋉ child.
+	for i := n - 1; i >= 1; i-- {
+		u := order[i]
+		p := parent[u]
+		on := relation.SharedAttrs(work[p], work[u])
+		if len(on) > 0 {
+			work[p] = work[p].Semijoin(work[u], on)
+		}
+	}
+	// Phase 2: top-down: child ⋉ parent.
+	for i := 1; i < n; i++ {
+		u := order[i]
+		p := parent[u]
+		on := relation.SharedAttrs(work[u], work[p])
+		if len(on) > 0 {
+			work[u] = work[u].Semijoin(work[p], on)
+		}
+	}
+	// Phase 3: join bottom-up into the root.
+	for i := n - 1; i >= 1; i-- {
+		u := order[i]
+		p := parent[u]
+		work[p] = relation.HashJoin(work[p], work[u])
+	}
+	out := work[order[0]]
+	return out.ProjectMulti(q.Attrs()...).SortDedup(), nil
+}
+
+// Count evaluates an acyclic query and returns only the result cardinality.
+func Count(q hypergraph.Query, rels []*relation.Relation, d *ghd.Decomposition) (int64, error) {
+	out, err := Join(q, rels, d)
+	if err != nil {
+		return 0, err
+	}
+	return int64(out.Len()), nil
+}
+
+// SemijoinReduce runs only phases 1–2 and returns the reduced relations in
+// atom order: every surviving tuple joins with at least one tuple of every
+// neighbouring relation. Engines use it as a pre-filter even for cyclic
+// queries (reducing over any spanning join tree of the GHD is sound — it
+// only removes tuples that cannot contribute).
+func SemijoinReduce(rels []*relation.Relation, d *ghd.Decomposition) []*relation.Relation {
+	n := len(d.Bags)
+	out := make([]*relation.Relation, len(rels))
+	copy(out, rels)
+	if n < 2 {
+		return out
+	}
+	// Reduce bag representatives pairwise along tree edges (two passes).
+	repr := make([]int, n) // bag -> atom index
+	for i, b := range d.Bags {
+		repr[i] = b.Atoms[0]
+	}
+	pass := func(edges [][2]int) {
+		for _, e := range edges {
+			a, b := out[repr[e[0]]], out[repr[e[1]]]
+			on := relation.SharedAttrs(a, b)
+			if len(on) > 0 {
+				out[repr[e[0]]] = a.Semijoin(b, on)
+			}
+		}
+	}
+	var edges [][2]int
+	for u := range d.Adj {
+		for _, v := range d.Adj[u] {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	pass(edges)
+	// Reverse pass.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	pass(edges)
+	return out
+}

@@ -1,0 +1,147 @@
+package yannakakis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adj/internal/ghd"
+	"adj/internal/hypergraph"
+	"adj/internal/relation"
+	"adj/internal/testutil"
+)
+
+func decompose(t testing.TB, q hypergraph.Query) *ghd.Decomposition {
+	t.Helper()
+	d, err := ghd.Decompose(q, ghd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIsAcyclic(t *testing.T) {
+	if !IsAcyclic(decompose(t, hypergraph.Q9())) {
+		t.Fatal("path query must be acyclic")
+	}
+	if IsAcyclic(decompose(t, hypergraph.Q1())) {
+		t.Fatal("triangle must be cyclic")
+	}
+}
+
+func TestJoinRejectsCyclic(t *testing.T) {
+	q := hypergraph.Q1()
+	rng := rand.New(rand.NewSource(1))
+	rels := q.BindGraph(testutil.RandEdges(rng, "E", 50, 10))
+	if _, err := Join(q, rels, decompose(t, q)); err == nil {
+		t.Fatal("expected error for cyclic query")
+	}
+}
+
+func TestJoinPathQuery(t *testing.T) {
+	q := hypergraph.Q9() // a-b-c-d path
+	rng := rand.New(rand.NewSource(2))
+	rels := q.BindGraph(testutil.RandEdges(rng, "E", 200, 20))
+	got, err := Join(q, rels, decompose(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NaiveJoin(rels, q.Attrs())
+	if got.Len() != want.Len() {
+		t.Fatalf("got %d want %d", got.Len(), want.Len())
+	}
+}
+
+// Yannakakis must agree with the naive oracle on random acyclic queries.
+func TestJoinMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, rels := testutil.RandQueryInstance(rng, 4, 4, 25, 6)
+		d, err := ghd.Decompose(q, ghd.Options{})
+		if err != nil {
+			return false
+		}
+		if !IsAcyclic(d) {
+			return true // only acyclic instances apply
+		}
+		got, err := Join(q, rels, d)
+		if err != nil {
+			return false
+		}
+		want := relation.NaiveJoin(rels, q.Attrs())
+		return got.Len() == want.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinSingleRelation(t *testing.T) {
+	q := hypergraph.Query{Name: "Q", Atoms: []hypergraph.Atom{{Name: "R", Attrs: []string{"a", "b"}}}}
+	r := relation.FromTuples("R", []string{"a", "b"}, [][]relation.Value{{1, 2}, {1, 2}, {3, 4}})
+	got, err := Join(q, []*relation.Relation{r}, decompose(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("single relation set semantics: %d", got.Len())
+	}
+}
+
+func TestCount(t *testing.T) {
+	q := hypergraph.Q7()
+	rng := rand.New(rand.NewSource(3))
+	rels := q.BindGraph(testutil.RandEdges(rng, "E", 150, 15))
+	n, err := Count(q, rels, decompose(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NaiveJoin(rels, q.Attrs()).Len()
+	if int(n) != want {
+		t.Fatalf("count=%d want %d", n, want)
+	}
+}
+
+// Semijoin reduction must never change the final join result, acyclic or
+// cyclic.
+func TestSemijoinReducePreservesResult(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, rels := testutil.RandQueryInstance(rng, 4, 4, 25, 6)
+		d, err := ghd.Decompose(q, ghd.Options{})
+		if err != nil {
+			return false
+		}
+		reduced := SemijoinReduce(rels, d)
+		a := relation.NaiveJoin(rels, q.Attrs())
+		b := relation.NaiveJoin(reduced, q.Attrs())
+		if a.Len() != b.Len() {
+			return false
+		}
+		// Reduction must not grow any relation.
+		for i := range rels {
+			if reduced[i].Len() > rels[i].Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemijoinReduceActuallyReduces(t *testing.T) {
+	// A path query with a dangling tuple that can never join.
+	r1 := relation.FromTuples("R1", []string{"a", "b"}, [][]relation.Value{{1, 2}, {9, 99}})
+	r2 := relation.FromTuples("R2", []string{"b", "c"}, [][]relation.Value{{2, 3}})
+	q := hypergraph.Query{Name: "Q", Atoms: []hypergraph.Atom{
+		{Name: "R1", Attrs: []string{"a", "b"}},
+		{Name: "R2", Attrs: []string{"b", "c"}},
+	}}
+	d := decompose(t, q)
+	reduced := SemijoinReduce([]*relation.Relation{r1, r2}, d)
+	if reduced[0].Len() != 1 {
+		t.Fatalf("dangling tuple not removed: %v", reduced[0])
+	}
+}
