@@ -1,0 +1,3 @@
+module adj
+
+go 1.24

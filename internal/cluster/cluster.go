@@ -25,6 +25,50 @@ type Worker struct {
 	Inbox []Envelope
 	// Scratch carries engine-specific per-phase state.
 	Scratch map[string]interface{}
+	// arena holds per-exchange payload allocations; reset after consume.
+	arena payloadArena
+}
+
+// PayloadCopy copies enc into the worker's per-exchange payload arena and
+// returns the stable copy. Envelope payloads built this way share slab
+// allocations instead of one garbage buffer each; the arena is recycled at
+// the end of the exchange, so payloads must not be retained past consume
+// (decoders copy, so this holds everywhere in the runtime).
+func (w *Worker) PayloadCopy(enc []byte) []byte { return w.arena.copyOf(enc) }
+
+// payloadArena is a slab allocator for envelope payloads. Reset keeps the
+// first slab, so steady-state exchanges reuse one allocation.
+type payloadArena struct {
+	slabs [][]byte
+	cur   []byte
+}
+
+const arenaSlabSize = 1 << 18
+
+func (a *payloadArena) copyOf(b []byte) []byte {
+	n := len(b)
+	if n == 0 {
+		return nil
+	}
+	if cap(a.cur)-len(a.cur) < n {
+		size := arenaSlabSize
+		if n > size {
+			size = n
+		}
+		if a.cur != nil {
+			a.slabs = append(a.slabs, a.cur)
+		}
+		a.cur = make([]byte, 0, size)
+	}
+	off := len(a.cur)
+	a.cur = append(a.cur, b...)
+	return a.cur[off : off+n : off+n]
+}
+
+func (a *payloadArena) reset() {
+	// Keep only the current (largest-lived) slab for reuse.
+	a.slabs = a.slabs[:0]
+	a.cur = a.cur[:0]
 }
 
 func newWorker(id, n int) *Worker {
@@ -71,11 +115,15 @@ type Config struct {
 	Transport Transport
 	// Network models exchange wall time; zero value uses DefaultNetwork.
 	Network NetworkModel
-	// RealParallel runs phases on goroutines (one per worker). The default
-	// (false) runs workers sequentially and defines phase wall time as the
-	// max per-worker time — the deterministic simulation mode every
-	// benchmark uses, so a 28-worker cluster can be timed faithfully on a
-	// 2-core machine.
+	// Sequential runs phase bodies one worker at a time and defines phase
+	// wall time as the max per-worker time — the deterministic simulation
+	// mode, which times a 28-worker cluster faithfully on a 2-core machine.
+	// The default runs one goroutine per worker, using the real hardware.
+	Sequential bool
+	// RealParallel is the legacy name for the goroutine mode.
+	//
+	// Deprecated: goroutine-parallel workers are now the default; set
+	// Sequential for the deterministic simulation. The field is ignored.
 	RealParallel bool
 }
 
@@ -105,7 +153,7 @@ func New(cfg Config) *Cluster {
 		Metrics:  NewMetrics(),
 		network:  cfg.Network,
 		transp:   cfg.Transport,
-		parallel: cfg.RealParallel,
+		parallel: !cfg.Sequential,
 	}
 	for i := 0; i < cfg.N; i++ {
 		c.Workers = append(c.Workers, newWorker(i, cfg.N))
@@ -224,6 +272,7 @@ func (c *Cluster) Exchange(phase string,
 	defer func() {
 		for _, w := range c.Workers {
 			w.Inbox = nil
+			w.arena.reset()
 		}
 	}()
 	return c.Parallel(phase+"/recv", func(w *Worker) error {

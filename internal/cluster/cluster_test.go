@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"adj/internal/relation"
@@ -176,22 +177,22 @@ func TestTCPMultipleExchanges(t *testing.T) {
 	c := New(Config{N: 2, Transport: tr})
 	defer c.Close()
 	for round := 0; round < 3; round++ {
-		sum := 0
+		var sum atomic.Int64 // consume runs on one goroutine per worker
 		err := c.Exchange("r",
 			func(w *Worker) ([]Envelope, error) {
 				return []Envelope{{To: 1 - w.ID, Payload: []byte{byte(round)}}}, nil
 			},
 			func(w *Worker, inbox []Envelope) error {
 				for _, e := range inbox {
-					sum += int(e.Payload[0])
+					sum.Add(int64(e.Payload[0]))
 				}
 				return nil
 			})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		if sum != 2*round {
-			t.Fatalf("round %d: sum=%d", round, sum)
+		if got := sum.Load(); got != int64(2*round) {
+			t.Fatalf("round %d: sum=%d", round, got)
 		}
 	}
 }

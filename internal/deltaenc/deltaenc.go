@@ -1,0 +1,143 @@
+// Package deltaenc is the shared wire-level delta scheme of the batched
+// codecs: zigzag-mapped deltas stored at one fixed byte width per run
+// (0, 1, 2, 4 or 8 — width 0 means every delta is zero). The relation
+// codec applies it column-wise over row-major tuples; the trie codec
+// applies it to flat level arrays. Keeping the primitives here means a
+// width or zigzag fix cannot drift between the two payload formats.
+package deltaenc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Zigzag maps signed deltas onto unsigned magnitudes.
+func Zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(z uint64) int64 { return int64(z>>1) ^ -int64(z&1) }
+
+// WidthFor returns the byte width (0, 1, 2, 4, 8) holding maxZ.
+func WidthFor(maxZ uint64) int {
+	switch {
+	case maxZ == 0:
+		return 0
+	case maxZ < 1<<8:
+		return 1
+	case maxZ < 1<<16:
+		return 2
+	case maxZ < 1<<32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ValidWidth reports whether w is an encodable width.
+func ValidWidth(w int) bool {
+	switch w {
+	case 0, 1, 2, 4, 8:
+		return true
+	}
+	return false
+}
+
+// Extend grows dst by n bytes and returns the extended slice; the new
+// region's contents are overwritten by the caller.
+func Extend(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	return append(dst, make([]byte, n)...)
+}
+
+// AppendRun encodes vals as one zigzag-delta run — a width byte followed
+// by len(vals) fixed-width little-endian deltas.
+func AppendRun(dst []byte, vals []int64) []byte {
+	var maxZ uint64
+	prev := int64(0)
+	for _, v := range vals {
+		if z := Zigzag(v - prev); z > maxZ {
+			maxZ = z
+		}
+		prev = v
+	}
+	w := WidthFor(maxZ)
+	dst = append(dst, byte(w))
+	if w == 0 {
+		return dst
+	}
+	off := len(dst)
+	dst = Extend(dst, len(vals)*w)
+	out := dst[off:]
+	prev = 0
+	switch w {
+	case 1:
+		for i, v := range vals {
+			out[i] = byte(Zigzag(v - prev))
+			prev = v
+		}
+	case 2:
+		for i, v := range vals {
+			binary.LittleEndian.PutUint16(out[2*i:], uint16(Zigzag(v-prev)))
+			prev = v
+		}
+	case 4:
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(out[4*i:], uint32(Zigzag(v-prev)))
+			prev = v
+		}
+	default:
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[8*i:], Zigzag(v-prev))
+			prev = v
+		}
+	}
+	return dst
+}
+
+// DecodeRun decodes len(out) values from buf (a width byte plus deltas)
+// into out and returns the bytes consumed.
+func DecodeRun(buf []byte, out []int64) (int, error) {
+	if len(buf) < 1 {
+		return 0, fmt.Errorf("deltaenc: missing width byte")
+	}
+	w := int(buf[0])
+	if !ValidWidth(w) {
+		return 0, fmt.Errorf("deltaenc: bad delta width %d", w)
+	}
+	n := len(out)
+	need := 1 + n*w
+	if len(buf) < need {
+		return 0, fmt.Errorf("deltaenc: truncated run: need %d bytes", need)
+	}
+	in := buf[1:need]
+	prev := int64(0)
+	switch w {
+	case 0:
+		for i := range out {
+			out[i] = 0
+		}
+	case 1:
+		for i := range out {
+			prev += Unzigzag(uint64(in[i]))
+			out[i] = prev
+		}
+	case 2:
+		for i := range out {
+			prev += Unzigzag(uint64(binary.LittleEndian.Uint16(in[2*i:])))
+			out[i] = prev
+		}
+	case 4:
+		for i := range out {
+			prev += Unzigzag(uint64(binary.LittleEndian.Uint32(in[4*i:])))
+			out[i] = prev
+		}
+	default:
+		for i := range out {
+			prev += Unzigzag(binary.LittleEndian.Uint64(in[8*i:]))
+			out[i] = prev
+		}
+	}
+	return need, nil
+}

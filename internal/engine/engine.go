@@ -9,7 +9,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"adj/internal/cluster"
@@ -50,8 +53,15 @@ type Config struct {
 	ShuffleKind *hcube.Kind
 	// Transport overrides the cluster transport (default in-process).
 	Transport cluster.Transport
-	// RealParallel uses goroutine-parallel workers instead of the
-	// deterministic sequential simulation.
+	// Sequential forces the deterministic sequential simulation: workers
+	// run one at a time and a worker's cubes run in order. The default
+	// executes workers on goroutines and spreads a worker's cubes over a
+	// work-stealing pool (the hot path).
+	Sequential bool
+	// RealParallel is the legacy name for the goroutine mode.
+	//
+	// Deprecated: parallel execution is now the default; set Sequential to
+	// get the old default behavior. The field is ignored.
 	RealParallel bool
 	// CollectOutput materializes result tuples into Report.Output (tests);
 	// default counts only.
@@ -144,9 +154,9 @@ func maxCubes(cfg Config) int {
 // newCluster builds the cluster for a run.
 func newCluster(cfg Config) *cluster.Cluster {
 	return cluster.New(cluster.Config{
-		N:            cfg.NumServers,
-		Transport:    cfg.Transport,
-		RealParallel: cfg.RealParallel,
+		N:          cfg.NumServers,
+		Transport:  cfg.Transport,
+		Sequential: cfg.Sequential,
 	})
 }
 
@@ -175,6 +185,13 @@ func sortAttrsByOrder(attrs []string, order []string) []string {
 // same computation phase, as in the paper where trie construction is part
 // of join processing). The per-worker extension budget is cfg.Budget
 // divided across workers.
+//
+// By default a worker's cubes are spread over a work-stealing pool of
+// goroutines (see runCubes): with CubesPerServer > 1 a skewed hub cube no
+// longer serializes its worker — idle goroutines steal the remaining
+// cubes. cfg.Sequential restores the deterministic in-order loop. Results
+// and outputs are accumulated per cube and folded in cube order, so both
+// modes produce identical reports.
 func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool) (int64, *relation.Relation, error) {
 	results := make([]int64, c.N)
 	outputs := make([]*relation.Relation, c.N)
@@ -186,18 +203,21 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 		}
 	}
 	err := c.Parallel(phase, func(w *cluster.Worker) error {
-		var out *relation.Relation
-		if cfg.CollectOutput {
-			out = relation.New("out", order...)
-		}
 		cubes := allCubes(w)
-		for _, cube := range cubes {
-			tries, err := cubeTries(w, cube, infos, order)
+		perCube := make([]int64, len(cubes))
+		var perCubeOut []*relation.Relation
+		if cfg.CollectOutput {
+			perCubeOut = make([]*relation.Relation, len(cubes))
+		}
+		joinCube := func(ci int) error {
+			tries, err := cubeTries(w, cubes[ci], infos, order)
 			if err != nil {
 				return err
 			}
 			opts := leapfrog.Options{Budget: budgetPer}
 			if cfg.CollectOutput {
+				out := relation.New("out", order...)
+				perCubeOut[ci] = out
 				opts.Emit = func(t relation.Tuple) { out.AppendTuple(t) }
 			}
 			var st leapfrog.Stats
@@ -213,9 +233,24 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 				}
 				return err
 			}
-			results[w.ID] += st.Results
+			perCube[ci] = st.Results
+			return nil
 		}
-		outputs[w.ID] = out
+		if err := runCubes(len(cubes), cfg.Sequential, joinCube); err != nil {
+			return err
+		}
+		for _, r := range perCube {
+			results[w.ID] += r
+		}
+		if cfg.CollectOutput {
+			out := relation.New("out", order...)
+			for _, o := range perCubeOut {
+				if o != nil {
+					out.AppendAll(o)
+				}
+			}
+			outputs[w.ID] = out
+		}
 		return nil
 	})
 	if err != nil {
@@ -233,6 +268,68 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 		}
 	}
 	return total, merged, nil
+}
+
+// cubeTokens bounds concurrent cube joins process-wide at GOMAXPROCS.
+// cluster.Parallel already runs one goroutine per simulated worker, so
+// without a shared bound an N-worker run would schedule up to
+// N×GOMAXPROCS CPU-bound goroutines; the semaphore keeps real concurrency
+// at the hardware's level while still letting an idle worker's capacity
+// flow to a worker stuck on skewed cubes.
+var cubeTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// runCubes executes fn(0..n-1). In parallel mode the tasks feed a
+// work-stealing pool: min(n, GOMAXPROCS) goroutines pull the next
+// unclaimed cube off a shared atomic counter, so a goroutine stuck on a
+// heavy (skewed) cube never blocks the light ones behind it. The first
+// error wins and remaining goroutines drain without starting new work.
+func runCubes(n int, sequential bool, fn func(ci int) error) error {
+	if n == 0 {
+		return nil
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par > n {
+		par = n
+	}
+	if sequential || par <= 1 || n == 1 {
+		for ci := 0; ci < n; ci++ {
+			if err := fn(ci); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !failed.Load() {
+				ci := int(next.Add(1)) - 1
+				if ci >= n {
+					return
+				}
+				cubeTokens <- struct{}{}
+				err := fn(ci)
+				<-cubeTokens
+				if err != nil {
+					errs[g] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func cacheBudget(cfg Config) int {

@@ -58,6 +58,12 @@ func (c Config) engineConfig() engine.Config {
 		Samples:    c.Samples,
 		Seed:       c.Seed,
 		Budget:     c.Budget,
+		// The figures reproduce the paper's *simulated* cluster timings:
+		// sequential mode measures each worker in isolation and charges the
+		// max, so a 28-worker run is timed faithfully (and repeatably) on a
+		// 2-core machine. The goroutine-parallel default would fold CPU
+		// contention between simulated workers into the phase times.
+		Sequential: true,
 	}
 }
 

@@ -26,7 +26,9 @@ func Fig9(cfg Config) (Result, error) {
 		infos := hcube.InfoOf(rels)
 		row := Row{Label: "Q2/" + ds, Values: map[string]float64{}}
 		for _, kind := range []hcube.Kind{hcube.Push, hcube.Pull, hcube.Merge} {
-			c := cluster.New(cluster.Config{N: cfg.Workers})
+			// Sequential: the figure reports simulated per-worker timings
+			// (see Config.engineConfig).
+			c := cluster.New(cluster.Config{N: cfg.Workers, Sequential: true})
 			c.LoadDatabase(rels)
 			shares, err := hcube.Optimize(infos, hcube.Config{Attrs: order, NumServers: cfg.Workers})
 			if err != nil {

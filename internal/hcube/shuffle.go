@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"adj/internal/cluster"
 	"adj/internal/relation"
@@ -75,8 +76,10 @@ func Run(c *cluster.Cluster, phase string, p Plan) error {
 	}
 }
 
-// runPush replicates tuple-by-tuple. Envelopes batch tuples per (relation,
-// cube) to bound memory, but Weight counts one message per tuple copy.
+// runPush replicates tuples to every matching cube. Tuples are bucketed
+// into sorted blocks by hash signature so each block is delta-encoded once
+// and its payload shared by all destination cubes, but Weight still counts
+// one message per tuple copy (the Push cost model the paper measures).
 func runPush(c *cluster.Cluster, phase string, p Plan) error {
 	return c.Exchange(phase,
 		func(w *cluster.Worker) ([]cluster.Envelope, error) {
@@ -87,33 +90,20 @@ func runPush(c *cluster.Cluster, phase string, p Plan) error {
 					continue
 				}
 				relPos := p.Shares.RelPositions(ri.Attrs)
-				// batch[cube] accumulates this fragment's tuples for a cube.
-				batch := make(map[int]*relation.Relation)
-				for i, n := 0, frag.Len(); i < n; i++ {
-					t := frag.Tuple(i)
-					for _, cube := range p.Shares.DestCubes(relPos, t) {
-						b, ok := batch[cube]
-						if !ok {
-							b = relation.New(ri.Name, ri.Attrs...)
-							batch[cube] = b
-						}
-						b.AppendTuple(t)
+				sigs, blocks := groupBlocks(frag, p.Shares, relPos, ri)
+				for bi, sig := range sigs {
+					b := blocks[bi]
+					b.Sort()
+					payload := encodeBlockPayload(w, b)
+					for _, cube := range p.Shares.BlockCubes(relPos, sig) {
+						out = append(out, cluster.Envelope{
+							To:      ServerOfCube(cube, c.N),
+							Key:     ri.Name + "#" + strconv.Itoa(cube),
+							Payload: payload,
+							Tuples:  int64(b.Len()),
+							Weight:  int64(b.Len()), // per-tuple shuffle messages
+						})
 					}
-				}
-				cubes := make([]int, 0, len(batch))
-				for cube := range batch {
-					cubes = append(cubes, cube)
-				}
-				sort.Ints(cubes)
-				for _, cube := range cubes {
-					b := batch[cube]
-					out = append(out, cluster.Envelope{
-						To:      ServerOfCube(cube, c.N),
-						Key:     ri.Name + "#" + strconv.Itoa(cube),
-						Payload: relation.Encode(b),
-						Tuples:  int64(b.Len()),
-						Weight:  int64(b.Len()), // per-tuple shuffle messages
-					})
 				}
 			}
 			return out, nil
@@ -134,11 +124,11 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 					continue
 				}
 				relPos := p.Shares.RelPositions(ri.Attrs)
-				blocks := groupBlocks(frag, p.Shares, relPos, ri)
-				sigs := sortedSigs(blocks)
-				for _, sig := range sigs {
-					b := blocks[sig]
-					payload := relation.Encode(b)
+				sigs, blocks := groupBlocks(frag, p.Shares, relPos, ri)
+				for bi, sig := range sigs {
+					b := blocks[bi]
+					b.Sort()
+					payload := encodeBlockPayload(w, b)
 					for _, server := range blockServers(p.Shares, relPos, sig, c.N) {
 						out = append(out, cluster.Envelope{
 							To:      server,
@@ -153,13 +143,13 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 			return out, nil
 		},
 		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			var blk relation.Relation // decode scratch, reused across envelopes
 			for _, e := range inbox {
 				name, sig, err := splitKey(e.Key, '@')
 				if err != nil {
 					return err
 				}
-				blk, err := relation.Decode(e.Payload)
-				if err != nil {
+				if err := relation.DecodeInto(e.Payload, &blk); err != nil {
 					return err
 				}
 				ri, ok := relByName(p.Rels, name)
@@ -177,7 +167,7 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 						tgt = relation.New(name, ri.Attrs...)
 						db[name] = tgt
 					}
-					tgt.AppendAll(blk)
+					tgt.AppendAll(&blk)
 				}
 			}
 			return nil
@@ -205,10 +195,9 @@ func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 				// Trie attribute order for this relation.
 				attrs := append([]string(nil), ri.Attrs...)
 				sort.Slice(attrs, func(x, y int) bool { return pos[attrs[x]] < pos[attrs[y]] })
-				blocks := groupBlocks(frag, p.Shares, relPos, ri)
-				sigs := sortedSigs(blocks)
-				for _, sig := range sigs {
-					bt := trie.Build(blocks[sig], attrs)
+				sigs, blocks := groupBlocks(frag, p.Shares, relPos, ri)
+				for bi, sig := range sigs {
+					bt := trie.Build(blocks[bi], attrs)
 					payload := trie.Encode(bt)
 					for _, server := range blockServers(p.Shares, relPos, sig, c.N) {
 						out = append(out, cluster.Envelope{
@@ -265,14 +254,33 @@ func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 
 // --- helpers ---
 
+// encScratch pools the delta-encoder's working buffer; the finished bytes
+// are copied into the worker's payload arena, so neither side of the
+// encode allocates in steady state.
+var encScratch = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 1<<14)
+	return &b
+}}
+
+// encodeBlockPayload serializes one (sorted) block into a pooled scratch
+// buffer and parks the payload in the worker's per-exchange arena.
+func encodeBlockPayload(w *cluster.Worker, b *relation.Relation) []byte {
+	sp := encScratch.Get().(*[]byte)
+	buf := relation.AppendEncode((*sp)[:0], b)
+	payload := w.PayloadCopy(buf)
+	*sp = buf[:0]
+	encScratch.Put(sp)
+	return payload
+}
+
 func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope) error {
+	var blk relation.Relation // decode scratch, reused across envelopes
 	for _, e := range inbox {
 		name, cube, err := splitKey(e.Key, '#')
 		if err != nil {
 			return err
 		}
-		blk, err := relation.Decode(e.Payload)
-		if err != nil {
+		if err := relation.DecodeInto(e.Payload, &blk); err != nil {
 			return err
 		}
 		db := w.CubeDB(cube)
@@ -281,33 +289,55 @@ func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope) error {
 			tgt = relation.New(blk.Name, blk.Attrs...)
 			db[name] = tgt
 		}
-		tgt.AppendAll(blk)
+		tgt.AppendAll(&blk)
 	}
 	return nil
 }
 
-func groupBlocks(frag *relation.Relation, s Shares, relPos []int, ri RelInfo) map[int]*relation.Relation {
-	blocks := make(map[int]*relation.Relation)
-	for i, n := 0, frag.Len(); i < n; i++ {
-		t := frag.Tuple(i)
-		sig := s.BlockSig(relPos, t)
-		b, ok := blocks[sig]
-		if !ok {
-			b = relation.New(ri.Name, ri.Attrs...)
-			blocks[sig] = b
+// groupBlocks buckets a fragment's tuples by block signature into one
+// contiguous backing array (two counting passes, no per-block growth).
+// It returns ascending signatures and, aligned with them, the non-empty
+// blocks; block relations alias the shared backing and may be sorted in
+// place by the caller.
+func groupBlocks(frag *relation.Relation, s Shares, relPos []int, ri RelInfo) ([]int, []*relation.Relation) {
+	n := frag.Len()
+	k := frag.Arity()
+	nb := s.NumBlocks(relPos)
+	sigOf := make([]int32, n)
+	counts := make([]int32, nb+1)
+	for i := 0; i < n; i++ {
+		sig := s.BlockSig(relPos, frag.Tuple(i))
+		sigOf[i] = int32(sig)
+		counts[sig+1]++
+	}
+	for b := 1; b <= nb; b++ {
+		counts[b] += counts[b-1]
+	}
+	offsets := counts // prefix sums; counts[sig] = first row slot of sig
+	backing := make([]relation.Value, n*k)
+	fill := make([]int32, nb)
+	data := frag.Data()
+	for i := 0; i < n; i++ {
+		sig := sigOf[i]
+		slot := int(offsets[sig]+fill[sig]) * k
+		copy(backing[slot:slot+k], data[i*k:(i+1)*k])
+		fill[sig]++
+	}
+	var sigs []int
+	var blocks []*relation.Relation
+	for sig := 0; sig < nb; sig++ {
+		lo, hi := int(offsets[sig]), int(offsets[sig+1])
+		if lo == hi {
+			continue
 		}
-		b.AppendTuple(t)
+		b := relation.New(ri.Name, ri.Attrs...)
+		// Three-index slice: cap the block at its own region so an append
+		// reallocates instead of overwriting the next block's rows.
+		b.SetData(backing[lo*k : hi*k : hi*k])
+		sigs = append(sigs, sig)
+		blocks = append(blocks, b)
 	}
-	return blocks
-}
-
-func sortedSigs(blocks map[int]*relation.Relation) []int {
-	sigs := make([]int, 0, len(blocks))
-	for s := range blocks {
-		sigs = append(sigs, s)
-	}
-	sort.Ints(sigs)
-	return sigs
+	return sigs, blocks
 }
 
 // blockServers returns the distinct servers hosting cubes matching sig.

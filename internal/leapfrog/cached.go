@@ -18,6 +18,11 @@ type CachedJoin struct {
 	// perLevel[d] holds the tries active at depth d.
 	perLevel [][]*trie.Trie
 	tries    []*trie.Trie
+	// relevant[d][i] marks bound positions i < d that level d's
+	// intersection depends on (precomputed once; cacheKey is hot).
+	relevant [][]bool
+	// keyBuf is reused scratch for cache-key encoding.
+	keyBuf []byte
 	// CacheBudget is the maximum number of cached values per level.
 	CacheBudget int
 	// Hits and Misses are cache statistics for the ablation bench.
@@ -38,6 +43,18 @@ func NewCachedJoin(tries []*trie.Trie, order []string, cacheBudget int) *CachedJ
 		for _, a := range t.Attrs {
 			c.perLevel[pos[a]] = append(c.perLevel[pos[a]], t)
 		}
+	}
+	c.relevant = make([][]bool, len(order))
+	for d := range c.relevant {
+		rel := make([]bool, d)
+		for _, t := range c.perLevel[d] {
+			for _, a := range t.Attrs {
+				if p := pos[a]; p < d {
+					rel[p] = true
+				}
+			}
+		}
+		c.relevant[d] = rel
 	}
 	return c
 }
@@ -121,34 +138,19 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 	return st, err
 }
 
-// cacheKey serializes the bound values relevant to depth d.
+// cacheKey serializes the bound values relevant to depth d into the
+// reusable key buffer (the returned string still copies — it is the map
+// key — but no intermediate allocations remain).
 func (c *CachedJoin) cacheKey(binding []Value, d int) string {
-	pos := make(map[string]int, len(c.order))
-	for i, a := range c.order {
-		pos[a] = i
+	if cap(c.keyBuf) < 8*d {
+		c.keyBuf = make([]byte, 8*d)
 	}
-	relevant := make([]bool, d)
-	for _, t := range c.perLevel[d] {
-		for _, a := range t.Attrs {
-			if p := pos[a]; p < d {
-				relevant[p] = true
-			}
-		}
-	}
-	buf := make([]Value, 0, d)
+	b := c.keyBuf[:8*d]
 	for i := 0; i < d; i++ {
-		if relevant[i] {
-			buf = append(buf, binding[i])
-		} else {
-			buf = append(buf, -1<<62) // neutral marker keeps key width fixed
+		v := Value(-1 << 62) // neutral marker keeps key width fixed
+		if c.relevant[d][i] {
+			v = binding[i]
 		}
-	}
-	return encodeValues(buf)
-}
-
-func encodeValues(vals []Value) string {
-	b := make([]byte, 8*len(vals))
-	for i, v := range vals {
 		u := uint64(v)
 		o := i * 8
 		b[o] = byte(u >> 56)

@@ -1,0 +1,54 @@
+package leapfrog
+
+import (
+	"errors"
+	"testing"
+
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// Regression: an empty trie in a ring (a relation with no fragment in a
+// cube) must yield zero results — not desync iterator depths and panic.
+// The empty trie sits in the middle of the order so its frame's early
+// bail-out happens with other iterators already descended.
+func TestJoinWithEmptyTrie(t *testing.T) {
+	r := relation.FromTuples("R", []string{"a", "b"}, [][]relation.Value{{1, 2}, {1, 3}, {2, 3}})
+	s := relation.New("S", "b", "c") // empty
+	tt := relation.FromTuples("T", []string{"a", "c"}, [][]relation.Value{{1, 3}, {2, 3}})
+	order := []string{"a", "b", "c"}
+	tries := []*trie.Trie{
+		trie.Build(r, []string{"a", "b"}),
+		trie.Build(s, []string{"b", "c"}),
+		trie.Build(tt, []string{"a", "c"}),
+	}
+	st, err := Join(tries, order, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results != 0 {
+		t.Fatalf("results=%d want 0", st.Results)
+	}
+}
+
+// The leaf drain must stop at the budget instead of consuming an entire
+// skewed intersection first.
+func TestDrainRespectsBudget(t *testing.T) {
+	r := relation.New("R", "a", "b")
+	s := relation.New("S", "b", "c")
+	for i := relation.Value(0); i < 1000; i++ {
+		r.Append(1, i%3)
+		s.Append(i%3, i)
+	}
+	order := []string{"a", "b", "c"}
+	tries := BuildTries([]*relation.Relation{r, s}, order)
+	st, err := Join(tries, order, Options{Budget: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err=%v want ErrBudget", err)
+	}
+	// Work done before bailing must be on the order of the budget, not the
+	// full ~1000-result leaf intersection.
+	if total := st.TotalWithResults(); total > 30 {
+		t.Fatalf("did %d work units before budget bail-out (budget 10)", total)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"adj/internal/relation"
 	"adj/internal/trie"
@@ -87,10 +88,13 @@ func BuildTries(rels []*relation.Relation, order []string) []*trie.Trie {
 
 // Join runs Leapfrog Triejoin over pre-built tries. Each trie's attribute
 // list must be sorted by position in order (as BuildTries produces), and
-// every trie attribute must appear in order.
+// every trie attribute must appear in order. Joiner state (iterators,
+// per-depth frames, bindings) comes from a pool, so repeated joins — the
+// per-cube loop of every engine — allocate only their Stats counters.
 func Join(tries []*trie.Trie, order []string, opt Options) (Stats, error) {
-	j, err := newJoiner(tries, order)
-	if err != nil {
+	j := joinerPool.Get().(*joiner)
+	defer joinerPool.Put(j)
+	if err := j.init(tries, order); err != nil {
 		return Stats{}, err
 	}
 	return j.run(opt)
@@ -107,63 +111,114 @@ func Count(rels []*relation.Relation, order []string) (int64, error) {
 	return st.Results, err
 }
 
-// joiner holds the per-run state.
+// joiner holds the per-run state; instances are pooled and re-initialized
+// per join, reusing every backing array.
 type joiner struct {
 	order []string
 	n     int
 	// active[d] lists the trie iterators participating at depth d.
 	active [][]*trie.Iterator
-	// iters owns one iterator per trie.
-	iters []*trie.Iterator
+	// iters owns one iterator per trie (values, re-Init'ed per run).
+	iters []trie.Iterator
+	// frames holds one leapfrog ring per depth.
+	frames []frame
 	// binding holds the current prefix values.
 	binding []Value
+	// pos maps attribute -> order position, cleared per init.
+	pos map[string]int
 }
 
-func newJoiner(tries []*trie.Trie, order []string) (*joiner, error) {
-	pos := make(map[string]int, len(order))
-	for i, a := range order {
-		pos[a] = i
+var joinerPool = sync.Pool{New: func() interface{} { return &joiner{} }}
+
+// init rebinds the pooled joiner to a new trie set and order.
+func (j *joiner) init(tries []*trie.Trie, order []string) error {
+	if j.pos == nil {
+		j.pos = make(map[string]int, len(order))
+	} else {
+		clear(j.pos)
 	}
-	j := &joiner{order: order, n: len(order)}
-	j.active = make([][]*trie.Iterator, len(order))
-	j.binding = make([]Value, len(order))
+	for i, a := range order {
+		j.pos[a] = i
+	}
+	j.order = order
+	j.n = len(order)
+	j.binding = growValues(j.binding, j.n)
+	if cap(j.iters) < len(tries) {
+		j.iters = make([]trie.Iterator, len(tries))
+	} else {
+		j.iters = j.iters[:len(tries)]
+	}
+	if cap(j.active) < j.n {
+		j.active = make([][]*trie.Iterator, j.n)
+	} else {
+		j.active = j.active[:j.n]
+	}
+	for d := range j.active {
+		j.active[d] = j.active[d][:0]
+	}
 	for ti, t := range tries {
 		prev := -1
 		for _, a := range t.Attrs {
-			p, ok := pos[a]
+			p, ok := j.pos[a]
 			if !ok {
-				return nil, fmt.Errorf("leapfrog: trie attribute %q not in order %v", a, order)
+				return fmt.Errorf("leapfrog: trie attribute %q not in order %v", a, order)
 			}
 			if p < prev {
-				return nil, fmt.Errorf("leapfrog: trie %d attrs %v not sorted by order %v", ti, t.Attrs, order)
+				return fmt.Errorf("leapfrog: trie %d attrs %v not sorted by order %v", ti, t.Attrs, order)
 			}
 			prev = p
 		}
-		it := trie.NewIterator(t)
-		j.iters = append(j.iters, it)
+		j.iters[ti].Init(t)
+	}
+	for ti, t := range tries {
+		it := &j.iters[ti]
 		for _, a := range t.Attrs {
-			j.active[pos[a]] = append(j.active[pos[a]], it)
+			j.active[j.pos[a]] = append(j.active[j.pos[a]], it)
 		}
 	}
 	for d, as := range j.active {
 		if len(as) == 0 {
-			return nil, fmt.Errorf("leapfrog: attribute %q not covered by any relation", order[d])
+			return fmt.Errorf("leapfrog: attribute %q not covered by any relation", order[d])
 		}
 	}
-	return j, nil
+	if cap(j.frames) < j.n {
+		j.frames = make([]frame, j.n)
+	} else {
+		j.frames = j.frames[:j.n]
+	}
+	for d := range j.frames {
+		f := &j.frames[d]
+		f.iters = j.active[d]
+		na := len(f.iters)
+		f.keys = growValues(f.keys, na)
+		if cap(f.vals) < na {
+			f.vals = make([][]Value, na)
+			f.pos = make([]int, na)
+			f.base = make([]int32, na)
+		} else {
+			f.vals = f.vals[:na]
+			f.pos = f.pos[:na]
+			f.base = f.base[:na]
+		}
+		f.p = 0
+		f.key = 0
+		f.atEnd = false
+		f.open_ = false
+	}
+	return nil
+}
+
+func growValues(s []Value, n int) []Value {
+	if cap(s) < n {
+		return make([]Value, n)
+	}
+	return s[:n]
 }
 
 // run executes the join iteratively.
 func (j *joiner) run(opt Options) (Stats, error) {
 	st := Stats{LevelTuples: make([]int64, j.n), LevelSeeks: make([]int64, j.n)}
-	// Empty relation: no results.
-	for _, it := range j.iters {
-		_ = it
-	}
-	lf := make([]*frame, j.n)
-	for d := range lf {
-		lf[d] = &frame{iters: j.active[d]}
-	}
+	lf := j.frames
 	var work int64
 	d := 0
 	if !lf[0].open(&st, 0) {
@@ -173,9 +228,19 @@ func (j *joiner) run(opt Options) (Stats, error) {
 		if !lf[0].seekExact(*opt.FirstFixed, &st, 0) {
 			return st, nil
 		}
+		if j.n == 1 {
+			// Single-attribute constrained run: exactly the fixed value.
+			st.LevelTuples[0] = 1
+			st.Results = 1
+			if opt.Emit != nil {
+				j.binding[0] = *opt.FirstFixed
+				opt.Emit(j.binding)
+			}
+			return st, nil
+		}
 	}
 	for d >= 0 {
-		f := lf[d]
+		f := &lf[d]
 		if f.atEnd {
 			// Exhausted this level: go up and advance.
 			f.close()
@@ -190,6 +255,24 @@ func (j *joiner) run(opt Options) (Stats, error) {
 			}
 			continue
 		}
+		if d == j.n-1 {
+			// Leaf level: drain the whole remaining intersection in one
+			// pass instead of a next/search round trip per result. The
+			// drain is capped at the remaining budget so a skewed hub
+			// leaf still bails out cheaply.
+			limit := int64(-1)
+			if opt.Budget > 0 {
+				limit = opt.Budget - work + 1
+			}
+			cnt := f.drain(&st, d, opt.Emit, j.binding, limit)
+			st.LevelTuples[d] += cnt
+			st.Results += cnt
+			work += cnt
+			if opt.Budget > 0 && work > opt.Budget {
+				return st, ErrBudget
+			}
+			continue
+		}
 		// A value is bound at depth d.
 		j.binding[d] = f.key
 		st.LevelTuples[d]++
@@ -197,24 +280,30 @@ func (j *joiner) run(opt Options) (Stats, error) {
 		if opt.Budget > 0 && work > opt.Budget {
 			return st, ErrBudget
 		}
-		if d == j.n-1 {
-			st.Results++
-			if opt.Emit != nil {
-				opt.Emit(j.binding)
-			}
-			f.next(&st, d)
-			continue
-		}
-		// Descend.
+		// Descend: sync this level's winning positions back into the
+		// iterators so the child ranges below resolve to the bound value.
+		f.sync()
 		d++
 		lf[d].open(&st, d)
 	}
 	return st, nil
 }
 
-// frame is the leapfrog state for one depth: the classic ring of iterators.
+// frame is the leapfrog state for one depth: the classic ring of
+// iterators, flattened to slice cursors. On open the frame captures each
+// iterator's sibling slice once; the inner search loop then gallops over
+// plain []Value with local indices — no pointer-chasing through the trie —
+// and positions are synced back to the iterators (SetPos) only when the
+// join descends.
 type frame struct {
 	iters []*trie.Iterator
+	// vals[i] is iterator i's current sibling slice, pos[i] the cursor
+	// within it, base[i] the slice's absolute start in the level's value
+	// array, keys[i] the cached vals[i][pos[i]].
+	vals  [][]Value
+	pos   []int
+	base  []int32
+	keys  []Value
 	p     int
 	key   Value
 	atEnd bool
@@ -224,22 +313,52 @@ type frame struct {
 // open descends all active iterators and runs leapfrog-init. Returns false
 // when the intersection is immediately empty.
 func (f *frame) open(st *Stats, d int) bool {
+	// Open every iterator before inspecting ranges: close() pops the whole
+	// ring, so bailing out with some iterators unopened would desync their
+	// depth (an empty trie — e.g. a relation with no fragment in a cube —
+	// yields an empty range here).
 	for _, it := range f.iters {
 		it.Open()
 	}
 	f.open_ = true
 	f.atEnd = false
-	for _, it := range f.iters {
-		if it.AtEnd() {
+	for i, it := range f.iters {
+		rng := it.CurrentRange()
+		if len(rng) == 0 {
 			f.atEnd = true
 			return false
 		}
+		f.vals[i] = rng
+		f.base[i] = it.NodePos()
+		f.pos[i] = 0
+		f.keys[i] = rng[0]
 	}
-	// Sort iterators by current key (ring invariant).
-	sort.Slice(f.iters, func(a, b int) bool { return f.iters[a].Key() < f.iters[b].Key() })
+	// Sort the ring by current key (ring invariant). The ring has one entry
+	// per relation containing this attribute — a handful — so an in-place
+	// insertion sort beats sort.Slice and avoids its per-call allocations.
+	for i := 1; i < len(f.iters); i++ {
+		x, vx, bx, kx := f.iters[i], f.vals[i], f.base[i], f.keys[i]
+		m := i - 1
+		for m >= 0 && f.keys[m] > kx {
+			f.iters[m+1] = f.iters[m]
+			f.vals[m+1] = f.vals[m]
+			f.base[m+1] = f.base[m]
+			f.keys[m+1] = f.keys[m]
+			m--
+		}
+		f.iters[m+1], f.vals[m+1], f.base[m+1], f.keys[m+1] = x, vx, bx, kx
+	}
 	f.p = 0
 	f.search(st, d)
 	return !f.atEnd
+}
+
+// sync writes the frame's slice cursors back into the iterators; required
+// before opening the next depth (child ranges derive from parent NodePos).
+func (f *frame) sync() {
+	for i, it := range f.iters {
+		it.SetPos(f.base[i] + int32(f.pos[i]))
+	}
 }
 
 // close pops all active iterators back to the parent level.
@@ -253,50 +372,204 @@ func (f *frame) close() {
 	f.open_ = false
 }
 
+// seekSlice returns the first index >= from with vals[idx] >= v, by
+// galloping then binary search — the amortized-logarithmic seek the
+// worst-case-optimality argument needs, over a flat slice.
+func seekSlice(vals []Value, from int, v Value) int {
+	n := len(vals)
+	step := 1
+	prev := from
+	for from+step < n && vals[from+step] < v {
+		prev = from + step
+		step <<= 1
+	}
+	a, b := prev+1, n
+	if from+step < n {
+		b = from + step + 1
+	}
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		if vals[mid] < v {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return a
+}
+
 // search is leapfrog-search: advance the ring until all keys agree.
 func (f *frame) search(st *Stats, d int) {
 	k := len(f.iters)
-	xPrime := f.iters[(f.p+k-1)%k].Key()
+	if k == 2 {
+		f.search2(st, d)
+		return
+	}
+	xPrime := f.keys[(f.p+k-1)%k]
+	var seeks int64
 	for {
-		x := f.iters[f.p].Key()
+		x := f.keys[f.p]
 		if x == xPrime {
 			f.key = x
+			st.LevelSeeks[d] += seeks
 			return
 		}
-		f.iters[f.p].Seek(xPrime)
-		st.LevelSeeks[d]++
-		if f.iters[f.p].AtEnd() {
+		vals := f.vals[f.p]
+		np := seekSlice(vals, f.pos[f.p], xPrime)
+		seeks++
+		if np >= len(vals) {
 			f.atEnd = true
+			st.LevelSeeks[d] += seeks
 			return
 		}
-		xPrime = f.iters[f.p].Key()
-		f.p = (f.p + 1) % k
+		f.pos[f.p] = np
+		xPrime = vals[np]
+		f.keys[f.p] = xPrime
+		f.p++
+		if f.p == k {
+			f.p = 0
+		}
 	}
+}
+
+// search2 is leapfrog-search for the two-iterator ring — the dominant
+// shape in subgraph queries (every edge attribute is shared by exactly two
+// atoms in triangles, paths and most cliques' levels). Both cursors live
+// in registers for the whole pursuit.
+func (f *frame) search2(st *Stats, d int) {
+	v0, v1 := f.vals[0], f.vals[1]
+	p0, p1 := f.pos[0], f.pos[1]
+	k0, k1 := f.keys[0], f.keys[1]
+	var seeks int64
+	for k0 != k1 {
+		if k0 < k1 {
+			p0 = seekSlice(v0, p0, k1)
+			seeks++
+			if p0 >= len(v0) {
+				f.atEnd = true
+				break
+			}
+			k0 = v0[p0]
+		} else {
+			p1 = seekSlice(v1, p1, k0)
+			seeks++
+			if p1 >= len(v1) {
+				f.atEnd = true
+				break
+			}
+			k1 = v1[p1]
+		}
+	}
+	f.pos[0], f.pos[1] = p0, p1
+	f.keys[0], f.keys[1] = k0, k1
+	f.key = k0
+	f.p = 0
+	st.LevelSeeks[d] += seeks
 }
 
 // next is leapfrog-next: advance past the current match.
 func (f *frame) next(st *Stats, d int) {
-	f.iters[f.p].Next()
 	st.LevelSeeks[d]++
-	if f.iters[f.p].AtEnd() {
+	np := f.pos[f.p] + 1
+	vals := f.vals[f.p]
+	if np >= len(vals) {
 		f.atEnd = true
 		return
 	}
-	f.p = (f.p + 1) % len(f.iters)
+	f.pos[f.p] = np
+	f.keys[f.p] = vals[np]
+	f.p++
+	if f.p == len(f.iters) {
+		f.p = 0
+	}
 	f.search(st, d)
+}
+
+// drain consumes the frame's remaining intersection — the caller must be
+// positioned on a match — counting (and optionally emitting) every value,
+// and leaves the frame atEnd. Rings of one and two, the common leaf shapes
+// in subgraph queries, run as tight sorted-list intersections. A
+// non-negative limit stops the drain once that many values are taken (the
+// caller's remaining work budget); the frame is abandoned mid-range, which
+// is fine because the caller returns ErrBudget immediately.
+func (f *frame) drain(st *Stats, d int, emit func(relation.Tuple), binding []Value, limit int64) int64 {
+	var results int64
+	switch len(f.iters) {
+	case 1:
+		rest := f.vals[0][f.pos[0]:]
+		if limit >= 0 && int64(len(rest)) > limit {
+			rest = rest[:limit]
+		}
+		results = int64(len(rest))
+		if emit != nil {
+			for _, v := range rest {
+				binding[d] = v
+				emit(binding)
+			}
+		}
+	case 2:
+		v0, v1 := f.vals[0], f.vals[1]
+		p0, p1 := f.pos[0], f.pos[1]
+		k0, k1 := f.keys[0], f.keys[1]
+		var seeks int64
+		for limit < 0 || results < limit {
+			if k0 == k1 {
+				results++
+				if emit != nil {
+					binding[d] = k0
+					emit(binding)
+				}
+				p0++
+				p1++
+				if p0 >= len(v0) || p1 >= len(v1) {
+					break
+				}
+				k0, k1 = v0[p0], v1[p1]
+			} else if k0 < k1 {
+				p0 = seekSlice(v0, p0, k1)
+				seeks++
+				if p0 >= len(v0) {
+					break
+				}
+				k0 = v0[p0]
+			} else {
+				p1 = seekSlice(v1, p1, k0)
+				seeks++
+				if p1 >= len(v1) {
+					break
+				}
+				k1 = v1[p1]
+			}
+		}
+		st.LevelSeeks[d] += seeks
+	default:
+		for !f.atEnd && (limit < 0 || results < limit) {
+			results++
+			if emit != nil {
+				binding[d] = f.key
+				emit(binding)
+			}
+			f.next(st, d)
+		}
+	}
+	f.atEnd = true
+	return results
 }
 
 // seekExact positions the level at exactly v; returns false if v is not in
 // the intersection.
 func (f *frame) seekExact(v Value, st *Stats, d int) bool {
 	for !f.atEnd && f.key < v {
-		// Seek all iterators to v then re-search.
-		f.iters[f.p].Seek(v)
+		// Seek one iterator to v then re-search.
 		st.LevelSeeks[d]++
-		if f.iters[f.p].AtEnd() {
+		vals := f.vals[f.p]
+		np := seekSlice(vals, f.pos[f.p], v)
+		if np >= len(vals) {
 			f.atEnd = true
 			return false
 		}
+		f.pos[f.p] = np
+		f.keys[f.p] = vals[np]
 		f.p = (f.p + 1) % len(f.iters)
 		f.search(st, d)
 	}

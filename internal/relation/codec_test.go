@@ -1,0 +1,185 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundtripBasic(t *testing.T) {
+	r := FromTuples("R", []string{"a", "b"}, [][]Value{{1, 2}, {3, -4}, {1 << 40, -(1 << 50)}})
+	back, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Fatalf("roundtrip mismatch:\n%v\n%v", back, r)
+	}
+}
+
+func TestCodecRoundtripEmpty(t *testing.T) {
+	for _, r := range []*Relation{
+		New("empty", "a", "b"),
+		New("noattrs"),
+	} {
+		back, err := Decode(Encode(r))
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("%s: roundtrip mismatch", r.Name)
+		}
+	}
+}
+
+func TestCodecRoundtripSingleTuple(t *testing.T) {
+	r := FromTuples("one", []string{"x", "y", "z"}, [][]Value{{-9, 0, 1 << 62}})
+	back, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Fatal("single-tuple roundtrip mismatch")
+	}
+}
+
+func TestCodecProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%4) + 1
+		attrs := []string{"a", "b", "c", "d"}[:k]
+		r := New("R", attrs...)
+		row := make([]Value, k)
+		for i := 0; i < int(nRaw%100); i++ {
+			for j := range row {
+				row[j] = rng.Int63() - rng.Int63()
+			}
+			r.AppendTuple(row)
+		}
+		back, err := Decode(Encode(r))
+		return err == nil && back.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsTruncatedAndGarbage(t *testing.T) {
+	r := FromTuples("R", []string{"a", "b"}, [][]Value{{100, 200}, {300, 400}})
+	buf := Encode(r)
+	for _, cut := range []int{0, 1, len(buf) / 2, len(buf) - 1} {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes should fail", cut, len(buf))
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), buf...), 7)); err == nil {
+		t.Fatal("trailing bytes should fail")
+	}
+	if _, err := Decode([]byte{0x00, 0x01, 0x02}); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+}
+
+func TestDecodeIntoReusesBacking(t *testing.T) {
+	big := New("big", "a", "b")
+	for i := 0; i < 1000; i++ {
+		big.Append(Value(i), Value(i*2))
+	}
+	buf := Encode(big)
+	var scratch Relation
+	if err := DecodeInto(buf, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if !scratch.Equal(big) {
+		t.Fatal("first decode mismatch")
+	}
+	firstBacking := &scratch.data[0]
+	small := FromTuples("small", []string{"x", "y"}, [][]Value{{5, 6}})
+	if err := DecodeInto(Encode(small), &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if !scratch.Equal(small) {
+		t.Fatal("second decode mismatch")
+	}
+	if &scratch.data[0] != firstBacking {
+		t.Fatal("DecodeInto should reuse the backing array when capacity suffices")
+	}
+}
+
+func TestSortedRunsEncodeSmallerThanRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := New("E", "src", "dst")
+	for i := 0; i < 5000; i++ {
+		r.Append(rng.Int63n(20000), rng.Int63n(20000))
+	}
+	r.Sort()
+	delta := len(Encode(r))
+	raw := len(EncodeRaw(r))
+	if delta*2 > raw {
+		t.Fatalf("delta-varint %dB should be well under half of raw %dB on sorted runs", delta, raw)
+	}
+}
+
+func TestRawCodecRoundtrip(t *testing.T) {
+	r := FromTuples("R", []string{"a", "b"}, [][]Value{{1, -2}, {3, 4}})
+	back, err := DecodeRaw(EncodeRaw(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Fatal("raw roundtrip mismatch")
+	}
+}
+
+func benchRelation(n int) *Relation {
+	rng := rand.New(rand.NewSource(1))
+	r := NewWithCapacity("E", n, "src", "dst")
+	for i := 0; i < n; i++ {
+		r.Append(rng.Int63n(int64(n/8+1)), rng.Int63n(int64(n/8+1)))
+	}
+	return r.Sort()
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := benchRelation(20000)
+	buf := make([]byte, 0, len(Encode(r)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], r)
+	}
+}
+
+func BenchmarkEncodeRaw(b *testing.B) {
+	r := benchRelation(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeRaw(r)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	r := benchRelation(20000)
+	buf := Encode(r)
+	var scratch Relation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(buf, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRaw(b *testing.B) {
+	r := benchRelation(20000)
+	buf := EncodeRaw(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRaw(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package trie
+
+import (
+	"fmt"
+	"sync"
+
+	"adj/internal/relation"
+)
+
+// Builder constructs tries directly from a relation without the
+// materialize-copy → sort → dedup → FromSorted pipeline. It sorts a row
+// index column-wise with an LSD radix sort over the int64 values, then
+// writes exactly-sized Levels arrays in a single fill pass. All scratch
+// (index permutation, gathered column keys, first-difference marks) is
+// owned by the Builder and reused across builds, so a steady-state build
+// allocates only the trie's own 2k level arrays.
+//
+// A Builder is not safe for concurrent use; pool one per goroutine (the
+// package-level Build does this automatically via an internal sync.Pool).
+type Builder struct {
+	idx     []int32  // row permutation being sorted
+	tmpIdx  []int32  // radix ping-pong buffer
+	keys    []uint64 // gathered (sign-flipped) column keys, aligned with idx
+	tmpKeys []uint64
+	cols    []int   // permuted column positions in the source relation
+	first   []int32 // first column where sorted row i differs from row i-1; k = duplicate
+}
+
+// NewBuilder returns an empty builder; scratch grows on first use.
+func NewBuilder() *Builder { return &Builder{} }
+
+var builderPool = sync.Pool{New: func() interface{} { return NewBuilder() }}
+
+// signFlip maps int64 order onto uint64 order for radix passes.
+const signFlip = uint64(1) << 63
+
+// Build constructs a trie from r with columns reordered to attrs. See the
+// package-level Build for the contract; this variant reuses the builder's
+// scratch buffers.
+func (b *Builder) Build(r *relation.Relation, attrs []string) *Trie {
+	if len(attrs) != len(r.Attrs) {
+		panic(fmt.Sprintf("trie: attr order %v is not a permutation of %v", attrs, r.Attrs))
+	}
+	k := len(attrs)
+	n := r.Len()
+	if cap(b.cols) < k {
+		b.cols = make([]int, k)
+	}
+	cols := b.cols[:k]
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			panic(fmt.Sprintf("trie: attr order %v is not a permutation of %v", attrs, r.Attrs))
+		}
+		cols[i] = j
+	}
+	t := &Trie{Attrs: append([]string(nil), attrs...), Levels: make([]Level, k), NumTuples: 0}
+	if k == 0 || n == 0 {
+		for d := 0; d < k; d++ {
+			t.Levels[d] = Level{Starts: []int32{0}}
+		}
+		if k > 0 {
+			t.Levels[0].Starts = []int32{0, 0}
+		}
+		return t
+	}
+
+	data := r.Data()
+	b.grow(n)
+
+	// First-difference scan doubling as the sortedness check: first[i] is
+	// the first permuted column where row i differs from its predecessor
+	// (k means duplicate row); first[0] = 0, the first row opens a new node
+	// at every level. Pre-sorted input — the common case on the hot path,
+	// since base graph relations are stored sorted and shuffle blocks
+	// arrive as sorted runs — needs no sort and no second comparison pass.
+	first := b.first[:n]
+	first[0] = 0
+	sorted := true
+	for i := 1; i < n; i++ {
+		a := (i - 1) * k
+		c := i * k
+		f := int32(k)
+		for d := 0; d < k; d++ {
+			va, vc := data[a+cols[d]], data[c+cols[d]]
+			if va != vc {
+				if vc < va {
+					sorted = false
+				}
+				f = int32(d)
+				break
+			}
+		}
+		if !sorted {
+			break
+		}
+		first[i] = f
+	}
+	var idx []int32
+	if sorted {
+		idx = b.idx[:n]
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+	} else {
+		idx = b.sortRows(data, cols, k, n)
+		for i := 1; i < n; i++ {
+			a := int(idx[i-1]) * k
+			c := int(idx[i]) * k
+			f := int32(k)
+			for d := 0; d < k; d++ {
+				if data[a+cols[d]] != data[c+cols[d]] {
+					f = int32(d)
+					break
+				}
+			}
+			first[i] = f
+		}
+	}
+
+	// Counting pass: nodes[d] = number of trie nodes at level d.
+	nodes := make([]int32, k)
+	tuples := 0
+	for i := 0; i < n; i++ {
+		f := first[i]
+		if f == int32(k) {
+			continue // duplicate
+		}
+		tuples++
+		for d := int(f); d < k; d++ {
+			nodes[d]++
+		}
+	}
+	t.NumTuples = tuples
+
+	// Allocate exact-size level arrays.
+	for d := 0; d < k; d++ {
+		parents := int32(1)
+		if d > 0 {
+			parents = nodes[d-1]
+		}
+		t.Levels[d].Vals = make([]Value, 0, nodes[d])
+		t.Levels[d].Starts = make([]int32, 0, parents+1)
+	}
+	t.Levels[0].Starts = append(t.Levels[0].Starts, 0)
+
+	// Fill pass: a row with first-difference f creates one new node at every
+	// level ≥ f. Creating a node at level d opens a fresh child range at
+	// level d+1, whose start is recorded before any of its children land.
+	for i := 0; i < n; i++ {
+		f := first[i]
+		if f == int32(k) {
+			continue
+		}
+		row := int(idx[i]) * k
+		for d := int(f); d < k; d++ {
+			lvl := &t.Levels[d]
+			lvl.Vals = append(lvl.Vals, data[row+cols[d]])
+			if d+1 < k {
+				nl := &t.Levels[d+1]
+				nl.Starts = append(nl.Starts, int32(len(nl.Vals)))
+			}
+		}
+	}
+	for d := 0; d < k; d++ {
+		t.Levels[d].Starts = append(t.Levels[d].Starts, int32(len(t.Levels[d].Vals)))
+	}
+	return t
+}
+
+// grow sizes the reusable scratch for n rows.
+func (b *Builder) grow(n int) {
+	if cap(b.idx) < n {
+		b.idx = make([]int32, n)
+		b.tmpIdx = make([]int32, n)
+		b.keys = make([]uint64, n)
+		b.tmpKeys = make([]uint64, n)
+		b.first = make([]int32, n)
+	}
+}
+
+// sortRows returns a permutation of [0,n) ordering rows lexicographically by
+// the permuted columns. Small inputs use insertion sort; larger ones an LSD
+// radix sort (stable byte passes per column, last column first), skipping
+// byte positions that are constant across the column.
+func (b *Builder) sortRows(data []Value, cols []int, k, n int) []int32 {
+	idx := b.idx[:n]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	if n < 48 {
+		insertionSortRows(idx, data, cols, k)
+		return idx
+	}
+	keys := b.keys[:n]
+	tmpIdx := b.tmpIdx[:n]
+	tmpKeys := b.tmpKeys[:n]
+	for c := k - 1; c >= 0; c-- {
+		col := cols[c]
+		min, max := ^uint64(0), uint64(0)
+		for i, r := range idx {
+			u := uint64(data[int(r)*k+col]) ^ signFlip
+			keys[i] = u
+			if u < min {
+				min = u
+			}
+			if u > max {
+				max = u
+			}
+		}
+		if min == max {
+			continue
+		}
+		// Bytes strictly above the highest differing byte are constant.
+		hi := 0
+		for s := 1; s < 8; s++ {
+			if (min >> (8 * s)) != (max >> (8 * s)) {
+				hi = s
+			}
+		}
+		for s := 0; s <= hi; s++ {
+			shift := uint(8 * s)
+			var counts [256]int32
+			for _, u := range keys {
+				counts[(u>>shift)&0xff]++
+			}
+			var sum int32
+			for v := 0; v < 256; v++ {
+				cnt := counts[v]
+				counts[v] = sum
+				sum += cnt
+			}
+			for i, u := range keys {
+				p := counts[(u>>shift)&0xff]
+				counts[(u>>shift)&0xff] = p + 1
+				tmpIdx[p] = idx[i]
+				tmpKeys[p] = u
+			}
+			idx, tmpIdx = tmpIdx, idx
+			keys, tmpKeys = tmpKeys, keys
+		}
+	}
+	return idx
+}
+
+// insertionSortRows sorts idx by lexicographic row comparison; used for the
+// tiny relations where radix setup costs more than it saves.
+func insertionSortRows(idx []int32, data []Value, cols []int, k int) {
+	for i := 1; i < len(idx); i++ {
+		x := idx[i]
+		j := i - 1
+		for j >= 0 && rowLess(data, cols, k, x, idx[j]) {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = x
+	}
+}
+
+func rowLess(data []Value, cols []int, k int, a, b int32) bool {
+	ra, rb := int(a)*k, int(b)*k
+	for _, c := range cols {
+		va, vb := data[ra+c], data[rb+c]
+		if va != vb {
+			return va < vb
+		}
+	}
+	return false
+}

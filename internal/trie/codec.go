@@ -3,62 +3,123 @@ package trie
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"adj/internal/deltaenc"
 )
 
 // Binary codec for tries: the wire format the Merge HCube ships between
 // servers. Tries serialize to contiguous arrays, which is the efficiency
 // argument the paper gives for Merge over Pull ("one trie, implemented
 // using three arrays, is easier to serialize and deserialize than many
-// tuples").
+// tuples") — and both arrays are sorted runs (level values ascend within
+// each parent group, starts are non-decreasing), so each is stored as one
+// fixed-width zigzag-delta run, the same batched layout the relation codec
+// uses for tuple blocks.
 //
 // Layout (all little-endian):
-//   u32 arity
-//   per attr: u32 name length, name bytes
-//   u64 numTuples
-//   per level: u64 len(vals), vals as u64; u64 len(starts), starts as u32
+//
+//	u8 magic 0xA7
+//	u32 arity
+//	per attr: u32 name length, name bytes
+//	uvarint numTuples
+//	per level:
+//	  uvarint len(vals);   u8 width; len(vals) fixed-width zigzag deltas
+//	  uvarint len(starts); u8 width; len(starts) fixed-width zigzag deltas
+
+// trieMagic tags the delta-encoded trie format.
+const trieMagic = 0xA7
 
 // Encode serializes the trie.
 func Encode(t *Trie) []byte {
-	size := 4 + 8
+	size := 1 + 4 + 8
 	for _, a := range t.Attrs {
 		size += 4 + len(a)
 	}
 	for _, l := range t.Levels {
-		size += 8 + 8*len(l.Vals) + 8 + 4*len(l.Starts)
+		// Sorted runs usually fit 1–2 bytes per delta; headroom is cheap.
+		size += 24 + 2*len(l.Vals) + 2*len(l.Starts)
 	}
 	buf := make([]byte, 0, size)
 	var u32 [4]byte
-	var u64 [8]byte
 	put32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(u32[:], v)
 		buf = append(buf, u32[:]...)
 	}
-	put64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(u64[:], v)
-		buf = append(buf, u64[:]...)
-	}
+	buf = append(buf, trieMagic)
 	put32(uint32(len(t.Attrs)))
 	for _, a := range t.Attrs {
 		put32(uint32(len(a)))
 		buf = append(buf, a...)
 	}
-	put64(uint64(t.NumTuples))
+	buf = binary.AppendUvarint(buf, uint64(t.NumTuples))
 	for _, l := range t.Levels {
-		put64(uint64(len(l.Vals)))
-		for _, v := range l.Vals {
-			put64(uint64(v))
-		}
-		put64(uint64(len(l.Starts)))
-		for _, s := range l.Starts {
-			put32(uint32(s))
-		}
+		buf = binary.AppendUvarint(buf, uint64(len(l.Vals)))
+		buf = deltaenc.AppendRun(buf, l.Vals)
+		buf = binary.AppendUvarint(buf, uint64(len(l.Starts)))
+		// Starts are int32; widen through a stack-friendly loop.
+		buf = appendDeltaStarts(buf, l.Starts)
 	}
 	return buf
 }
 
+// wideScratch pools the int64 staging slice that widens int32 starts
+// arrays through the shared delta-run codec.
+var wideScratch = sync.Pool{New: func() interface{} {
+	s := make([]int64, 0, 1024)
+	return &s
+}}
+
+func getWide(n int) (*[]int64, []int64) {
+	sp := wideScratch.Get().(*[]int64)
+	s := *sp
+	if cap(s) < n {
+		s = make([]int64, n)
+	} else {
+		s = s[:n]
+	}
+	return sp, s
+}
+
+func putWide(sp *[]int64, s []int64) {
+	*sp = s[:0]
+	wideScratch.Put(sp)
+}
+
+// appendDeltaStarts widens the non-decreasing starts array and reuses the
+// int64 delta-run codec.
+func appendDeltaStarts(dst []byte, starts []int32) []byte {
+	sp, wide := getWide(len(starts))
+	for i, v := range starts {
+		wide[i] = int64(v)
+	}
+	dst = deltaenc.AppendRun(dst, wide)
+	putWide(sp, wide)
+	return dst
+}
+
+func decodeDeltaStarts(buf []byte, out []int32) (int, error) {
+	sp, wide := getWide(len(out))
+	defer putWide(sp, wide)
+	used, err := deltaenc.DecodeRun(buf, wide)
+	if err != nil {
+		return 0, err
+	}
+	for i, v := range wide {
+		if v < 0 || v > 1<<31-1 {
+			return 0, fmt.Errorf("trie decode: starts[%d]=%d overflows int32", i, v)
+		}
+		out[i] = int32(v)
+	}
+	return used, nil
+}
+
 // Decode deserializes a trie encoded by Encode.
 func Decode(buf []byte) (*Trie, error) {
-	off := 0
+	if len(buf) < 1 || buf[0] != trieMagic {
+		return nil, fmt.Errorf("trie decode: bad magic (want 0x%02x)", trieMagic)
+	}
+	off := 1
 	get32 := func() (uint32, error) {
 		if off+4 > len(buf) {
 			return 0, fmt.Errorf("trie decode: truncated at offset %d", off)
@@ -67,12 +128,12 @@ func Decode(buf []byte) (*Trie, error) {
 		off += 4
 		return v, nil
 	}
-	get64 := func() (uint64, error) {
-		if off+8 > len(buf) {
-			return 0, fmt.Errorf("trie decode: truncated at offset %d", off)
+	getUvarint := func() (uint64, error) {
+		v, w := binary.Uvarint(buf[off:])
+		if w <= 0 {
+			return 0, fmt.Errorf("trie decode: truncated varint at offset %d", off)
 		}
-		v := binary.LittleEndian.Uint64(buf[off:])
-		off += 8
+		off += w
 		return v, nil
 	}
 	arity, err := get32()
@@ -94,35 +155,49 @@ func Decode(buf []byte) (*Trie, error) {
 		t.Attrs[i] = string(buf[off : off+int(n)])
 		off += int(n)
 	}
-	nt, err := get64()
+	nt, err := getUvarint()
 	if err != nil {
 		return nil, err
 	}
 	t.NumTuples = int(nt)
 	for d := range t.Levels {
-		nv, err := get64()
+		nv, err := getUvarint()
 		if err != nil {
 			return nil, err
 		}
-		if off+8*int(nv) > len(buf) {
-			return nil, fmt.Errorf("trie decode: truncated level %d vals", d)
+		if nv > uint64(len(buf)) {
+			return nil, fmt.Errorf("trie decode: implausible level %d size %d", d, nv)
 		}
 		vals := make([]Value, nv)
-		for i := range vals {
-			vals[i] = Value(binary.LittleEndian.Uint64(buf[off:]))
-			off += 8
-		}
-		ns, err := get64()
+		used, err := deltaenc.DecodeRun(buf[off:], vals)
 		if err != nil {
 			return nil, err
 		}
-		if off+4*int(ns) > len(buf) {
-			return nil, fmt.Errorf("trie decode: truncated level %d starts", d)
+		off += used
+		ns, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ns > uint64(len(buf)) {
+			return nil, fmt.Errorf("trie decode: implausible level %d starts size %d", d, ns)
 		}
 		starts := make([]int32, ns)
-		for i := range starts {
-			starts[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
-			off += 4
+		used, err = decodeDeltaStarts(buf[off:], starts)
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		// A corrupt payload (the wire may be a real TCP transport) must
+		// fail here, not as a slice-bounds panic at join time: starts are
+		// child-range offsets into vals, so they must be non-decreasing
+		// and within [0, len(vals)].
+		prev := int32(0)
+		for i, s := range starts {
+			if s < prev || int(s) > len(vals) {
+				return nil, fmt.Errorf("trie decode: level %d starts[%d]=%d out of range (prev %d, %d vals)",
+					d, i, s, prev, len(vals))
+			}
+			prev = s
 		}
 		t.Levels[d] = Level{Vals: vals, Starts: starts}
 	}

@@ -19,8 +19,25 @@ type Iterator struct {
 
 // NewIterator returns an iterator positioned at the root of t.
 func NewIterator(t *Trie) *Iterator {
+	it := &Iterator{}
+	it.Init(t)
+	return it
+}
+
+// Init (re)binds the iterator to a trie, reusing the position arrays when
+// their capacity suffices. It lets callers pool iterators across joins
+// instead of allocating one per trie per run.
+func (it *Iterator) Init(t *Trie) {
 	k := t.Arity()
-	return &Iterator{t: t, depth: -1, pos: make([]int32, k), end: make([]int32, k)}
+	it.t = t
+	it.depth = -1
+	if cap(it.pos) < k {
+		it.pos = make([]int32, k)
+		it.end = make([]int32, k)
+	} else {
+		it.pos = it.pos[:k]
+		it.end = it.end[:k]
+	}
 }
 
 // Reset repositions at the root without reallocating.
@@ -62,16 +79,16 @@ func (it *Iterator) Next() { it.pos[it.depth]++ }
 // steps, logarithmic for long ones.
 func (it *Iterator) Seek(v Value) {
 	d := it.depth
-	l := it.t.Levels[d]
+	vals := it.t.Levels[d].Vals
 	lo := it.pos[d]
 	hi := it.end[d]
-	if lo >= hi || l.Vals[lo] >= v {
+	if lo >= hi || vals[lo] >= v {
 		return
 	}
-	// Gallop: find a bound b with Vals[lo+b] >= v.
+	// Gallop: find a bound b with vals[lo+b] >= v.
 	step := int32(1)
 	prev := lo
-	for lo+step < hi && l.Vals[lo+step] < v {
+	for lo+step < hi && vals[lo+step] < v {
 		prev = lo + step
 		step <<= 1
 	}
@@ -85,7 +102,7 @@ func (it *Iterator) Seek(v Value) {
 	}
 	for a < b {
 		mid := a + (b-a)/2
-		if l.Vals[mid] < v {
+		if vals[mid] < v {
 			a = mid + 1
 		} else {
 			b = mid
@@ -98,9 +115,22 @@ func (it *Iterator) Seek(v Value) {
 // it identifies the node when calling Trie.Children on the next level.
 func (it *Iterator) NodePos() int32 { return it.pos[it.depth] }
 
+// SetPos repositions the iterator at absolute value index p within the
+// current level. Leapfrog frames intersect over the sibling slices
+// directly and sync the winning position back through SetPos before
+// descending.
+func (it *Iterator) SetPos(p int32) { it.pos[it.depth] = p }
+
 // SiblingCount returns the size of the current sibling range (an upper
 // bound on remaining Next calls from the range start).
-func (it *Iterator) SiblingCount() int32 { return it.end[it.depth] - it.t.Levels[it.depth].Starts[0] }
+func (it *Iterator) SiblingCount() int32 {
+	d := it.depth
+	var parent int32
+	if d > 0 {
+		parent = it.pos[d-1]
+	}
+	return it.end[d] - it.t.Levels[d].Starts[parent]
+}
 
 // CurrentRange returns the full sibling slice at the current depth; used by
 // the cached join to materialize intersections.

@@ -39,32 +39,15 @@ type Trie struct {
 }
 
 // Build constructs a trie from r with columns reordered to `attrs` (which
-// must be a permutation of r.Attrs). The relation is copied, sorted and
-// deduplicated; r itself is not modified.
+// must be a permutation of r.Attrs). Rows are sorted and deduplicated into
+// the trie's level arrays without materializing a permuted copy; r itself
+// is not modified. Scratch buffers come from an internal Builder pool, so
+// repeated builds (the per-cube loop of the engines) are allocation-light.
 func Build(r *relation.Relation, attrs []string) *Trie {
-	if len(attrs) != len(r.Attrs) {
-		panic(fmt.Sprintf("trie: attr order %v is not a permutation of %v", attrs, r.Attrs))
-	}
-	cols := make([]int, len(attrs))
-	for i, a := range attrs {
-		j := r.AttrIndex(a)
-		if j < 0 {
-			panic(fmt.Sprintf("trie: attr order %v is not a permutation of %v", attrs, r.Attrs))
-		}
-		cols[i] = j
-	}
-	// Materialize the permuted relation, then sort+dedup.
-	perm := relation.NewWithCapacity(r.Name, r.Len(), attrs...)
-	row := make([]Value, len(attrs))
-	for i, n := 0, r.Len(); i < n; i++ {
-		t := r.Tuple(i)
-		for j, c := range cols {
-			row[j] = t[c]
-		}
-		perm.AppendTuple(row)
-	}
-	perm.SortDedup()
-	return FromSorted(perm)
+	b := builderPool.Get().(*Builder)
+	t := b.Build(r, attrs)
+	builderPool.Put(b)
+	return t
 }
 
 // FromSorted constructs a trie from a relation already sorted

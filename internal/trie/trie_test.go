@@ -268,6 +268,26 @@ func TestCodecPropertyRoundtrip(t *testing.T) {
 	}
 }
 
+// A corrupt payload whose starts point outside the level's value array
+// must fail at decode time, not panic at join time.
+func TestCodecRejectsOutOfRangeStarts(t *testing.T) {
+	good := Build(mkRel([]string{"a", "b"}, [][]Value{{1, 2}, {3, 4}}), []string{"a", "b"})
+	bogus := &Trie{Attrs: good.Attrs, NumTuples: good.NumTuples, Levels: []Level{
+		{Vals: good.Levels[0].Vals, Starts: []int32{0, 99}}, // 99 > len(vals)
+		good.Levels[1],
+	}}
+	if _, err := Decode(Encode(bogus)); err == nil {
+		t.Fatal("decode must reject starts beyond the value array")
+	}
+	descending := &Trie{Attrs: good.Attrs, NumTuples: good.NumTuples, Levels: []Level{
+		good.Levels[0],
+		{Vals: good.Levels[1].Vals, Starts: []int32{2, 0, 4}},
+	}}
+	if _, err := Decode(Encode(descending)); err == nil {
+		t.Fatal("decode must reject descending starts")
+	}
+}
+
 func TestTrieShape(t *testing.T) {
 	// Shared prefixes must be stored once.
 	r := mkRel([]string{"a", "b"}, [][]Value{{1, 1}, {1, 2}, {1, 3}, {2, 1}})
