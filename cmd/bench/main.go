@@ -1,15 +1,22 @@
 // Command bench snapshots the performance of the execution hot path so PRs
 // have a trajectory to compare against. It runs the tier-2 micro-benchmarks
-// (trie build, single-cube Leapfrog, shuffle encode/decode) plus the
-// triangle query end-to-end on every engine over a generated power-law
-// graph, verifies the engines agree on the result count, and writes a JSON
-// snapshot (BENCH_1.json at the repo root by convention).
+// (trie build — row-major and columnar, single-cube Leapfrog, shuffle
+// encode/decode on both layouts, hash partitioning) plus the triangle
+// query end-to-end on every engine over a generated power-law graph,
+// verifies the engines agree on the result count, and writes a JSON
+// snapshot (BENCH_<n>.json at the repo root by convention).
 //
-//	go run ./cmd/bench                  # writes BENCH_1.json
-//	go run ./cmd/bench -scale 0.1 -out /tmp/b.json
+// When a reference snapshot exists (-ref, default BENCH_1.json), the
+// output embeds a before/after comparison for every shared benchmark key,
+// so BENCH_2.json directly reports the columnar-layout wins over the PR-1
+// numbers.
+//
+//	go run ./cmd/bench                  # writes BENCH_2.json, compares to BENCH_1.json
+//	go run ./cmd/bench -scale 0.1 -out /tmp/b.json -ref ""
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +51,14 @@ type EngineRun struct {
 	WallSeconds    float64 `json:"wall_seconds"`
 }
 
+// VsRef compares one benchmark against the reference snapshot: speedup > 1
+// means this snapshot is faster.
+type VsRef struct {
+	RefNsPerOp float64 `json:"ref_ns_op"`
+	NsPerOp    float64 `json:"ns_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // Snapshot is the written file.
 type Snapshot struct {
 	Generated    string               `json:"generated"`
@@ -56,6 +71,10 @@ type Snapshot struct {
 	Benchmarks   map[string]Metric    `json:"benchmarks"`
 	EncodedBytes map[string]int       `json:"encoded_bytes_per_block"`
 	Engines      map[string]EngineRun `json:"engines"`
+	// Reference names the snapshot the VsReference section compares
+	// against (empty when none was found).
+	Reference   string           `json:"reference,omitempty"`
+	VsReference map[string]VsRef `json:"vs_reference,omitempty"`
 }
 
 func metricOf(r testing.BenchmarkResult) Metric {
@@ -215,7 +234,8 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_1.json", "output JSON path")
+		out     = flag.String("out", "BENCH_2.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_1.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
@@ -265,6 +285,22 @@ func main() {
 			buildReference(edges, []string{"src", "dst"})
 		}
 	})
+	// Columnar layout: same radix builder over a columnar-resident source
+	// (the layout every shuffled block arrives in after PR 2).
+	colEdges := edges.Clone().PivotToColumns()
+	snap.Benchmarks["trie_build_columnar"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trie.Build(colEdges, []string{"src", "dst"})
+		}
+	})
+	sortedColEdges := edges.Clone().PivotToColumns().Sort()
+	snap.Benchmarks["trie_build_columnar_sorted"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trie.Build(sortedColEdges, []string{"src", "dst"})
+		}
+	})
 
 	// --- Single-cube Leapfrog: join over pre-built tries, and the full
 	// cube pipeline (trie construction + join) the engines actually run ---
@@ -306,10 +342,15 @@ func main() {
 		}
 	})
 
-	// --- Shuffle codec: batched delta format vs legacy fixed-width ---
+	// --- Shuffle codec: batched delta format vs legacy fixed-width, plus
+	// the columnar encoder (one contiguous run per column, no gather) ---
 	block := edges.Clone()
 	block.Sort()
+	colBlock := block.Clone().PivotToColumns()
 	encoded := relation.Encode(block)
+	if colEnc := relation.Encode(colBlock); !bytes.Equal(encoded, colEnc) {
+		fatal(fmt.Errorf("columnar encoder produced different wire bytes"))
+	}
 	encodedRaw := relation.EncodeRaw(block)
 	snap.EncodedBytes["delta"] = len(encoded)
 	snap.EncodedBytes["raw"] = len(encodedRaw)
@@ -318,6 +359,12 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			scratch = relation.AppendEncode(scratch[:0], block)
+		}
+	})
+	snap.Benchmarks["shuffle_encode_columnar"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scratch = relation.AppendEncode(scratch[:0], colBlock)
 		}
 	})
 	snap.Benchmarks["shuffle_encode_reference"] = bench(func(b *testing.B) {
@@ -365,6 +412,22 @@ func main() {
 			snap.Benchmarks["shuffle_decode_reference"].AllocsPerOp,
 	}
 
+	// --- Hash partitioner: column-scan hash + single scatter, row-major
+	// vs columnar-resident input (the BinaryJoin/BigJoin repartition and
+	// the sampler's value partitioning) ---
+	snap.Benchmarks["partition_rowmajor"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			edges.PartitionBy([]int{0}, *workers)
+		}
+	})
+	snap.Benchmarks["partition_columnar"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			colEdges.PartitionBy([]int{0}, *workers)
+		}
+	})
+
 	// --- End-to-end engines on the triangle query; counts must agree ---
 	var wantResults int64 = -1
 	for _, name := range engine.EngineNames() {
@@ -394,6 +457,35 @@ func main() {
 			name, rep.Results, rep.TuplesShuffled, rep.BytesShuffled)
 	}
 
+	// --- Reference comparison: embed before/after ratios for every
+	// benchmark key the reference snapshot also measured ---
+	if *ref != "" {
+		if refData, err := os.ReadFile(*ref); err == nil {
+			var refSnap Snapshot
+			if err := json.Unmarshal(refData, &refSnap); err != nil {
+				fatal(fmt.Errorf("parse reference %s: %w", *ref, err))
+			}
+			snap.Reference = *ref
+			snap.VsReference = map[string]VsRef{}
+			for name, m := range snap.Benchmarks {
+				rm, ok := refSnap.Benchmarks[name]
+				if !ok || rm.NsPerOp <= 0 {
+					continue
+				}
+				snap.VsReference[name] = VsRef{
+					RefNsPerOp: rm.NsPerOp,
+					NsPerOp:    m.NsPerOp,
+					Speedup:    rm.NsPerOp / m.NsPerOp,
+				}
+			}
+			for name, v := range snap.VsReference {
+				fmt.Fprintf(os.Stderr, "vs %s: %-28s %.2fx\n", *ref, name, v.Speedup)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "reference %s not found; skipping comparison\n", *ref)
+		}
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -409,6 +501,7 @@ func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	os.Exit(1)
 }
+
 
 // countJoin runs the production joiner and returns the result count.
 func countJoin(tries []*trie.Trie, order []string) int64 {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPTransport routes envelopes over real loopback TCP sockets using a
@@ -71,7 +72,35 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 		}
 	}
 
-	errCh := make(chan error, 2*t.n*t.n)
+	// A failed sender (dial or write error) never delivers its connection,
+	// so without intervention the destination's receiver goroutine would
+	// block in Accept forever and wg.Wait below would hang. The first
+	// failure on either side therefore aborts the exchange: an immediate
+	// accept deadline on every listener makes pending and future Accepts
+	// return (unblocking all receivers), and in-flight sender connections
+	// are torn down (unblocking senders stuck in large writes). The
+	// triggering error is recorded as the exchange's root cause; collateral
+	// errors the abort itself provokes (deadline-exceeded accepts,
+	// closed-connection writes) are discarded. Deadlines are cleared before
+	// returning so the transport stays usable for the next exchange.
+	live := &connSet{conns: make(map[net.Conn]struct{})}
+	var abortOnce sync.Once
+	var rootCause error // written inside abortOnce; read only after wg.Wait
+	abort := func(cause error) {
+		abortOnce.Do(func() {
+			rootCause = cause
+			now := time.Now()
+			for _, l := range t.listeners {
+				if tl, ok := l.(*net.TCPListener); ok {
+					tl.SetDeadline(now)
+				}
+			}
+			// Also tear down in-flight sender connections: a sender blocked
+			// in a large write to a destination that stopped accepting
+			// would otherwise never return.
+			live.abortAll()
+		})
+	}
 	var wg sync.WaitGroup
 
 	// Receivers.
@@ -85,13 +114,18 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 			for c := 0; c < expect[d]; c++ {
 				conn, err := t.listeners[d].Accept()
 				if err != nil {
-					errCh <- fmt.Errorf("tcp transport: accept on %d: %w", d, err)
+					// Abort even on independent accept failures (fd
+					// exhaustion, concurrent Close): senders blocked in a
+					// large write to this destination must be unblocked or
+					// wg.Wait hangs. A no-op recording nothing when the
+					// accept error was itself caused by an abort deadline.
+					abort(fmt.Errorf("tcp transport: accept on %d: %w", d, err))
 					return
 				}
 				envs, err := readFrames(conn)
 				conn.Close()
 				if err != nil {
-					errCh <- fmt.Errorf("tcp transport: read on %d: %w", d, err)
+					abort(fmt.Errorf("tcp transport: read on %d: %w", d, err))
 					return
 				}
 				outMu.Lock()
@@ -113,13 +147,22 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 				defer wg.Done()
 				conn, err := net.Dial("tcp", t.addrs[d])
 				if err != nil {
-					errCh <- fmt.Errorf("tcp transport: dial %d: %w", d, err)
+					abort(fmt.Errorf("tcp transport: dial %d: %w", d, err))
 					return
 				}
-				defer conn.Close()
+				if !live.add(conn) {
+					// Exchange already aborted; the root-cause error is
+					// recorded by whoever called abort.
+					conn.Close()
+					return
+				}
+				defer func() {
+					live.remove(conn)
+					conn.Close()
+				}()
 				for _, e := range envs {
 					if err := writeFrame(conn, e); err != nil {
-						errCh <- fmt.Errorf("tcp transport: write to %d: %w", d, err)
+						abort(fmt.Errorf("tcp transport: write to %d: %w", d, err))
 						return
 					}
 				}
@@ -128,11 +171,39 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 	}
 
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			return nil, err
+	if rootCause != nil {
+		// Drain stale backlog connections before the listeners are
+		// re-armed: a sender that dialed and wrote successfully while its
+		// receiver was already gone leaves a fully-written connection in
+		// the kernel accept queue, and the next exchange on this transport
+		// would otherwise accept it and mistake the previous exchange's
+		// envelopes for its own. Accept with an already-expired deadline
+		// errors without dequeuing, so each drain attempt arms a short
+		// future deadline: queued connections are returned immediately and
+		// an empty queue costs one bounded wait.
+		for _, l := range t.listeners {
+			tl, ok := l.(*net.TCPListener)
+			if !ok {
+				continue
+			}
+			for {
+				tl.SetDeadline(time.Now().Add(10 * time.Millisecond))
+				conn, err := tl.Accept()
+				if err != nil {
+					break
+				}
+				conn.Close()
+			}
 		}
+	}
+	// Re-arm the listeners for the next exchange.
+	for _, l := range t.listeners {
+		if tl, ok := l.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Time{})
+		}
+	}
+	if rootCause != nil {
+		return nil, rootCause
 	}
 	return out, nil
 }
@@ -152,6 +223,42 @@ func (t *TCPTransport) Close() error {
 		}
 	}
 	return first
+}
+
+// connSet tracks the sender connections of one in-flight exchange so an
+// abort can tear them all down (unblocking writes stuck against a
+// destination that stopped accepting).
+type connSet struct {
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	aborted bool
+}
+
+// add registers c; it reports false (without registering) when the
+// exchange has already been aborted, in which case the caller must close c.
+func (cs *connSet) add(c net.Conn) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.aborted {
+		return false
+	}
+	cs.conns[c] = struct{}{}
+	return true
+}
+
+func (cs *connSet) remove(c net.Conn) {
+	cs.mu.Lock()
+	delete(cs.conns, c)
+	cs.mu.Unlock()
+}
+
+func (cs *connSet) abortAll() {
+	cs.mu.Lock()
+	cs.aborted = true
+	for c := range cs.conns {
+		c.Close()
+	}
+	cs.mu.Unlock()
 }
 
 func writeFrame(w io.Writer, e Envelope) error {

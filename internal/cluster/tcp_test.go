@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// deadAddr returns a loopback address that refuses connections (a port
+// that was bound and released).
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// routeWithTimeout runs Route and fails the test if it hangs — the
+// regression this guards against is Route blocking forever in wg.Wait when
+// a sender dies and its receiver keeps waiting in Accept.
+func routeWithTimeout(t *testing.T, tr *TCPTransport, bySender [][]Envelope, d time.Duration) ([][]Envelope, error) {
+	t.Helper()
+	type result struct {
+		out [][]Envelope
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := tr.Route(bySender)
+		done <- result{out, err}
+	}()
+	select {
+	case r := <-done:
+		return r.out, r.err
+	case <-time.After(d):
+		t.Fatal("TCPTransport.Route hung after a sender failure (deadlock regression)")
+		return nil, nil
+	}
+}
+
+// TestTCPRouteSenderFailureReturnsError kills a sender mid-exchange by
+// pointing its destination at a dead address: the dial fails, no
+// connection ever reaches the destination's listener, and Route must
+// surface the sender error instead of hanging in Accept.
+func TestTCPRouteSenderFailureReturnsError(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.addrs[1] = deadAddr(t)
+
+	bySender := make([][]Envelope, 2)
+	bySender[0] = []Envelope{{From: 0, To: 1, Key: "k", Payload: []byte("payload")}}
+	if _, err := routeWithTimeout(t, tr, bySender, 30*time.Second); err == nil {
+		t.Fatal("Route should report the failed sender")
+	}
+}
+
+// TestTCPRoutePartialSenderFailure mixes healthy and dead destinations:
+// the healthy exchange leg completes, the dead one errors, and Route
+// still returns (with the sender error) instead of deadlocking on the
+// receiver that never gets its connection.
+func TestTCPRoutePartialSenderFailure(t *testing.T) {
+	tr, err := NewTCPTransport(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.addrs[2] = deadAddr(t)
+
+	bySender := make([][]Envelope, 3)
+	bySender[0] = []Envelope{
+		{From: 0, To: 1, Key: "ok", Payload: []byte("a")},
+		{From: 0, To: 2, Key: "dead", Payload: []byte("b")},
+	}
+	bySender[1] = []Envelope{{From: 1, To: 1, Key: "self", Payload: []byte("c")}}
+	if _, err := routeWithTimeout(t, tr, bySender, 30*time.Second); err == nil {
+		t.Fatal("Route should report the failed sender")
+	}
+}
+
+// TestTCPRouteRecoversAfterFailure verifies the abort path re-arms the
+// listeners: a failed exchange must not poison the next one.
+func TestTCPRouteRecoversAfterFailure(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	good := tr.addrs[1]
+	tr.addrs[1] = deadAddr(t)
+
+	bySender := make([][]Envelope, 2)
+	bySender[0] = []Envelope{{From: 0, To: 1, Key: "k", Payload: []byte("x")}}
+	if _, err := routeWithTimeout(t, tr, bySender, 30*time.Second); err == nil {
+		t.Fatal("first route should fail")
+	}
+
+	tr.addrs[1] = good
+	out, err := routeWithTimeout(t, tr, bySender, 30*time.Second)
+	if err != nil {
+		t.Fatalf("second route should succeed: %v", err)
+	}
+	if len(out[1]) != 1 || out[1][0].Key != "k" || string(out[1][0].Payload) != "x" {
+		t.Fatalf("second route delivered %+v", out[1])
+	}
+}
+
+// TestTCPRouteNoStaleBacklogAfterAbort stresses the abort path for backlog
+// contamination: in exchange 1, sender 0→1 dials and writes successfully
+// while sender 1→0 fails, so the abort can fire before receiver 1 accepts
+// the healthy connection, leaving it in the kernel backlog. Exchange 2 on
+// the same transport must never be handed exchange 1's envelopes.
+func TestTCPRouteNoStaleBacklogAfterAbort(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		tr, err := NewTCPTransport(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := tr.addrs[0]
+		tr.addrs[0] = deadAddr(t)
+
+		first := make([][]Envelope, 2)
+		first[0] = []Envelope{{From: 0, To: 1, Key: "OLD", Payload: []byte("stale")}}
+		first[1] = []Envelope{{From: 1, To: 0, Key: "doomed", Payload: []byte("x")}}
+		if _, err := routeWithTimeout(t, tr, first, 30*time.Second); err == nil {
+			tr.Close()
+			t.Fatal("first route should fail")
+		}
+
+		tr.addrs[0] = good
+		second := make([][]Envelope, 2)
+		second[0] = []Envelope{{From: 0, To: 1, Key: "NEW", Payload: []byte("fresh")}}
+		out, err := routeWithTimeout(t, tr, second, 30*time.Second)
+		if err != nil {
+			tr.Close()
+			t.Fatalf("iter %d: second route failed: %v", iter, err)
+		}
+		if len(out[1]) != 1 || out[1][0].Key != "NEW" {
+			tr.Close()
+			t.Fatalf("iter %d: exchange 2 received stale envelopes: %+v", iter, out[1])
+		}
+		tr.Close()
+	}
+}
+
+// TestTCPRouteNoStaleBacklogBusyReceiver is the harder contamination
+// scenario: receiver 1 is kept busy reading a multi-megabyte frame while a
+// second, fully-written small connection parks in its accept backlog; the
+// abort (triggered by a third, dead destination) kills the big transfer,
+// the receiver exits with the small connection still queued, and exchange
+// 2 must not be handed its envelopes.
+func TestTCPRouteNoStaleBacklogBusyReceiver(t *testing.T) {
+	big := make([]byte, 4<<20)
+	for iter := 0; iter < 40; iter++ {
+		tr, err := NewTCPTransport(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := tr.addrs[2]
+		tr.addrs[2] = deadAddr(t)
+
+		first := make([][]Envelope, 3)
+		first[0] = []Envelope{{From: 0, To: 1, Key: "OLD-big", Payload: big}}
+		first[1] = []Envelope{
+			{From: 1, To: 1, Key: "OLD-small", Payload: []byte("stale")},
+			{From: 1, To: 2, Key: "doomed", Payload: []byte("x")},
+		}
+		if _, err := routeWithTimeout(t, tr, first, 30*time.Second); err == nil {
+			tr.Close()
+			t.Fatal("first route should fail")
+		}
+
+		tr.addrs[2] = good
+		second := make([][]Envelope, 3)
+		second[0] = []Envelope{{From: 0, To: 1, Key: "NEW", Payload: []byte("fresh")}}
+		out, err := routeWithTimeout(t, tr, second, 30*time.Second)
+		if err != nil {
+			tr.Close()
+			t.Fatalf("iter %d: second route failed: %v", iter, err)
+		}
+		if len(out[1]) != 1 || out[1][0].Key != "NEW" {
+			tr.Close()
+			t.Fatalf("iter %d: exchange 2 received stale envelopes: %d envs, first key %q",
+				iter, len(out[1]), out[1][0].Key)
+		}
+		tr.Close()
+	}
+}

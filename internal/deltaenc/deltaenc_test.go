@@ -1,0 +1,173 @@
+package deltaenc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZigzagRoundtripBoundaries(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 63, -64, math.MaxInt64, math.MinInt64, math.MaxInt64 - 1, math.MinInt64 + 1}
+	for _, v := range cases {
+		if got := Unzigzag(Zigzag(v)); got != v {
+			t.Errorf("Unzigzag(Zigzag(%d)) = %d", v, got)
+		}
+	}
+	// Zigzag must map small magnitudes to small codes (the property the
+	// width choice depends on).
+	if Zigzag(0) != 0 || Zigzag(-1) != 1 || Zigzag(1) != 2 || Zigzag(-2) != 3 {
+		t.Errorf("zigzag order broken: %d %d %d %d", Zigzag(0), Zigzag(-1), Zigzag(1), Zigzag(-2))
+	}
+	if Zigzag(math.MinInt64) != math.MaxUint64 {
+		t.Errorf("Zigzag(MinInt64) = %d, want MaxUint64", Zigzag(math.MinInt64))
+	}
+}
+
+func TestWidthForBoundaries(t *testing.T) {
+	cases := []struct {
+		z uint64
+		w int
+	}{
+		{0, 0},
+		{1, 1}, {255, 1},
+		{256, 2}, {65535, 2},
+		{65536, 4}, {1<<32 - 1, 4},
+		{1 << 32, 8}, {math.MaxUint64, 8},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.z); got != c.w {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.z, got, c.w)
+		}
+	}
+}
+
+func TestValidWidth(t *testing.T) {
+	for w := -1; w <= 16; w++ {
+		want := w == 0 || w == 1 || w == 2 || w == 4 || w == 8
+		if got := ValidWidth(w); got != want {
+			t.Errorf("ValidWidth(%d) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+// runRoundtrip encodes vals, asserts the chosen width, and decodes back.
+func runRoundtrip(t *testing.T, vals []int64, wantWidth int) {
+	t.Helper()
+	buf := AppendRun(nil, vals)
+	if len(buf) == 0 || int(buf[0]) != wantWidth {
+		t.Fatalf("vals %v: encoded width %d, want %d", vals, buf[0], wantWidth)
+	}
+	if want := 1 + len(vals)*wantWidth; len(buf) != want {
+		t.Fatalf("vals %v: encoded %d bytes, want %d", vals, len(buf), want)
+	}
+	out := make([]int64, len(vals))
+	used, err := DecodeRun(buf, out)
+	if err != nil {
+		t.Fatalf("vals %v: decode: %v", vals, err)
+	}
+	if used != len(buf) {
+		t.Fatalf("vals %v: consumed %d bytes, want %d", vals, used, len(buf))
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("vals %v: decoded %v", vals, out)
+		}
+	}
+}
+
+func TestRunRoundtripEveryWidth(t *testing.T) {
+	runRoundtrip(t, []int64{0, 0, 0, 0}, 0)                                  // all-zero deltas (first delta is vs 0)
+	runRoundtrip(t, []int64{0, 1, 2, 3, -60}, 1)                             // |zigzag| < 1<<8
+	runRoundtrip(t, []int64{0, 1000, 2000, -30000}, 2)                       // < 1<<16
+	runRoundtrip(t, []int64{0, 1 << 20, 1 << 21, -(1 << 29)}, 4)             // < 1<<32
+	runRoundtrip(t, []int64{0, 1 << 40, -(1 << 40)}, 8)                      // wide deltas
+	runRoundtrip(t, []int64{math.MaxInt64}, 8)                               // zigzag(MaxInt64) needs 8
+	runRoundtrip(t, []int64{math.MinInt64}, 8)                               // zigzag(MinInt64) = MaxUint64
+	runRoundtrip(t, []int64{math.MinInt64, math.MaxInt64, math.MinInt64}, 8) // full-range swings
+	runRoundtrip(t, nil, 0)                                                  // empty run is one width byte
+}
+
+func TestRunRoundtripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(64)
+		vals := make([]int64, n)
+		for i := range vals {
+			switch rng.Intn(4) {
+			case 0:
+				vals[i] = int64(rng.Intn(256))
+			case 1:
+				vals[i] = rng.Int63n(1 << 20)
+			case 2:
+				vals[i] = -rng.Int63n(1 << 40)
+			default:
+				vals[i] = int64(rng.Uint64()) // full range, incl. MinInt64 region
+			}
+		}
+		buf := AppendRun(nil, vals)
+		out := make([]int64, n)
+		used, err := DecodeRun(buf, out)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", iter, err)
+		}
+		if used != len(buf) {
+			t.Fatalf("iter %d: consumed %d of %d bytes", iter, used, len(buf))
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				t.Fatalf("iter %d: value %d: got %d want %d", iter, i, out[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestAppendRunPreservesPrefix(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	buf := AppendRun(append([]byte(nil), prefix...), []int64{1, 2, 3})
+	if buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Fatalf("prefix clobbered: % x", buf[:2])
+	}
+	out := make([]int64, 3)
+	if _, err := DecodeRun(buf[2:], out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("decoded %v", out)
+	}
+}
+
+func TestDecodeRunErrors(t *testing.T) {
+	out := make([]int64, 4)
+	if _, err := DecodeRun(nil, out); err == nil {
+		t.Error("empty buffer: want missing-width error")
+	}
+	for _, w := range []byte{3, 5, 6, 7, 9, 255} {
+		if _, err := DecodeRun([]byte{w, 0, 0, 0, 0}, out); err == nil {
+			t.Errorf("width %d: want bad-width error", w)
+		}
+	}
+	// Truncated payloads at every valid width.
+	for _, w := range []int{1, 2, 4, 8} {
+		full := AppendRun(nil, []int64{1 << (8 * (w - 1)), 2 << (8 * (w - 1)), 0, 0}[:4])
+		for cut := 1; cut < len(full); cut++ {
+			if _, err := DecodeRun(full[:cut], out); err == nil {
+				t.Errorf("width %d: truncation at %d bytes not detected", w, cut)
+			}
+		}
+	}
+}
+
+func TestExtendReusesCapacity(t *testing.T) {
+	base := make([]byte, 2, 64)
+	got := Extend(base, 10)
+	if len(got) != 12 {
+		t.Fatalf("len=%d", len(got))
+	}
+	if &got[0] != &base[0] {
+		t.Error("Extend should reuse capacity in place")
+	}
+	grown := Extend(make([]byte, 2, 4), 10)
+	if len(grown) != 12 {
+		t.Fatalf("grown len=%d", len(grown))
+	}
+}

@@ -295,33 +295,71 @@ func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope) error {
 }
 
 // groupBlocks buckets a fragment's tuples by block signature into one
-// contiguous backing array (two counting passes, no per-block growth).
-// It returns ascending signatures and, aligned with them, the non-empty
-// blocks; block relations alias the shared backing and may be sorted in
-// place by the caller.
+// contiguous columnar backing per attribute (a signature pass, a counting
+// pass, then one scatter of row slots — no per-block growth). It returns
+// ascending signatures and, aligned with them, the non-empty blocks; block
+// relations alias the shared backing column-wise and may be sorted in
+// place by the caller. Columnar blocks feed straight into the columnar
+// sort/encode (Push, Pull) and trie-build (Merge) fast paths; a
+// columnar-resident fragment additionally computes the signature hashes
+// as per-column sequential scans.
 func groupBlocks(frag *relation.Relation, s Shares, relPos []int, ri RelInfo) ([]int, []*relation.Relation) {
 	n := frag.Len()
 	k := frag.Arity()
 	nb := s.NumBlocks(relPos)
 	sigOf := make([]int32, n)
+	fragCols := colsIfResident(frag)
+	if fragCols != nil {
+		// Mixed-radix signature accumulated one column at a time: the exact
+		// sum BlockSig computes per row, reordered into sequential scans.
+		stride := 1
+		for j, p := range relPos {
+			col := fragCols[j]
+			pv := s.P[p]
+			for i := 0; i < n; i++ {
+				sigOf[i] += int32(relation.HashValue(col[i], pv) * stride)
+			}
+			stride *= pv
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			sigOf[i] = int32(s.BlockSig(relPos, frag.Tuple(i)))
+		}
+	}
 	counts := make([]int32, nb+1)
-	for i := 0; i < n; i++ {
-		sig := s.BlockSig(relPos, frag.Tuple(i))
-		sigOf[i] = int32(sig)
+	for _, sig := range sigOf {
 		counts[sig+1]++
 	}
 	for b := 1; b <= nb; b++ {
 		counts[b] += counts[b-1]
 	}
 	offsets := counts // prefix sums; counts[sig] = first row slot of sig
-	backing := make([]relation.Value, n*k)
+	// One slot per row, computed once; every column scatters through it.
+	slots := make([]int32, n)
 	fill := make([]int32, nb)
-	data := frag.Data()
-	for i := 0; i < n; i++ {
-		sig := sigOf[i]
-		slot := int(offsets[sig]+fill[sig]) * k
-		copy(backing[slot:slot+k], data[i*k:(i+1)*k])
+	for i, sig := range sigOf {
+		slots[i] = offsets[sig] + fill[sig]
 		fill[sig]++
+	}
+	backCols := make([][]relation.Value, k)
+	for j := 0; j < k; j++ {
+		backCols[j] = make([]relation.Value, n)
+	}
+	if fragCols != nil {
+		for j, col := range fragCols {
+			back := backCols[j]
+			for i, slot := range slots {
+				back[slot] = col[i]
+			}
+		}
+	} else {
+		data := frag.Data()
+		for i, slot := range slots {
+			row := data[i*k : (i+1)*k]
+			for j, v := range row {
+				backCols[j][slot] = v
+			}
+		}
 	}
 	var sigs []int
 	var blocks []*relation.Relation
@@ -331,13 +369,26 @@ func groupBlocks(frag *relation.Relation, s Shares, relPos []int, ri RelInfo) ([
 			continue
 		}
 		b := relation.New(ri.Name, ri.Attrs...)
-		// Three-index slice: cap the block at its own region so an append
-		// reallocates instead of overwriting the next block's rows.
-		b.SetData(backing[lo*k : hi*k : hi*k])
+		// Three-index slices: cap each block column at its own region so an
+		// append reallocates instead of overwriting the next block's rows.
+		blockCols := make([][]relation.Value, k)
+		for j := 0; j < k; j++ {
+			blockCols[j] = backCols[j][lo:hi:hi]
+		}
+		b.SetColumns(blockCols)
 		sigs = append(sigs, sig)
 		blocks = append(blocks, b)
 	}
 	return sigs, blocks
+}
+
+// colsIfResident returns the fragment's column views only when they are
+// already materialized (never forces a transpose).
+func colsIfResident(r *relation.Relation) [][]relation.Value {
+	if !r.ColumnsResident() {
+		return nil
+	}
+	return r.Columns()
 }
 
 // blockServers returns the distinct servers hosting cubes matching sig.

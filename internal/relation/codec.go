@@ -47,6 +47,11 @@ func extend(dst []byte, n int) []byte { return deltaenc.Extend(dst, n) }
 // AppendEncode serializes r onto dst (which may be nil or a recycled
 // buffer) and returns the extended slice. This is the allocation-free path:
 // callers that pool their buffers pay nothing beyond the payload itself.
+//
+// A columnar-resident relation encodes each column as one contiguous
+// deltaenc run — a pure sequential scan with no gather loop; row-major
+// input uses the strided column loops below. Both produce byte-identical
+// payloads (the per-run format is shared with deltaenc.AppendRun).
 func AppendEncode(dst []byte, r *Relation) []byte {
 	dst = append(dst, codecMagic)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Name)))
@@ -60,6 +65,12 @@ func AppendEncode(dst []byte, r *Relation) []byte {
 	n := r.Len()
 	dst = binary.AppendUvarint(dst, uint64(n))
 	if n == 0 || k == 0 {
+		return dst
+	}
+	if cs := r.colsView(); cs != nil {
+		for _, col := range cs {
+			dst = deltaenc.AppendRun(dst, col)
+		}
 		return dst
 	}
 	data := r.data
@@ -117,7 +128,7 @@ func AppendEncode(dst []byte, r *Relation) []byte {
 func Encode(r *Relation) []byte {
 	// Capacity guess: headers plus ~3 bytes per value for sorted id runs;
 	// a pathological run grows once.
-	hint := 16 + len(r.Name) + len(r.data)*3
+	hint := 16 + len(r.Name) + r.Len()*r.Arity()*3
 	for _, a := range r.Attrs {
 		hint += 8 + len(a)
 	}
@@ -133,12 +144,18 @@ func Decode(buf []byte) (*Relation, error) {
 	return &r, nil
 }
 
-// DecodeInto deserializes into r, reusing r's backing data array (when its
+// DecodeInto deserializes into r, reusing r's backing arrays (when their
 // capacity suffices) and r's schema strings (when they match the payload).
 // Receivers that decode a stream of blocks into one scratch relation
 // allocate nothing in steady state. r must be owned by the caller — its
 // arrays are overwritten, so never pass a relation whose data or Attrs are
 // shared (e.g. via Renamed).
+//
+// The decoded relation is columnar-resident: each wire column is one
+// contiguous delta run, so decode writes every column with a single
+// sequential pass and downstream consumers (trie builds, cube appends)
+// pick up the columnar fast paths. Row-major views materialize lazily via
+// Data/Tuple.
 func DecodeInto(buf []byte, r *Relation) error {
 	if len(buf) == 0 || buf[0] != codecMagic {
 		return fmt.Errorf("relation decode: bad magic (want 0x%02x)", codecMagic)
@@ -226,51 +243,38 @@ func DecodeInto(buf []byte, r *Relation) error {
 		}
 		walk += n * w
 	}
-	var data []Value
-	if cap(r.data) >= total {
-		data = r.data[:total]
+	cols := r.cols
+	if cap(cols) >= k {
+		cols = cols[:k]
 	} else {
-		data = make([]Value, total)
+		cols = make([][]Value, k)
+	}
+	for j := 0; j < k; j++ {
+		if cap(cols[j]) >= n {
+			cols[j] = cols[j][:n]
+		} else {
+			cols[j] = make([]Value, n)
+		}
 	}
 	for j := 0; j < k && n > 0; j++ {
-		w := int(buf[off])
-		off++
-		in := buf[off : off+n*w]
-		off += n * w
-		prev := Value(0)
-		switch w {
-		case 0:
-			for i := j; i < total; i += k {
-				data[i] = 0
-			}
-		case 1:
-			for i, o := j, 0; i < total; i, o = i+k, o+1 {
-				prev += unzigzag(uint64(in[o]))
-				data[i] = prev
-			}
-		case 2:
-			for i, o := j, 0; i < total; i, o = i+k, o+2 {
-				prev += unzigzag(uint64(binary.LittleEndian.Uint16(in[o:])))
-				data[i] = prev
-			}
-		case 4:
-			for i, o := j, 0; i < total; i, o = i+k, o+4 {
-				prev += unzigzag(uint64(binary.LittleEndian.Uint32(in[o:])))
-				data[i] = prev
-			}
-		default:
-			for i, o := j, 0; i < total; i, o = i+k, o+8 {
-				prev += unzigzag(binary.LittleEndian.Uint64(in[o:]))
-				data[i] = prev
-			}
+		used, err := deltaenc.DecodeRun(buf[off:], cols[j])
+		if err != nil {
+			return fmt.Errorf("relation decode: column %d: %w", j, err)
 		}
+		off += used
 	}
 	if off != len(buf) {
 		return fmt.Errorf("relation decode: %d trailing bytes", len(buf)-off)
 	}
 	r.Name = name
 	r.Attrs = attrs
-	r.data = data
+	r.cols = cols
+	if k > 0 {
+		r.lay = layoutCols
+	} else {
+		r.data = r.data[:0]
+		r.lay = layoutRows
+	}
 	return nil
 }
 

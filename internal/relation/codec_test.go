@@ -183,3 +183,61 @@ func BenchmarkDecodeRaw(b *testing.B) {
 		}
 	}
 }
+
+// TestCodecCorruptPayloadFuzz hammers the decoder with randomly corrupted
+// and truncated payloads produced by the columnar encoder. Decode must
+// never panic or over-allocate; it either errors or returns a structurally
+// consistent relation (corruption of value bytes can silently change
+// values — that is the transport checksum's job, not the codec's).
+func TestCodecCorruptPayloadFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		arity := 1 + rng.Intn(4)
+		attrs := make([]string, arity)
+		for i := range attrs {
+			attrs[i] = string(rune('a' + i))
+		}
+		r := New("F", attrs...)
+		for i, n := 0, rng.Intn(40); i < n; i++ {
+			row := make([]Value, arity)
+			for j := range row {
+				row[j] = Value(rng.Int63n(1<<30) - 1<<29)
+			}
+			r.AppendTuple(row)
+		}
+		buf := Encode(r.PivotToColumns())
+		mut := append([]byte(nil), buf...)
+		switch rng.Intn(3) {
+		case 0: // single byte flip
+			if len(mut) > 0 {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			mut = mut[:rng.Intn(len(mut)+1)]
+		default: // flip then truncate
+			if len(mut) > 0 {
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+				mut = mut[:rng.Intn(len(mut)+1)]
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("iter %d: decoder panicked on corrupt payload: %v", iter, p)
+				}
+			}()
+			dec, err := Decode(mut)
+			if err != nil {
+				return
+			}
+			// Structural consistency: every column the same length, Len
+			// and arity coherent, row view materializable.
+			if dec.Arity() > 64 {
+				t.Fatalf("iter %d: implausible arity %d accepted", iter, dec.Arity())
+			}
+			if got := len(dec.Data()); got != dec.Len()*dec.Arity() {
+				t.Fatalf("iter %d: inconsistent decoded shape: %d values for %dx%d", iter, got, dec.Len(), dec.Arity())
+			}
+		}()
+	}
+}

@@ -1,0 +1,282 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Columnar backing store: per-attribute value slices plus the lazy pivots
+// between the row-major and column-major representations.
+//
+// The column-major layout turns the three hot per-column consumers into
+// sequential scans: the trie builder's radix passes read one contiguous
+// column per level, the shuffle codec encodes/decodes each column as one
+// delta run with no gather loop, and the hash partitioner hashes a column
+// scan and scatters each column once. Row-major stays the layout of choice
+// for tuple-at-a-time construction (Append) and row enumeration (Tuple);
+// the pivot between them is a single transpose, performed lazily and cached
+// until the next mutation.
+
+// rows returns the row-major backing, materializing it from the columnar
+// store if needed. The result is a read view: the columnar store remains
+// valid (layoutBoth).
+func (r *Relation) rows() []Value {
+	if r.lay == layoutCols {
+		k := len(r.Attrs)
+		n := 0
+		if k > 0 {
+			n = len(r.cols[0])
+		}
+		total := n * k
+		if cap(r.data) >= total {
+			r.data = r.data[:total]
+		} else {
+			r.data = make([]Value, total)
+		}
+		for j, col := range r.cols {
+			d := r.data
+			for i, v := range col {
+				d[i*k+j] = v
+			}
+		}
+		r.lay = layoutBoth
+	}
+	return r.data
+}
+
+// mutableRows is rows plus invalidation of the columnar mirror: callers are
+// about to mutate the row-major store.
+func (r *Relation) mutableRows() []Value {
+	d := r.rows()
+	r.lay = layoutRows
+	return d
+}
+
+// columns returns the column-major backing, materializing it from the
+// row-major store if needed. The result is a read view (layoutBoth).
+func (r *Relation) columns() [][]Value {
+	if r.lay == layoutRows {
+		k := len(r.Attrs)
+		n := r.Len()
+		cs := r.cols
+		if cap(cs) >= k {
+			cs = cs[:k]
+		} else {
+			cs = make([][]Value, k)
+		}
+		for j := 0; j < k; j++ {
+			if cap(cs[j]) >= n {
+				cs[j] = cs[j][:n]
+			} else {
+				cs[j] = make([]Value, n)
+			}
+		}
+		d := r.data
+		for i := 0; i < n; i++ {
+			row := d[i*k : (i+1)*k]
+			for j, v := range row {
+				cs[j][i] = v
+			}
+		}
+		r.cols = cs
+		r.lay = layoutBoth
+	}
+	return r.cols
+}
+
+// mutableColsEmptyOK returns the columnar backing ready for column-wise
+// mutation, switching an empty relation to columnar layout without forcing
+// a transpose. The caller must reassign r.cols if it appends.
+func (r *Relation) mutableColsEmptyOK() [][]Value {
+	k := len(r.Attrs)
+	if r.lay == layoutRows && r.Len() == 0 {
+		cs := r.cols
+		if cap(cs) >= k {
+			cs = cs[:k]
+			for j := range cs {
+				cs[j] = cs[j][:0]
+			}
+		} else {
+			cs = make([][]Value, k)
+		}
+		r.cols = cs
+		r.lay = layoutCols
+		return cs
+	}
+	cs := r.columns()
+	r.lay = layoutCols
+	return cs
+}
+
+// Columns returns per-column value views (read-only by convention, like
+// Data), materializing the columnar store from row-major data if needed.
+// Column j holds attribute Attrs[j] for every tuple in row order.
+func (r *Relation) Columns() [][]Value { return r.columns() }
+
+// Column returns the values of column j (read-only by convention).
+func (r *Relation) Column(j int) []Value { return r.columns()[j] }
+
+// ColumnsResident reports whether the columnar representation is currently
+// materialized and in sync; hot paths use it to pick the layout-native
+// kernel without forcing a transpose.
+func (r *Relation) ColumnsResident() bool { return r.lay != layoutRows }
+
+// RowsResident reports whether the row-major representation is currently
+// materialized and in sync.
+func (r *Relation) RowsResident() bool { return r.lay != layoutCols }
+
+// colsView returns the resident column slices, or nil when the relation is
+// row-major only. Package-internal fast-path accessor: never transposes.
+func (r *Relation) colsView() [][]Value {
+	if r.lay == layoutRows {
+		return nil
+	}
+	return r.cols
+}
+
+// checkColumns validates a caller-supplied column batch: one slice per
+// attribute, all the same length. Shared by FromColumns, SetColumns and
+// AppendColumns so the contract cannot drift between them.
+func checkColumns(name string, nattrs int, cols [][]Value) {
+	if len(cols) != nattrs {
+		panic(fmt.Sprintf("relation %q: %d columns != %d attrs", name, len(cols), nattrs))
+	}
+	for j := 1; j < len(cols); j++ {
+		if len(cols[j]) != len(cols[0]) {
+			panic(fmt.Sprintf("relation %q: column %d length %d != column 0 length %d", name, j, len(cols[j]), len(cols[0])))
+		}
+	}
+}
+
+// FromColumns builds a columnar relation taking ownership of cols (one
+// slice per attribute, all the same length).
+func FromColumns(name string, attrs []string, cols [][]Value) *Relation {
+	checkColumns(name, len(attrs), cols)
+	r := &Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+	if len(attrs) > 0 {
+		r.cols = cols
+		r.lay = layoutCols
+	}
+	return r
+}
+
+// SetColumns replaces the backing store with the given columns (the
+// columnar analogue of SetData). Takes ownership of cols.
+func (r *Relation) SetColumns(cols [][]Value) {
+	checkColumns(r.Name, len(r.Attrs), cols)
+	if len(r.Attrs) == 0 {
+		return
+	}
+	r.cols = cols
+	r.lay = layoutCols
+}
+
+// AppendColumns appends one batch of column slices (aligned with Attrs,
+// equal lengths) column-wise; the relation becomes/stays columnar.
+func (r *Relation) AppendColumns(cols [][]Value) {
+	checkColumns(r.Name, len(r.Attrs), cols)
+	if len(r.Attrs) == 0 {
+		return
+	}
+	dst := r.mutableColsEmptyOK()
+	for j := range dst {
+		dst[j] = append(dst[j], cols[j]...)
+	}
+	r.cols = dst
+}
+
+// PivotToColumns makes the columnar representation authoritative (the
+// explicit pivot point of the dual layout), materializing it if needed, and
+// returns the receiver. Subsequent row-major reads transpose lazily.
+func (r *Relation) PivotToColumns() *Relation {
+	if len(r.Attrs) == 0 {
+		return r
+	}
+	r.columns()
+	r.lay = layoutCols
+	return r
+}
+
+// PivotToRows makes the row-major representation authoritative,
+// materializing it if needed, and returns the receiver.
+func (r *Relation) PivotToRows() *Relation {
+	r.rows()
+	r.lay = layoutRows
+	return r
+}
+
+func cloneCols(cols [][]Value) [][]Value {
+	out := make([][]Value, len(cols))
+	for j, c := range cols {
+		out[j] = append([]Value(nil), c...)
+	}
+	return out
+}
+
+// sortCols sorts a columnar-resident relation lexicographically in place:
+// it sorts a row-index permutation (comparisons resolve in the first
+// columns almost always) and then applies the permutation to each column
+// with one sequential write pass.
+func (r *Relation) sortCols() {
+	cols := r.cols
+	n := len(cols[0])
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for _, c := range cols {
+			if c[a] != c[b] {
+				return c[a] < c[b]
+			}
+		}
+		return false
+	})
+	identity := true
+	for i, p := range idx {
+		if p != int32(i) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return
+	}
+	tmp := make([]Value, n)
+	for _, col := range cols {
+		for i, p := range idx {
+			tmp[i] = col[p]
+		}
+		copy(col, tmp)
+	}
+}
+
+// dedupCols removes adjacent duplicate rows of a columnar-resident
+// relation in place (the relation must be sorted, as for Dedup).
+func (r *Relation) dedupCols() {
+	cols := r.cols
+	n := len(cols[0])
+	w := 1
+	for i := 1; i < n; i++ {
+		dup := true
+		for _, c := range cols {
+			if c[i] != c[w-1] {
+				dup = false
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if w != i {
+			for _, c := range cols {
+				c[w] = c[i]
+			}
+		}
+		w++
+	}
+	for j := range cols {
+		cols[j] = cols[j][:w]
+	}
+}

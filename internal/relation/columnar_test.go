@@ -1,0 +1,309 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomRelation builds a random row-major relation with the given arity.
+func randomRelation(rng *rand.Rand, name string, arity, n, domain int) *Relation {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = string(rune('a' + i))
+	}
+	r := New(name, attrs...)
+	for i := 0; i < n; i++ {
+		row := make([]Value, arity)
+		for j := range row {
+			row[j] = Value(rng.Intn(domain))
+		}
+		r.AppendTuple(row)
+	}
+	return r
+}
+
+func TestColumnsTransposeRoundtrip(t *testing.T) {
+	r := FromTuples("R", []string{"a", "b", "c"}, [][]Value{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	cols := r.Columns()
+	if len(cols) != 3 {
+		t.Fatalf("columns=%d", len(cols))
+	}
+	for j, want := range [][]Value{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}} {
+		for i := range want {
+			if cols[j][i] != want[i] {
+				t.Fatalf("col %d = %v, want %v", j, cols[j], want)
+			}
+		}
+	}
+	if !r.ColumnsResident() || !r.RowsResident() {
+		t.Fatal("after Columns() both representations should be in sync")
+	}
+	// A row mutation invalidates the columnar mirror; the next Columns()
+	// call must reflect the new content.
+	r.Append(10, 11, 12)
+	if r.ColumnsResident() {
+		t.Fatal("Append must invalidate the columnar view")
+	}
+	if got := r.Column(0); len(got) != 4 || got[3] != 10 {
+		t.Fatalf("column 0 after append = %v", got)
+	}
+}
+
+func TestFromColumnsLazyRowPivot(t *testing.T) {
+	r := FromColumns("R", []string{"x", "y"}, [][]Value{{1, 3, 5}, {2, 4, 6}})
+	if r.Len() != 3 || r.Arity() != 2 {
+		t.Fatalf("len=%d arity=%d", r.Len(), r.Arity())
+	}
+	if r.RowsResident() {
+		t.Fatal("fresh columnar relation should not have rows materialized")
+	}
+	if tup := r.Tuple(1); tup[0] != 3 || tup[1] != 4 {
+		t.Fatalf("tuple 1 = %v", tup)
+	}
+	if !r.RowsResident() {
+		t.Fatal("Tuple must materialize the row-major view")
+	}
+	want := FromTuples("R", []string{"x", "y"}, [][]Value{{1, 2}, {3, 4}, {5, 6}})
+	if !r.Equal(want) {
+		t.Fatalf("pivot mismatch:\n%v\nvs\n%v", r, want)
+	}
+}
+
+func TestAppendAllAdoptsColumnarLayout(t *testing.T) {
+	src := FromColumns("S", []string{"x", "y"}, [][]Value{{1, 2}, {10, 20}})
+	dst := New("D", "x", "y")
+	dst.AppendAll(src)
+	if !dst.ColumnsResident() || dst.RowsResident() {
+		t.Fatal("append of a columnar block into an empty relation should stay columnar")
+	}
+	dst.AppendAll(src)
+	if dst.Len() != 4 {
+		t.Fatalf("len=%d", dst.Len())
+	}
+	want := FromTuples("D", []string{"x", "y"}, [][]Value{{1, 10}, {2, 20}, {1, 10}, {2, 20}})
+	if !dst.Equal(want) {
+		t.Fatalf("got %v", dst)
+	}
+	// Mutating the source afterwards must not affect dst (AppendAll copies).
+	src.Columns()[0][0] = 99
+	if dst.Tuple(0)[0] != 1 {
+		t.Fatal("AppendAll must copy column data")
+	}
+}
+
+func TestAppendColumns(t *testing.T) {
+	r := New("R", "a", "b")
+	r.AppendColumns([][]Value{{1, 2}, {5, 6}})
+	r.AppendColumns([][]Value{{3}, {7}})
+	want := FromTuples("R", []string{"a", "b"}, [][]Value{{1, 5}, {2, 6}, {3, 7}})
+	if !r.Equal(want) {
+		t.Fatalf("got %v want %v", r, want)
+	}
+}
+
+func TestClonePreservesColumnarLayout(t *testing.T) {
+	r := FromColumns("R", []string{"a"}, [][]Value{{1, 2, 3}})
+	c := r.Clone()
+	if !c.ColumnsResident() {
+		t.Fatal("clone of a columnar relation should stay columnar")
+	}
+	c.Columns()[0][0] = 42
+	if r.Column(0)[0] != 1 {
+		t.Fatal("clone must deep-copy columns")
+	}
+}
+
+func TestRenamedCopiesAttrsSlice(t *testing.T) {
+	r := FromTuples("R", []string{"a", "b"}, [][]Value{{1, 2}})
+	s := r.Renamed("S")
+	// In-place schema mutation of the renamed relation must not alias the
+	// receiver's schema (regression: Renamed used to share the Attrs slice).
+	s.Attrs[0] = "x"
+	if r.Attrs[0] != "a" {
+		t.Fatalf("renaming aliased the schema: %v", r.Attrs)
+	}
+	if s.Tuple(0)[0] != 1 {
+		t.Fatal("renamed relation lost data")
+	}
+}
+
+func TestSortDedupColumnarMatchesRowMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		arity := 1 + rng.Intn(4)
+		n := rng.Intn(120)
+		row := randomRelation(rng, "R", arity, n, 8) // small domain forces duplicates
+		col := row.Clone().PivotToColumns()
+		row.Sort().Dedup()
+		col.Sort().Dedup()
+		if !col.ColumnsResident() {
+			t.Fatal("columnar relation should stay columnar through Sort/Dedup")
+		}
+		if !row.Equal(col) {
+			t.Fatalf("iter %d: sort+dedup diverged:\n%v\nvs\n%v", iter, row, col)
+		}
+	}
+}
+
+func TestPartitionByColumnarMatchesRowMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 60; iter++ {
+		arity := 1 + rng.Intn(3)
+		n := rng.Intn(200)
+		parts := 1 + rng.Intn(5)
+		row := randomRelation(rng, "R", arity, n, 1000)
+		col := row.Clone().PivotToColumns()
+		var cols []int
+		nc := 1 + rng.Intn(arity)
+		perm := rng.Perm(arity)
+		cols = append(cols, perm[:nc]...)
+		rp := row.PartitionBy(cols, parts)
+		cp := col.PartitionBy(cols, parts)
+		if len(rp) != len(cp) {
+			t.Fatalf("iter %d: %d vs %d partitions", iter, len(rp), len(cp))
+		}
+		for p := range rp {
+			if !rp[p].Equal(cp[p]) {
+				t.Fatalf("iter %d: partition %d diverged:\n%v\nvs\n%v", iter, p, rp[p], cp[p])
+			}
+		}
+	}
+}
+
+func TestEncodeColumnarRowMajorIdenticalBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 80; iter++ {
+		arity := 1 + rng.Intn(4)
+		n := rng.Intn(150)
+		row := randomRelation(rng, "R", arity, n, 1<<20)
+		if rng.Intn(2) == 0 {
+			row.Sort() // exercise the sorted-run case the shuffle ships
+		}
+		col := row.Clone().PivotToColumns()
+		rb := Encode(row)
+		cb := Encode(col)
+		if !bytes.Equal(rb, cb) {
+			t.Fatalf("iter %d: wire bytes diverge between layouts (%d vs %d bytes)", iter, len(rb), len(cb))
+		}
+		dec, err := Decode(cb)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", iter, err)
+		}
+		if !dec.Equal(row) {
+			t.Fatalf("iter %d: decode mismatch", iter)
+		}
+	}
+}
+
+func TestDecodeIsColumnarResident(t *testing.T) {
+	r := FromTuples("R", []string{"a", "b"}, [][]Value{{1, 2}, {3, 4}})
+	dec, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.ColumnsResident() || dec.RowsResident() {
+		t.Fatal("decoded relation should be columnar-resident")
+	}
+	if !dec.Equal(r) {
+		t.Fatalf("roundtrip mismatch: %v", dec)
+	}
+}
+
+func TestDecodeIntoReusesColumnBacking(t *testing.T) {
+	big := New("big", "a", "b")
+	for i := 0; i < 1000; i++ {
+		big.Append(Value(i), Value(i*2))
+	}
+	var scratch Relation
+	if err := DecodeInto(Encode(big), &scratch); err != nil {
+		t.Fatal(err)
+	}
+	firstBacking := &scratch.cols[0][0]
+	small := FromTuples("small", []string{"a", "b"}, [][]Value{{5, 6}})
+	if err := DecodeInto(Encode(small), &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if !scratch.Equal(small) {
+		t.Fatal("second decode mismatch")
+	}
+	if &scratch.cols[0][0] != firstBacking {
+		t.Fatal("DecodeInto should reuse column backing when capacity suffices")
+	}
+}
+
+func TestHashJoinAcrossLayoutsMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for iter := 0; iter < 40; iter++ {
+		r := randomRelation(rng, "R", 2, rng.Intn(60), 20)
+		r.Attrs = []string{"a", "b"}
+		s := randomRelation(rng, "S", 2, rng.Intn(60), 20)
+		s.Attrs = []string{"b", "c"}
+		want := HashJoin(r, s).SortDedup()
+		got := HashJoin(r.Clone().PivotToColumns(), s.Clone().PivotToColumns()).SortDedup()
+		if !want.Equal(got) {
+			t.Fatalf("iter %d: join diverged across layouts", iter)
+		}
+	}
+}
+
+func TestPivotsAreInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	r := randomRelation(rng, "R", 3, 100, 50)
+	orig := r.Clone()
+	r.PivotToColumns().PivotToRows().PivotToColumns()
+	if !r.Equal(orig) {
+		t.Fatal("pivot roundtrip changed content")
+	}
+}
+
+// TestRenamedAliasMutationStaysConsistent is the layout-aliasing
+// regression: after a sibling created by Renamed sorts the shared backing
+// in place, the original must not serve a stale cached transpose — its
+// secondary view has to be re-derived from the mutated storage.
+func TestRenamedAliasMutationStaysConsistent(t *testing.T) {
+	r := FromTuples("R", []string{"a", "b"}, [][]Value{{3, 30}, {1, 10}, {2, 20}})
+	r.Columns() // cache the columnar mirror (layoutBoth)
+	s := r.Renamed("S")
+	s.Sort() // mutates the shared row backing in place
+	wantCol0 := []Value{1, 2, 3}
+	got := r.Column(0)
+	for i := range wantCol0 {
+		if got[i] != wantCol0[i] {
+			t.Fatalf("original served a stale columnar view after sibling sort: col0=%v", got)
+		}
+	}
+	if r.Tuple(0)[0] != 1 || s.Tuple(0)[0] != 1 {
+		t.Fatalf("shared backing not sorted: r=%v s=%v", r.Tuple(0), s.Tuple(0))
+	}
+
+	// Columnar-authoritative receiver: the sibling shares the columns.
+	c := FromColumns("C", []string{"a"}, [][]Value{{3, 1, 2}})
+	cs := c.Renamed("CS")
+	cs.Sort()
+	if v := c.Column(0); v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("columnar sibling sort not visible through alias: %v", v)
+	}
+}
+
+// TestRenamedColumnarAliasHeaderIsolation: length-changing operations on a
+// columnar Renamed sibling must not change the original's row count — the
+// outer column-header slice is private per alias even though the column
+// contents are shared.
+func TestRenamedColumnarAliasHeaderIsolation(t *testing.T) {
+	r := FromColumns("R", []string{"a", "b"}, [][]Value{{1, 2}, {10, 20}})
+	s := r.Renamed("S")
+	s.AppendAll(FromColumns("X", []string{"a", "b"}, [][]Value{{3}, {30}}))
+	if r.Len() != 2 {
+		t.Fatalf("append through renamed alias changed original's length: %d", r.Len())
+	}
+	if s.Len() != 3 {
+		t.Fatalf("alias append lost rows: %d", s.Len())
+	}
+	// Shared content still mutates through either alias (documented).
+	s2 := r.Renamed("S2")
+	s2.Columns()[0][0] = 7
+	if r.Column(0)[0] != 7 {
+		t.Fatal("column contents should remain shared")
+	}
+}

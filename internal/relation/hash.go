@@ -38,13 +38,82 @@ func HashTuple(t Tuple, parts int) int {
 // PartitionBy splits r into parts relations by hashing the listed columns.
 // Tuples with equal values on cols land in the same partition — the
 // contract hash joins rely on.
+//
+// Both layouts run in two passes: hash every row into a partition id
+// (a pure column scan for a single-column key on columnar input), count,
+// then scatter each row exactly once into exact-size backing. A
+// columnar-resident relation yields columnar partitions (scattering one
+// column at a time); row-major input yields row-major partitions.
 func (r *Relation) PartitionBy(cols []int, parts int) []*Relation {
+	n := r.Len()
+	part, counts := r.partitionIDs(cols, parts, n)
 	out := make([]*Relation, parts)
-	for i := range out {
-		out[i] = New(r.Name, r.Attrs...)
+	if cs := r.colsView(); cs != nil {
+		k := len(r.Attrs)
+		outCols := make([][][]Value, parts)
+		for p := 0; p < parts; p++ {
+			outCols[p] = make([][]Value, k)
+			for j := 0; j < k; j++ {
+				outCols[p][j] = make([]Value, counts[p])
+			}
+		}
+		cur := make([]int32, parts)
+		for j, col := range cs {
+			for i := range cur {
+				cur[i] = 0
+			}
+			for i := 0; i < n; i++ {
+				p := part[i]
+				outCols[p][j][cur[p]] = col[i]
+				cur[p]++
+			}
+		}
+		for p := 0; p < parts; p++ {
+			out[p] = FromColumns(r.Name, r.Attrs, outCols[p])
+		}
+		return out
+	}
+	k := len(r.Attrs)
+	data := r.rows()
+	bufs := make([][]Value, parts)
+	for p := 0; p < parts; p++ {
+		bufs[p] = make([]Value, 0, int(counts[p])*k)
+	}
+	for i := 0; i < n; i++ {
+		p := part[i]
+		bufs[p] = append(bufs[p], data[i*k:(i+1)*k]...)
+	}
+	for p := 0; p < parts; p++ {
+		out[p] = New(r.Name, r.Attrs...)
+		out[p].SetData(bufs[p])
+	}
+	return out
+}
+
+// partitionIDs hashes every row into [0, parts) and returns per-row ids
+// plus per-partition counts. Single-column keys over columnar input hash
+// one contiguous column; multi-column keys gather into a scratch tuple
+// (the FNV combination is order-sensitive, so it must see whole rows).
+func (r *Relation) partitionIDs(cols []int, parts, n int) ([]int32, []int32) {
+	part := make([]int32, n)
+	counts := make([]int32, parts)
+	if parts <= 1 {
+		if parts == 1 {
+			counts[0] = int32(n)
+		}
+		return part, counts
+	}
+	if cs := r.colsView(); cs != nil && len(cols) == 1 {
+		col := cs[cols[0]]
+		for i := 0; i < n; i++ {
+			p := int32(HashValue(col[i], parts))
+			part[i] = p
+			counts[p]++
+		}
+		return part, counts
 	}
 	kbuf := make([]Value, len(cols))
-	for i, n := 0, r.Len(); i < n; i++ {
+	for i := 0; i < n; i++ {
 		t := r.Tuple(i)
 		var p int
 		if len(cols) == 1 {
@@ -55,7 +124,8 @@ func (r *Relation) PartitionBy(cols []int, parts int) []*Relation {
 			}
 			p = HashTuple(kbuf, parts)
 		}
-		out[p].AppendTuple(t)
+		part[i] = int32(p)
+		counts[p]++
 	}
-	return out
+	return part, counts
 }

@@ -21,12 +21,39 @@ type Value = int64
 // must copy before retaining it across mutations.
 type Tuple = []Value
 
+// layout tracks which backing representation currently holds the
+// relation's content. The zero value is layoutRows, so a zero Relation is a
+// valid empty row-major relation.
+type layout uint8
+
+const (
+	// layoutRows: data is authoritative; cols may be stale scratch.
+	layoutRows layout = iota
+	// layoutCols: cols is authoritative; data may be stale scratch.
+	layoutCols
+	// layoutBoth: data and cols hold identical content (a read-only
+	// materialized view of one from the other). Any mutation collapses the
+	// layout back to the representation it was applied to.
+	layoutBoth
+)
+
 // Relation is a multiset of tuples with a fixed schema.
-// Tuples are stored row-major in a single flat slice.
+//
+// Tuples live in one of two backing stores: a row-major flat slice (data)
+// or a column-major slice-per-attribute (cols). Either side can be
+// authoritative; the other is materialized lazily on first access and kept
+// as a read-only view until the next mutation (see layout). The row-major
+// API (Tuple, Append, Data, Sort, ...) keeps working on columnar relations
+// via that lazy transpose, while the hot paths — the trie builder's radix
+// passes, the shuffle codec's per-column delta runs, and the hash
+// partitioner — operate on whichever representation is resident and prefer
+// columnar when both are.
 type Relation struct {
 	Name  string
 	Attrs []string
 	data  []Value
+	cols  [][]Value
+	lay   layout
 }
 
 // New returns an empty relation with the given name and schema.
@@ -68,13 +95,18 @@ func (r *Relation) Len() int {
 	if len(r.Attrs) == 0 {
 		return 0
 	}
+	if r.lay == layoutCols {
+		return len(r.cols[0])
+	}
 	return len(r.data) / len(r.Attrs)
 }
 
-// Tuple returns the i-th row as a slice aliasing internal storage.
+// Tuple returns the i-th row as a slice aliasing internal (row-major)
+// storage, materializing it from the columnar store if necessary.
 func (r *Relation) Tuple(i int) Tuple {
 	k := len(r.Attrs)
-	return r.data[i*k : (i+1)*k]
+	d := r.rows()
+	return d[i*k : (i+1)*k]
 }
 
 // Append adds one row. It panics if the arity does not match the schema:
@@ -83,7 +115,7 @@ func (r *Relation) Append(vals ...Value) {
 	if len(vals) != len(r.Attrs) {
 		panic(fmt.Sprintf("relation %q: append arity %d != schema arity %d", r.Name, len(vals), len(r.Attrs)))
 	}
-	r.data = append(r.data, vals...)
+	r.data = append(r.mutableRows(), vals...)
 }
 
 // AppendTuple adds one row without the variadic copy.
@@ -91,19 +123,32 @@ func (r *Relation) AppendTuple(t Tuple) {
 	if len(t) != len(r.Attrs) {
 		panic(fmt.Sprintf("relation %q: append arity %d != schema arity %d", r.Name, len(t), len(r.Attrs)))
 	}
-	r.data = append(r.data, t...)
+	r.data = append(r.mutableRows(), t...)
 }
 
 // AppendAll concatenates all tuples of s (same arity required) onto r.
+// When the source is columnar-resident and the receiver is columnar (or
+// still empty), the append runs column-wise and the receiver stays
+// columnar — the path shuffle receivers take when folding decoded blocks
+// into cube databases.
 func (r *Relation) AppendAll(s *Relation) {
 	if len(s.Attrs) != len(r.Attrs) {
 		panic(fmt.Sprintf("relation %q: appendAll arity %d != %d", r.Name, len(s.Attrs), len(r.Attrs)))
 	}
-	r.data = append(r.data, s.data...)
+	if s.lay != layoutRows && (r.lay == layoutCols || (r.Len() == 0 && len(r.Attrs) > 0)) {
+		dst := r.mutableColsEmptyOK()
+		for j := range dst {
+			dst[j] = append(dst[j], s.cols[j]...)
+		}
+		r.cols = dst
+		return
+	}
+	r.data = append(r.mutableRows(), s.rows()...)
 }
 
-// Data exposes the raw row-major value block (read-only by convention).
-func (r *Relation) Data() []Value { return r.data }
+// Data exposes the raw row-major value block (read-only by convention),
+// materializing it from the columnar store if necessary.
+func (r *Relation) Data() []Value { return r.rows() }
 
 // SetData replaces the backing array. len(d) must be a multiple of arity.
 func (r *Relation) SetData(d []Value) {
@@ -111,18 +156,48 @@ func (r *Relation) SetData(d []Value) {
 		panic(fmt.Sprintf("relation %q: data length %d not a multiple of arity %d", r.Name, len(d), len(r.Attrs)))
 	}
 	r.data = d
+	r.lay = layoutRows
 }
 
-// Clone deep-copies the relation.
+// Clone deep-copies the relation, preserving its resident representation.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{Name: r.Name, Attrs: append([]string(nil), r.Attrs...)}
-	c.data = append([]Value(nil), r.data...)
+	c := &Relation{Name: r.Name, Attrs: append([]string(nil), r.Attrs...), lay: r.lay}
+	switch r.lay {
+	case layoutCols:
+		c.cols = cloneCols(r.cols)
+	case layoutBoth:
+		c.data = append([]Value(nil), r.data...)
+		c.cols = cloneCols(r.cols)
+	default:
+		c.data = append([]Value(nil), r.data...)
+	}
 	return c
 }
 
-// Renamed returns a shallow copy with a different name (shares tuple data).
+// Renamed returns a shallow copy with a different name: tuple storage is
+// shared, but the Attrs slice is copied (like Clone) so a later schema
+// mutation on either relation cannot alias the other.
+//
+// Only the authoritative representation is shared. A receiver holding both
+// views in sync is first collapsed to its row-major side, so an in-place
+// mutation through either alias cannot leave the other serving a stale
+// cached transpose: the sibling re-derives its secondary view from the
+// shared (mutated) backing on next access.
 func (r *Relation) Renamed(name string) *Relation {
-	return &Relation{Name: name, Attrs: r.Attrs, data: r.data}
+	s := &Relation{Name: name, Attrs: append([]string(nil), r.Attrs...)}
+	if r.lay == layoutBoth {
+		r.lay = layoutRows
+	}
+	if r.lay == layoutCols {
+		// Copy the outer slice so length-changing operations on one alias
+		// (append, dedup) rewrite only its own column headers; the column
+		// contents stay shared, matching row-major sharing semantics.
+		s.cols = append([][]Value(nil), r.cols...)
+		s.lay = layoutCols
+	} else {
+		s.data = r.data
+	}
+	return s
 }
 
 // AttrIndex returns the position of attribute a in the schema, or -1.
@@ -140,7 +215,7 @@ func (r *Relation) HasAttr(a string) bool { return r.AttrIndex(a) >= 0 }
 
 // SizeBytes returns the in-memory payload size (8 bytes per value), the unit
 // the cost model charges for communication.
-func (r *Relation) SizeBytes() int64 { return int64(len(r.data)) * 8 }
+func (r *Relation) SizeBytes() int64 { return int64(r.Len()*r.Arity()) * 8 }
 
 // String renders a compact human-readable form (used by tests and the CLI).
 func (r *Relation) String() string {
@@ -160,12 +235,18 @@ func (r *Relation) String() string {
 }
 
 // Sort orders tuples lexicographically in place and returns the receiver.
+// Columnar-resident relations stay columnar: the sort computes a row
+// permutation and applies it column by column.
 func (r *Relation) Sort() *Relation {
 	k := len(r.Attrs)
 	if k == 0 || r.Len() < 2 {
 		return r
 	}
-	sort.Sort(&rowSorter{data: r.data, k: k, tmp: make([]Value, k)})
+	if r.lay == layoutCols {
+		r.sortCols()
+		return r
+	}
+	sort.Sort(&rowSorter{data: r.mutableRows(), k: k, tmp: make([]Value, k)})
 	return r
 }
 
@@ -187,7 +268,7 @@ func (r *Relation) SortByColumns(cols []int) *Relation {
 			full = append(full, c)
 		}
 	}
-	sort.Sort(&rowSorterCols{data: r.data, k: k, cols: full, tmp: make([]Value, k)})
+	sort.Sort(&rowSorterCols{data: r.mutableRows(), k: k, cols: full, tmp: make([]Value, k)})
 	return r
 }
 
@@ -199,14 +280,19 @@ func (r *Relation) Dedup() *Relation {
 	if n < 2 {
 		return r
 	}
+	if r.lay == layoutCols {
+		r.dedupCols()
+		return r
+	}
+	d := r.mutableRows()
 	w := 1
 	for i := 1; i < n; i++ {
-		if !equalRows(r.data, (w-1)*k, i*k, k) {
-			copy(r.data[w*k:(w+1)*k], r.data[i*k:(i+1)*k])
+		if !equalRows(d, (w-1)*k, i*k, k) {
+			copy(d[w*k:(w+1)*k], d[i*k:(i+1)*k])
 			w++
 		}
 	}
-	r.data = r.data[:w*k]
+	r.data = d[:w*k]
 	return r
 }
 
@@ -215,6 +301,8 @@ func (r *Relation) SortDedup() *Relation { return r.Sort().Dedup() }
 
 // Equal reports whether two relations have identical schema and identical
 // tuple sequences (order-sensitive; sort both first for multiset equality).
+// Representation does not matter: a columnar relation equals its row-major
+// transpose.
 func (r *Relation) Equal(s *Relation) bool {
 	if len(r.Attrs) != len(s.Attrs) {
 		return false
@@ -224,11 +312,23 @@ func (r *Relation) Equal(s *Relation) bool {
 			return false
 		}
 	}
-	if len(r.data) != len(s.data) {
+	if r.Len() != s.Len() {
 		return false
 	}
-	for i := range r.data {
-		if r.data[i] != s.data[i] {
+	if r.lay != layoutRows && s.lay != layoutRows {
+		for j := range r.cols {
+			rc, sc := r.cols[j], s.cols[j]
+			for i := range rc {
+				if rc[i] != sc[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rd, sd := r.rows(), s.rows()
+	for i := range rd {
+		if rd[i] != sd[i] {
 			return false
 		}
 	}

@@ -22,8 +22,9 @@ type Builder struct {
 	tmpIdx  []int32  // radix ping-pong buffer
 	keys    []uint64 // gathered (sign-flipped) column keys, aligned with idx
 	tmpKeys []uint64
-	cols    []int   // permuted column positions in the source relation
-	first   []int32 // first column where sorted row i differs from row i-1; k = duplicate
+	cols    []int     // permuted column positions in the source relation
+	first   []int32   // first column where sorted row i differs from row i-1; k = duplicate
+	pcols   [][]Value // per-level column views for the columnar build path
 }
 
 // NewBuilder returns an empty builder; scratch grows on first use.
@@ -62,6 +63,13 @@ func (b *Builder) Build(r *relation.Relation, attrs []string) *Trie {
 		if k > 0 {
 			t.Levels[0].Starts = []int32{0, 0}
 		}
+		return t
+	}
+
+	if r.ColumnsResident() {
+		// Columnar fast path: every pass below becomes a per-column
+		// sequential scan instead of a stride-k walk over row blocks.
+		b.buildCols(t, r.Columns(), cols, k, n)
 		return t
 	}
 
@@ -211,36 +219,44 @@ func (b *Builder) sortRows(data []Value, cols []int, k, n int) []int32 {
 		if min == max {
 			continue
 		}
-		// Bytes strictly above the highest differing byte are constant.
-		hi := 0
-		for s := 1; s < 8; s++ {
-			if (min >> (8 * s)) != (max >> (8 * s)) {
-				hi = s
-			}
-		}
-		for s := 0; s <= hi; s++ {
-			shift := uint(8 * s)
-			var counts [256]int32
-			for _, u := range keys {
-				counts[(u>>shift)&0xff]++
-			}
-			var sum int32
-			for v := 0; v < 256; v++ {
-				cnt := counts[v]
-				counts[v] = sum
-				sum += cnt
-			}
-			for i, u := range keys {
-				p := counts[(u>>shift)&0xff]
-				counts[(u>>shift)&0xff] = p + 1
-				tmpIdx[p] = idx[i]
-				tmpKeys[p] = u
-			}
-			idx, tmpIdx = tmpIdx, idx
-			keys, tmpKeys = tmpKeys, keys
-		}
+		idx, tmpIdx, keys, tmpKeys = radixPasses(idx, tmpIdx, keys, tmpKeys, min, max)
 	}
 	return idx
+}
+
+// radixPasses runs the stable LSD byte passes over keys (skipping byte
+// positions constant across [min, max]) and returns the rotated buffers.
+// Shared by the row-major and columnar sort paths.
+func radixPasses(idx, tmpIdx []int32, keys, tmpKeys []uint64, min, max uint64) ([]int32, []int32, []uint64, []uint64) {
+	// Bytes strictly above the highest differing byte are constant.
+	hi := 0
+	for s := 1; s < 8; s++ {
+		if (min >> (8 * s)) != (max >> (8 * s)) {
+			hi = s
+		}
+	}
+	for s := 0; s <= hi; s++ {
+		shift := uint(8 * s)
+		var counts [256]int32
+		for _, u := range keys {
+			counts[(u>>shift)&0xff]++
+		}
+		var sum int32
+		for v := 0; v < 256; v++ {
+			cnt := counts[v]
+			counts[v] = sum
+			sum += cnt
+		}
+		for i, u := range keys {
+			p := counts[(u>>shift)&0xff]
+			counts[(u>>shift)&0xff] = p + 1
+			tmpIdx[p] = idx[i]
+			tmpKeys[p] = u
+		}
+		idx, tmpIdx = tmpIdx, idx
+		keys, tmpKeys = tmpKeys, keys
+	}
+	return idx, tmpIdx, keys, tmpKeys
 }
 
 // insertionSortRows sorts idx by lexicographic row comparison; used for the

@@ -1,0 +1,185 @@
+package trie
+
+// Columnar build path: when the source relation is columnar-resident the
+// builder never strides over row blocks. The first-difference marks are
+// computed with one sequential scan per column, radix key gathers read a
+// single contiguous column per pass, and the fill writes each trie level
+// from its own column — for pre-sorted input (the shuffle-block common
+// case) every pass is a pure sequential scan.
+
+// buildCols fills t from per-attribute column slices; rcols is indexed by
+// source column position, cols maps trie level d to its source column.
+func (b *Builder) buildCols(t *Trie, rcols [][]Value, cols []int, k, n int) {
+	b.grow(n)
+	if cap(b.pcols) < k {
+		b.pcols = make([][]Value, k)
+	}
+	pcols := b.pcols[:k]
+	for d := 0; d < k; d++ {
+		pcols[d] = rcols[cols[d]]
+	}
+
+	// First-difference marks, column-major: first[i] ends up as the first
+	// trie level where row i differs from row i-1 (k = duplicate). Scanning
+	// levels from deepest to shallowest makes the last write the smallest
+	// differing level, and each scan is one sequential pass over a column.
+	first := b.first[:n]
+	first[0] = 0
+	for i := 1; i < n; i++ {
+		first[i] = int32(k)
+	}
+	for d := k - 1; d >= 0; d-- {
+		col := pcols[d]
+		for i := 1; i < n; i++ {
+			if col[i] != col[i-1] {
+				first[i] = int32(d)
+			}
+		}
+	}
+	// Sortedness check: a row pair's order is decided at its first
+	// differing level.
+	sorted := true
+	for i := 1; i < n; i++ {
+		if f := first[i]; f < int32(k) && pcols[f][i] < pcols[f][i-1] {
+			sorted = false
+			break
+		}
+	}
+
+	idx := b.idx[:n]
+	if sorted {
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+	} else {
+		idx = b.sortRowsCols(pcols, k, n)
+		for i := 1; i < n; i++ {
+			a, c := idx[i-1], idx[i]
+			f := int32(k)
+			for d := 0; d < k; d++ {
+				if pcols[d][a] != pcols[d][c] {
+					f = int32(d)
+					break
+				}
+			}
+			first[i] = f
+		}
+		first[0] = 0
+	}
+
+	// Counting pass: nodes[d] = rows with first ≤ d = trie nodes at level d.
+	nodes := make([]int32, k)
+	for i := 0; i < n; i++ {
+		if f := first[i]; f < int32(k) {
+			nodes[f]++
+		}
+	}
+	for d := 1; d < k; d++ {
+		nodes[d] += nodes[d-1]
+	}
+	t.NumTuples = int(nodes[k-1])
+
+	for d := 0; d < k; d++ {
+		parents := int32(1)
+		if d > 0 {
+			parents = nodes[d-1]
+		}
+		t.Levels[d].Vals = make([]Value, 0, nodes[d])
+		t.Levels[d].Starts = make([]int32, 0, parents+1)
+	}
+	t.Levels[0].Starts = append(t.Levels[0].Starts, 0)
+
+	// Fill, level-major: creating a node at level d-1 opens a fresh child
+	// range at level d (its start recorded before the row's own value
+	// lands); a row with first-difference f contributes a value to every
+	// level ≥ f. Each level reads exactly one column.
+	for d := 0; d < k; d++ {
+		lvl := &t.Levels[d]
+		col := pcols[d]
+		if d == 0 {
+			for i := 0; i < n; i++ {
+				if first[i] == 0 {
+					lvl.Vals = append(lvl.Vals, col[idx[i]])
+				}
+			}
+			continue
+		}
+		df := int32(d)
+		for i := 0; i < n; i++ {
+			f := first[i]
+			if f < df {
+				lvl.Starts = append(lvl.Starts, int32(len(lvl.Vals)))
+			}
+			if f <= df {
+				lvl.Vals = append(lvl.Vals, col[idx[i]])
+			}
+		}
+	}
+	for d := 0; d < k; d++ {
+		t.Levels[d].Starts = append(t.Levels[d].Starts, int32(len(t.Levels[d].Vals)))
+	}
+	// Drop the column references before the Builder returns to its pool:
+	// a pooled Builder must not pin the source relation's data alive.
+	for d := range pcols {
+		pcols[d] = nil
+	}
+}
+
+// sortRowsCols mirrors sortRows over columnar input: the radix key gather
+// for level c reads the single contiguous column pcols[c].
+func (b *Builder) sortRowsCols(pcols [][]Value, k, n int) []int32 {
+	idx := b.idx[:n]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	if n < 48 {
+		insertionSortRowsCols(idx, pcols)
+		return idx
+	}
+	keys := b.keys[:n]
+	tmpIdx := b.tmpIdx[:n]
+	tmpKeys := b.tmpKeys[:n]
+	for c := k - 1; c >= 0; c-- {
+		col := pcols[c]
+		min, max := ^uint64(0), uint64(0)
+		for i, r := range idx {
+			u := uint64(col[r]) ^ signFlip
+			keys[i] = u
+			if u < min {
+				min = u
+			}
+			if u > max {
+				max = u
+			}
+		}
+		if min == max {
+			continue
+		}
+		idx, tmpIdx, keys, tmpKeys = radixPasses(idx, tmpIdx, keys, tmpKeys, min, max)
+	}
+	return idx
+}
+
+// insertionSortRowsCols sorts idx by lexicographic row comparison over
+// column slices; used for tiny inputs.
+func insertionSortRowsCols(idx []int32, pcols [][]Value) {
+	for i := 1; i < len(idx); i++ {
+		x := idx[i]
+		j := i - 1
+		for j >= 0 && rowLessCols(pcols, x, idx[j]) {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = x
+	}
+}
+
+func rowLessCols(pcols [][]Value, a, b int32) bool {
+	for _, col := range pcols {
+		va, vb := col[a], col[b]
+		if va != vb {
+			return va < vb
+		}
+	}
+	return false
+}

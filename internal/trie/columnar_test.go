@@ -1,0 +1,148 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"adj/internal/relation"
+)
+
+// randomRel builds a random relation; small domains force shared prefixes
+// and duplicate rows, the shapes that stress the trie fill.
+func randomRel(rng *rand.Rand, arity, n, domain int) *relation.Relation {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = string(rune('a' + i))
+	}
+	r := relation.New("R", attrs...)
+	row := make([]relation.Value, arity)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = relation.Value(rng.Intn(domain))
+		}
+		r.AppendTuple(row)
+	}
+	return r
+}
+
+// TestBuildColumnarMatchesRowMajor is the core layout-equivalence property:
+// building from a columnar-resident relation must produce a trie identical
+// (level arrays included) to building from its row-major twin, across
+// arities, permuted attribute orders, sorted and unsorted input.
+func TestBuildColumnarMatchesRowMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 150; iter++ {
+		arity := 1 + rng.Intn(4)
+		n := rng.Intn(120)
+		domain := []int{2, 5, 50, 10000}[rng.Intn(4)]
+		row := randomRel(rng, arity, n, domain)
+		if rng.Intn(2) == 0 {
+			row.Sort() // exercise the sortedness fast path
+		}
+		col := row.Clone().PivotToColumns()
+		attrs := append([]string(nil), row.Attrs...)
+		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+		tr := Build(row, attrs)
+		tc := Build(col, attrs)
+		if !triesEqual(tr, tc) {
+			t.Fatalf("iter %d (arity=%d n=%d dom=%d): columnar build diverged\nrow: %v\ncol: %v",
+				iter, arity, n, domain, tr, tc)
+		}
+		if !col.ColumnsResident() {
+			t.Fatalf("iter %d: Build must not de-materialize the columnar source", iter)
+		}
+	}
+}
+
+// TestBuildColumnarJoinEquivalence closes the loop at the semantic level:
+// enumerating the columnar-built trie yields exactly the sorted distinct
+// rows of the source relation.
+func TestBuildColumnarJoinEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 60; iter++ {
+		arity := 1 + rng.Intn(3)
+		row := randomRel(rng, arity, rng.Intn(100), 8)
+		want := row.Clone().SortDedup()
+		got := Build(row.Clone().PivotToColumns(), row.Attrs).ToRelation("R")
+		got.Name = want.Name
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: trie enumeration mismatch\n%v\nvs\n%v", iter, got, want)
+		}
+	}
+}
+
+// TestMergeUnaryTries is the regression test for the arity-1 merge path:
+// the tuple stream's initial descent must open the iterator exactly once,
+// so the first tuple is the real minimum, not a zero value.
+func TestMergeUnaryTries(t *testing.T) {
+	a := Build(relation.FromTuples("A", []string{"x"}, [][]relation.Value{{5}, {1}, {9}}), []string{"x"})
+	b := Build(relation.FromTuples("B", []string{"x"}, [][]relation.Value{{2}, {9}, {4}}), []string{"x"})
+	c := Build(relation.FromTuples("C", []string{"x"}, [][]relation.Value{{1}, {7}}), []string{"x"})
+	m := Merge([]*Trie{a, b, c})
+	got := m.ToRelation("m")
+	want := relation.FromTuples("m", []string{"x"}, [][]relation.Value{{1}, {2}, {4}, {5}, {7}, {9}})
+	if !got.Equal(want) {
+		t.Fatalf("unary merge = %v, want %v", got, want)
+	}
+	if m.NumTuples != 6 {
+		t.Fatalf("NumTuples=%d", m.NumTuples)
+	}
+	// First value must be the true minimum — the zero-value symptom of the
+	// descent bug would surface as a leading 0.
+	if m.Levels[0].Vals[0] != 1 {
+		t.Fatalf("first merged value = %d, want 1", m.Levels[0].Vals[0])
+	}
+}
+
+// TestMergeUnaryViaCodec mirrors the real Merge-HCube path: unary block
+// tries are encoded, shipped, decoded and merged at the receiver.
+func TestMergeUnaryViaCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 40; iter++ {
+		nblocks := 1 + rng.Intn(4)
+		var tries []*Trie
+		union := relation.New("u", "x")
+		for b := 0; b < nblocks; b++ {
+			blk := randomRel(rng, 1, rng.Intn(30), 15)
+			blk.Attrs[0] = "x"
+			union.AppendAll(blk)
+			bt := Build(blk, []string{"x"})
+			dec, err := Decode(Encode(bt))
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			tries = append(tries, dec)
+		}
+		got := Merge(tries).ToRelation("u")
+		want := union.SortDedup()
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: merged %v want %v", iter, got, want)
+		}
+	}
+}
+
+// TestMergePropertyAllArities extends the merge property over arities
+// 1..3 (the seed property test only covered binary tries).
+func TestMergePropertyAllArities(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for iter := 0; iter < 80; iter++ {
+		arity := 1 + rng.Intn(3)
+		nblocks := 1 + rng.Intn(5)
+		attrs := make([]string, arity)
+		for i := range attrs {
+			attrs[i] = string(rune('a' + i))
+		}
+		union := relation.New("u", attrs...)
+		var tries []*Trie
+		for b := 0; b < nblocks; b++ {
+			blk := randomRel(rng, arity, rng.Intn(40), 6)
+			union.AppendAll(blk)
+			tries = append(tries, Build(blk, attrs))
+		}
+		got := Merge(tries).ToRelation("u")
+		want := union.SortDedup()
+		if !got.Equal(want) {
+			t.Fatalf("iter %d (arity=%d blocks=%d): merge mismatch", iter, arity, nblocks)
+		}
+	}
+}

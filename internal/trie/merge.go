@@ -110,12 +110,18 @@ func (s *tupleStream) next() bool {
 	it := s.it
 	if !s.started {
 		s.started = true
-		for it.Depth() < k-1 {
+		// Initial descent: open exactly k levels from the root, recording
+		// the key at every depth. Counting levels explicitly keeps the
+		// loop independent of the iterator's root-depth convention (a
+		// depth-based condition like `Depth() < k-1` only stays correct
+		// for arity-1 tries because the root sits at depth -1); the unary
+		// merge regression tests in columnar_test.go pin the behavior.
+		for d := 0; d < k; d++ {
 			it.Open()
 			if it.AtEnd() {
 				return false
 			}
-			s.cur[it.Depth()] = it.Key()
+			s.cur[d] = it.Key()
 		}
 		return true
 	}
