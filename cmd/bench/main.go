@@ -1,22 +1,26 @@
 // Command bench snapshots the performance of the execution hot path so PRs
 // have a trajectory to compare against. It runs the tier-2 micro-benchmarks
-// (trie build — row-major and columnar, single-cube Leapfrog, shuffle
-// encode/decode on both layouts, hash partitioning) plus the triangle
-// query end-to-end on every engine over a generated power-law graph,
-// verifies the engines agree on the result count, and writes a JSON
+// (trie build — row-major and columnar, k-way trie merge, single-cube
+// Leapfrog, shuffle encode/decode on both layouts, hash partitioning) plus
+// the triangle query end-to-end on every engine over a generated power-law
+// graph at CubesPerServer=4 (a shared-block workload), verifies the
+// engines agree on the result count and that the block-trie cache built
+// each (relation, block) trie exactly once per worker, and writes a JSON
 // snapshot (BENCH_<n>.json at the repo root by convention).
 //
-// When a reference snapshot exists (-ref, default BENCH_1.json), the
-// output embeds a before/after comparison for every shared benchmark key,
-// so BENCH_2.json directly reports the columnar-layout wins over the PR-1
-// numbers.
+// When a reference snapshot exists (-ref, default BENCH_2.json), the
+// output embeds a before/after comparison for every shared benchmark key
+// plus per-engine timing, so BENCH_3.json directly reports the trie-reuse
+// and locality-scheduler wins over the PR-2 numbers.
 //
-//	go run ./cmd/bench                  # writes BENCH_2.json, compares to BENCH_1.json
+//	go run ./cmd/bench                  # writes BENCH_3.json, compares to BENCH_2.json
 //	go run ./cmd/bench -scale 0.1 -out /tmp/b.json -ref ""
+//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines only
 package main
 
 import (
 	"bytes"
+	"container/heap"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,8 +31,10 @@ import (
 	"time"
 
 	"adj"
+	"adj/internal/blockcache"
 	"adj/internal/cluster"
 	"adj/internal/engine"
+	"adj/internal/hcube"
 	"adj/internal/hypergraph"
 	"adj/internal/leapfrog"
 	"adj/internal/relation"
@@ -49,6 +55,21 @@ type EngineRun struct {
 	BytesShuffled  int64   `json:"bytes_shuffled"`
 	TotalSeconds   float64 `json:"total_modeled_seconds"`
 	WallSeconds    float64 `json:"wall_seconds"`
+	// Block-trie cache counters (HCube engines; zero otherwise): with the
+	// shared cache each (relation, block) trie is built exactly once per
+	// worker, so TrieBuilds == CacheBlocks and TrieCacheHits counts the
+	// cross-cube reuse.
+	CacheBlocks   int64 `json:"cache_blocks,omitempty"`
+	TrieBuilds    int64 `json:"trie_builds,omitempty"`
+	TrieCacheHits int64 `json:"trie_cache_hits,omitempty"`
+}
+
+// EngineVsRef compares one engine's wall time against the reference
+// snapshot: speedup > 1 means this snapshot is faster.
+type EngineVsRef struct {
+	RefWallSeconds float64 `json:"ref_wall_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Speedup        float64 `json:"speedup"`
 }
 
 // VsRef compares one benchmark against the reference snapshot: speedup > 1
@@ -71,10 +92,18 @@ type Snapshot struct {
 	Benchmarks   map[string]Metric    `json:"benchmarks"`
 	EncodedBytes map[string]int       `json:"encoded_bytes_per_block"`
 	Engines      map[string]EngineRun `json:"engines"`
+	// CubesPerServer documents the cube fan-out of the Engines runs (4 by
+	// default: the shared-block workload the block-trie cache targets).
+	// EnginesCPS1 holds the one-cube-per-server runs comparable to earlier
+	// snapshots, and EnginesVsReference compares those against the
+	// reference (earlier snapshots ran cps=1).
+	CubesPerServer int                  `json:"cubes_per_server"`
+	EnginesCPS1    map[string]EngineRun `json:"engines_cps1,omitempty"`
 	// Reference names the snapshot the VsReference section compares
 	// against (empty when none was found).
-	Reference   string           `json:"reference,omitempty"`
-	VsReference map[string]VsRef `json:"vs_reference,omitempty"`
+	Reference          string                 `json:"reference,omitempty"`
+	VsReference        map[string]VsRef       `json:"vs_reference,omitempty"`
+	EnginesVsReference map[string]EngineVsRef `json:"engines_vs_reference,omitempty"`
 }
 
 func metricOf(r testing.BenchmarkResult) Metric {
@@ -234,13 +263,18 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_2.json", "output JSON path")
-		ref     = flag.String("ref", "BENCH_1.json", "reference snapshot to compare against (\"\" disables)")
+		out     = flag.String("out", "BENCH_3.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_2.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
+		cubes   = flag.Int("cubes", 4, "CubesPerServer for the engine runs (>1 exercises the block cache)")
+		quick   = flag.Bool("quick", false, "smoke mode: skip micro-benchmarks, tiny dataset, engines+invariants only")
 	)
 	flag.Parse()
+	if *quick && *scale > 0.05 {
+		*scale = 0.05
+	}
 
 	valid := false
 	for _, n := range adj.DatasetNames() {
@@ -258,20 +292,97 @@ func main() {
 	order := q.Attrs()
 
 	snap := Snapshot{
-		Generated:    time.Now().UTC().Format(time.RFC3339),
-		GoVersion:    runtime.Version(),
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Dataset:      *dataset,
-		Scale:        *scale,
-		Edges:        edges.Len(),
-		Query:        q.Name,
-		Benchmarks:   map[string]Metric{},
-		EncodedBytes: map[string]int{},
-		Engines:      map[string]EngineRun{},
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Dataset:        *dataset,
+		Scale:          *scale,
+		Edges:          edges.Len(),
+		Query:          q.Name,
+		CubesPerServer: *cubes,
+		Benchmarks:     map[string]Metric{},
+		EncodedBytes:   map[string]int{},
+		Engines:        map[string]EngineRun{},
 	}
 
 	fmt.Fprintf(os.Stderr, "dataset %s scale=%g: %d edges\n", *dataset, *scale, edges.Len())
 
+	if !*quick {
+		runMicroBenches(&snap, edges, rels, order, *workers)
+	}
+
+	snap.Engines = runEngines(q, rels, *workers, *cubes)
+	if *cubes == 1 {
+		snap.EnginesCPS1 = snap.Engines
+	} else if !*quick {
+		// One-cube-per-server runs for the cross-snapshot comparison
+		// (earlier snapshots measured this workload); skipped in quick
+		// mode, where no comparison is emitted.
+		snap.EnginesCPS1 = runEngines(q, rels, *workers, 1)
+	}
+
+	// --- Reference comparison: embed before/after ratios for every
+	// benchmark key the reference snapshot also measured ---
+	if *ref != "" {
+		if refData, err := os.ReadFile(*ref); err == nil {
+			var refSnap Snapshot
+			if err := json.Unmarshal(refData, &refSnap); err != nil {
+				fatal(fmt.Errorf("parse reference %s: %w", *ref, err))
+			}
+			snap.Reference = *ref
+			snap.VsReference = map[string]VsRef{}
+			for name, m := range snap.Benchmarks {
+				rm, ok := refSnap.Benchmarks[name]
+				if !ok || rm.NsPerOp <= 0 {
+					continue
+				}
+				snap.VsReference[name] = VsRef{
+					RefNsPerOp: rm.NsPerOp,
+					NsPerOp:    m.NsPerOp,
+					Speedup:    rm.NsPerOp / m.NsPerOp,
+				}
+			}
+			snap.EnginesVsReference = map[string]EngineVsRef{}
+			// Compare cps=1 runs against the reference's cps=1 runs; old
+			// snapshots (pre-EnginesCPS1) recorded Engines at cps=1.
+			refEngines := refSnap.EnginesCPS1
+			if len(refEngines) == 0 {
+				refEngines = refSnap.Engines
+			}
+			for name, er := range snap.EnginesCPS1 {
+				re, ok := refEngines[name]
+				if !ok || re.WallSeconds <= 0 {
+					continue
+				}
+				snap.EnginesVsReference[name] = EngineVsRef{
+					RefWallSeconds: re.WallSeconds,
+					WallSeconds:    er.WallSeconds,
+					Speedup:        re.WallSeconds / er.WallSeconds,
+				}
+			}
+			for name, v := range snap.VsReference {
+				fmt.Fprintf(os.Stderr, "vs %s: %-28s %.2fx\n", *ref, name, v.Speedup)
+			}
+			for name, v := range snap.EnginesVsReference {
+				fmt.Fprintf(os.Stderr, "vs %s: engine %-20s %.2fx\n", *ref, name, v.Speedup)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "reference %s not found; skipping comparison\n", *ref)
+		}
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func runMicroBenches(snap *Snapshot, edges *relation.Relation, rels []*relation.Relation, order []string, workers int) {
 	// --- Trie build: radix builder vs reference pipeline ---
 	snap.Benchmarks["trie_build"] = bench(func(b *testing.B) {
 		b.ReportAllocs()
@@ -418,21 +529,167 @@ func main() {
 	snap.Benchmarks["partition_rowmajor"] = bench(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			edges.PartitionBy([]int{0}, *workers)
+			edges.PartitionBy([]int{0}, workers)
 		}
 	})
 	snap.Benchmarks["partition_columnar"] = bench(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			colEdges.PartitionBy([]int{0}, *workers)
+			colEdges.PartitionBy([]int{0}, workers)
 		}
 	})
 
-	// --- End-to-end engines on the triangle query; counts must agree ---
+	// --- K-way block-trie merge: pooled heap/stream state vs the
+	// allocate-per-merge reference (the Merge HCube's receiver path) ---
+	mergeBlocks := blockTries(edges, 8)
+	if got, want := trie.Merge(mergeBlocks).NumTuples, mergeReference(mergeBlocks).NumTuples; got != want {
+		fatal(fmt.Errorf("pooled merge disagrees with reference: %d vs %d tuples", got, want))
+	}
+	snap.Benchmarks["trie_merge"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trie.Merge(mergeBlocks)
+		}
+	})
+	snap.Benchmarks["trie_merge_reference"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mergeReference(mergeBlocks)
+		}
+	})
+
+	// --- Compute phase on a shared-block workload: one worker's trie
+	// assembly + Leapfrog over a cps>1-style cube set. "cached" runs the
+	// block registry (each block's per-sender parts merged exactly once,
+	// single-block cubes alias the shared trie); "rebuild" is the legacy
+	// path (every cube re-merges its blocks' sender parts from scratch).
+	// This isolates exactly the computation-time win the cache buys. ---
+	benchCubeCompute(snap, rels, order)
+}
+
+// benchCubeCompute sets up a triangle shuffle's receiver state by hand:
+// shares (2,2,2) over the global order give 8 cubes; each relation splits
+// into 4 blocks of 8 per-sender trie parts, every block shared by 2 cubes.
+func benchCubeCompute(snap *Snapshot, rels []*relation.Relation, order []string) {
+	const senders = 8
+	s := hcube.Shares{Attrs: order, P: []int{2, 2, 2}}
+	attrsOf := map[string][]string{}
+	blockParts := map[blockcache.Key][]*trie.Trie{}
+	numCubes := s.NumCubes()
+	cubeKeys := make([]map[string][]blockcache.Key, numCubes)
+	for i := range cubeKeys {
+		cubeKeys[i] = map[string][]blockcache.Key{}
+	}
+	for _, r := range rels {
+		relPos := s.RelPositions(r.Attrs)
+		attrs := sortedAttrs(r, order)
+		attrsOf[r.Name] = attrs
+		nb := s.NumBlocks(relPos)
+		parts := make([][]*relation.Relation, nb)
+		for sig := range parts {
+			parts[sig] = make([]*relation.Relation, senders)
+			for sd := range parts[sig] {
+				parts[sig][sd] = relation.New(r.Name, r.Attrs...)
+			}
+		}
+		for i, n := 0, r.Len(); i < n; i++ {
+			t := r.Tuple(i)
+			parts[s.BlockSig(relPos, t)][i%senders].AppendTuple(t)
+		}
+		for sig := 0; sig < nb; sig++ {
+			key := blockcache.Key{Rel: r.Name, Sig: sig}
+			for _, sp := range parts[sig] {
+				if sp.Len() > 0 {
+					sp.Sort()
+					blockParts[key] = append(blockParts[key], trie.Build(sp, attrs))
+				}
+			}
+			if len(blockParts[key]) == 0 {
+				continue
+			}
+			for _, cube := range s.BlockCubes(relPos, sig) {
+				cubeKeys[cube][r.Name] = append(cubeKeys[cube][r.Name], key)
+			}
+		}
+	}
+	rebuild := func() int64 {
+		var total int64
+		for cube := 0; cube < numCubes; cube++ {
+			tries := make([]*trie.Trie, 0, len(rels))
+			for _, r := range rels {
+				var ps []*trie.Trie
+				for _, k := range cubeKeys[cube][r.Name] {
+					ps = append(ps, blockParts[k]...)
+				}
+				tries = append(tries, trie.Merge(ps))
+			}
+			st, err := leapfrog.Join(tries, order, leapfrog.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			total += st.Results
+		}
+		return total
+	}
+	cached := func() int64 {
+		reg := blockcache.New()
+		for key, ps := range blockParts {
+			for _, t := range ps {
+				reg.DepositTrie(key, attrsOf[key.Rel], t)
+			}
+		}
+		for cube := 0; cube < numCubes; cube++ {
+			for rel, ks := range cubeKeys[cube] {
+				for _, k := range ks {
+					reg.BindCube(cube, rel, k)
+				}
+			}
+		}
+		var total int64
+		for cube := 0; cube < numCubes; cube++ {
+			tries := make([]*trie.Trie, 0, len(rels))
+			for _, r := range rels {
+				tr, ok := reg.CubeTrie(cube, r.Name)
+				if !ok {
+					tr = trie.Build(relation.New(r.Name, r.Attrs...), attrsOf[r.Name])
+				}
+				tries = append(tries, tr)
+			}
+			st, err := leapfrog.Join(tries, order, leapfrog.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			total += st.Results
+		}
+		return total
+	}
+	if a, b := cached(), rebuild(); a != b {
+		fatal(fmt.Errorf("cube compute paths disagree: cached=%d rebuild=%d", a, b))
+	}
+	snap.Benchmarks["cube_compute_cached"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cached()
+		}
+	})
+	snap.Benchmarks["cube_compute_rebuild"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rebuild()
+		}
+	})
+}
+
+// runEngines measures the five engines end-to-end at the given cube
+// fan-out, records the block-cache counters, and enforces the cache
+// invariants: engines agree on the result count and every (relation,
+// block) trie is built exactly once per worker (builds == blocks).
+func runEngines(q hypergraph.Query, rels []*relation.Relation, workers, cubes int) map[string]EngineRun {
+	out := map[string]EngineRun{}
 	var wantResults int64 = -1
 	for _, name := range engine.EngineNames() {
 		run := engine.Engines()[name]
-		cfg := engine.Config{NumServers: *workers, Samples: 300, Seed: 1}
+		cfg := engine.Config{NumServers: workers, Samples: 300, Seed: 1, CubesPerServer: cubes}
 		t0 := time.Now()
 		rep, err := run(q, rels, cfg)
 		if err != nil {
@@ -446,60 +703,172 @@ func main() {
 		} else if rep.Results != wantResults {
 			fatal(fmt.Errorf("%s: results=%d, other engines found %d", name, rep.Results, wantResults))
 		}
-		snap.Engines[name] = EngineRun{
+		if rep.CacheBlocks > 0 && rep.TrieBuilds != rep.CacheBlocks {
+			fatal(fmt.Errorf("%s: %d trie builds for %d cached blocks; each block must be built exactly once",
+				name, rep.TrieBuilds, rep.CacheBlocks))
+		}
+		out[name] = EngineRun{
 			Results:        rep.Results,
 			TuplesShuffled: rep.TuplesShuffled,
 			BytesShuffled:  rep.BytesShuffled,
 			TotalSeconds:   rep.Total(),
 			WallSeconds:    time.Since(t0).Seconds(),
+			CacheBlocks:    rep.CacheBlocks,
+			TrieBuilds:     rep.TrieBuilds,
+			TrieCacheHits:  rep.TrieCacheHits,
 		}
-		fmt.Fprintf(os.Stderr, "%-12s results=%d tuples=%d bytes=%d\n",
-			name, rep.Results, rep.TuplesShuffled, rep.BytesShuffled)
+		fmt.Fprintf(os.Stderr, "%-12s cps=%d results=%d tuples=%d bytes=%d blocks=%d builds=%d hits=%d\n",
+			name, cubes, rep.Results, rep.TuplesShuffled, rep.BytesShuffled,
+			rep.CacheBlocks, rep.TrieBuilds, rep.TrieCacheHits)
 	}
+	return out
+}
 
-	// --- Reference comparison: embed before/after ratios for every
-	// benchmark key the reference snapshot also measured ---
-	if *ref != "" {
-		if refData, err := os.ReadFile(*ref); err == nil {
-			var refSnap Snapshot
-			if err := json.Unmarshal(refData, &refSnap); err != nil {
-				fatal(fmt.Errorf("parse reference %s: %w", *ref, err))
-			}
-			snap.Reference = *ref
-			snap.VsReference = map[string]VsRef{}
-			for name, m := range snap.Benchmarks {
-				rm, ok := refSnap.Benchmarks[name]
-				if !ok || rm.NsPerOp <= 0 {
-					continue
-				}
-				snap.VsReference[name] = VsRef{
-					RefNsPerOp: rm.NsPerOp,
-					NsPerOp:    m.NsPerOp,
-					Speedup:    rm.NsPerOp / m.NsPerOp,
-				}
-			}
-			for name, v := range snap.VsReference {
-				fmt.Fprintf(os.Stderr, "vs %s: %-28s %.2fx\n", *ref, name, v.Speedup)
-			}
-		} else {
-			fmt.Fprintf(os.Stderr, "reference %s not found; skipping comparison\n", *ref)
-		}
+// blockTries splits the edge relation into n sorted sub-blocks and builds
+// one trie per block — the shape trie.Merge sees at a Merge-shuffle
+// receiver.
+func blockTries(edges *relation.Relation, n int) []*trie.Trie {
+	parts := make([]*relation.Relation, n)
+	for i := range parts {
+		parts[i] = relation.New("B", "src", "dst")
 	}
-
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		fatal(err)
+	for i, m := 0, edges.Len(); i < m; i++ {
+		parts[i%n].AppendTuple(edges.Tuple(i))
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+	out := make([]*trie.Trie, n)
+	for i, p := range parts {
+		out[i] = trie.Build(p, []string{"src", "dst"})
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	return out
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "bench:", err)
 	os.Exit(1)
+}
+
+// --- Reference k-way merge: the pre-pooling implementation (one
+// iterator, stream struct, tuple buffer and heap allocation per input per
+// merge, plus a fresh staging relation), reconstructed from public API as
+// the trie_merge comparison baseline. ---
+
+type refStream struct {
+	t       *trie.Trie
+	it      *trie.Iterator
+	cur     []relation.Value
+	started bool
+}
+
+func (s *refStream) next() bool {
+	k := s.t.Arity()
+	if k == 0 || s.t.NumTuples == 0 {
+		return false
+	}
+	it := s.it
+	if !s.started {
+		s.started = true
+		for d := 0; d < k; d++ {
+			it.Open()
+			if it.AtEnd() {
+				return false
+			}
+			s.cur[d] = it.Key()
+		}
+		return true
+	}
+	for {
+		it.Next()
+		if !it.AtEnd() {
+			s.cur[it.Depth()] = it.Key()
+			for it.Depth() < k-1 {
+				it.Open()
+				s.cur[it.Depth()] = it.Key()
+			}
+			return true
+		}
+		it.Up()
+		if it.Depth() < 0 {
+			return false
+		}
+	}
+}
+
+type refStreamHeap struct {
+	items []*refStream
+	k     int
+}
+
+func (h *refStreamHeap) Len() int { return len(h.items) }
+func (h *refStreamHeap) Less(i, j int) bool {
+	a, b := h.items[i].cur, h.items[j].cur
+	for x := 0; x < h.k; x++ {
+		if a[x] != b[x] {
+			return a[x] < b[x]
+		}
+	}
+	return false
+}
+func (h *refStreamHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *refStreamHeap) Push(x interface{}) { h.items = append(h.items, x.(*refStream)) }
+func (h *refStreamHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func mergeReference(ts []*trie.Trie) *trie.Trie {
+	var live []*trie.Trie
+	for _, t := range ts {
+		if t != nil && t.NumTuples > 0 {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return &trie.Trie{}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	k := live[0].Arity()
+	total := 0
+	var streams []*refStream
+	for _, t := range live {
+		total += t.NumTuples
+		s := &refStream{t: t, it: trie.NewIterator(t), cur: make([]relation.Value, k)}
+		if s.next() {
+			streams = append(streams, s)
+		}
+	}
+	h := &refStreamHeap{items: streams, k: k}
+	heap.Init(h)
+	out := relation.NewWithCapacity("merged", total, live[0].Attrs...)
+	last := make([]relation.Value, k)
+	havLast := false
+	for h.Len() > 0 {
+		s := h.items[0]
+		same := havLast
+		if same {
+			for x := 0; x < k; x++ {
+				if last[x] != s.cur[x] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			copy(last, s.cur)
+			havLast = true
+			out.AppendTuple(s.cur)
+		}
+		if s.next() {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return trie.FromSorted(out)
 }
 
 

@@ -1,0 +1,284 @@
+// Package blockcache is the per-worker shared block-trie registry behind
+// the Merge HCube's amortization argument (§V of the paper): a block of a
+// relation — all tuples sharing one hash signature — lands in every cube
+// whose coordinates match the signature, so with CubesPerServer > 1 many of
+// a worker's cubes contain the exact same (relation, block) fragment. The
+// registry builds each block's trie exactly once per worker and hands the
+// shared immutable trie to every cube that needs it; per-(cube, relation)
+// tries are assembled lazily at first use by merging the cube's block
+// tries (or aliasing the single block trie directly — the common case when
+// a relation's attributes pin every one of its share coordinates).
+//
+// Deposits happen during the shuffle's consume phase (one goroutine per
+// worker); trie construction happens during the join phase, where cubes
+// run on a work-stealing pool — both block and cube entries are
+// single-flight, so two cubes racing on the same block wait for one build
+// instead of duplicating it.
+package blockcache
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adj/internal/relation"
+	"adj/internal/trie"
+)
+
+// Key identifies one block: a relation name plus the block's hash
+// signature under the shuffle's share vector.
+type Key struct {
+	Rel string
+	Sig int
+}
+
+// Stats is a snapshot of registry activity.
+type Stats struct {
+	// Blocks counts distinct (relation, block) entries deposited.
+	Blocks int64
+	// Builds counts block tries constructed. With every deposited block
+	// requested at least once, Builds == Blocks: each trie is built exactly
+	// once no matter how many cubes share it.
+	Builds int64
+	// Hits counts block-trie requests served from the cache (requests
+	// beyond the first per block — the cross-cube reuse factor).
+	Hits int64
+	// CubeMerges counts lazy per-(cube, relation) k-way merges; cubes whose
+	// relation has a single block alias the block trie and merge nothing.
+	CubeMerges int64
+}
+
+// Add accumulates s2 into s (for folding per-worker stats into a report).
+func (s *Stats) Add(s2 Stats) {
+	s.Blocks += s2.Blocks
+	s.Builds += s2.Builds
+	s.Hits += s2.Hits
+	s.CubeMerges += s2.CubeMerges
+}
+
+// Registry is one worker's block-trie cache. Deposit* and Bind* are called
+// from the (single-goroutine) shuffle consume phase; BlockTrie/CubeTrie
+// are safe for concurrent use from the cube pool.
+type Registry struct {
+	mu     sync.Mutex
+	blocks map[Key]*blockEntry
+	cubes  map[cubeKey]*cubeEntry
+	// byCube aggregates each cube's block working set for the locality
+	// scheduler (ordered by first binding, deduplicated).
+	byCube map[int][]Key
+
+	builds     atomic.Int64
+	hits       atomic.Int64
+	cubeMerges atomic.Int64
+}
+
+type cubeKey struct {
+	cube int
+	rel  string
+}
+
+// blockEntry holds one block's raw parts (one per sender) and its
+// lazily-built trie.
+type blockEntry struct {
+	once  sync.Once
+	attrs []string
+	// trieParts are pre-built block tries (Merge shuffle); tupleParts are
+	// sorted raw blocks (Push/Pull shuffles). Exactly one kind is populated.
+	trieParts  []*trie.Trie
+	tupleParts []*relation.Relation
+	built      *trie.Trie
+}
+
+// cubeEntry lists the blocks of one (cube, relation) and memoizes their
+// merged trie.
+type cubeEntry struct {
+	once  sync.Once
+	keys  []Key
+	built *trie.Trie
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		blocks: make(map[Key]*blockEntry),
+		cubes:  make(map[cubeKey]*cubeEntry),
+		byCube: make(map[int][]Key),
+	}
+}
+
+// DepositTrie adds a pre-built block trie part (Merge shuffle). attrs is
+// the trie attribute order; all parts of a key must share it. The trie is
+// retained and must not be mutated afterwards.
+func (r *Registry) DepositTrie(k Key, attrs []string, t *trie.Trie) {
+	r.mu.Lock()
+	e := r.entry(k, attrs)
+	e.trieParts = append(e.trieParts, t)
+	r.mu.Unlock()
+}
+
+// DepositTuples adds a raw tuple block part (Push/Pull shuffles). attrs is
+// the order the block's trie will be built in. part is retained and must
+// be a stable copy (not a reused decode scratch).
+func (r *Registry) DepositTuples(k Key, attrs []string, part *relation.Relation) {
+	r.mu.Lock()
+	e := r.entry(k, attrs)
+	e.tupleParts = append(e.tupleParts, part)
+	r.mu.Unlock()
+}
+
+func (r *Registry) entry(k Key, attrs []string) *blockEntry {
+	e, ok := r.blocks[k]
+	if !ok {
+		e = &blockEntry{attrs: attrs}
+		r.blocks[k] = e
+	}
+	return e
+}
+
+// BindCube records that cube's copy of relation rel includes block k.
+// Rebinding the same (cube, rel, k) is a no-op.
+func (r *Registry) BindCube(cube int, rel string, k Key) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ck := cubeKey{cube, rel}
+	ce, ok := r.cubes[ck]
+	if !ok {
+		ce = &cubeEntry{}
+		r.cubes[ck] = ce
+	}
+	for _, have := range ce.keys {
+		if have == k {
+			return
+		}
+	}
+	ce.keys = append(ce.keys, k)
+	r.byCube[cube] = append(r.byCube[cube], k)
+}
+
+// BlockTrie returns the trie of block k, building it exactly once
+// (single-flight: concurrent callers wait for the first build). Returns
+// nil for unknown keys.
+func (r *Registry) BlockTrie(k Key) *trie.Trie {
+	r.mu.Lock()
+	e := r.blocks[k]
+	r.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	first := false
+	e.once.Do(func() {
+		e.built = e.build()
+		e.trieParts, e.tupleParts = nil, nil // parts are dead once built
+		first = true
+		r.builds.Add(1)
+	})
+	if !first {
+		r.hits.Add(1)
+	}
+	return e.built
+}
+
+func (e *blockEntry) build() *trie.Trie {
+	if len(e.trieParts) > 0 {
+		return trie.Merge(e.trieParts)
+	}
+	switch len(e.tupleParts) {
+	case 0:
+		return trie.Build(relation.New("block", e.attrs...), e.attrs)
+	case 1:
+		return trie.Build(e.tupleParts[0], e.attrs)
+	}
+	// Multiple senders contributed sub-blocks: concatenate (AppendAll
+	// adopts the columnar layout the decoder produced) and build once —
+	// the radix builder sorts and dedups across parts.
+	total := 0
+	for _, p := range e.tupleParts {
+		total += p.Len()
+	}
+	all := relation.NewWithCapacity(e.tupleParts[0].Name, total, e.tupleParts[0].Attrs...)
+	for _, p := range e.tupleParts {
+		all.AppendAll(p)
+	}
+	return trie.Build(all, e.attrs)
+}
+
+// CubeTrie returns the merged trie of relation rel on cube, assembling it
+// at first use: block tries are pulled from the cache (shared across
+// cubes) and k-way merged only when the cube holds more than one block of
+// the relation. The second return is false when the (cube, rel) pair holds
+// no blocks.
+func (r *Registry) CubeTrie(cube int, rel string) (*trie.Trie, bool) {
+	r.mu.Lock()
+	ce := r.cubes[cubeKey{cube, rel}]
+	r.mu.Unlock()
+	if ce == nil {
+		return nil, false
+	}
+	ce.once.Do(func() {
+		if len(ce.keys) == 1 {
+			ce.built = r.BlockTrie(ce.keys[0])
+			return
+		}
+		parts := make([]*trie.Trie, len(ce.keys))
+		for i, k := range ce.keys {
+			parts[i] = r.BlockTrie(k)
+		}
+		ce.built = trie.Merge(parts)
+		r.cubeMerges.Add(1)
+	})
+	return ce.built, true
+}
+
+// Cubes returns the sorted distinct cube ids with at least one bound block.
+func (r *Registry) Cubes() []int {
+	r.mu.Lock()
+	out := make([]int, 0, len(r.byCube))
+	for c := range r.byCube {
+		out = append(out, c)
+	}
+	r.mu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// CubeRels returns the sorted relation names bound on cube.
+func (r *Registry) CubeRels(cube int) []string {
+	r.mu.Lock()
+	var out []string
+	for ck := range r.cubes {
+		if ck.cube == cube {
+			out = append(out, ck.rel)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// BlockKeysOf returns cube's block working set across all relations, in
+// binding order — the locality signal the cube scheduler partitions on.
+// The returned slice is shared; callers must not mutate it.
+func (r *Registry) BlockKeysOf(cube int) []Key {
+	r.mu.Lock()
+	ks := r.byCube[cube]
+	r.mu.Unlock()
+	return ks
+}
+
+// Len returns the number of distinct blocks deposited.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	n := len(r.blocks)
+	r.mu.Unlock()
+	return n
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() Stats {
+	return Stats{
+		Blocks:     int64(r.Len()),
+		Builds:     r.builds.Load(),
+		Hits:       r.hits.Load(),
+		CubeMerges: r.cubeMerges.Load(),
+	}
+}

@@ -5,8 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"adj/internal/blockcache"
 	"adj/internal/relation"
-	"adj/internal/trie"
 )
 
 // Worker is one simulated server: its local relation fragments, local
@@ -17,10 +17,14 @@ type Worker struct {
 	// Rels holds local fragments of base/derived relations, keyed by name.
 	Rels map[string]*relation.Relation
 	// Cubes holds, per hypercube coordinate index assigned to this server,
-	// the local database for that cube (relation name -> fragment).
+	// the local database for that cube (relation name -> fragment) — the
+	// legacy raw-tuple path, populated only by Push/Pull shuffles run
+	// without a TrieOrder.
 	Cubes map[int]map[string]*relation.Relation
-	// CubeTries holds pre-merged tries per cube and relation (Merge HCube).
-	CubeTries map[int]map[string]*trie.Trie
+	// Blocks is the worker's shared block-trie cache: the HCube shuffle
+	// deposits (relation, block) parts here and the join phase pulls
+	// per-cube tries built exactly once per block (see blockcache).
+	Blocks *blockcache.Registry
 	// Inbox receives envelopes during an exchange.
 	Inbox []Envelope
 	// Scratch carries engine-specific per-phase state.
@@ -35,6 +39,27 @@ type Worker struct {
 // the end of the exchange, so payloads must not be retained past consume
 // (decoders copy, so this holds everywhere in the runtime).
 func (w *Worker) PayloadCopy(enc []byte) []byte { return w.arena.copyOf(enc) }
+
+// encScratch pools the delta-encoder's working buffer shared by every
+// exchange producer; the finished bytes are copied into the worker's
+// payload arena, so neither side of the encode allocates in steady state.
+var encScratch = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 1<<14)
+	return &b
+}}
+
+// EncodeRelation serializes r with the delta codec into a pooled scratch
+// buffer and parks the payload in the worker's per-exchange arena. All
+// shuffle producers (HCube blocks, BigJoin binding rounds, binary-join
+// partitions) share this path.
+func (w *Worker) EncodeRelation(r *relation.Relation) []byte {
+	sp := encScratch.Get().(*[]byte)
+	buf := relation.AppendEncode((*sp)[:0], r)
+	payload := w.PayloadCopy(buf)
+	*sp = buf[:0]
+	encScratch.Put(sp)
+	return payload
+}
 
 // payloadArena is a slab allocator for envelope payloads. Reset keeps the
 // first slab, so steady-state exchanges reuse one allocation.
@@ -74,10 +99,10 @@ func (a *payloadArena) reset() {
 func newWorker(id, n int) *Worker {
 	return &Worker{
 		ID: id, N: n,
-		Rels:      make(map[string]*relation.Relation),
-		Cubes:     make(map[int]map[string]*relation.Relation),
-		CubeTries: make(map[int]map[string]*trie.Trie),
-		Scratch:   make(map[string]interface{}),
+		Rels:    make(map[string]*relation.Relation),
+		Cubes:   make(map[int]map[string]*relation.Relation),
+		Blocks:  blockcache.New(),
+		Scratch: make(map[string]interface{}),
 	}
 }
 
@@ -91,20 +116,10 @@ func (w *Worker) CubeDB(c int) map[string]*relation.Relation {
 	return db
 }
 
-// CubeTrieDB returns (creating if needed) the trie store of cube c.
-func (w *Worker) CubeTrieDB(c int) map[string]*trie.Trie {
-	db, ok := w.CubeTries[c]
-	if !ok {
-		db = make(map[string]*trie.Trie)
-		w.CubeTries[c] = db
-	}
-	return db
-}
-
 // ResetCubes clears per-cube state between shuffles.
 func (w *Worker) ResetCubes() {
 	w.Cubes = make(map[int]map[string]*relation.Relation)
-	w.CubeTries = make(map[int]map[string]*trie.Trie)
+	w.Blocks = blockcache.New()
 }
 
 // Config configures a cluster.

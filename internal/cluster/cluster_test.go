@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"adj/internal/blockcache"
 	"adj/internal/relation"
 )
 
@@ -245,8 +246,9 @@ func TestCubeDBHelpers(t *testing.T) {
 	if w.CubeDB(3)["R"] == nil {
 		t.Fatal("cube db lost")
 	}
+	w.Blocks.BindCube(3, "R", blockcache.Key{Rel: "R", Sig: 0})
 	w.ResetCubes()
-	if len(w.Cubes) != 0 || len(w.CubeTries) != 0 {
+	if len(w.Cubes) != 0 || len(w.Blocks.Cubes()) != 0 {
 		t.Fatal("reset failed")
 	}
 }

@@ -160,7 +160,7 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 							continue
 						}
 						out = append(out, cluster.Envelope{
-							To: to, Key: "idx", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+							To: to, Key: "idx", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
 						})
 					}
 				} else {
@@ -170,7 +170,7 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 							continue
 						}
 						out = append(out, cluster.Envelope{
-							To: to, Key: "idx", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+							To: to, Key: "idx", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
 						})
 					}
 				}
@@ -182,7 +182,7 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 					parts = []*relation.Relation{b}
 					// Keep bindings local; candidates are broadcast.
 					out = append(out, cluster.Envelope{
-						To: w.ID, Key: "bind", Payload: relation.Encode(b), Tuples: int64(b.Len()),
+						To: w.ID, Key: "bind", Payload: w.EncodeRelation(b), Tuples: int64(b.Len()),
 					})
 				} else {
 					parts = b.PartitionBy(attrIdx(b.Attrs, boundAttrs), w.N)
@@ -191,7 +191,7 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 							continue
 						}
 						out = append(out, cluster.Envelope{
-							To: to, Key: "bind", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+							To: to, Key: "bind", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
 						})
 					}
 				}
@@ -297,7 +297,7 @@ func verifyRound(c *cluster.Cluster, phase string, ver *relation.Relation, prefi
 						continue
 					}
 					out = append(out, cluster.Envelope{
-						To: to, Key: "idx", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+						To: to, Key: "idx", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
 					})
 				}
 			}
@@ -308,7 +308,7 @@ func verifyRound(c *cluster.Cluster, phase string, ver *relation.Relation, prefi
 						continue
 					}
 					out = append(out, cluster.Envelope{
-						To: to, Key: "bind", Payload: relation.Encode(p), Tuples: int64(p.Len()),
+						To: to, Key: "bind", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
 					})
 				}
 			}

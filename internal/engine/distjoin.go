@@ -51,7 +51,7 @@ func distributedJoin(c *cluster.Cluster, phase string, aName string, aAttrs []st
 					out = append(out, cluster.Envelope{
 						To:      to,
 						Key:     side.tag + "/" + side.name + "/" + strconv.Itoa(to),
-						Payload: relation.Encode(p),
+						Payload: w.EncodeRelation(p),
 						Tuples:  int64(p.Len()),
 					})
 				}
@@ -114,7 +114,7 @@ func distributedCross(c *cluster.Cluster, phase string, aName string, aAttrs []s
 			if !ok || frag.Len() == 0 {
 				return nil, nil
 			}
-			payload := relation.Encode(frag)
+			payload := w.EncodeRelation(frag)
 			var out []cluster.Envelope
 			for to := 0; to < w.N; to++ {
 				out = append(out, cluster.Envelope{

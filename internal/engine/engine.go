@@ -9,12 +9,10 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
+	"adj/internal/blockcache"
 	"adj/internal/cluster"
 	"adj/internal/costmodel"
 	"adj/internal/hcube"
@@ -94,6 +92,15 @@ type Report struct {
 	TuplesShuffled int64
 	BytesShuffled  int64
 	Messages       int64
+	// Block-trie cache counters, summed over workers (HCube engines only):
+	// CacheBlocks counts distinct (relation, block) fragments received,
+	// TrieBuilds the block tries actually constructed (equal to CacheBlocks
+	// when every block is built exactly once), and TrieCacheHits the
+	// block-trie requests served from the shared cache — the cross-cube
+	// reuse the shuffle's replication creates.
+	CacheBlocks   int64
+	TrieBuilds    int64
+	TrieCacheHits int64
 	// Failed marks budget/memory failures (frame-top bars).
 	Failed     bool
 	FailReason string
@@ -180,19 +187,23 @@ func sortAttrsByOrder(attrs []string, order []string) []string {
 }
 
 // localCubeJoin runs Leapfrog on every cube of every worker and returns the
-// summed result count. Pre-merged tries (Merge HCube) are used when
-// available; otherwise tries are built from cube tuples (charged to the
-// same computation phase, as in the paper where trie construction is part
-// of join processing). The per-worker extension budget is cfg.Budget
+// summed result count, the materialized output (when requested) and the
+// folded block-cache stats. Per-cube tries come from the worker's shared
+// block-trie registry: each (relation, block) trie is built exactly once
+// per worker and merged lazily into cube tries at first use (charged to
+// the same computation phase, as in the paper where trie construction is
+// part of join processing). The per-worker extension budget is cfg.Budget
 // divided across workers.
 //
-// By default a worker's cubes are spread over a work-stealing pool of
-// goroutines (see runCubes): with CubesPerServer > 1 a skewed hub cube no
-// longer serializes its worker — idle goroutines steal the remaining
-// cubes. cfg.Sequential restores the deterministic in-order loop. Results
-// and outputs are accumulated per cube and folded in cube order, so both
-// modes produce identical reports.
-func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool) (int64, *relation.Relation, error) {
+// By default a worker's cubes are spread over locality-partitioned
+// work-stealing deques (see runCubes): cubes sharing blocks run on the
+// same goroutine, back to back, so a block trie built for one cube is
+// still cache-hot for the next; with CubesPerServer > 1 a skewed hub cube
+// no longer serializes its worker — idle goroutines steal from the
+// richest deque. cfg.Sequential restores the deterministic in-order loop.
+// Results and outputs are accumulated per cube and folded in cube order,
+// so both modes produce identical reports.
+func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool) (int64, *relation.Relation, blockcache.Stats, error) {
 	results := make([]int64, c.N)
 	outputs := make([]*relation.Relation, c.N)
 	budgetPer := int64(0)
@@ -236,7 +247,8 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 			perCube[ci] = st.Results
 			return nil
 		}
-		if err := runCubes(len(cubes), cfg.Sequential, joinCube); err != nil {
+		blocksOf := func(ci int) []blockcache.Key { return w.Blocks.BlockKeysOf(cubes[ci]) }
+		if err := runCubes(len(cubes), cfg.Sequential, blocksOf, joinCube); err != nil {
 			return err
 		}
 		for _, r := range perCube {
@@ -253,8 +265,12 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 		}
 		return nil
 	})
+	var cacheStats blockcache.Stats
+	for _, w := range c.Workers {
+		cacheStats.Add(w.Blocks.Stats())
+	}
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, cacheStats, err
 	}
 	var total int64
 	var merged *relation.Relation
@@ -267,69 +283,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 			merged.AppendAll(outputs[i])
 		}
 	}
-	return total, merged, nil
-}
-
-// cubeTokens bounds concurrent cube joins process-wide at GOMAXPROCS.
-// cluster.Parallel already runs one goroutine per simulated worker, so
-// without a shared bound an N-worker run would schedule up to
-// N×GOMAXPROCS CPU-bound goroutines; the semaphore keeps real concurrency
-// at the hardware's level while still letting an idle worker's capacity
-// flow to a worker stuck on skewed cubes.
-var cubeTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
-
-// runCubes executes fn(0..n-1). In parallel mode the tasks feed a
-// work-stealing pool: min(n, GOMAXPROCS) goroutines pull the next
-// unclaimed cube off a shared atomic counter, so a goroutine stuck on a
-// heavy (skewed) cube never blocks the light ones behind it. The first
-// error wins and remaining goroutines drain without starting new work.
-func runCubes(n int, sequential bool, fn func(ci int) error) error {
-	if n == 0 {
-		return nil
-	}
-	par := runtime.GOMAXPROCS(0)
-	if par > n {
-		par = n
-	}
-	if sequential || par <= 1 || n == 1 {
-		for ci := 0; ci < n; ci++ {
-			if err := fn(ci); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var next atomic.Int64
-	var failed atomic.Bool
-	errs := make([]error, par)
-	var wg sync.WaitGroup
-	for g := 0; g < par; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for !failed.Load() {
-				ci := int(next.Add(1)) - 1
-				if ci >= n {
-					return
-				}
-				cubeTokens <- struct{}{}
-				err := fn(ci)
-				<-cubeTokens
-				if err != nil {
-					errs[g] = err
-					failed.Store(true)
-					return
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return total, merged, cacheStats, nil
 }
 
 func cacheBudget(cfg Config) int {
@@ -350,10 +304,10 @@ func cacheBudget(cfg Config) int {
 
 func allCubes(w *cluster.Worker) []int {
 	seen := make(map[int]bool)
-	for c := range w.Cubes {
+	for _, c := range w.Blocks.Cubes() {
 		seen[c] = true
 	}
-	for c := range w.CubeTries {
+	for c := range w.Cubes {
 		seen[c] = true
 	}
 	out := make([]int, 0, len(seen))
@@ -364,15 +318,19 @@ func allCubes(w *cluster.Worker) []int {
 	return out
 }
 
-// cubeTries assembles the tries of one cube in the global order.
+// cubeTries assembles the tries of one cube in the global order. The
+// shared block-trie registry is the primary source: each (relation,
+// block) trie is built once per worker and the cube's trie is merged
+// lazily here, at first use (or aliased directly when the cube holds a
+// single block of the relation — the common case, since a relation's own
+// attributes pin its share coordinates). Raw per-cube fragments remain as
+// the fallback for shuffles run without a TrieOrder.
 func cubeTries(w *cluster.Worker, cube int, infos []hcube.RelInfo, order []string) ([]*trie.Trie, error) {
-	var out []*trie.Trie
+	out := make([]*trie.Trie, 0, len(infos))
 	for _, ri := range infos {
-		if ts, ok := w.CubeTries[cube]; ok {
-			if tr, ok := ts[ri.Name]; ok && tr.Arity() > 0 {
-				out = append(out, tr)
-				continue
-			}
+		if tr, ok := w.Blocks.CubeTrie(cube, ri.Name); ok && tr != nil {
+			out = append(out, tr)
+			continue
 		}
 		var frag *relation.Relation
 		if db, ok := w.Cubes[cube]; ok {

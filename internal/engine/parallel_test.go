@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"adj/internal/blockcache"
 	"adj/internal/hypergraph"
 	"adj/internal/testutil"
 )
@@ -55,27 +56,36 @@ func TestParallelSequentialEquality(t *testing.T) {
 	}
 }
 
-// runCubes must visit every task exactly once in both modes and stop
-// scheduling new work after an error.
+// runCubes must visit every task exactly once in both modes — with and
+// without a locality signal — and stop scheduling new work after an error.
 func TestRunCubes(t *testing.T) {
-	for _, sequential := range []bool{true, false} {
-		var visited [97]atomic.Int32
-		err := runCubes(97, sequential, func(ci int) error {
-			visited[ci].Add(1)
-			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for ci := range visited {
-			if got := visited[ci].Load(); got != 1 {
-				t.Fatalf("sequential=%v: cube %d visited %d times", sequential, ci, got)
+	affinities := map[string]func(ci int) []blockcache.Key{
+		"none": nil,
+		"shared": func(ci int) []blockcache.Key {
+			// Cubes fall into 5 block-sharing groups of uneven size.
+			return []blockcache.Key{{Rel: "R", Sig: ci % 5}, {Rel: "S", Sig: ci % 3}}
+		},
+	}
+	for name, blocksOf := range affinities {
+		for _, sequential := range []bool{true, false} {
+			var visited [97]atomic.Int32
+			err := runCubes(97, sequential, blocksOf, func(ci int) error {
+				visited[ci].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci := range visited {
+				if got := visited[ci].Load(); got != 1 {
+					t.Fatalf("affinity=%s sequential=%v: cube %d visited %d times", name, sequential, ci, got)
+				}
 			}
 		}
 	}
 	boom := errors.New("boom")
 	var ran atomic.Int32
-	err := runCubes(64, false, func(ci int) error {
+	err := runCubes(64, false, nil, func(ci int) error {
 		ran.Add(1)
 		if ci == 3 {
 			return boom
@@ -85,10 +95,61 @@ func TestRunCubes(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("err=%v want boom", err)
 	}
-	if runCubes(0, false, func(int) error { t.Fatal("no tasks expected"); return nil }) != nil {
+	if runCubes(0, false, nil, func(int) error { t.Fatal("no tasks expected"); return nil }) != nil {
 		t.Fatal("empty task set must succeed")
 	}
 	_ = ran.Load() // races between the error and other goroutines are fine; count is unasserted
+}
+
+// The locality partitioner must co-locate cubes sharing blocks, respect
+// the per-queue bound, and cover every cube exactly once, deterministically.
+func TestPartitionCubes(t *testing.T) {
+	// 4 disjoint block groups over 16 cubes, 4 queues: a perfect
+	// partitioning exists and greedy assignment must find it.
+	blocksOf := func(ci int) []blockcache.Key {
+		return []blockcache.Key{{Rel: "R", Sig: ci / 4}}
+	}
+	queues := partitionCubes(16, 4, blocksOf)
+	seen := make(map[int]int)
+	for _, q := range queues {
+		groups := make(map[int]bool)
+		for _, ci := range q {
+			seen[ci]++
+			groups[ci/4] = true
+		}
+		if len(q) > 0 && len(groups) != 1 {
+			t.Fatalf("queue mixes block groups: %v", q)
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("covered %d cubes, want 16", len(seen))
+	}
+	for ci, n := range seen {
+		if n != 1 {
+			t.Fatalf("cube %d assigned %d times", ci, n)
+		}
+	}
+	// Skewed affinity (every cube shares one hot block): the bound must
+	// cap each queue at 2× the fair share instead of piling all cubes on
+	// one queue.
+	hot := func(ci int) []blockcache.Key { return []blockcache.Key{{Rel: "H", Sig: 0}} }
+	queues = partitionCubes(20, 4, hot)
+	total := 0
+	for _, q := range queues {
+		if len(q) > 10 {
+			t.Fatalf("queue exceeds 2x fair-share bound: %d cubes", len(q))
+		}
+		total += len(q)
+	}
+	if total != 20 {
+		t.Fatalf("partitioned %d cubes, want 20", total)
+	}
+	// Determinism: same inputs, same assignment.
+	a := fmt.Sprint(partitionCubes(16, 4, blocksOf))
+	b := fmt.Sprint(partitionCubes(16, 4, blocksOf))
+	if a != b {
+		t.Fatal("partitioner is not deterministic")
+	}
 }
 
 // Budget failures must still surface deterministically under the parallel

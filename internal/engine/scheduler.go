@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"adj/internal/blockcache"
+)
+
+// cubeTokens bounds concurrent cube joins process-wide at GOMAXPROCS.
+// cluster.Parallel already runs one goroutine per simulated worker, so
+// without a shared bound an N-worker run would schedule up to
+// N×GOMAXPROCS CPU-bound goroutines; the semaphore keeps real concurrency
+// at the hardware's level while still letting an idle worker's capacity
+// flow to a worker stuck on skewed cubes.
+var cubeTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// runCubes executes fn(0..n-1). In parallel mode the tasks are spread over
+// per-goroutine deques seeded by a locality-aware partitioner: cubes
+// sharing the most (relation, block) fragments land on the same deque
+// (blocksOf supplies each cube's block working set; nil means no locality
+// signal and the partitioner just balances load). Each goroutine drains
+// its own deque front-to-back — so a cube usually follows a cube whose
+// block tries are already hot in its cache — and when idle steals from
+// the back of the richest victim, so a goroutine stuck on a heavy
+// (skewed) cube never strands the work queued behind it. The first error
+// wins and remaining goroutines drain without starting new work.
+//
+// sequential runs the deterministic in-order loop (cube 0, 1, …) — the
+// exact legacy path, byte-identical scheduling.
+func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, fn func(ci int) error) error {
+	if n == 0 {
+		return nil
+	}
+	par := runtime.GOMAXPROCS(0)
+	if par > n {
+		par = n
+	}
+	if sequential || par <= 1 || n == 1 {
+		for ci := 0; ci < n; ci++ {
+			if err := fn(ci); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	deques := make([]cubeDeque, par)
+	for qi, cubes := range partitionCubes(n, par, blocksOf) {
+		deques[qi].items = cubes
+	}
+	var failed atomic.Bool
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !failed.Load() {
+				ci, ok := deques[g].popFront()
+				if !ok {
+					ci, ok = stealRichest(deques, g)
+					if !ok {
+						return // every deque drained
+					}
+				}
+				cubeTokens <- struct{}{}
+				err := fn(ci)
+				<-cubeTokens
+				if err != nil {
+					errs[g] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionCubes assigns cubes 0..n-1 to nq bounded deques: each cube goes
+// to the queue whose already-assigned cubes share the most block keys with
+// it (ties break toward the shortest queue, then the lowest index — fully
+// deterministic). Queues are bounded at twice the fair share so locality
+// clustering cannot starve the other workers of seed work; the bound can
+// never reject every queue because total capacity is ≥ 2n.
+func partitionCubes(n, nq int, blocksOf func(ci int) []blockcache.Key) [][]int {
+	queues := make([][]int, nq)
+	if blocksOf == nil {
+		// No locality signal: deal contiguous runs (neighbouring cube ids
+		// tend to decode from the same exchange region).
+		for ci := 0; ci < n; ci++ {
+			qi := ci * nq / n
+			queues[qi] = append(queues[qi], ci)
+		}
+		return queues
+	}
+	bound := 2 * ((n + nq - 1) / nq)
+	sets := make([]map[blockcache.Key]struct{}, nq)
+	for qi := range sets {
+		sets[qi] = make(map[blockcache.Key]struct{})
+	}
+	for ci := 0; ci < n; ci++ {
+		keys := blocksOf(ci)
+		best, bestScore := -1, -1
+		for qi := 0; qi < nq; qi++ {
+			if len(queues[qi]) >= bound {
+				continue
+			}
+			score := 0
+			for _, k := range keys {
+				if _, ok := sets[qi][k]; ok {
+					score++
+				}
+			}
+			if score > bestScore ||
+				(score == bestScore && best >= 0 && len(queues[qi]) < len(queues[best])) {
+				best, bestScore = qi, score
+			}
+		}
+		if best < 0 { // unreachable given the bound; keep the invariant anyway
+			best = 0
+			for qi := 1; qi < nq; qi++ {
+				if len(queues[qi]) < len(queues[best]) {
+					best = qi
+				}
+			}
+		}
+		queues[best] = append(queues[best], ci)
+		for _, k := range keys {
+			sets[best][k] = struct{}{}
+		}
+	}
+	return queues
+}
+
+// cubeDeque is one goroutine's bounded work queue. The owner pops from the
+// front (preserving the partitioner's locality order); thieves steal from
+// the back, taking the cubes least related to what the owner is about to
+// run. Cube joins are coarse tasks, so a mutex per operation is in the
+// noise.
+type cubeDeque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (q *cubeDeque) popFront() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	ci := q.items[0]
+	q.items = q.items[1:]
+	return ci, true
+}
+
+func (q *cubeDeque) stealBack() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	ci := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return ci, true
+}
+
+func (q *cubeDeque) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// stealRichest takes one cube from the back of the fullest other deque.
+// Sizes race with concurrent pops, so the attempt loops until a steal
+// lands or every deque reads empty (at which point all tasks are claimed
+// and the caller can retire).
+func stealRichest(deques []cubeDeque, self int) (int, bool) {
+	for {
+		victim, most := -1, 0
+		for qi := range deques {
+			if qi == self {
+				continue
+			}
+			if s := deques[qi].size(); s > most {
+				victim, most = qi, s
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		if ci, ok := deques[victim].stealBack(); ok {
+			return ci, true
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"adj/internal/cluster"
 	"adj/internal/dataset"
 	"adj/internal/hcube"
-	"adj/internal/trie"
 )
 
 // Fig9 reproduces Fig. 9: the three HCube implementations (Push, Pull,
@@ -39,23 +38,15 @@ func Fig9(cfg Config) (Result, error) {
 			}); err != nil {
 				return res, err
 			}
-			// Receiver-side trie construction: Merge already has tries; the
-			// others build them now (as the join engine would).
+			// Receiver-side trie construction: materialize every cube trie
+			// from the block registry (as the join engine would at first
+			// use). Push/Pull pay full block builds here; Merge only merges
+			// the pre-built tries it received — the cost gap the figure
+			// reports.
 			err = c.Parallel("tries", func(w *cluster.Worker) error {
-				for cube, db := range w.Cubes {
-					tdb := w.CubeTrieDB(cube)
-					for name, frag := range db {
-						if _, ok := tdb[name]; ok {
-							continue
-						}
-						var attrs []string
-						for _, ri := range infos {
-							if ri.Name == name {
-								attrs = sortByOrder(ri.Attrs, order)
-								break
-							}
-						}
-						tdb[name] = trie.Build(frag, attrs)
+				for _, cube := range w.Blocks.Cubes() {
+					for _, name := range w.Blocks.CubeRels(cube) {
+						w.Blocks.CubeTrie(cube, name)
 					}
 				}
 				return nil
@@ -79,16 +70,3 @@ func Fig9(cfg Config) (Result, error) {
 	return res, nil
 }
 
-func sortByOrder(attrs, order []string) []string {
-	pos := map[string]int{}
-	for i, a := range order {
-		pos[a] = i
-	}
-	out := append([]string(nil), attrs...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && pos[out[j]] < pos[out[j-1]]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}

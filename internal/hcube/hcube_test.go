@@ -249,20 +249,22 @@ func TestShuffleJoinEqualsSequential(t *testing.T) {
 	}
 }
 
-// mergeCubeKeys returns the union of cube ids present on a worker.
+// mergeCubeKeys returns the union of cube ids present on a worker —
+// block-cache bindings plus the legacy per-cube maps.
 func mergeCubeKeys(w *cluster.Worker) map[int]bool {
 	out := make(map[int]bool)
-	for c := range w.Cubes {
+	for _, c := range w.Blocks.Cubes() {
 		out[c] = true
 	}
-	for c := range w.CubeTries {
+	for c := range w.Cubes {
 		out[c] = true
 	}
 	return out
 }
 
-// cubeTries builds (or fetches pre-merged) tries for one cube. Relations
-// with no local tuples for the cube are empty.
+// cubeTries assembles tries for one cube: the block-trie cache first (the
+// runtime path), then the legacy per-cube stores. Relations with no local
+// tuples for the cube are empty.
 func cubeTries(w *cluster.Worker, cube int, info []RelInfo, order []string) ([]*trie.Trie, error) {
 	pos := make(map[string]int, len(order))
 	for i, a := range order {
@@ -270,11 +272,9 @@ func cubeTries(w *cluster.Worker, cube int, info []RelInfo, order []string) ([]*
 	}
 	var out []*trie.Trie
 	for _, ri := range info {
-		if ts, ok := w.CubeTries[cube]; ok {
-			if tr, ok := ts[ri.Name]; ok {
-				out = append(out, tr)
-				continue
-			}
+		if tr, ok := w.Blocks.CubeTrie(cube, ri.Name); ok && tr != nil {
+			out = append(out, tr)
+			continue
 		}
 		var frag *relation.Relation
 		if db, ok := w.Cubes[cube]; ok {

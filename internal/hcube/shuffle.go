@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"sync"
 
+	"adj/internal/blockcache"
 	"adj/internal/cluster"
 	"adj/internal/relation"
 	"adj/internal/trie"
@@ -51,15 +51,19 @@ type Plan struct {
 	Rels []RelInfo
 	// Kind selects push/pull/merge.
 	Kind Kind
-	// TrieOrder, for Merge, gives the global attribute order that block
-	// tries are built in (each relation uses its attrs sorted by this
-	// order). Ignored otherwise.
+	// TrieOrder gives the global attribute order block tries are built in
+	// (each relation uses its attrs sorted by this order). Merge requires
+	// it; Push/Pull use it to route received blocks into the worker's
+	// block-trie cache — without it they fall back to materializing raw
+	// per-cube databases (the legacy path).
 	TrieOrder []string
 }
 
-// Run executes the shuffle on the cluster: afterwards every worker's cube
-// databases hold the tuples (or merged tries) of its assigned cubes.
-// Phase metrics accrue under the given phase name.
+// Run executes the shuffle on the cluster: afterwards every worker's
+// block-trie registry (Worker.Blocks) holds the deposited blocks of its
+// assigned cubes, ready for lazy per-cube trie assembly; the legacy
+// Push/Pull path without a TrieOrder materializes raw cube databases
+// instead. Phase metrics accrue under the given phase name.
 func Run(c *cluster.Cluster, phase string, p Plan) error {
 	for _, w := range c.Workers {
 		w.ResetCubes()
@@ -76,10 +80,41 @@ func Run(c *cluster.Cluster, phase string, p Plan) error {
 	}
 }
 
+// trieAttrs returns ri's attributes sorted by TrieOrder position, or nil
+// when the plan carries no order (legacy raw-tuple path).
+func (p Plan) trieAttrs(ri RelInfo) []string {
+	if len(p.TrieOrder) == 0 {
+		return nil
+	}
+	pos := make(map[string]int, len(p.TrieOrder))
+	for i, a := range p.TrieOrder {
+		pos[a] = i
+	}
+	attrs := append([]string(nil), ri.Attrs...)
+	sort.Slice(attrs, func(x, y int) bool { return pos[attrs[x]] < pos[attrs[y]] })
+	return attrs
+}
+
+// attrsByRel precomputes trieAttrs for every plan relation (nil map when
+// the plan carries no TrieOrder).
+func (p Plan) attrsByRel() map[string][]string {
+	if len(p.TrieOrder) == 0 {
+		return nil
+	}
+	out := make(map[string][]string, len(p.Rels))
+	for _, ri := range p.Rels {
+		out[ri.Name] = p.trieAttrs(ri)
+	}
+	return out
+}
+
 // runPush replicates tuples to every matching cube. Tuples are bucketed
 // into sorted blocks by hash signature so each block is delta-encoded once
 // and its payload shared by all destination cubes, but Weight still counts
 // one message per tuple copy (the Push cost model the paper measures).
+// Envelope keys carry both the block signature and the destination cube
+// ("rel@sig#cube") so the receiver can deposit each sender's block once
+// into the block cache while still binding every replicated cube.
 func runPush(c *cluster.Cluster, phase string, p Plan) error {
 	return c.Exchange(phase,
 		func(w *cluster.Worker) ([]cluster.Envelope, error) {
@@ -94,11 +129,11 @@ func runPush(c *cluster.Cluster, phase string, p Plan) error {
 				for bi, sig := range sigs {
 					b := blocks[bi]
 					b.Sort()
-					payload := encodeBlockPayload(w, b)
+					payload := w.EncodeRelation(b)
 					for _, cube := range p.Shares.BlockCubes(relPos, sig) {
 						out = append(out, cluster.Envelope{
 							To:      ServerOfCube(cube, c.N),
-							Key:     ri.Name + "#" + strconv.Itoa(cube),
+							Key:     ri.Name + "@" + strconv.Itoa(sig) + "#" + strconv.Itoa(cube),
 							Payload: payload,
 							Tuples:  int64(b.Len()),
 							Weight:  int64(b.Len()), // per-tuple shuffle messages
@@ -109,7 +144,7 @@ func runPush(c *cluster.Cluster, phase string, p Plan) error {
 			return out, nil
 		},
 		func(w *cluster.Worker, inbox []cluster.Envelope) error {
-			return consumeTupleBlocks(w, inbox)
+			return consumeTupleBlocks(w, inbox, p)
 		})
 }
 
@@ -128,7 +163,7 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 				for bi, sig := range sigs {
 					b := blocks[bi]
 					b.Sort()
-					payload := encodeBlockPayload(w, b)
+					payload := w.EncodeRelation(b)
 					for _, server := range blockServers(p.Shares, relPos, sig, c.N) {
 						out = append(out, cluster.Envelope{
 							To:      server,
@@ -143,13 +178,11 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 			return out, nil
 		},
 		func(w *cluster.Worker, inbox []cluster.Envelope) error {
-			var blk relation.Relation // decode scratch, reused across envelopes
+			var scratch relation.Relation // decode scratch for the legacy path
+			attrsOf := p.attrsByRel()
 			for _, e := range inbox {
 				name, sig, err := splitKey(e.Key, '@')
 				if err != nil {
-					return err
-				}
-				if err := relation.DecodeInto(e.Payload, &blk); err != nil {
 					return err
 				}
 				ri, ok := relByName(p.Rels, name)
@@ -157,6 +190,27 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 					return fmt.Errorf("hcube pull: unknown relation %q", name)
 				}
 				relPos := p.Shares.RelPositions(ri.Attrs)
+				if attrs := attrsOf[name]; attrs != nil {
+					// Deposit the sender's sub-block once; bind every local
+					// cube matching the signature. The block relation is
+					// freshly decoded (not scratch) because the registry
+					// retains it until the block trie is built.
+					key := blockcache.Key{Rel: name, Sig: sig}
+					part := new(relation.Relation)
+					if err := relation.DecodeInto(e.Payload, part); err != nil {
+						return err
+					}
+					w.Blocks.DepositTuples(key, attrs, part)
+					for _, cube := range p.Shares.BlockCubes(relPos, sig) {
+						if ServerOfCube(cube, w.N) == w.ID {
+							w.Blocks.BindCube(cube, name, key)
+						}
+					}
+					continue
+				}
+				if err := relation.DecodeInto(e.Payload, &scratch); err != nil {
+					return err
+				}
 				for _, cube := range p.Shares.BlockCubes(relPos, sig) {
 					if ServerOfCube(cube, w.N) != w.ID {
 						continue
@@ -167,23 +221,23 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 						tgt = relation.New(name, ri.Attrs...)
 						db[name] = tgt
 					}
-					tgt.AppendAll(&blk)
+					tgt.AppendAll(&scratch)
 				}
 			}
 			return nil
 		})
 }
 
-// runMerge ships pre-built block tries and merges them at the receiver.
+// runMerge ships pre-built block tries; receivers deposit them into the
+// block-trie cache instead of eagerly merging per destination cube — the
+// merge happens lazily at a cube's first use, and a block shared by many
+// cubes is decoded and (when it is a relation's only block on the cube)
+// merged exactly once.
 func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 	if len(p.TrieOrder) == 0 {
 		return fmt.Errorf("hcube merge: TrieOrder required")
 	}
-	pos := make(map[string]int, len(p.TrieOrder))
-	for i, a := range p.TrieOrder {
-		pos[a] = i
-	}
-	err := c.Exchange(phase,
+	return c.Exchange(phase,
 		func(w *cluster.Worker) ([]cluster.Envelope, error) {
 			var out []cluster.Envelope
 			for _, ri := range p.Rels {
@@ -192,9 +246,7 @@ func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 					continue
 				}
 				relPos := p.Shares.RelPositions(ri.Attrs)
-				// Trie attribute order for this relation.
-				attrs := append([]string(nil), ri.Attrs...)
-				sort.Slice(attrs, func(x, y int) bool { return pos[attrs[x]] < pos[attrs[y]] })
+				attrs := p.trieAttrs(ri)
 				sigs, blocks := groupBlocks(frag, p.Shares, relPos, ri)
 				for bi, sig := range sigs {
 					bt := trie.Build(blocks[bi], attrs)
@@ -213,8 +265,7 @@ func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 			return out, nil
 		},
 		func(w *cluster.Worker, inbox []cluster.Envelope) error {
-			// Collect block tries per (cube, relation), then merge.
-			pending := make(map[int]map[string][]*trie.Trie)
+			attrsOf := p.attrsByRel()
 			for _, e := range inbox {
 				name, sig, err := splitKey(e.Key, '@')
 				if err != nil {
@@ -229,67 +280,72 @@ func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 					return fmt.Errorf("hcube merge: unknown relation %q", name)
 				}
 				relPos := p.Shares.RelPositions(ri.Attrs)
+				key := blockcache.Key{Rel: name, Sig: sig}
+				w.Blocks.DepositTrie(key, attrsOf[name], bt)
 				for _, cube := range p.Shares.BlockCubes(relPos, sig) {
-					if ServerOfCube(cube, w.N) != w.ID {
-						continue
+					if ServerOfCube(cube, w.N) == w.ID {
+						w.Blocks.BindCube(cube, name, key)
 					}
-					m, ok := pending[cube]
-					if !ok {
-						m = make(map[string][]*trie.Trie)
-						pending[cube] = m
-					}
-					m[name] = append(m[name], bt)
-				}
-			}
-			for cube, m := range pending {
-				db := w.CubeTrieDB(cube)
-				for name, ts := range m {
-					db[name] = trie.Merge(ts)
 				}
 			}
 			return nil
 		})
-	return err
 }
 
 // --- helpers ---
 
-// encScratch pools the delta-encoder's working buffer; the finished bytes
-// are copied into the worker's payload arena, so neither side of the
-// encode allocates in steady state.
-var encScratch = sync.Pool{New: func() interface{} {
-	b := make([]byte, 0, 1<<14)
-	return &b
-}}
-
-// encodeBlockPayload serializes one (sorted) block into a pooled scratch
-// buffer and parks the payload in the worker's per-exchange arena.
-func encodeBlockPayload(w *cluster.Worker, b *relation.Relation) []byte {
-	sp := encScratch.Get().(*[]byte)
-	buf := relation.AppendEncode((*sp)[:0], b)
-	payload := w.PayloadCopy(buf)
-	*sp = buf[:0]
-	encScratch.Put(sp)
-	return payload
-}
-
-func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope) error {
-	var blk relation.Relation // decode scratch, reused across envelopes
+// consumeTupleBlocks routes Push envelopes ("rel@sig#cube"). With a
+// TrieOrder, each sender's block is decoded and deposited once and every
+// replicated cube binds the shared key; without one it falls back to
+// appending raw tuples into per-cube databases.
+func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope, p Plan) error {
+	var scratch relation.Relation // decode scratch for the legacy path
+	type seenKey struct {
+		from int
+		key  blockcache.Key
+	}
+	var seen map[seenKey]bool
+	attrsOf := p.attrsByRel()
 	for _, e := range inbox {
-		name, cube, err := splitKey(e.Key, '#')
+		relSig, cube, err := splitKey(e.Key, '#')
 		if err != nil {
 			return err
 		}
-		if err := relation.DecodeInto(e.Payload, &blk); err != nil {
+		name, sig, err := splitKey(relSig, '@')
+		if err != nil {
+			return err
+		}
+		ri, ok := relByName(p.Rels, name)
+		if !ok {
+			return fmt.Errorf("hcube push: unknown relation %q", name)
+		}
+		if attrs := attrsOf[name]; attrs != nil {
+			key := blockcache.Key{Rel: name, Sig: sig}
+			sk := seenKey{e.From, key}
+			if seen == nil {
+				seen = make(map[seenKey]bool)
+			}
+			if !seen[sk] {
+				seen[sk] = true
+				part := new(relation.Relation)
+				if err := relation.DecodeInto(e.Payload, part); err != nil {
+					return err
+				}
+				w.Blocks.DepositTuples(key, attrs, part)
+			}
+			w.Blocks.BindCube(cube, name, key)
+			continue
+		}
+		if err := relation.DecodeInto(e.Payload, &scratch); err != nil {
 			return err
 		}
 		db := w.CubeDB(cube)
 		tgt, ok := db[name]
 		if !ok {
-			tgt = relation.New(blk.Name, blk.Attrs...)
+			tgt = relation.New(name, ri.Attrs...)
 			db[name] = tgt
 		}
-		tgt.AppendAll(&blk)
+		tgt.AppendAll(&scratch)
 	}
 	return nil
 }

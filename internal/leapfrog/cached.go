@@ -30,8 +30,12 @@ type CachedJoin struct {
 }
 
 // NewCachedJoin prepares a cached join over tries built by BuildTries.
-// cacheBudget is the per-level cap on cached values (0 disables caching,
-// degenerating to plain Leapfrog-by-materialized-intersections).
+// cacheBudget is the per-level cap on cached values (0 disables caching:
+// inner levels degenerate to materialized intersections and the leaf
+// level to the plain joiner's streaming drain). Once a level's budget is
+// exhausted, leaf misses likewise stop materializing value lists and
+// drain the intersection directly — the saturated-cache steady state the
+// paper's HCubeJ+Cache starvation analysis describes.
 func NewCachedJoin(tries []*trie.Trie, order []string, cacheBudget int) *CachedJoin {
 	pos := make(map[string]int, len(order))
 	for i, a := range order {
@@ -87,6 +91,26 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 			vals = cached
 		} else {
 			c.Misses++
+			if d == n-1 && (c.CacheBudget <= 0 || cacheSize[d] >= c.CacheBudget) {
+				// Leaf level with caching disabled or the level's budget
+				// exhausted: nothing could be inserted, so skip the value
+				// list entirely and drain the intersection in one streaming
+				// pass (the plain joiner's leaf drain), capped at the
+				// remaining work budget.
+				limit := int64(-1)
+				if opt.Budget > 0 {
+					limit = opt.Budget - work + 1
+				}
+				cnt, w := ext.DrainLeaf(binding, d, limit, opt.Emit)
+				st.LevelSeeks[d] += w
+				st.LevelTuples[d] += cnt
+				st.Results += cnt
+				work += cnt
+				if opt.Budget > 0 && work > opt.Budget {
+					return ErrBudget
+				}
+				return nil
+			}
 			var w int64
 			vals, w = ext.Extend(binding, d)
 			st.LevelSeeks[d] += w

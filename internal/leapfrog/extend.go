@@ -19,6 +19,10 @@ type Extender struct {
 	// rels[d] lists, for each depth, the tries of relations containing
 	// order[d], with the positions (in the global order) of their attributes.
 	rels [][]extRel
+	// lists/cursors are DrainLeaf scratch (an Extender serves one join at a
+	// time; it is not safe for concurrent use).
+	lists   [][]Value
+	cursors []int
 }
 
 type extRel struct {
@@ -136,6 +140,136 @@ func (er extRel) childValues(i, level int, node int32) []Value {
 		return l.Vals[l.Starts[0]:l.Starts[1]]
 	}
 	return l.Vals[l.Starts[node]:l.Starts[node+1]]
+}
+
+// DrainLeaf streams the intersection Extend(binding, d) would materialize
+// straight into emit — the cached join's leaf-level analogue of the plain
+// joiner's frame.drain, with the same emit convention: each matched value
+// is written into binding[d] and emit(binding) is called (emit may be nil
+// for counting runs; the nil check happens once, not per value). The
+// candidate lists stay slices into trie storage and the intersection runs
+// as a multi-pointer leapfrog over them, so no per-level value list is
+// allocated. A non-negative limit stops the drain once that many values
+// are taken (the caller's remaining work budget). Returns the number of
+// values matched and the seek work performed.
+func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(relation.Tuple)) (int64, int64) {
+	lists := e.lists[:0]
+	var work int64
+	for _, er := range e.rels[d] {
+		vals, w := er.candidates(binding, d)
+		work += w
+		if len(vals) == 0 {
+			e.lists = lists[:0]
+			return 0, work
+		}
+		lists = append(lists, vals)
+	}
+	e.lists = lists // keep grown scratch
+	if len(lists) == 0 {
+		return 0, work
+	}
+	var count int64
+	switch len(lists) {
+	case 1:
+		vals := lists[0]
+		if limit >= 0 && int64(len(vals)) > limit {
+			vals = vals[:limit]
+		}
+		if emit != nil {
+			for _, v := range vals {
+				binding[d] = v
+				emit(binding)
+			}
+		}
+		count = int64(len(vals))
+	case 2:
+		v0, v1 := lists[0], lists[1]
+		var p0, p1 int
+		k0, k1 := v0[0], v1[0]
+		for limit < 0 || count < limit {
+			if k0 == k1 {
+				if emit != nil {
+					binding[d] = k0
+					emit(binding)
+				}
+				count++
+				p0++
+				p1++
+				if p0 >= len(v0) || p1 >= len(v1) {
+					break
+				}
+				k0, k1 = v0[p0], v1[p1]
+			} else if k0 < k1 {
+				p0 = seekSlice(v0, p0, k1)
+				work++
+				if p0 >= len(v0) {
+					break
+				}
+				k0 = v0[p0]
+			} else {
+				p1 = seekSlice(v1, p1, k0)
+				work++
+				if p1 >= len(v1) {
+					break
+				}
+				k1 = v1[p1]
+			}
+		}
+	default:
+		// Generalized leapfrog ring over k sorted slices: chase the max key
+		// until all cursors agree, emit, advance.
+		k := len(lists)
+		if cap(e.cursors) < k {
+			e.cursors = make([]int, k)
+		}
+		pos := e.cursors[:k]
+		for i := range pos {
+			pos[i] = 0
+		}
+		hi := lists[0][0]
+		for i := 1; i < k; i++ {
+			if v := lists[i][0]; v > hi {
+				hi = v
+			}
+		}
+		ring := 0
+	drain:
+		for limit < 0 || count < limit {
+			matched := 0
+			for matched < k {
+				vals := lists[ring]
+				if vals[pos[ring]] < hi {
+					pos[ring] = seekSlice(vals, pos[ring], hi)
+					work++
+					if pos[ring] >= len(vals) {
+						break drain
+					}
+				}
+				if v := vals[pos[ring]]; v > hi {
+					hi = v
+					matched = 1
+				} else {
+					matched++
+				}
+				ring++
+				if ring == k {
+					ring = 0
+				}
+			}
+			if emit != nil {
+				binding[d] = hi
+				emit(binding)
+			}
+			count++
+			// Advance one cursor past the match and restart the pursuit.
+			pos[ring]++
+			if pos[ring] >= len(lists[ring]) {
+				break
+			}
+			hi = lists[ring][pos[ring]]
+		}
+	}
+	return count, work
 }
 
 // CountPerLevel runs a full (budgeted) traversal counting partial bindings

@@ -63,7 +63,7 @@ func DistributedEstimate(c *cluster.Cluster, relAttrs map[string][]string, order
 					out = append(out, cluster.Envelope{
 						To:      to,
 						Key:     "proj/" + name,
-						Payload: relation.Encode(p),
+						Payload: w.EncodeRelation(p),
 						Tuples:  int64(p.Len()),
 					})
 				}
@@ -156,7 +156,7 @@ func DistributedEstimate(c *cluster.Cluster, relAttrs map[string][]string, order
 				if send.Len() == 0 {
 					continue
 				}
-				payload := relation.Encode(send)
+				payload := w.EncodeRelation(send)
 				for to := 0; to < w.N; to++ {
 					out = append(out, cluster.Envelope{
 						To:      to,

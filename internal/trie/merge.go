@@ -2,6 +2,7 @@ package trie
 
 import (
 	"container/heap"
+	"sync"
 
 	"adj/internal/relation"
 )
@@ -10,6 +11,15 @@ import (
 // the server-side half of the Merge HCube implementation (§V): each block
 // arrives with its trie pre-built by the sender, and the receiver merges the
 // sorted tuple streams rather than re-sorting raw tuples.
+//
+// Merge is reuse-safe: inputs are never mutated, and the returned trie
+// aliases no pooled scratch — it is either freshly built or, when exactly
+// one non-empty input remains, that input itself (callers treating tries
+// as immutable, as the whole runtime does, may therefore share both inputs
+// and output freely, e.g. across cubes in the block cache). All k-way
+// heap state, tuple streams and the staging relation come from an
+// internal pool, so repeated merges — the per-cube path of the Merge
+// shuffle — allocate only the output trie.
 func Merge(ts []*Trie) *Trie {
 	// Remember the schema before dropping empty blocks so a fully-empty
 	// merge still yields a correctly-typed empty trie.
@@ -30,35 +40,96 @@ func Merge(ts []*Trie) *Trie {
 	if len(ts) == 1 {
 		return ts[0]
 	}
+	m := mergePool.Get().(*merger)
+	t := m.merge(ts)
+	mergePool.Put(m)
+	return t
+}
+
+// merger holds the pooled k-way merge state: tuple streams (iterator +
+// current-tuple buffer each), the stream heap's item slice, the dedup
+// buffer and the staging relation's row backing.
+type merger struct {
+	streams []tupleStream
+	h       streamHeap
+	last    []Value
+	out     relation.Relation
+	data    []Value
+}
+
+var mergePool = sync.Pool{New: func() interface{} { return &merger{} }}
+
+func (m *merger) merge(ts []*Trie) *Trie {
 	k := ts[0].Arity()
 	attrs := ts[0].Attrs
-	// K-way merge of sorted tuple streams with dedup, feeding FromSorted.
-	streams := make([]*tupleStream, 0, len(ts))
-	for _, t := range ts {
-		s := newTupleStream(t)
+	// Bind one stream per input, reusing stream slots (and their iterator
+	// position arrays and tuple buffers) from previous merges. Heap items
+	// point into m.streams, so the slice must reach its final length
+	// before any pointers are taken.
+	if cap(m.streams) < len(ts) {
+		m.streams = make([]tupleStream, len(ts))
+	} else {
+		m.streams = m.streams[:len(ts)]
+	}
+	if cap(m.h.items) < len(ts) {
+		m.h.items = make([]*tupleStream, 0, len(ts))
+	} else {
+		m.h.items = m.h.items[:0]
+	}
+	for i, t := range ts {
+		s := &m.streams[i]
+		s.init(t)
 		if s.next() {
-			streams = append(streams, s)
+			m.h.items = append(m.h.items, s)
 		}
 	}
-	h := &streamHeap{items: streams, k: k}
-	heap.Init(h)
-	out := relation.NewWithCapacity("merged", totalTuples(ts), attrs...)
-	last := make([]Value, k)
+	m.h.k = k
+	heap.Init(&m.h)
+	// Stage the merged, deduplicated rows in a pooled relation; FromSorted
+	// copies them into fresh level arrays, so the backing returns to the
+	// pool afterwards.
+	out := &m.out
+	out.Name = "merged"
+	out.Attrs = attrs
+	need := totalTuples(ts) * k
+	if cap(m.data) < need {
+		m.data = make([]Value, 0, need)
+	}
+	out.SetData(m.data[:0])
+	if cap(m.last) < k {
+		m.last = make([]Value, k)
+	}
+	last := m.last[:k]
 	havLast := false
-	for h.Len() > 0 {
-		s := h.items[0]
+	for m.h.Len() > 0 {
+		s := m.h.items[0]
 		if !havLast || !equalTuple(last, s.cur) {
 			copy(last, s.cur)
 			havLast = true
 			out.AppendTuple(s.cur)
 		}
 		if s.next() {
-			heap.Fix(h, 0)
+			heap.Fix(&m.h, 0)
 		} else {
-			heap.Pop(h)
+			heap.Pop(&m.h)
 		}
 	}
-	return FromSorted(out)
+	t := FromSorted(out)
+	// Reclaim the (possibly grown) backing and drop the borrowed schema.
+	m.data = out.Data()[:0]
+	out.Attrs = nil
+	out.SetData(m.data)
+	// Drop every input-trie reference before the merger parks in the pool:
+	// callers (the block cache in particular) release their part tries
+	// after merging, and a pooled stream slot must not pin them. Clearing
+	// runs at the end of every merge, so slots beyond a later, smaller
+	// merge's length hold no stale pointers either.
+	for i := range m.streams {
+		m.streams[i].t = nil
+		m.streams[i].it.t = nil
+	}
+	m.h.items = m.h.items[:0]
+	return t
 }
 
 func nonEmpty(ts []*Trie) []*Trie {
@@ -91,14 +162,24 @@ func equalTuple(a, b []Value) bool {
 // tupleStream walks a trie's tuples in lexicographic order iteratively.
 type tupleStream struct {
 	t   *Trie
-	it  *Iterator
+	it  Iterator
 	cur []Value
 	// started marks whether the depth-first walk has begun.
 	started bool
 }
 
-func newTupleStream(t *Trie) *tupleStream {
-	return &tupleStream{t: t, it: NewIterator(t), cur: make([]Value, t.Arity())}
+// init rebinds a (possibly recycled) stream to a trie, reusing the
+// iterator's position arrays and the tuple buffer.
+func (s *tupleStream) init(t *Trie) {
+	s.t = t
+	s.it.Init(t)
+	s.started = false
+	k := t.Arity()
+	if cap(s.cur) < k {
+		s.cur = make([]Value, k)
+	} else {
+		s.cur = s.cur[:k]
+	}
 }
 
 // next advances to the next tuple; returns false when exhausted.
@@ -107,7 +188,7 @@ func (s *tupleStream) next() bool {
 	if k == 0 || s.t.NumTuples == 0 {
 		return false
 	}
-	it := s.it
+	it := &s.it
 	if !s.started {
 		s.started = true
 		// Initial descent: open exactly k levels from the root, recording

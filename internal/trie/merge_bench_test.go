@@ -1,0 +1,72 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"adj/internal/relation"
+)
+
+func randBlocks(rng *rand.Rand, nblocks, rows int) []*Trie {
+	out := make([]*Trie, nblocks)
+	for b := range out {
+		r := relation.New("B", "a", "b", "c")
+		for i := 0; i < rows; i++ {
+			r.Append(rng.Int63n(200), rng.Int63n(200), rng.Int63n(200))
+		}
+		out[b] = Build(r, []string{"a", "b", "c"})
+	}
+	return out
+}
+
+// Merging must be reuse-safe: repeated merges from the pooled state give
+// identical results, inputs stay untouched, and the returned trie is
+// independent of later merges mutating the pooled scratch.
+func TestMergePooledReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	blocks := randBlocks(rng, 6, 120)
+	before := make([]string, len(blocks))
+	for i, b := range blocks {
+		before[i] = b.ToRelation("x").String()
+	}
+	first := Merge(blocks)
+	want := first.ToRelation("m").String()
+	// Churn the pool with unrelated merges, then re-check the first result.
+	for i := 0; i < 10; i++ {
+		other := randBlocks(rng, 4, 80)
+		if got := Merge(other); got.NumTuples == 0 {
+			t.Fatal("churn merge produced empty trie")
+		}
+	}
+	if got := first.ToRelation("m").String(); got != want {
+		t.Fatal("earlier merge result changed after later merges reused the pool")
+	}
+	if got := Merge(blocks).ToRelation("m").String(); got != want {
+		t.Fatal("repeated merge of same inputs differs")
+	}
+	for i, b := range blocks {
+		if b.ToRelation("x").String() != before[i] {
+			t.Fatalf("merge mutated input trie %d", i)
+		}
+	}
+	// Single non-empty input: returned as-is (the block cache's sharing
+	// fast path).
+	single := []*Trie{nil, blocks[0], {}}
+	if got := Merge(single); got != blocks[0] {
+		t.Fatal("single-input merge must alias the input")
+	}
+}
+
+// BenchmarkMerge measures the pooled k-way merge; with the heap state,
+// tuple streams and staging relation pooled, steady-state allocations are
+// only the output trie's level arrays (compare trie_merge vs
+// trie_merge_reference in BENCH_3.json for the before/after).
+func BenchmarkMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	blocks := randBlocks(rng, 8, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(blocks)
+	}
+}
