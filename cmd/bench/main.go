@@ -1,21 +1,24 @@
 // Command bench snapshots the performance of the execution hot path so PRs
 // have a trajectory to compare against. It runs the tier-2 micro-benchmarks
 // (trie build — row-major and columnar, k-way trie merge, single-cube
-// Leapfrog, shuffle encode/decode on both layouts, hash partitioning) plus
-// the triangle query end-to-end on every engine over a generated power-law
-// graph at CubesPerServer=4 (a shared-block workload), verifies the
-// engines agree on the result count and that the block-trie cache built
-// each (relation, block) trie exactly once per worker, and writes a JSON
+// Leapfrog, result listing through the batched columnar sink vs the
+// per-tuple emit baseline, shuffle encode/decode on both layouts, hash
+// partitioning) plus the triangle query end-to-end on every engine over a
+// generated power-law graph at CubesPerServer=4 (a shared-block workload),
+// verifies the engines agree on the result count, that the block-trie
+// cache built each (relation, block) trie exactly once per worker, and
+// that collected results flow through the batched emit sink (nonzero
+// emitted-run counters, allocs under a pinned ceiling), and writes a JSON
 // snapshot (BENCH_<n>.json at the repo root by convention).
 //
-// When a reference snapshot exists (-ref, default BENCH_2.json), the
+// When a reference snapshot exists (-ref, default BENCH_3.json), the
 // output embeds a before/after comparison for every shared benchmark key
-// plus per-engine timing, so BENCH_3.json directly reports the trie-reuse
-// and locality-scheduler wins over the PR-2 numbers.
+// plus per-engine timing, so BENCH_4.json directly reports the columnar
+// result-pipeline wins over the PR-3 numbers.
 //
-//	go run ./cmd/bench                  # writes BENCH_3.json, compares to BENCH_2.json
+//	go run ./cmd/bench                  # writes BENCH_4.json, compares to BENCH_3.json
 //	go run ./cmd/bench -scale 0.1 -out /tmp/b.json -ref ""
-//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines only
+//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines + emit invariants
 package main
 
 import (
@@ -263,8 +266,8 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_3.json", "output JSON path")
-		ref     = flag.String("ref", "BENCH_2.json", "reference snapshot to compare against (\"\" disables)")
+		out     = flag.String("out", "BENCH_4.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_3.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
@@ -310,6 +313,10 @@ func main() {
 	if !*quick {
 		runMicroBenches(&snap, edges, rels, order, *workers)
 	}
+	// Emit-path benchmarks and invariants run in every mode: the quick CI
+	// smoke must still catch a silent regression to per-tuple emission.
+	benchEmitPipeline(&snap, edges)
+	emitEngineSmoke(q, rels, *workers, *cubes)
 
 	snap.Engines = runEngines(q, rels, *workers, *cubes)
 	if *cubes == 1 {
@@ -565,6 +572,119 @@ func runMicroBenches(snap *Snapshot, edges *relation.Relation, rels []*relation.
 	// path (every cube re-merges its blocks' sender parts from scratch).
 	// This isolates exactly the computation-time win the cache buys. ---
 	benchCubeCompute(snap, rels, order)
+}
+
+// emitAllocCeiling pins the emit path's allocations per listing run. The
+// batched sink allocates O(columns × log results) slices (amortized column
+// growth) plus a handful of fixed objects; a regression to per-value
+// allocation would scale with the result count (tens of thousands here)
+// and blow straight through this.
+const emitAllocCeiling = 256
+
+// benchEmitPipeline measures result listing end to end on the emit-bound
+// workload the batched sink targets: the 2-path (wedge) listing
+// R(a,b) ⋈ S(b,c), whose output volume dwarfs the input (every hub
+// contributes deg·deg results) and whose leaf intersections are whole
+// adjacency lists — the ring-of-1 runs the sink receives as zero-copy
+// slices. Results materialize as a columnar-resident relation, once
+// through the batched columnar sink (leapfrog.Sink →
+// relation.ColumnWriter) and once through the per-tuple emit baseline
+// (row-major append + the pivot to columns every downstream consumer —
+// shuffle encode, merge, trie build — would force anyway). Asserts both
+// paths list identical relations, that the sink path's emitted-run
+// counters engage, and that the sink's allocs/op stay under
+// emitAllocCeiling — in quick mode too, so CI catches a silent regression
+// to per-tuple emission.
+func benchEmitPipeline(snap *Snapshot, edges *relation.Relation) {
+	r := edges.Clone()
+	r.Name, r.Attrs = "R", []string{"a", "b"}
+	s := edges.Clone()
+	s.Name, s.Attrs = "S", []string{"b", "c"}
+	rels := []*relation.Relation{r, s}
+	order := []string{"a", "b", "c"}
+	tries := leapfrog.BuildTries(rels, order)
+	runSink := func() (*relation.Relation, leapfrog.Stats) {
+		out := relation.New("out", order...)
+		st, err := leapfrog.Join(tries, order, leapfrog.Options{Sink: relation.NewColumnWriter(out)})
+		if err != nil {
+			fatal(err)
+		}
+		return out, st
+	}
+	runPerTuple := func() (*relation.Relation, leapfrog.Stats) {
+		out := relation.New("out", order...)
+		st, err := leapfrog.Join(tries, order, leapfrog.Options{
+			Emit: func(t relation.Tuple) { out.AppendTuple(t) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out.PivotToColumns()
+		return out, st
+	}
+	sinkOut, sinkSt := runSink()
+	tupleOut, tupleSt := runPerTuple()
+	if sinkSt.Results != tupleSt.Results || !sinkOut.Equal(tupleOut) {
+		fatal(fmt.Errorf("emit paths disagree: sink %d tuples vs per-tuple %d",
+			sinkOut.Len(), tupleOut.Len()))
+	}
+	if sinkSt.Results > 0 && (sinkSt.EmittedRuns == 0 || sinkSt.EmittedValues != sinkSt.Results) {
+		fatal(fmt.Errorf("batched emit did not engage: %d results, %d runs, %d values",
+			sinkSt.Results, sinkSt.EmittedRuns, sinkSt.EmittedValues))
+	}
+	snap.Benchmarks["leapfrog_emit_sink"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runSink()
+		}
+	})
+	snap.Benchmarks["leapfrog_emit_pertuple"] = bench(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runPerTuple()
+		}
+	})
+	sink := snap.Benchmarks["leapfrog_emit_sink"]
+	pt := snap.Benchmarks["leapfrog_emit_pertuple"]
+	if sink.AllocsPerOp > emitAllocCeiling {
+		fatal(fmt.Errorf("emit sink allocates %d/op, ceiling %d: batched path regressed toward per-tuple",
+			sink.AllocsPerOp, emitAllocCeiling))
+	}
+	fmt.Fprintf(os.Stderr,
+		"emit listing: sink %.0f ns/op (%d allocs, %d B) vs per-tuple %.0f ns/op (%d allocs, %d B) — %.2fx, runlen %.1f\n",
+		sink.NsPerOp, sink.AllocsPerOp, sink.BytesPerOp,
+		pt.NsPerOp, pt.AllocsPerOp, pt.BytesPerOp,
+		pt.NsPerOp/sink.NsPerOp, float64(sinkSt.EmittedValues)/float64(max(sinkSt.EmittedRuns, 1)))
+}
+
+// emitEngineSmoke asserts the engines' collected output rides the batched
+// sink: a CollectOutput run must report nonzero emitted-run counters with
+// values matching the result count, and must list exactly the relation
+// the legacy per-tuple shim produces.
+func emitEngineSmoke(q hypergraph.Query, rels []*relation.Relation, workers, cubes int) {
+	cfg := engine.Config{NumServers: workers, Samples: 300, Seed: 1,
+		CubesPerServer: cubes, CollectOutput: true}
+	rep, err := engine.RunADJ(q, rels, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Results > 0 && rep.EmittedRuns == 0 {
+		fatal(fmt.Errorf("ADJ CollectOutput: %d results but zero emitted runs — batched sink not engaged", rep.Results))
+	}
+	if rep.EmittedValues != rep.Results {
+		fatal(fmt.Errorf("ADJ CollectOutput: emitted values %d != results %d", rep.EmittedValues, rep.Results))
+	}
+	cfg.PerTupleEmit = true
+	shim, err := engine.RunADJ(q, rels, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Results != shim.Results || !rep.Output.Equal(shim.Output) {
+		fatal(fmt.Errorf("ADJ sink output differs from per-tuple shim (%d vs %d tuples)",
+			rep.Output.Len(), shim.Output.Len()))
+	}
+	fmt.Fprintf(os.Stderr, "engine emit smoke: ADJ results=%d runs=%d (runlen %.1f), sink == shim\n",
+		rep.Results, rep.EmittedRuns, float64(rep.EmittedValues)/float64(max(rep.EmittedRuns, 1)))
 }
 
 // benchCubeCompute sets up a triangle shuffle's receiver state by hand:

@@ -87,6 +87,10 @@ type blockEntry struct {
 	trieParts  []*trie.Trie
 	tupleParts []*relation.Relation
 	built      *trie.Trie
+	// size accumulates the tuples deposited for this block — the cost
+	// estimate the cube scheduler weighs (deposits happen before the join
+	// phase reads sizes, so no atomicity beyond the registry lock needed).
+	size int64
 }
 
 // cubeEntry lists the blocks of one (cube, relation) and memoizes their
@@ -113,6 +117,7 @@ func (r *Registry) DepositTrie(k Key, attrs []string, t *trie.Trie) {
 	r.mu.Lock()
 	e := r.entry(k, attrs)
 	e.trieParts = append(e.trieParts, t)
+	e.size += int64(t.NumTuples)
 	r.mu.Unlock()
 }
 
@@ -123,6 +128,7 @@ func (r *Registry) DepositTuples(k Key, attrs []string, part *relation.Relation)
 	r.mu.Lock()
 	e := r.entry(k, attrs)
 	e.tupleParts = append(e.tupleParts, part)
+	e.size += int64(part.Len())
 	r.mu.Unlock()
 }
 
@@ -263,6 +269,22 @@ func (r *Registry) BlockKeysOf(cube int) []Key {
 	ks := r.byCube[cube]
 	r.mu.Unlock()
 	return ks
+}
+
+// CubeWeight estimates cube's join work as the summed tuple counts
+// deposited for its bound blocks — the cost signal the locality
+// partitioner balances deques by. Sizes survive the trie build, so cubes
+// can be weighed at any point.
+func (r *Registry) CubeWeight(cube int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var w int64
+	for _, k := range r.byCube[cube] {
+		if e, ok := r.blocks[k]; ok {
+			w += e.size
+		}
+	}
+	return w
 }
 
 // Len returns the number of distinct blocks deposited.

@@ -162,10 +162,12 @@ func runADJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, coOptimiz
 	}
 
 	// --- Computation phase: Leapfrog per cube under the plan's order. ---
-	total, output, cstats, err := localCubeJoin(c, "join", infos, plan.AttrOrder, cfg, false)
+	total, output, cstats, estats, err := localCubeJoin(c, "join", infos, plan.AttrOrder, cfg, false)
 	rep.CacheBlocks = cstats.Blocks
 	rep.TrieBuilds = cstats.Builds
 	rep.TrieCacheHits = cstats.Hits
+	rep.EmittedRuns = estats.runs
+	rep.EmittedValues = estats.values
 	if err != nil {
 		if errors.Is(err, ErrBudget) {
 			rep.Failed = true

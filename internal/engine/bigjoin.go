@@ -221,23 +221,24 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 			// Build candidate lists per bound-key, aborting as soon as the
 			// proposals alone exceed the budget (SparkSQL/BigJoin-style
 			// blowups must fail fast, not after materializing everything).
+			// Each binding extends into a run — the binding prefix repeated
+			// over its candidate values — so the extension writes through
+			// the columnar run writer and the round's output feeds the next
+			// shuffle's EncodeRelation columnar-native, with no pivot.
 			perWorkerCap := int64(0)
 			if cfg.Budget > 0 {
 				perWorkerCap = cfg.Budget
 			}
 			extended := relation.New("bindings", newAttrs...)
+			cw := relation.NewColumnWriter(extended)
 			overCap := func() bool {
-				return perWorkerCap > 0 && int64(extended.Len()) > perWorkerCap
+				return perWorkerCap > 0 && int64(cw.Rows()) > perWorkerCap
 			}
 			if len(boundAttrs) == 0 {
 				cands := idx.Distinct(attr)
-				row := make([]relation.Value, len(newAttrs))
 				for i := 0; i < binds.Len(); i++ {
-					copy(row, binds.Tuple(i))
-					for _, v := range cands {
-						row[len(newAttrs)-1] = v
-						extended.AppendTuple(row)
-					}
+					cw.BeginRun(binds.Tuple(i))
+					cw.AppendRun(cands)
 					if overCap() {
 						return ErrBudget
 					}
@@ -261,17 +262,17 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 					index[k] = dedupVals(vs)
 				}
 				bindCols := attrIdx(binds.Attrs, boundAttrs)
-				row := make([]relation.Value, len(newAttrs))
 				for i := 0; i < binds.Len(); i++ {
 					t := binds.Tuple(i)
 					for j, bc := range bindCols {
 						kbuf[j] = t[bc]
 					}
-					for _, v := range index[keyString(kbuf)] {
-						copy(row, t)
-						row[len(newAttrs)-1] = v
-						extended.AppendTuple(row)
+					cands := index[keyString(kbuf)]
+					if len(cands) == 0 {
+						continue
 					}
+					cw.BeginRun(t)
+					cw.AppendRun(cands)
 					if overCap() {
 						return ErrBudget
 					}

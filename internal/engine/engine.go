@@ -64,6 +64,10 @@ type Config struct {
 	// CollectOutput materializes result tuples into Report.Output (tests);
 	// default counts only.
 	CollectOutput bool
+	// PerTupleEmit forces the legacy per-tuple emit shim instead of the
+	// batched columnar result sink when collecting output. Kept as the
+	// equivalence/benchmark baseline; production runs leave it false.
+	PerTupleEmit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +105,13 @@ type Report struct {
 	CacheBlocks   int64
 	TrieBuilds    int64
 	TrieCacheHits int64
+	// Emitted-run counters, summed over cubes (Leapfrog engines with
+	// CollectOutput only): results leave the leaf intersection as batched
+	// runs — EmittedRuns deliveries carrying EmittedValues tuples — rather
+	// than per-tuple callbacks. cmd/bench asserts they are nonzero so the
+	// batched path cannot silently regress to per-tuple.
+	EmittedRuns   int64
+	EmittedValues int64
 	// Failed marks budget/memory failures (frame-top bars).
 	Failed     bool
 	FailReason string
@@ -203,9 +214,10 @@ func sortAttrsByOrder(attrs []string, order []string) []string {
 // richest deque. cfg.Sequential restores the deterministic in-order loop.
 // Results and outputs are accumulated per cube and folded in cube order,
 // so both modes produce identical reports.
-func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool) (int64, *relation.Relation, blockcache.Stats, error) {
+func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool) (int64, *relation.Relation, blockcache.Stats, emitStats, error) {
 	results := make([]int64, c.N)
 	outputs := make([]*relation.Relation, c.N)
+	emitted := make([]emitStats, c.N)
 	budgetPer := int64(0)
 	if cfg.Budget > 0 {
 		budgetPer = cfg.Budget / int64(c.N)
@@ -216,6 +228,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 	err := c.Parallel(phase, func(w *cluster.Worker) error {
 		cubes := allCubes(w)
 		perCube := make([]int64, len(cubes))
+		perCubeEmit := make([]emitStats, len(cubes))
 		var perCubeOut []*relation.Relation
 		if cfg.CollectOutput {
 			perCubeOut = make([]*relation.Relation, len(cubes))
@@ -227,9 +240,16 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 			}
 			opts := leapfrog.Options{Budget: budgetPer}
 			if cfg.CollectOutput {
+				// Results stay columnar from the leaf intersection on: the
+				// sink appends whole runs to the cube's output columns. The
+				// per-tuple shim remains as the equivalence baseline.
 				out := relation.New("out", order...)
 				perCubeOut[ci] = out
-				opts.Emit = func(t relation.Tuple) { out.AppendTuple(t) }
+				if cfg.PerTupleEmit {
+					opts.Emit = func(t relation.Tuple) { out.AppendTuple(t) }
+				} else {
+					opts.Sink = relation.NewColumnWriter(out)
+				}
 			}
 			var st leapfrog.Stats
 			if cached {
@@ -245,14 +265,19 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 				return err
 			}
 			perCube[ci] = st.Results
+			perCubeEmit[ci] = emitStats{runs: st.EmittedRuns, values: st.EmittedValues}
 			return nil
 		}
 		blocksOf := func(ci int) []blockcache.Key { return w.Blocks.BlockKeysOf(cubes[ci]) }
-		if err := runCubes(len(cubes), cfg.Sequential, blocksOf, joinCube); err != nil {
+		weightOf := func(ci int) int64 { return w.Blocks.CubeWeight(cubes[ci]) }
+		if err := runCubes(len(cubes), cfg.Sequential, blocksOf, weightOf, joinCube); err != nil {
 			return err
 		}
 		for _, r := range perCube {
 			results[w.ID] += r
+		}
+		for _, e := range perCubeEmit {
+			emitted[w.ID].add(e)
 		}
 		if cfg.CollectOutput {
 			out := relation.New("out", order...)
@@ -269,8 +294,12 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 	for _, w := range c.Workers {
 		cacheStats.Add(w.Blocks.Stats())
 	}
+	var allEmit emitStats
+	for _, e := range emitted {
+		allEmit.add(e)
+	}
 	if err != nil {
-		return 0, nil, cacheStats, err
+		return 0, nil, cacheStats, allEmit, err
 	}
 	var total int64
 	var merged *relation.Relation
@@ -283,7 +312,17 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 			merged.AppendAll(outputs[i])
 		}
 	}
-	return total, merged, cacheStats, nil
+	return total, merged, cacheStats, allEmit, nil
+}
+
+// emitStats folds the leapfrog emitted-run counters across cubes/workers.
+type emitStats struct {
+	runs, values int64
+}
+
+func (e *emitStats) add(o emitStats) {
+	e.runs += o.runs
+	e.values += o.values
 }
 
 func cacheBudget(cfg Config) int {

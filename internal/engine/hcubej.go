@@ -88,10 +88,12 @@ func runHCubeJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, cached
 		return rep, err
 	}
 
-	total, output, cstats, err := localCubeJoin(c, "join", infos, plan.AttrOrder, cfg, cached)
+	total, output, cstats, estats, err := localCubeJoin(c, "join", infos, plan.AttrOrder, cfg, cached)
 	rep.CacheBlocks = cstats.Blocks
 	rep.TrieBuilds = cstats.Builds
 	rep.TrieCacheHits = cstats.Hits
+	rep.EmittedRuns = estats.runs
+	rep.EmittedValues = estats.values
 	if err != nil {
 		if errors.Is(err, ErrBudget) {
 			rep.Failed = true

@@ -69,7 +69,7 @@ func TestRunCubes(t *testing.T) {
 	for name, blocksOf := range affinities {
 		for _, sequential := range []bool{true, false} {
 			var visited [97]atomic.Int32
-			err := runCubes(97, sequential, blocksOf, func(ci int) error {
+			err := runCubes(97, sequential, blocksOf, nil, func(ci int) error {
 				visited[ci].Add(1)
 				return nil
 			})
@@ -85,7 +85,7 @@ func TestRunCubes(t *testing.T) {
 	}
 	boom := errors.New("boom")
 	var ran atomic.Int32
-	err := runCubes(64, false, nil, func(ci int) error {
+	err := runCubes(64, false, nil, nil, func(ci int) error {
 		ran.Add(1)
 		if ci == 3 {
 			return boom
@@ -95,7 +95,7 @@ func TestRunCubes(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("err=%v want boom", err)
 	}
-	if runCubes(0, false, nil, func(int) error { t.Fatal("no tasks expected"); return nil }) != nil {
+	if runCubes(0, false, nil, nil, func(int) error { t.Fatal("no tasks expected"); return nil }) != nil {
 		t.Fatal("empty task set must succeed")
 	}
 	_ = ran.Load() // races between the error and other goroutines are fine; count is unasserted
@@ -109,7 +109,7 @@ func TestPartitionCubes(t *testing.T) {
 	blocksOf := func(ci int) []blockcache.Key {
 		return []blockcache.Key{{Rel: "R", Sig: ci / 4}}
 	}
-	queues := partitionCubes(16, 4, blocksOf)
+	queues := partitionCubes(16, 4, blocksOf, nil)
 	seen := make(map[int]int)
 	for _, q := range queues {
 		groups := make(map[int]bool)
@@ -133,7 +133,7 @@ func TestPartitionCubes(t *testing.T) {
 	// cap each queue at 2× the fair share instead of piling all cubes on
 	// one queue.
 	hot := func(ci int) []blockcache.Key { return []blockcache.Key{{Rel: "H", Sig: 0}} }
-	queues = partitionCubes(20, 4, hot)
+	queues = partitionCubes(20, 4, hot, nil)
 	total := 0
 	for _, q := range queues {
 		if len(q) > 10 {
@@ -145,10 +145,70 @@ func TestPartitionCubes(t *testing.T) {
 		t.Fatalf("partitioned %d cubes, want 20", total)
 	}
 	// Determinism: same inputs, same assignment.
-	a := fmt.Sprint(partitionCubes(16, 4, blocksOf))
-	b := fmt.Sprint(partitionCubes(16, 4, blocksOf))
+	a := fmt.Sprint(partitionCubes(16, 4, blocksOf, nil))
+	b := fmt.Sprint(partitionCubes(16, 4, blocksOf, nil))
 	if a != b {
 		t.Fatal("partitioner is not deterministic")
+	}
+}
+
+// The cost-aware partitioner must balance by summed block size, not cube
+// count: with one skewed hub block, its heavy cubes spread across queues
+// up front instead of co-locating behind one goroutine.
+func TestPartitionCubesSkewedWeights(t *testing.T) {
+	// 16 cubes over 4 queues. Cubes 0..3 each carry the hub block of
+	// weight 1000 (plus a private block); the remaining 12 cubes weigh 10.
+	// A count-balanced partitioner would co-locate all four hub cubes on
+	// one queue (they share the hot block and the count bound is 8); the
+	// size-balanced bound (2×fair share = 2×(4120/4) = 2060) caps each
+	// queue at two hub cubes.
+	hub := blockcache.Key{Rel: "H", Sig: 0}
+	blocksOf := func(ci int) []blockcache.Key {
+		if ci < 4 {
+			return []blockcache.Key{hub, {Rel: "P", Sig: ci}}
+		}
+		return []blockcache.Key{{Rel: "Q", Sig: ci}}
+	}
+	weightOf := func(ci int) int64 {
+		if ci < 4 {
+			return 1000
+		}
+		return 10
+	}
+	queues := partitionCubes(16, 4, blocksOf, weightOf)
+	seen := make(map[int]int)
+	maxLoad := int64(0)
+	for _, q := range queues {
+		var load int64
+		for _, ci := range q {
+			seen[ci]++
+			load += weightOf(ci)
+		}
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("covered %d cubes, want 16", len(seen))
+	}
+	for ci, n := range seen {
+		if n != 1 {
+			t.Fatalf("cube %d assigned %d times", ci, n)
+		}
+	}
+	// Fair share is 4120/4 = 1030; the bound is 2060, so no queue may
+	// carry more than two hub cubes' worth of work.
+	if maxLoad > 2060 {
+		t.Fatalf("skewed hub not spread: max queue load %d > 2060 bound", maxLoad)
+	}
+	// Zero/unsized cubes must still be placed exactly once.
+	zero := partitionCubes(6, 3, nil, func(int) int64 { return 0 })
+	total := 0
+	for _, q := range zero {
+		total += len(q)
+	}
+	if total != 6 {
+		t.Fatalf("zero-weight partitioning placed %d cubes, want 6", total)
 	}
 }
 

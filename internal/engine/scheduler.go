@@ -17,19 +17,23 @@ import (
 var cubeTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
 
 // runCubes executes fn(0..n-1). In parallel mode the tasks are spread over
-// per-goroutine deques seeded by a locality-aware partitioner: cubes
-// sharing the most (relation, block) fragments land on the same deque
-// (blocksOf supplies each cube's block working set; nil means no locality
-// signal and the partitioner just balances load). Each goroutine drains
-// its own deque front-to-back — so a cube usually follows a cube whose
-// block tries are already hot in its cache — and when idle steals from
-// the back of the richest victim, so a goroutine stuck on a heavy
-// (skewed) cube never strands the work queued behind it. The first error
-// wins and remaining goroutines drain without starting new work.
+// per-goroutine deques seeded by a locality- and cost-aware partitioner:
+// cubes sharing the most (relation, block) fragments land on the same
+// deque (blocksOf supplies each cube's block working set; nil means no
+// locality signal and the partitioner just balances load), while each
+// cube's estimated work (weightOf: summed block sizes; nil means unit
+// weights) balances the deques by load rather than cube count, so a
+// skewed hub's heavy cubes spread up front instead of leaning on
+// stealing. Each goroutine drains its own deque front-to-back — so a cube
+// usually follows a cube whose block tries are already hot in its cache —
+// and when idle steals from the back of the richest victim, so a
+// goroutine stuck on a heavy (skewed) cube never strands the work queued
+// behind it. The first error wins and remaining goroutines drain without
+// starting new work.
 //
 // sequential runs the deterministic in-order loop (cube 0, 1, …) — the
 // exact legacy path, byte-identical scheduling.
-func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, fn func(ci int) error) error {
+func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, weightOf func(ci int) int64, fn func(ci int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -46,7 +50,7 @@ func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, fn
 		return nil
 	}
 	deques := make([]cubeDeque, par)
-	for qi, cubes := range partitionCubes(n, par, blocksOf) {
+	for qi, cubes := range partitionCubes(n, par, blocksOf, weightOf) {
 		deques[qi].items = cubes
 	}
 	var failed atomic.Bool
@@ -86,31 +90,69 @@ func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, fn
 
 // partitionCubes assigns cubes 0..n-1 to nq bounded deques: each cube goes
 // to the queue whose already-assigned cubes share the most block keys with
-// it (ties break toward the shortest queue, then the lowest index — fully
-// deterministic). Queues are bounded at twice the fair share so locality
-// clustering cannot starve the other workers of seed work; the bound can
-// never reject every queue because total capacity is ≥ 2n.
-func partitionCubes(n, nq int, blocksOf func(ci int) []blockcache.Key) [][]int {
+// it (ties break toward the queue with the least accumulated work, then
+// the lowest index — fully deterministic). Queues are bounded by load, not
+// count: a queue whose summed cube weight has reached twice the fair share
+// of the total stops accepting seeds, so a skewed hub's heavy cubes are
+// spread across queues up front rather than piling behind one goroutine
+// and leaning on work-stealing. weightOf supplies the per-cube work
+// estimate (summed block sizes); nil means unit weights, which reduces to
+// the count-balanced bound. A cube rejected by every bounded queue falls
+// back to the least-loaded queue, so every cube is always placed.
+func partitionCubes(n, nq int, blocksOf func(ci int) []blockcache.Key, weightOf func(ci int) int64) [][]int {
 	queues := make([][]int, nq)
-	if blocksOf == nil {
-		// No locality signal: deal contiguous runs (neighbouring cube ids
-		// tend to decode from the same exchange region).
+	if blocksOf == nil && weightOf == nil {
+		// No locality or cost signal: deal contiguous runs (neighbouring
+		// cube ids tend to decode from the same exchange region).
 		for ci := 0; ci < n; ci++ {
 			qi := ci * nq / n
 			queues[qi] = append(queues[qi], ci)
 		}
 		return queues
 	}
-	bound := 2 * ((n + nq - 1) / nq)
+	// Evaluate each cube's weight exactly once: weightOf is typically
+	// Registry.CubeWeight, a locked block-list walk. A zero estimate
+	// (empty or unsized cube) still occupies a slot.
+	weights := make([]int64, n)
+	var total int64
+	for ci := 0; ci < n; ci++ {
+		w := int64(1)
+		if weightOf != nil {
+			if est := weightOf(ci); est > 0 {
+				w = est
+			}
+		}
+		weights[ci] = w
+		total += w
+	}
+	// Load bound: twice the fair share (rounded up), so locality clustering
+	// cannot starve the other workers of seed work while heavy cubes still
+	// spread. Total capacity is ≥ 2×total, so at most the fallback path is
+	// ever needed for rounding edge cases.
+	bound := 2 * ((total + int64(nq) - 1) / int64(nq))
 	sets := make([]map[blockcache.Key]struct{}, nq)
 	for qi := range sets {
 		sets[qi] = make(map[blockcache.Key]struct{})
 	}
+	load := make([]int64, nq)
+	leastLoaded := func() int {
+		best := 0
+		for qi := 1; qi < nq; qi++ {
+			if load[qi] < load[best] {
+				best = qi
+			}
+		}
+		return best
+	}
 	for ci := 0; ci < n; ci++ {
-		keys := blocksOf(ci)
+		var keys []blockcache.Key
+		if blocksOf != nil {
+			keys = blocksOf(ci)
+		}
+		w := weights[ci]
 		best, bestScore := -1, -1
 		for qi := 0; qi < nq; qi++ {
-			if len(queues[qi]) >= bound {
+			if load[qi]+w > bound {
 				continue
 			}
 			score := 0
@@ -120,19 +162,15 @@ func partitionCubes(n, nq int, blocksOf func(ci int) []blockcache.Key) [][]int {
 				}
 			}
 			if score > bestScore ||
-				(score == bestScore && best >= 0 && len(queues[qi]) < len(queues[best])) {
+				(score == bestScore && best >= 0 && load[qi] < load[best]) {
 				best, bestScore = qi, score
 			}
 		}
-		if best < 0 { // unreachable given the bound; keep the invariant anyway
-			best = 0
-			for qi := 1; qi < nq; qi++ {
-				if len(queues[qi]) < len(queues[best]) {
-					best = qi
-				}
-			}
+		if best < 0 { // every queue at the load bound: place by least load
+			best = leastLoaded()
 		}
 		queues[best] = append(queues[best], ci)
+		load[best] += w
 		for _, k := range keys {
 			sets[best][k] = struct{}{}
 		}

@@ -141,6 +141,7 @@ func All(cfg Config) ([]Result, error) {
 		{"table2", Table2},
 		{"table3", Table3},
 		{"table4", Table4},
+		{"emit", EmitPipeline},
 	}
 	var out []Result
 	for _, nf := range fns {
@@ -182,6 +183,8 @@ func ByID(id string) func(Config) (Result, error) {
 		return Table3
 	case "table4":
 		return Table4
+	case "emit":
+		return EmitPipeline
 	default:
 		return nil
 	}
@@ -190,5 +193,5 @@ func ByID(id string) func(Config) (Result, error) {
 // IDs lists experiment ids in paper order.
 func IDs() []string {
 	return []string{"table1", "fig1a", "fig1b", "fig6", "fig8", "fig9",
-		"fig10", "fig11", "fig12a", "fig12d", "table2", "table3", "table4"}
+		"fig10", "fig11", "fig12a", "fig12d", "table2", "table3", "table4", "emit"}
 }

@@ -63,7 +63,11 @@ func NewCachedJoin(tries []*trie.Trie, order []string, cacheBudget int) *CachedJ
 	return c
 }
 
-// Run executes the cached join; semantics match Join.
+// Run executes the cached join; semantics match Join. Leaf results reach
+// the sink as runs: materialized (or cached) leaf value lists are handed
+// over whole, and the budget-saturated miss path streams through the
+// extender's drain — either way no per-tuple callback runs outside the
+// legacy Emit shim.
 func (c *CachedJoin) Run(opt Options) (Stats, error) {
 	ext, err := NewExtender(c.tries, c.order)
 	if err != nil {
@@ -71,6 +75,8 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 	}
 	n := len(c.order)
 	st := Stats{LevelTuples: make([]int64, n), LevelSeeks: make([]int64, n)}
+	var fsink funcSink
+	sink := sinkOf(opt, &fsink)
 	caches := make([]map[string][]Value, n)
 	cacheSize := make([]int, n)
 	for d := range caches {
@@ -78,6 +84,31 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 	}
 	binding := make([]Value, n)
 	var work int64
+	// emitLeafRun delivers a materialized leaf value list as one run under
+	// the current binding prefix, truncating at the work budget with the
+	// exact per-value semantics of the legacy loop: the value that trips
+	// the budget is counted at its level but not emitted as a result.
+	emitLeafRun := func(d int, vals []Value) error {
+		take := int64(len(vals))
+		over := false
+		if opt.Budget > 0 && work+take > opt.Budget {
+			take = opt.Budget - work
+			over = true
+		}
+		if sink != nil && take > 0 {
+			sink.BeginRun(binding[:d])
+			deliver(sink, &st, vals[:take])
+		}
+		st.LevelTuples[d] += take
+		st.Results += take
+		work += take
+		if over {
+			st.LevelTuples[d]++
+			work++
+			return ErrBudget
+		}
+		return nil
+	}
 	var rec func(d int) error
 	rec = func(d int) error {
 		var vals []Value
@@ -101,11 +132,15 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 				if opt.Budget > 0 {
 					limit = opt.Budget - work + 1
 				}
-				cnt, w := ext.DrainLeaf(binding, d, limit, opt.Emit)
+				cnt, w := ext.DrainLeaf(binding, d, limit, sink)
 				st.LevelSeeks[d] += w
 				st.LevelTuples[d] += cnt
 				st.Results += cnt
 				work += cnt
+				if sink != nil && cnt > 0 {
+					st.EmittedRuns++
+					st.EmittedValues += cnt
+				}
 				if opt.Budget > 0 && work > opt.Budget {
 					return ErrBudget
 				}
@@ -119,19 +154,15 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 				cacheSize[d] += len(vals)
 			}
 		}
+		if d == n-1 {
+			return emitLeafRun(d, vals)
+		}
 		for _, v := range vals {
 			binding[d] = v
 			st.LevelTuples[d]++
 			work++
 			if opt.Budget > 0 && work > opt.Budget {
 				return ErrBudget
-			}
-			if d == n-1 {
-				st.Results++
-				if opt.Emit != nil {
-					opt.Emit(binding)
-				}
-				continue
 			}
 			if err := rec(d + 1); err != nil {
 				return err
@@ -150,8 +181,9 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 		st.LevelTuples[0]++
 		if n == 1 {
 			st.Results++
-			if opt.Emit != nil {
-				opt.Emit(binding)
+			if sink != nil {
+				sink.BeginRun(binding[:0])
+				deliver(sink, &st, binding[:1])
 			}
 			return st, nil
 		}

@@ -1,0 +1,145 @@
+package leapfrog
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adj/internal/relation"
+	"adj/internal/testutil"
+)
+
+// The count-only paths (no sink) of frame.drain and Extender.DrainLeaf
+// must report exactly the counts of the emitting paths under limit/budget
+// truncation — at every boundary, not just in the unbudgeted steady state.
+// Drift here would make budget failures (and the paper's frame-top bars)
+// depend on whether output was collected.
+func TestCountEmitAgreementAtEveryBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 8; iter++ {
+		q, rels := testutil.RandQueryInstance(rng, 3, 3, 25, 6)
+		order := q.Attrs()
+		tries := BuildTries(rels, order)
+		full, err := Join(tries, order, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every budget up to just past the total work hits a different
+		// truncation boundary; cap the sweep for big instances but always
+		// include the boundaries around the total.
+		maxB := full.TotalWithResults() + 2
+		budgets := []int64{}
+		for b := int64(1); b <= maxB && b <= 80; b++ {
+			budgets = append(budgets, b)
+		}
+		for _, b := range []int64{maxB - 2, maxB - 1, maxB} {
+			if b > 80 {
+				budgets = append(budgets, b)
+			}
+		}
+		runs := []struct {
+			name string
+			run  func(Options) (Stats, error)
+		}{
+			{"plain", func(o Options) (Stats, error) { return Join(tries, order, o) }},
+			{"cached-off", func(o Options) (Stats, error) { return NewCachedJoin(tries, order, 0).Run(o) }},
+			{"cached-on", func(o Options) (Stats, error) { return NewCachedJoin(tries, order, 1<<20).Run(o) }},
+		}
+		for _, r := range runs {
+			for _, b := range budgets {
+				countSt, countErr := r.run(Options{Budget: b})
+				out := relation.New("out", order...)
+				sinkSt, sinkErr := r.run(Options{Budget: b, Sink: relation.NewColumnWriter(out)})
+				shimOut := relation.New("out", order...)
+				shimSt, shimErr := r.run(Options{Budget: b, Emit: func(tp relation.Tuple) { shimOut.AppendTuple(tp) }})
+				if !errors.Is(countErr, sinkErr) && !errors.Is(sinkErr, countErr) {
+					t.Fatalf("iter=%d %s budget=%d: errors diverge: count=%v sink=%v",
+						iter, r.name, b, countErr, sinkErr)
+				}
+				if !errors.Is(countErr, shimErr) && !errors.Is(shimErr, countErr) {
+					t.Fatalf("iter=%d %s budget=%d: errors diverge: count=%v shim=%v",
+						iter, r.name, b, countErr, shimErr)
+				}
+				if countSt.Results != sinkSt.Results || countSt.Results != shimSt.Results {
+					t.Fatalf("iter=%d %s budget=%d: results diverge: count=%d sink=%d shim=%d",
+						iter, r.name, b, countSt.Results, sinkSt.Results, shimSt.Results)
+				}
+				for d := range countSt.LevelTuples {
+					if countSt.LevelTuples[d] != sinkSt.LevelTuples[d] {
+						t.Fatalf("iter=%d %s budget=%d: level %d tuples diverge: count=%d sink=%d",
+							iter, r.name, b, d, countSt.LevelTuples[d], sinkSt.LevelTuples[d])
+					}
+					if countSt.LevelTuples[d] != shimSt.LevelTuples[d] {
+						t.Fatalf("iter=%d %s budget=%d: level %d tuples diverge: count=%d shim=%d",
+							iter, r.name, b, d, countSt.LevelTuples[d], shimSt.LevelTuples[d])
+					}
+				}
+				// Sink and shim deliveries must carry identical tuples.
+				if out.Len() != shimOut.Len() || !out.Sort().Equal(shimOut.Sort()) {
+					t.Fatalf("iter=%d %s budget=%d: sink and shim outputs differ (%d vs %d tuples)",
+						iter, r.name, b, out.Len(), shimOut.Len())
+				}
+				if sinkSt.EmittedValues != int64(out.Len()) {
+					t.Fatalf("iter=%d %s budget=%d: EmittedValues=%d but %d tuples materialized",
+						iter, r.name, b, sinkSt.EmittedValues, out.Len())
+				}
+				// Counting-only runs must not report emissions.
+				if countSt.EmittedRuns != 0 || countSt.EmittedValues != 0 {
+					t.Fatalf("iter=%d %s budget=%d: counting run reported emissions (%d runs)",
+						iter, r.name, b, countSt.EmittedRuns)
+				}
+			}
+		}
+	}
+}
+
+// DrainLeaf's count-only and emitting forms must agree at every explicit
+// limit, including 0, one past the intersection size, and everything in
+// between — and the emitted prefix must match the counted values.
+func TestDrainLeafCountEmitAgreementAtEveryLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		k := 1 + rng.Intn(4)
+		var rels []*relation.Relation
+		for i := 0; i < k; i++ {
+			r := relation.New("R"+string(rune('0'+i)), "x", "y")
+			for j := 0; j < 60; j++ {
+				r.Append(rng.Int63n(6), rng.Int63n(30))
+			}
+			rels = append(rels, r)
+		}
+		order := []string{"x", "y"}
+		tries := BuildTries(rels, order)
+		ext, err := NewExtender(tries, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binding := make([]Value, 2)
+		firsts, _ := ext.Extend(binding, 0)
+		for _, x := range firsts {
+			binding[0] = x
+			want, _ := ext.Extend(binding, 1)
+			for lim := int64(0); lim <= int64(len(want))+2; lim++ {
+				cntOnly, _ := ext.DrainLeaf(binding, 1, lim, nil)
+				var got []Value
+				cntEmit, _ := ext.DrainLeaf(binding, 1, lim, SinkFunc(func(tp relation.Tuple) {
+					got = append(got, tp[1])
+				}))
+				if cntOnly != cntEmit {
+					t.Fatalf("iter=%d k=%d x=%d lim=%d: count-only=%d emitting=%d",
+						iter, k, x, lim, cntOnly, cntEmit)
+				}
+				if int64(len(got)) != cntEmit {
+					t.Fatalf("iter=%d k=%d x=%d lim=%d: emitted %d values, counted %d",
+						iter, k, x, lim, len(got), cntEmit)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("iter=%d k=%d x=%d lim=%d: value %d: got %d want %d",
+							iter, k, x, lim, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -19,10 +19,11 @@ type Extender struct {
 	// rels[d] lists, for each depth, the tries of relations containing
 	// order[d], with the positions (in the global order) of their attributes.
 	rels [][]extRel
-	// lists/cursors are DrainLeaf scratch (an Extender serves one join at a
-	// time; it is not safe for concurrent use).
+	// lists/cursors/runBuf are DrainLeaf scratch (an Extender serves one
+	// join at a time; it is not safe for concurrent use).
 	lists   [][]Value
 	cursors []int
+	runBuf  []Value
 }
 
 type extRel struct {
@@ -143,16 +144,18 @@ func (er extRel) childValues(i, level int, node int32) []Value {
 }
 
 // DrainLeaf streams the intersection Extend(binding, d) would materialize
-// straight into emit — the cached join's leaf-level analogue of the plain
-// joiner's frame.drain, with the same emit convention: each matched value
-// is written into binding[d] and emit(binding) is called (emit may be nil
-// for counting runs; the nil check happens once, not per value). The
-// candidate lists stay slices into trie storage and the intersection runs
-// as a multi-pointer leapfrog over them, so no per-level value list is
-// allocated. A non-negative limit stops the drain once that many values
-// are taken (the caller's remaining work budget). Returns the number of
+// straight into sink — the cached join's leaf-level analogue of the plain
+// joiner's frame.drain, with the same batched convention: the matched
+// values reach the sink as at most one run under the prefix binding[:d]
+// (sink may be nil for counting runs; the nil check happens once, not per
+// value). The candidate lists stay slices into trie storage and the
+// intersection runs as a multi-pointer leapfrog over them; the
+// single-list case hands trie storage to the sink directly, the others
+// stage matches in reused scratch. A non-negative limit stops the drain
+// once that many values are taken (the caller's remaining work budget).
+// Counts are identical with and without a sink. Returns the number of
 // values matched and the seek work performed.
-func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(relation.Tuple)) (int64, int64) {
+func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, sink Sink) (int64, int64) {
 	lists := e.lists[:0]
 	var work int64
 	for _, er := range e.rels[d] {
@@ -168,6 +171,9 @@ func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(rela
 	if len(lists) == 0 {
 		return 0, work
 	}
+	if sink != nil {
+		sink.BeginRun(binding[:d])
+	}
 	var count int64
 	switch len(lists) {
 	case 1:
@@ -175,22 +181,19 @@ func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(rela
 		if limit >= 0 && int64(len(vals)) > limit {
 			vals = vals[:limit]
 		}
-		if emit != nil {
-			for _, v := range vals {
-				binding[d] = v
-				emit(binding)
-			}
+		if sink != nil {
+			sink.AppendRun(vals)
 		}
 		count = int64(len(vals))
 	case 2:
 		v0, v1 := lists[0], lists[1]
+		run := e.runBuf[:0]
 		var p0, p1 int
 		k0, k1 := v0[0], v1[0]
 		for limit < 0 || count < limit {
 			if k0 == k1 {
-				if emit != nil {
-					binding[d] = k0
-					emit(binding)
+				if sink != nil {
+					run = append(run, k0)
 				}
 				count++
 				p0++
@@ -215,9 +218,13 @@ func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(rela
 				k1 = v1[p1]
 			}
 		}
+		if sink != nil && len(run) > 0 {
+			sink.AppendRun(run)
+		}
+		e.runBuf = run[:0]
 	default:
 		// Generalized leapfrog ring over k sorted slices: chase the max key
-		// until all cursors agree, emit, advance.
+		// until all cursors agree, collect, advance.
 		k := len(lists)
 		if cap(e.cursors) < k {
 			e.cursors = make([]int, k)
@@ -226,6 +233,7 @@ func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(rela
 		for i := range pos {
 			pos[i] = 0
 		}
+		run := e.runBuf[:0]
 		hi := lists[0][0]
 		for i := 1; i < k; i++ {
 			if v := lists[i][0]; v > hi {
@@ -256,9 +264,8 @@ func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(rela
 					ring = 0
 				}
 			}
-			if emit != nil {
-				binding[d] = hi
-				emit(binding)
+			if sink != nil {
+				run = append(run, hi)
 			}
 			count++
 			// Advance one cursor past the match and restart the pursuit.
@@ -268,6 +275,10 @@ func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(rela
 			}
 			hi = lists[ring][pos[ring]]
 		}
+		if sink != nil && len(run) > 0 {
+			sink.AppendRun(run)
+		}
+		e.runBuf = run[:0]
 	}
 	return count, work
 }
@@ -275,7 +286,8 @@ func (e *Extender) DrainLeaf(binding []Value, d int, limit int64, emit func(rela
 // CountPerLevel runs a full (budgeted) traversal counting partial bindings
 // per level without materializing them, starting from the given first-level
 // values (or all when firstVals is nil). The sampler uses it with a handful
-// of sampled first values; Fig. 6 uses it with all of them.
+// of sampled first values; Fig. 6 uses it with all of them. Leaf levels
+// count through the streaming drain (no value-list materialization).
 func (e *Extender) CountPerLevel(firstVals []Value, budget int64) (levels []int64, truncated bool) {
 	n := len(e.order)
 	levels = make([]int64, n)
@@ -285,6 +297,16 @@ func (e *Extender) CountPerLevel(firstVals []Value, budget int64) (levels []int6
 	rec = func(d int) bool {
 		if d == n {
 			return true
+		}
+		if d == n-1 && !(d == 0 && firstVals != nil) {
+			limit := int64(-1)
+			if budget > 0 {
+				limit = budget - work + 1
+			}
+			cnt, _ := e.DrainLeaf(binding, d, limit, nil)
+			levels[d] += cnt
+			work += cnt
+			return budget <= 0 || work <= budget
 		}
 		var vals []Value
 		if d == 0 && firstVals != nil {

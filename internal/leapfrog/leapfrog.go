@@ -36,6 +36,13 @@ type Stats struct {
 	LevelSeeks []int64
 	// Results is the number of full output tuples.
 	Results int64
+	// EmittedRuns counts batched run deliveries to the result sink and
+	// EmittedValues the tuples inside them (EmittedValues == Results on an
+	// unbudgeted emitting run). Both stay zero for counting-only runs; the
+	// bench harness asserts they are nonzero whenever output is collected,
+	// pinning that the batched path actually engages.
+	EmittedRuns   int64
+	EmittedValues int64
 }
 
 // Total returns the total number of intermediate tuples across levels,
@@ -59,8 +66,13 @@ func (s Stats) TotalWithResults() int64 {
 
 // Options configures a run.
 type Options struct {
+	// Sink, when non-nil, receives results as batched runs (see Sink) —
+	// the columnar fast path. It takes precedence over Emit.
+	Sink Sink
 	// Emit, when non-nil, receives every result tuple (values in the global
-	// attribute order). The tuple aliases an internal buffer; copy to retain.
+	// attribute order). The tuple aliases an internal buffer; copy to
+	// retain. Legacy per-tuple form: it is served through a Sink shim, so
+	// per-value delivery survives only inside the adapter.
 	Emit func(relation.Tuple)
 	// Budget caps total extension work (sum of level tuples); 0 = unlimited.
 	Budget int64
@@ -126,6 +138,11 @@ type joiner struct {
 	binding []Value
 	// pos maps attribute -> order position, cleared per init.
 	pos map[string]int
+	// runBuf stages non-contiguous leaf matches (rings of 2+) into one
+	// slice per drain so they reach the sink as a single run.
+	runBuf []Value
+	// fsink is the pooled per-tuple Emit adapter.
+	fsink funcSink
 }
 
 var joinerPool = sync.Pool{New: func() interface{} { return &joiner{} }}
@@ -218,6 +235,8 @@ func growValues(s []Value, n int) []Value {
 // run executes the join iteratively.
 func (j *joiner) run(opt Options) (Stats, error) {
 	st := Stats{LevelTuples: make([]int64, j.n), LevelSeeks: make([]int64, j.n)}
+	sink := sinkOf(opt, &j.fsink)
+	defer func() { j.fsink.emit = nil }()
 	lf := j.frames
 	var work int64
 	d := 0
@@ -232,9 +251,10 @@ func (j *joiner) run(opt Options) (Stats, error) {
 			// Single-attribute constrained run: exactly the fixed value.
 			st.LevelTuples[0] = 1
 			st.Results = 1
-			if opt.Emit != nil {
+			if sink != nil {
 				j.binding[0] = *opt.FirstFixed
-				opt.Emit(j.binding)
+				sink.BeginRun(j.binding[:0])
+				deliver(sink, &st, j.binding[:1])
 			}
 			return st, nil
 		}
@@ -264,7 +284,7 @@ func (j *joiner) run(opt Options) (Stats, error) {
 			if opt.Budget > 0 {
 				limit = opt.Budget - work + 1
 			}
-			cnt := f.drain(&st, d, opt.Emit, j.binding, limit)
+			cnt := f.drain(&st, d, sink, j.binding, limit, &j.runBuf)
 			st.LevelTuples[d] += cnt
 			st.Results += cnt
 			work += cnt
@@ -492,8 +512,18 @@ func (f *frame) next(st *Stats, d int) {
 // non-negative limit stops the drain once that many values are taken (the
 // caller's remaining work budget); the frame is abandoned mid-range, which
 // is fine because the caller returns ErrBudget immediately.
-func (f *frame) drain(st *Stats, d int, emit func(relation.Tuple), binding []Value, limit int64) int64 {
+//
+// Results reach the sink as one run sharing the prefix binding[:d]: the
+// single-iterator case hands its sibling slice to the sink untouched (the
+// values already sit contiguously in trie storage), the multi-iterator
+// intersections stage matches in runBuf. The count is identical with and
+// without a sink — both flows share the same loops — which the truncation
+// regression suite pins at every limit boundary.
+func (f *frame) drain(st *Stats, d int, sink Sink, binding []Value, limit int64, runBuf *[]Value) int64 {
 	var results int64
+	if sink != nil {
+		sink.BeginRun(binding[:d])
+	}
 	switch len(f.iters) {
 	case 1:
 		rest := f.vals[0][f.pos[0]:]
@@ -501,23 +531,20 @@ func (f *frame) drain(st *Stats, d int, emit func(relation.Tuple), binding []Val
 			rest = rest[:limit]
 		}
 		results = int64(len(rest))
-		if emit != nil {
-			for _, v := range rest {
-				binding[d] = v
-				emit(binding)
-			}
+		if sink != nil {
+			deliver(sink, st, rest)
 		}
 	case 2:
 		v0, v1 := f.vals[0], f.vals[1]
 		p0, p1 := f.pos[0], f.pos[1]
 		k0, k1 := f.keys[0], f.keys[1]
+		run := (*runBuf)[:0]
 		var seeks int64
 		for limit < 0 || results < limit {
 			if k0 == k1 {
 				results++
-				if emit != nil {
-					binding[d] = k0
-					emit(binding)
+				if sink != nil {
+					run = append(run, k0)
 				}
 				p0++
 				p1++
@@ -542,15 +569,23 @@ func (f *frame) drain(st *Stats, d int, emit func(relation.Tuple), binding []Val
 			}
 		}
 		st.LevelSeeks[d] += seeks
+		if sink != nil {
+			deliver(sink, st, run)
+		}
+		*runBuf = run[:0]
 	default:
+		run := (*runBuf)[:0]
 		for !f.atEnd && (limit < 0 || results < limit) {
 			results++
-			if emit != nil {
-				binding[d] = f.key
-				emit(binding)
+			if sink != nil {
+				run = append(run, f.key)
 			}
 			f.next(st, d)
 		}
+		if sink != nil {
+			deliver(sink, st, run)
+		}
+		*runBuf = run[:0]
 	}
 	f.atEnd = true
 	return results

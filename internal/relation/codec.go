@@ -3,6 +3,7 @@ package relation
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"adj/internal/deltaenc"
 )
@@ -11,14 +12,16 @@ import (
 // the cluster transport.
 //
 // The batched format encodes each column as one run of zigzag deltas
-// against the previous tuple, stored at a fixed byte width chosen per
-// column (0, 1, 2, 4 or 8 bytes — width 0 means every delta is zero). A
-// sorted run of graph-id tuples costs one or two bytes per value instead
-// of eight, and the fixed-width inner loops carry no per-byte branches, so
-// both encode and decode run at memcpy-like speed. Senders sort blocks
-// before encoding (receivers re-sort into tries anyway), which is where
-// the "sorted tuple runs" win comes from; unsorted input still
-// round-trips correctly, just less compactly.
+// against the previous tuple, stored at a byte width chosen per column
+// (0, 1, 2, 4 or 8 bytes — width 0 means every delta is zero), or in
+// deltaenc's exception-list form when a few outlier deltas would
+// otherwise force the whole column wide. A sorted run of graph-id tuples
+// costs one or two bytes per value instead of eight, and the fixed-width
+// inner loops carry no per-byte branches, so both encode and decode run
+// at memcpy-like speed. Senders sort blocks before encoding (receivers
+// re-sort into tries anyway), which is where the "sorted tuple runs" win
+// comes from; unsorted input still round-trips correctly, just less
+// compactly.
 //
 // Layout:
 //
@@ -26,23 +29,24 @@ import (
 //	uvarint name length, name bytes
 //	uvarint arity; per attr: uvarint len, bytes
 //	uvarint tuple count n
-//	per column: u8 width, then n fixed-width little-endian zigzag deltas
+//	per column: one deltaenc run of n values (fixed-width or exception form)
 //
 // The legacy fixed-width row-major format (EncodeRaw/DecodeRaw) is kept as
 // the pre-batching benchmark baseline. Package trie applies the same
-// fixed-width delta scheme to its flat level arrays (trie/codec.go); the
-// column loops here stay specialized because they stride row-major data.
+// delta-run scheme to its flat level arrays (trie/codec.go).
 
 // codecMagic tags the batched delta format.
 const codecMagic = 0xAD
 
-// zigzag/unzigzag/extend alias the shared wire primitives so the two
-// payload formats cannot drift.
-func zigzag(d Value) uint64 { return deltaenc.Zigzag(d) }
-
-func unzigzag(z uint64) Value { return deltaenc.Unzigzag(z) }
-
-func extend(dst []byte, n int) []byte { return deltaenc.Extend(dst, n) }
+// colScratch pools the gather buffer the row-major encode path stages each
+// column in before handing it to the shared run encoder. Keeping both
+// layouts on deltaenc.AppendRun guarantees byte-identical wire output —
+// width selection (including the exception-list form) cannot drift between
+// them.
+var colScratch = sync.Pool{New: func() interface{} {
+	s := make([]Value, 0, 1024)
+	return &s
+}}
 
 // AppendEncode serializes r onto dst (which may be nil or a recycled
 // buffer) and returns the extended slice. This is the allocation-free path:
@@ -73,54 +77,25 @@ func AppendEncode(dst []byte, r *Relation) []byte {
 		}
 		return dst
 	}
+	// Row-major input: gather each column into pooled scratch and encode it
+	// through the same run encoder the columnar path uses, so both layouts
+	// produce byte-identical payloads.
+	sp := colScratch.Get().(*[]Value)
+	col := *sp
+	if cap(col) < n {
+		col = make([]Value, n)
+	} else {
+		col = col[:n]
+	}
 	data := r.data
 	for j := 0; j < k; j++ {
-		// Pass 1: the widest zigzag delta decides the column's byte width.
-		var maxZ uint64
-		prev := Value(0)
-		for i := j; i < len(data); i += k {
-			v := data[i]
-			if z := zigzag(v - prev); z > maxZ {
-				maxZ = z
-			}
-			prev = v
+		for i, o := j, 0; i < len(data); i, o = i+k, o+1 {
+			col[o] = data[i]
 		}
-		w := deltaenc.WidthFor(maxZ)
-		dst = append(dst, byte(w))
-		if w == 0 {
-			continue
-		}
-		off := len(dst)
-		dst = extend(dst, n*w)
-		out := dst[off:]
-		prev = 0
-		switch w {
-		case 1:
-			for i, o := j, 0; i < len(data); i, o = i+k, o+1 {
-				v := data[i]
-				out[o] = byte(zigzag(v - prev))
-				prev = v
-			}
-		case 2:
-			for i, o := j, 0; i < len(data); i, o = i+k, o+2 {
-				v := data[i]
-				binary.LittleEndian.PutUint16(out[o:], uint16(zigzag(v-prev)))
-				prev = v
-			}
-		case 4:
-			for i, o := j, 0; i < len(data); i, o = i+k, o+4 {
-				v := data[i]
-				binary.LittleEndian.PutUint32(out[o:], uint32(zigzag(v-prev)))
-				prev = v
-			}
-		default:
-			for i, o := j, 0; i < len(data); i, o = i+k, o+8 {
-				v := data[i]
-				binary.LittleEndian.PutUint64(out[o:], zigzag(v-prev))
-				prev = v
-			}
-		}
+		dst = deltaenc.AppendRun(dst, col)
 	}
+	*sp = col[:0]
+	colScratch.Put(sp)
 	return dst
 }
 
@@ -230,18 +205,11 @@ func DecodeInto(buf []byte, r *Relation) error {
 	}
 	walk := off
 	for j := 0; j < k && n > 0; j++ {
-		if walk >= len(buf) {
-			return fmt.Errorf("relation decode: truncated column %d header", j)
+		size, err := deltaenc.RunSize(buf[walk:], n)
+		if err != nil {
+			return fmt.Errorf("relation decode: column %d: %w", j, err)
 		}
-		w := int(buf[walk])
-		walk++
-		if !deltaenc.ValidWidth(w) {
-			return fmt.Errorf("relation decode: bad column width %d", w)
-		}
-		if len(buf)-walk < n*w {
-			return fmt.Errorf("relation decode: truncated column %d: need %d bytes", j, n*w)
-		}
-		walk += n * w
+		walk += size
 	}
 	cols := r.cols
 	if cap(cols) >= k {

@@ -1,0 +1,97 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ColumnWriter runs must materialize exactly the tuples a row-major
+// AppendTuple loop would, with the relation columnar-resident throughout.
+func TestColumnWriterMatchesRowAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 30; iter++ {
+		k := 1 + rng.Intn(4)
+		attrs := make([]string, k)
+		for j := range attrs {
+			attrs[j] = string(rune('a' + j))
+		}
+		colRel := New("out", attrs...)
+		rowRel := New("out", attrs...)
+		w := NewColumnWriter(colRel)
+		row := make([]Value, k)
+		prefix := make([]Value, k-1)
+		for runs := 0; runs < 1+rng.Intn(8); runs++ {
+			for j := range prefix {
+				prefix[j] = rng.Int63n(50)
+			}
+			w.BeginRun(prefix)
+			// Split the run's values over several AppendRun calls.
+			total := rng.Intn(12)
+			vals := make([]Value, total)
+			for i := range vals {
+				vals[i] = rng.Int63n(100)
+			}
+			for len(vals) > 0 {
+				cut := 1 + rng.Intn(len(vals))
+				w.AppendRun(vals[:cut])
+				for _, v := range vals[:cut] {
+					copy(row, prefix)
+					row[k-1] = v
+					rowRel.AppendTuple(row)
+				}
+				vals = vals[cut:]
+			}
+			w.AppendRun(nil) // empty append is a no-op
+		}
+		if !colRel.ColumnsResident() {
+			t.Fatal("writer target lost columnar residency")
+		}
+		if w.Rows() != rowRel.Len() {
+			t.Fatalf("iter=%d: writer rows=%d, reference=%d", iter, w.Rows(), rowRel.Len())
+		}
+		if !colRel.Equal(rowRel) {
+			t.Fatalf("iter=%d: columnar output differs from row-major reference:\n%s\nvs\n%s",
+				iter, colRel, rowRel)
+		}
+	}
+}
+
+// AppendTuple interleaves with runs, Reserve pre-sizes without changing
+// contents, and attaching to a non-empty relation appends after the
+// existing tuples.
+func TestColumnWriterMixedAndReserve(t *testing.T) {
+	r := FromTuples("out", []string{"x", "y"}, [][]Value{{1, 2}})
+	w := NewColumnWriter(r)
+	w.Reserve(16)
+	w.BeginRun([]Value{7})
+	w.AppendRun([]Value{10, 11})
+	w.AppendTuple([]Value{8, 12})
+	w.BeginRun([]Value{9})
+	w.AppendRun([]Value{13})
+	want := FromTuples("out", []string{"x", "y"}, [][]Value{
+		{1, 2}, {7, 10}, {7, 11}, {8, 12}, {9, 13},
+	})
+	if !r.Equal(want) {
+		t.Fatalf("got\n%s\nwant\n%s", r, want)
+	}
+	if w.Rows() != 5 {
+		t.Fatalf("rows=%d want 5", w.Rows())
+	}
+}
+
+// Arity misuse must panic loudly (programming errors, never data errors).
+func TestColumnWriterPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := New("out", "x", "y")
+	w := NewColumnWriter(r)
+	expectPanic("bad prefix arity", func() { w.BeginRun([]Value{1, 2}) })
+	expectPanic("bad tuple arity", func() { w.AppendTuple([]Value{1}) })
+	expectPanic("zero attrs", func() { NewColumnWriter(New("empty")) })
+}

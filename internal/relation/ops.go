@@ -31,6 +31,9 @@ func (r *Relation) Project(attrs ...string) *Relation {
 }
 
 // ProjectMulti keeps duplicates (bag semantics); used where counts matter.
+// A columnar-resident receiver projects by whole-column copies and stays
+// columnar (the BinaryJoin output path), so projection costs one memcpy
+// per kept attribute instead of a row gather.
 func (r *Relation) ProjectMulti(attrs ...string) *Relation {
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
@@ -39,6 +42,13 @@ func (r *Relation) ProjectMulti(attrs ...string) *Relation {
 			panic(fmt.Sprintf("relation %q: project on missing attribute %q", r.Name, a))
 		}
 		idx[i] = j
+	}
+	if cs := r.colsView(); cs != nil {
+		outCols := make([][]Value, len(attrs))
+		for j, c := range idx {
+			outCols[j] = append([]Value(nil), cs[c]...)
+		}
+		return FromColumns(r.Name+"_proj", attrs, outCols)
 	}
 	out := NewWithCapacity(r.Name+"_proj", r.Len(), attrs...)
 	row := make([]Value, len(attrs))
@@ -93,7 +103,10 @@ func (r *Relation) Distinct(a string) []Value {
 
 // Semijoin returns the tuples of r that join with at least one tuple of s on
 // the shared attributes `on` (which must exist in both schemas). This is the
-// database-reduction step of the distributed sampler (§IV of the paper).
+// database-reduction step of the distributed sampler (§IV of the paper) and
+// BigJoin's verify filter. The output keeps r's resident layout: a
+// columnar-resident receiver yields a columnar result via one exact-size
+// gather per column, so the next round's re-shuffle encodes with no pivot.
 func (r *Relation) Semijoin(s *Relation, on []string) *Relation {
 	ri := make([]int, len(on))
 	si := make([]int, len(on))
@@ -114,6 +127,28 @@ func (r *Relation) Semijoin(s *Relation, on []string) *Relation {
 		keys[encodeKey(kbuf)] = struct{}{}
 	}
 	out := New(r.Name, r.Attrs...)
+	if cs := r.colsView(); cs != nil {
+		n := r.Len()
+		keep := make([]int32, 0, n)
+		for i := 0; i < n; i++ {
+			for j, c := range ri {
+				kbuf[j] = cs[c][i]
+			}
+			if _, ok := keys[encodeKey(kbuf)]; ok {
+				keep = append(keep, int32(i))
+			}
+		}
+		outCols := make([][]Value, len(cs))
+		for j, col := range cs {
+			oc := make([]Value, len(keep))
+			for x, i := range keep {
+				oc[x] = col[i]
+			}
+			outCols[j] = oc
+		}
+		out.SetColumns(outCols)
+		return out
+	}
 	for i, n := 0, r.Len(); i < n; i++ {
 		t := r.Tuple(i)
 		for j, c := range ri {
@@ -173,7 +208,11 @@ func HashJoin(r, s *Relation) *Relation {
 	return hashJoin(r, s, 0)
 }
 
-// hashJoin returns nil when the limit is exceeded.
+// hashJoin returns nil when the limit is exceeded. The output is built
+// columnar: every matched (probe, build) pair appends one value per output
+// column, so the result feeds the shuffle codec, the hash partitioner and
+// the trie builder in their native layout with no pivot — the path every
+// BinaryJoin intermediate and ADJ bag pre-computation round takes.
 func hashJoin(r, s *Relation, limit int) *Relation {
 	shared := SharedAttrs(r, s)
 	// Build side: the smaller input.
@@ -212,7 +251,9 @@ func hashJoin(r, s *Relation, limit int) *Relation {
 		k := encodeKey(kbuf)
 		ht[k] = append(ht[k], i)
 	}
-	row := make([]Value, len(outAttrs))
+	outCols := make([][]Value, len(outAttrs))
+	rk := len(r.Attrs)
+	count := 0
 	for i, n := 0, probe.Len(); i < n; i++ {
 		pt := probe.Tuple(i)
 		for j, c := range pi {
@@ -231,16 +272,19 @@ func hashJoin(r, s *Relation, limit int) *Relation {
 				rt, st = pt, bt
 			}
 			// Keys are exact encodings, so shared attrs are equal here.
-			copy(row, rt)
-			for j, c := range sExtra {
-				row[len(rt)+j] = st[c]
+			for j, v := range rt {
+				outCols[j] = append(outCols[j], v)
 			}
-			out.AppendTuple(row)
-			if limit > 0 && out.Len() > limit {
+			for j, c := range sExtra {
+				outCols[rk+j] = append(outCols[rk+j], st[c])
+			}
+			count++
+			if limit > 0 && count > limit {
 				return nil
 			}
 		}
 	}
+	out.SetColumns(outCols)
 	return out
 }
 

@@ -183,7 +183,10 @@ func (e *Estimate) absorb(acc Accum, valA, k int) {
 }
 
 // countConstrained counts partial bindings per level with the first
-// attribute fixed to a, descending at most maxDepth levels.
+// attribute fixed to a, descending at most maxDepth levels. Leaf levels
+// count through the extender's streaming drain, so no per-leaf value list
+// is materialized (or copied) while sampling — the count-only form of the
+// batched result pipeline.
 func countConstrained(ext *leapfrog.Extender, a relation.Value, n int, budget int64, maxDepth int) ([]int64, int64) {
 	levels := make([]int64, n)
 	binding := make([]relation.Value, n)
@@ -194,6 +197,32 @@ func countConstrained(ext *leapfrog.Extender, a relation.Value, n int, budget in
 	rec = func(d int) bool {
 		if d >= maxDepth {
 			return true
+		}
+		if d == n-1 {
+			limit := int64(-1)
+			if budget > 0 {
+				// Upper bound before the drain's own seek work is known;
+				// clamped below so the tally matches the legacy per-value
+				// accounting (which debited the seek work first).
+				limit = budget - work + 1
+			}
+			cnt, w := ext.DrainLeaf(binding, d, limit, nil)
+			work += w
+			if budget > 0 && cnt > 0 {
+				if rem := budget - work + 1; rem < cnt {
+					// Legacy semantics: the seek work counts against the
+					// budget before values do, and the value that trips
+					// the budget is still tallied — so at least one value
+					// counts whenever the leaf is nonempty.
+					if rem < 1 {
+						rem = 1
+					}
+					cnt = rem
+				}
+			}
+			levels[d] += cnt
+			work += cnt
+			return budget <= 0 || work <= budget
 		}
 		vals, w := ext.Extend(binding, d)
 		work += w
