@@ -15,31 +15,64 @@
 //
 // # Quick start
 //
-//	edges := adj.GenerateGraph("LJ", 0.1)           // synthetic LiveJournal analogue
-//	q := adj.CatalogQuery("Q1")                     // triangle query
-//	report, err := adj.Count(q, edges, adj.Options{Workers: 8})
-//	fmt.Println(report.Results, report.Total())
+// The serving shape is a Session: a long-lived resident worker pool that
+// answers a stream of queries. Relations are registered once (computing
+// content signatures), queries are prepared once (paying sampling and plan
+// selection up front), and every execution after the first reuses the
+// session's block-trie store — a repeated query skips the shuffle-side trie
+// builds entirely:
 //
-// Arbitrary queries and databases:
+//	sess, _ := adj.Open(adj.Options{Workers: 8, Samples: 500, Seed: 1})
+//	defer sess.Close()
+//	sess.Register("edges", adj.GenerateGraph("LJ", 0.1))
+//
+//	pq, _ := sess.PrepareGraph("ADJ", adj.CatalogQuery("Q1"), "edges")
+//	res, _ := pq.Exec(context.Background())        // cold: shuffle + build
+//	fmt.Println(res.Count())
+//
+//	res, _ = pq.Exec(context.Background())         // warm: TrieBuilds == 0
+//	for {                                          // stream run-aware results
+//		prefix, vals, ok := res.NextRun()
+//		if !ok {
+//			break
+//		}
+//		_ = prefix // shared binding of all but the last attribute
+//		_ = vals   // the run's last-attribute values (zero-copy)
+//	}
+//
+// Ad-hoc databases work the same way:
 //
 //	q, _ := adj.ParseQuery("Q :- R(a,b) ⋈ S(b,c) ⋈ T(a,c)")
-//	db := adj.Database{"R": r, "S": s, "T": t}
+//	sess.Register("R", r)
+//	sess.Register("S", s)
+//	sess.Register("T", t)
+//	pq, _ := sess.Prepare("ADJ", q)
+//
+// # One-shot compatibility
+//
+// The original one-shot calls remain and are thin shims over a temporary
+// Session (open, register, prepare, execute, close):
+//
+//	report, err := adj.Count(q, edges, adj.Options{Workers: 8})
 //	report, err := adj.Run("ADJ", q, db, adj.Options{Workers: 4})
 //
+// Migrating to the Session API is worthwhile whenever the same relations
+// serve more than one execution: Prepare amortizes sampling, and the
+// session's content-keyed trie store amortizes shuffle and trie builds.
+//
 // The baselines the paper compares against (SparkSQL-style binary joins,
-// BigJoin, HCubeJ, HCubeJ+Cache) are available under the same Run API, and
-// cmd/experiments regenerates every figure and table of the evaluation.
+// BigJoin, HCubeJ, HCubeJ+Cache) are available under the same Session and
+// Run APIs, and cmd/experiments regenerates every figure and table of the
+// evaluation.
 package adj
 
 import (
 	"fmt"
 
-	"adj/internal/costmodel"
 	"adj/internal/dataset"
 	"adj/internal/engine"
 	"adj/internal/ghd"
 	"adj/internal/hypergraph"
-	"adj/internal/optimizer"
 	"adj/internal/relation"
 	"adj/internal/yannakakis"
 )
@@ -64,13 +97,13 @@ type Database = hypergraph.Database
 
 // Report is an engine run's outcome: result count, cost breakdown
 // (optimization / pre-computing / communication / computation seconds),
-// shuffle counters and the chosen plan.
+// shuffle counters, block-trie cache counters and the chosen plan.
 type Report = engine.Report
 
-// Options configures a run.
+// Options configures a Session (and, via the one-shot shims, a run).
 type Options struct {
 	// Workers is the simulated cluster size (default 4; the paper uses up
-	// to 28).
+	// to 28). A Session's worker pool is created once at Open.
 	Workers int
 	// Samples per cardinality estimation (default 1000).
 	Samples int
@@ -81,8 +114,16 @@ type Options struct {
 	Budget int64
 	// MemoryPerServer bounds HCube load per server in tuples (0 = unbounded).
 	MemoryPerServer int64
-	// CollectOutput materializes result tuples into Report.Output.
+	// CollectOutput materializes result tuples into Report.Output on the
+	// one-shot calls. Session executions stream results instead (see
+	// PreparedQuery.Exec and CountOnly).
 	CollectOutput bool
+	// TrieStoreBytes bounds the session-resident block-trie store, the
+	// content-keyed cache that lets a repeated query skip shuffle-side trie
+	// builds. 0 picks the default (256 MiB); negative disables cross-query
+	// reuse entirely. Least-recently-used blocks are evicted when the
+	// budget overflows.
+	TrieStoreBytes int64
 }
 
 func (o Options) toConfig() engine.Config {
@@ -94,6 +135,24 @@ func (o Options) toConfig() engine.Config {
 		MemoryPerServer: o.MemoryPerServer,
 		CollectOutput:   o.CollectOutput,
 	}
+}
+
+// oneShot adapts Options for a temporary single-execution session: the
+// cross-query trie store would be discarded unread at Close, so reuse is
+// disabled — skipping both the content fingerprint at Register and the
+// post-join publish.
+func oneShot(opts Options) Options {
+	opts.TrieStoreBytes = -1
+	return opts
+}
+
+// resolveEngine is the single engine-name lookup behind Run, RunGraph and
+// Session.Prepare.
+func resolveEngine(name string) (engine.RunFunc, error) {
+	if run, ok := engine.Engines()[name]; ok {
+		return run, nil
+	}
+	return nil, fmt.Errorf("adj: unknown engine %q (want one of %v)", name, EngineNames())
 }
 
 // EngineNames lists the available engines: "ADJ", "HCubeJ", "HCubeJ+Cache",
@@ -130,28 +189,51 @@ func LoadGraph(path string) (*Relation, error) { return dataset.LoadSNAPFile(pat
 // DatasetNames lists the named synthetic datasets in size order.
 func DatasetNames() []string { return dataset.Names() }
 
-// Run executes a query with the named engine over a database. Every atom
-// of q must name a relation in db with matching arity.
+// Run executes a query one-shot with the named engine over a database —
+// a thin shim over a temporary Session (register, prepare, execute, close).
+// Every atom of q must name a relation in db with matching arity. Use a
+// Session directly when the same relations serve repeated queries.
 func Run(engineName string, q Query, db Database, opts Options) (Report, error) {
-	run, ok := engine.Engines()[engineName]
-	if !ok {
-		return Report{}, fmt.Errorf("adj: unknown engine %q (want one of %v)", engineName, EngineNames())
+	if _, err := resolveEngine(engineName); err != nil {
+		return Report{}, err
 	}
-	rels, err := q.Bind(db)
+	s, err := Open(oneShot(opts))
 	if err != nil {
 		return Report{}, err
 	}
-	return run(q, rels, opts.toConfig())
+	defer s.Close()
+	for name, r := range db {
+		if err := s.Register(name, r); err != nil {
+			return Report{}, err
+		}
+	}
+	p, err := s.Prepare(engineName, q)
+	if err != nil {
+		return Report{}, err
+	}
+	return p.execOneShot(opts)
 }
 
-// RunGraph executes a subgraph query where every atom binds to the same
-// edge relation — the paper's benchmark setup.
+// RunGraph executes a subgraph query one-shot, binding every atom to the
+// same edge relation — the paper's benchmark setup. Like Run, it is a shim
+// over a temporary Session.
 func RunGraph(engineName string, q Query, edges *Relation, opts Options) (Report, error) {
-	run, ok := engine.Engines()[engineName]
-	if !ok {
-		return Report{}, fmt.Errorf("adj: unknown engine %q (want one of %v)", engineName, EngineNames())
+	if _, err := resolveEngine(engineName); err != nil {
+		return Report{}, err
 	}
-	return run(q, q.BindGraph(edges), opts.toConfig())
+	s, err := Open(oneShot(opts))
+	if err != nil {
+		return Report{}, err
+	}
+	defer s.Close()
+	if err := s.Register("edges", edges); err != nil {
+		return Report{}, err
+	}
+	p, err := s.PrepareGraph(engineName, q, "edges")
+	if err != nil {
+		return Report{}, err
+	}
+	return p.execOneShot(opts)
 }
 
 // Count runs ADJ on a graph-bound query and returns the full report.
@@ -176,23 +258,12 @@ func CountAcyclic(q Query, db Database) (int64, error) {
 
 // Explain returns ADJ's chosen plan for a graph-bound query without
 // executing the distributed join (it still samples, which is where
-// planning cost lives).
+// planning cost lives). It runs the same planning pass Prepare does, so
+// the printed plan is exactly what an execution would use.
 func Explain(q Query, edges *Relation, opts Options) (string, error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	o, err := optimizer.New(q, q.BindGraph(edges), optimizer.Options{
-		Params:  costmodel.DefaultParams(workers),
-		Samples: opts.Samples,
-		Seed:    opts.Seed,
-	})
+	pp, err := engine.Prepare("ADJ", q, q.BindGraph(edges), opts.toConfig())
 	if err != nil {
 		return "", err
 	}
-	plan, err := o.CoOptimize()
-	if err != nil {
-		return "", err
-	}
-	return plan.String(), nil
+	return pp.Opt.String(), nil
 }

@@ -1,4 +1,4 @@
-package adj
+package adj_test
 
 // The benchmark harness regenerates every table and figure of the paper's
 // evaluation (§VII). Each BenchmarkFigXX / BenchmarkTableXX runs the
@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"testing"
 
+	"adj"
 	"adj/internal/costmodel"
 	"adj/internal/engine"
 	"adj/internal/experiments"
@@ -208,7 +209,7 @@ func BenchmarkTable04_CoOptVsCommFirst_OK(b *testing.B) { benchTable(b, experime
 // BenchmarkAblationOrders compares selecting an attribute order from the
 // pruned valid space vs from all n! orders (planner cost, not join cost).
 func BenchmarkAblationOrders(b *testing.B) {
-	edges := GenerateGraph("LJ", benchScale())
+	edges := adj.GenerateGraph("LJ", benchScale())
 	q := hypergraph.Get("Q5")
 	rels := q.BindGraph(edges)
 	o, err := optimizer.New(q, rels, optimizer.Options{
@@ -252,7 +253,7 @@ func allOrders(q hypergraph.Query) [][]string {
 // BenchmarkAblationOptimizer compares Alg. 2's greedy search against the
 // exhaustive plan search over (C, traversal) pairs.
 func BenchmarkAblationOptimizer(b *testing.B) {
-	edges := GenerateGraph("LJ", benchScale())
+	edges := adj.GenerateGraph("LJ", benchScale())
 	q := hypergraph.Get("Q6")
 	rels := q.BindGraph(edges)
 	newOpt := func() *optimizer.Optimizer {
@@ -283,7 +284,7 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 // BenchmarkAblationEstimator compares sampling-based and sketch-based
 // cardinality estimates against the exact count (reported as D ratios).
 func BenchmarkAblationEstimator(b *testing.B) {
-	edges := GenerateGraph("LJ", benchScale())
+	edges := adj.GenerateGraph("LJ", benchScale())
 	q := hypergraph.Get("Q5")
 	rels := q.BindGraph(edges)
 	order := q.Attrs()
@@ -321,7 +322,7 @@ func ratioD(a, b float64) float64 {
 // BenchmarkAblationShuffle isolates Push vs Pull vs Merge end-to-end
 // within HCubeJ.
 func BenchmarkAblationShuffle(b *testing.B) {
-	edges := GenerateGraph("AS", benchScale())
+	edges := adj.GenerateGraph("AS", benchScale())
 	q := hypergraph.Get("Q2")
 	rels := q.BindGraph(edges)
 	for _, kind := range []hcube.Kind{hcube.Push, hcube.Pull, hcube.Merge} {
@@ -342,7 +343,7 @@ func BenchmarkAblationShuffle(b *testing.B) {
 // --- Micro-benchmarks of the core kernels ---
 
 func BenchmarkLeapfrogTriangleLJ(b *testing.B) {
-	edges := GenerateGraph("LJ", benchScale())
+	edges := adj.GenerateGraph("LJ", benchScale())
 	q := hypergraph.Get("Q1")
 	rels := q.BindGraph(edges)
 	order := q.Attrs()
@@ -356,7 +357,7 @@ func BenchmarkLeapfrogTriangleLJ(b *testing.B) {
 }
 
 func BenchmarkTrieBuild(b *testing.B) {
-	edges := GenerateGraph("LJ", benchScale())
+	edges := adj.GenerateGraph("LJ", benchScale())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		trie.Build(edges, []string{"src", "dst"})
@@ -364,7 +365,7 @@ func BenchmarkTrieBuild(b *testing.B) {
 }
 
 func BenchmarkTrieCodec(b *testing.B) {
-	tr := trie.Build(GenerateGraph("AS", benchScale()), []string{"src", "dst"})
+	tr := trie.Build(adj.GenerateGraph("AS", benchScale()), []string{"src", "dst"})
 	buf := trie.Encode(tr)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -389,11 +390,11 @@ func BenchmarkHashJoin(b *testing.B) {
 }
 
 func BenchmarkSamplingEstimate(b *testing.B) {
-	edges := GenerateGraph("LJ", benchScale())
+	edges := adj.GenerateGraph("LJ", benchScale())
 	q := hypergraph.Get("Q4")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Explain(q, edges, Options{Workers: 8, Samples: 500, Seed: int64(i)}); err != nil {
+		if _, err := adj.Explain(q, edges, adj.Options{Workers: 8, Samples: 500, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

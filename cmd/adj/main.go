@@ -1,19 +1,32 @@
 // Command adj runs a join query on a simulated cluster with any of the
-// five engines and prints the paper-style cost breakdown.
+// five engines and prints the paper-style cost breakdown. Runs go through
+// the Session API: the dataset is registered once, the query is prepared
+// once (planning amortized), and -repeat executes it repeatedly on the
+// resident workers — repeated executions go warm, served from the
+// session's content-keyed block-trie store with zero shuffle-side builds.
 //
 // Examples:
 //
 //	adj -query Q1 -dataset LJ -scale 0.1 -engine ADJ -workers 8
+//	adj -query Q1 -dataset LJ -engine ADJ -repeat 5      # cold + 4 warm execs
 //	adj -query 'Qt :- R(a,b) ⋈ S(b,c) ⋈ T(a,c)' -snap edges.txt -engine HCubeJ
 //	adj -query Q5 -dataset OK -all            # compare every engine
+//
+// Note -all runs every engine on the same session: engines whose shuffles
+// agree on shares and attribute order reuse each other's published block
+// tries (visible as builds=0 / zero shuffled tuples on later engines).
+// For isolated per-engine measurements use cmd/bench, which runs each
+// engine on a fresh cluster.
 //	adj -query Q6 -dataset LJ -explain        # print ADJ's plan only
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"adj"
 )
@@ -29,6 +42,7 @@ func main() {
 		samples  = flag.Int("samples", 1000, "sampling budget for the optimizer")
 		seed     = flag.Int64("seed", 1, "random seed")
 		budget   = flag.Int64("budget", 100_000_000, "intermediate-work budget (0 = unlimited)")
+		repeat   = flag.Int("repeat", 1, "execute the prepared query this many times on one session (run 2+ go warm)")
 		all      = flag.Bool("all", false, "run every engine and compare")
 		explain  = flag.Bool("explain", false, "print ADJ's chosen plan and exit")
 		phases   = flag.Bool("phases", false, "print per-phase metrics")
@@ -57,23 +71,48 @@ func main() {
 		return
 	}
 
+	sess, err := adj.Open(opts)
+	exitOn(err)
+	defer sess.Close()
+	exitOn(sess.Register("edges", edges))
+
 	names := []string{*engine}
 	if *all {
 		names = adj.EngineNames()
 	}
 	for _, name := range names {
-		rep, err := adj.RunGraph(name, q, edges, opts)
+		pq, err := sess.PrepareGraph(name, q, "edges")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			continue
 		}
-		fmt.Println(rep.String())
-		if rep.Plan != "" {
-			fmt.Printf("  plan: %s\n", rep.Plan)
+		for exec := 0; exec < *repeat; exec++ {
+			t0 := time.Now()
+			res, err := pq.Exec(context.Background(), adj.CountOnly())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				break
+			}
+			rep := res.Report()
+			fmt.Println(rep.String())
+			if *repeat > 1 {
+				fmt.Printf("  exec %d: wall=%.3fs blocks=%d builds=%d hits=%d\n",
+					exec+1, time.Since(t0).Seconds(), rep.CacheBlocks, rep.TrieBuilds, rep.TrieCacheHits)
+			}
+			if exec == 0 {
+				if rep.Plan != "" {
+					fmt.Printf("  plan: %s (prepared in %.3fs)\n", rep.Plan, pq.PlanSeconds())
+				}
+				if *phases && rep.Metrics != nil {
+					fmt.Print(rep.Metrics.String())
+				}
+			}
 		}
-		if *phases && rep.Metrics != nil {
-			fmt.Print(rep.Metrics.String())
-		}
+	}
+	if *repeat > 1 {
+		st := sess.TrieStoreStats()
+		fmt.Printf("trie store: %d blocks, %d bytes (budget %d), %d hits, %d evictions\n",
+			st.Blocks, st.Bytes, st.Budget, st.Hits, st.Evictions)
 	}
 }
 

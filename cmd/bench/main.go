@@ -11,25 +11,35 @@
 // emitted-run counters, allocs under a pinned ceiling), and writes a JSON
 // snapshot (BENCH_<n>.json at the repo root by convention).
 //
-// When a reference snapshot exists (-ref, default BENCH_3.json), the
-// output embeds a before/after comparison for every shared benchmark key
-// plus per-engine timing, so BENCH_4.json directly reports the columnar
-// result-pipeline wins over the PR-3 numbers.
+// It also measures the Session repeated-query workload: the triangle query
+// prepared once and executed cold then warm on a resident session. The
+// invariants — warm executions perform zero shuffle-side trie builds and
+// stream results byte-for-byte identical to the one-shot baseline — are
+// enforced in every mode including -quick, so CI catches a silent
+// regression of the session trie store; the cold/warm wall times and
+// store footprint land in the snapshot's "session" section.
 //
-//	go run ./cmd/bench                  # writes BENCH_4.json, compares to BENCH_3.json
+// When a reference snapshot exists (-ref, default BENCH_4.json), the
+// output embeds a before/after comparison for every shared benchmark key
+// plus per-engine timing, so BENCH_5.json directly reports the session
+// wins over the PR-4 numbers.
+//
+//	go run ./cmd/bench                  # writes BENCH_5.json, compares to BENCH_4.json
 //	go run ./cmd/bench -scale 0.1 -out /tmp/b.json -ref ""
-//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines + emit invariants
+//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines + emit + session invariants
 package main
 
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	sortslice "sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -102,11 +112,31 @@ type Snapshot struct {
 	// reference (earlier snapshots ran cps=1).
 	CubesPerServer int                  `json:"cubes_per_server"`
 	EnginesCPS1    map[string]EngineRun `json:"engines_cps1,omitempty"`
+	// Session is the repeated-query session workload: the triangle query
+	// prepared once, executed cold (shuffle + trie builds, published to the
+	// session store) then warm (shuffle skipped, tries adopted).
+	Session *SessionBench `json:"session,omitempty"`
 	// Reference names the snapshot the VsReference section compares
 	// against (empty when none was found).
 	Reference          string                 `json:"reference,omitempty"`
 	VsReference        map[string]VsRef       `json:"vs_reference,omitempty"`
 	EnginesVsReference map[string]EngineVsRef `json:"engines_vs_reference,omitempty"`
+}
+
+// SessionBench reports the cold-vs-warm session measurement. WarmSeconds
+// is the fastest warm execution; Speedup is ColdSeconds / WarmSeconds.
+type SessionBench struct {
+	Engine            string  `json:"engine"`
+	Executions        int     `json:"executions"`
+	Results           int64   `json:"results"`
+	ColdSeconds       float64 `json:"cold_seconds"`
+	WarmSeconds       float64 `json:"warm_seconds"`
+	Speedup           float64 `json:"warm_speedup"`
+	ColdTrieBuilds    int64   `json:"cold_trie_builds"`
+	WarmTrieBuilds    int64   `json:"warm_trie_builds"`
+	WarmTrieCacheHits int64   `json:"warm_trie_cache_hits"`
+	StoreBlocks       int64   `json:"store_blocks"`
+	StoreBytes        int64   `json:"store_bytes"`
 }
 
 func metricOf(r testing.BenchmarkResult) Metric {
@@ -266,8 +296,8 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_4.json", "output JSON path")
-		ref     = flag.String("ref", "BENCH_3.json", "reference snapshot to compare against (\"\" disables)")
+		out     = flag.String("out", "BENCH_5.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_4.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
@@ -317,6 +347,9 @@ func main() {
 	// smoke must still catch a silent regression to per-tuple emission.
 	benchEmitPipeline(&snap, edges)
 	emitEngineSmoke(q, rels, *workers, *cubes)
+	// Session invariants (warm trie builds == 0, streamed output ==
+	// one-shot baseline byte-for-byte) run in every mode too.
+	snap.Session = benchSessionWorkload(q, edges, *workers, *quick)
 
 	snap.Engines = runEngines(q, rels, *workers, *cubes)
 	if *cubes == 1 {
@@ -685,6 +718,140 @@ func emitEngineSmoke(q hypergraph.Query, rels []*relation.Relation, workers, cub
 	}
 	fmt.Fprintf(os.Stderr, "engine emit smoke: ADJ results=%d runs=%d (runlen %.1f), sink == shim\n",
 		rep.Results, rep.EmittedRuns, float64(rep.EmittedValues)/float64(max(rep.EmittedRuns, 1)))
+}
+
+// benchSessionWorkload measures the Session repeated-query path — the
+// workload the session trie store exists for — and enforces its
+// correctness invariants in every mode:
+//
+//   - the warm execution performs zero shuffle-side trie builds and is
+//     served from the store (TrieCacheHits > 0, zero tuples shuffled);
+//   - results streamed from the session (cold and warm) are byte-for-byte
+//     identical to the one-shot RunGraph baseline.
+//
+// Timing runs count-only on a fresh session (the first execution is the
+// cold measurement, the rest warm); the collected-output runs validate the
+// byte equality separately so materialization cost doesn't blur the
+// speedup.
+func benchSessionWorkload(q hypergraph.Query, edges *relation.Relation, workers int, quick bool) *SessionBench {
+	opts := adj.Options{Workers: workers, Samples: 300, Seed: 1}
+
+	// --- Correctness: streamed session output == one-shot baseline ---
+	oneshotOpts := opts
+	oneshotOpts.CollectOutput = true
+	base, err := adj.RunGraph("ADJ", q, edges, oneshotOpts)
+	if err != nil {
+		fatal(err)
+	}
+	baseBytes := relation.Encode(base.Output)
+	checkSess, err := adj.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer checkSess.Close()
+	if err := checkSess.Register("edges", edges); err != nil {
+		fatal(err)
+	}
+	pq, err := checkSess.PrepareGraph("ADJ", q, "edges")
+	if err != nil {
+		fatal(err)
+	}
+	for exec := 0; exec < 2; exec++ {
+		res, err := pq.Exec(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		rep := res.Report()
+		if res.Count() != base.Results {
+			fatal(fmt.Errorf("session exec %d: %d results, one-shot %d", exec, res.Count(), base.Results))
+		}
+		// Reconstruct the relation from the streamed runs and compare the
+		// encoded bytes against the one-shot baseline.
+		streamed := relation.NewWithCapacity("out", int(res.Count()), res.Attrs()...)
+		row := make([]relation.Value, len(res.Attrs()))
+		for {
+			prefix, vals, ok := res.NextRun()
+			if !ok {
+				break
+			}
+			copy(row, prefix)
+			for _, v := range vals {
+				row[len(row)-1] = v
+				streamed.AppendTuple(row)
+			}
+		}
+		if got := relation.Encode(streamed); !bytes.Equal(got, baseBytes) {
+			fatal(fmt.Errorf("session exec %d: streamed results differ from one-shot baseline (%d vs %d bytes)",
+				exec, len(got), len(baseBytes)))
+		}
+		if exec == 1 {
+			if rep.TrieBuilds != 0 {
+				fatal(fmt.Errorf("warm session exec built %d tries, want 0", rep.TrieBuilds))
+			}
+			if rep.TrieCacheHits == 0 {
+				fatal(fmt.Errorf("warm session exec: no trie cache hits"))
+			}
+			// The HCube shuffle itself is skipped warm; a plan with
+			// pre-computed bags (marked "*") legitimately still shuffles
+			// the bag-materializing joins each run.
+			if rep.TuplesShuffled != 0 && !strings.Contains(rep.Plan, "*") {
+				fatal(fmt.Errorf("warm session exec shuffled %d tuples, want 0", rep.TuplesShuffled))
+			}
+		}
+	}
+
+	// --- Timing: cold vs warm, count-only, fresh session ---
+	execs := 4
+	if quick {
+		execs = 2
+	}
+	sess, err := adj.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Register("edges", edges); err != nil {
+		fatal(err)
+	}
+	pq, err = sess.PrepareGraph("ADJ", q, "edges")
+	if err != nil {
+		fatal(err)
+	}
+	sb := &SessionBench{Engine: "ADJ", Executions: execs}
+	for exec := 0; exec < execs; exec++ {
+		t0 := time.Now()
+		res, err := pq.Exec(context.Background(), adj.CountOnly())
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(t0).Seconds()
+		rep := res.Report()
+		sb.Results = res.Count()
+		if exec == 0 {
+			sb.ColdSeconds = wall
+			sb.ColdTrieBuilds = rep.TrieBuilds
+			continue
+		}
+		if rep.TrieBuilds != 0 {
+			fatal(fmt.Errorf("warm timing exec %d built %d tries, want 0", exec, rep.TrieBuilds))
+		}
+		if sb.WarmSeconds == 0 || wall < sb.WarmSeconds {
+			sb.WarmSeconds = wall
+		}
+		sb.WarmTrieBuilds += rep.TrieBuilds
+		sb.WarmTrieCacheHits += rep.TrieCacheHits
+	}
+	if sb.WarmSeconds > 0 {
+		sb.Speedup = sb.ColdSeconds / sb.WarmSeconds
+	}
+	st := sess.TrieStoreStats()
+	sb.StoreBlocks = st.Blocks
+	sb.StoreBytes = st.Bytes
+	fmt.Fprintf(os.Stderr,
+		"session: cold %.4fs (builds=%d) warm %.4fs (builds=0, hits=%d) — %.2fx, store %d blocks / %d bytes\n",
+		sb.ColdSeconds, sb.ColdTrieBuilds, sb.WarmSeconds, sb.WarmTrieCacheHits, sb.Speedup,
+		sb.StoreBlocks, sb.StoreBytes)
+	return sb
 }
 
 // benchCubeCompute sets up a triangle shuffle's receiver state by hand:

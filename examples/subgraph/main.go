@@ -2,11 +2,14 @@
 // that motivate ADJ. On these queries the computation cost of a plain
 // one-round join dominates, and ADJ's optimizer decides to pre-compute GHD
 // bags — trading some communication and pre-computing for a much smaller
-// Leapfrog. The example prints the chosen plans and the resulting
-// cost breakdowns, then runs an ad-hoc pattern written in query syntax.
+// Leapfrog. The example prepares each pattern once on a resident session
+// (Prepare is where the plan you see gets chosen and its sampling paid),
+// prints the chosen plans and cost breakdowns, then runs an ad-hoc pattern
+// over individually registered relations.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,26 +20,37 @@ func main() {
 	edges := adj.GenerateGraph("LJ", 0.1)
 	fmt.Printf("social graph: %d edges\n\n", edges.Len())
 
+	sess, err := adj.Open(adj.Options{Workers: 8, Samples: 400, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Register("edges", edges); err != nil {
+		log.Fatal(err)
+	}
+
 	for _, qn := range []string{"Q4", "Q5", "Q6"} {
 		q := adj.CatalogQuery(qn)
 		fmt.Println("query:", q)
 
-		plan, err := adj.Explain(q, edges, adj.Options{Workers: 8, Samples: 400, Seed: 3})
+		pq, err := sess.PrepareGraph("ADJ", q, "edges")
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("plan: ", plan)
+		fmt.Println("plan: ", pq.Plan())
 
-		rep, err := adj.Count(q, edges, adj.Options{Workers: 8, Samples: 400, Seed: 3})
+		res, err := pq.Exec(context.Background(), adj.CountOnly())
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("matches=%d  opt=%.3fs pre=%.3fs comm=%.3fs comp=%.3fs\n\n",
-			rep.Results, rep.Optimization, rep.PreComputing, rep.Communication, rep.Computation)
+		rep := res.Report()
+		fmt.Printf("matches=%d  prepare=%.3fs pre=%.3fs comm=%.3fs comp=%.3fs\n\n",
+			res.Count(), pq.PlanSeconds(), rep.PreComputing, rep.Communication, rep.Computation)
 	}
 
 	// Ad-hoc pattern: a "diamond" with an apex — written directly in the
-	// paper's query notation and run over two different relations.
+	// paper's query notation and run over two different relations, each
+	// registered once and shared by two atoms.
 	fmt.Println("--- ad-hoc query over a custom database ---")
 	q, err := adj.ParseQuery("Diamond :- Follows(a,b) ⋈ Follows2(a,c) ⋈ Likes(b,d) ⋈ Likes2(c,d)")
 	if err != nil {
@@ -44,13 +58,19 @@ func main() {
 	}
 	follows := adj.GenerateGraph("WB", 0.05)
 	likes := adj.GenerateGraph("AS", 0.05)
-	db := adj.Database{
+	if err := sess.RegisterDatabase(adj.Database{
 		"Follows": follows, "Follows2": follows,
 		"Likes": likes, "Likes2": likes,
+	}); err != nil {
+		log.Fatal(err)
 	}
-	rep, err := adj.Run("ADJ", q, db, adj.Options{Workers: 4, Samples: 300, Seed: 5})
+	pq, err := sess.Prepare("ADJ", q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s -> %d matches in %.3fs\n", q, rep.Results, rep.Total())
+	res, err := pq.Exec(context.Background(), adj.CountOnly())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s -> %d matches in %.3fs\n", q, res.Count(), res.Report().Total())
 }

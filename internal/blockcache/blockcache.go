@@ -87,6 +87,11 @@ type blockEntry struct {
 	trieParts  []*trie.Trie
 	tupleParts []*relation.Relation
 	built      *trie.Trie
+	// adopted is a pre-built trie installed from the session-resident store
+	// (a warm shuffle). The first request counts as a cache hit, not a
+	// build — the whole point of cross-query reuse is that no shuffle-side
+	// trie construction happens at all.
+	adopted *trie.Trie
 	// size accumulates the tuples deposited for this block — the cost
 	// estimate the cube scheduler weighs (deposits happen before the join
 	// phase reads sizes, so no atomicity beyond the registry lock needed).
@@ -132,6 +137,19 @@ func (r *Registry) DepositTuples(k Key, attrs []string, part *relation.Relation)
 	r.mu.Unlock()
 }
 
+// DepositBuilt adds a block whose trie is already built — the warm-shuffle
+// path, where the session store supplies tries published by an earlier
+// execution over the same relation content. Requests for the block are
+// served without any build (all of them count as cache hits). t is retained
+// and must not be mutated.
+func (r *Registry) DepositBuilt(k Key, attrs []string, t *trie.Trie) {
+	r.mu.Lock()
+	e := r.entry(k, attrs)
+	e.adopted = t
+	e.size += int64(t.NumTuples)
+	r.mu.Unlock()
+}
+
 func (r *Registry) entry(k Key, attrs []string) *blockEntry {
 	e, ok := r.blocks[k]
 	if !ok {
@@ -171,14 +189,18 @@ func (r *Registry) BlockTrie(k Key) *trie.Trie {
 	if e == nil {
 		return nil
 	}
-	first := false
+	built := false
 	e.once.Do(func() {
-		e.built = e.build()
+		if e.adopted != nil {
+			e.built = e.adopted
+		} else {
+			e.built = e.build()
+			built = true
+			r.builds.Add(1)
+		}
 		e.trieParts, e.tupleParts = nil, nil // parts are dead once built
-		first = true
-		r.builds.Add(1)
 	})
-	if !first {
+	if !built {
 		r.hits.Add(1)
 	}
 	return e.built
@@ -233,6 +255,38 @@ func (r *Registry) CubeTrie(cube int, rel string) (*trie.Trie, bool) {
 		r.cubeMerges.Add(1)
 	})
 	return ce.built, true
+}
+
+// BuiltBlock is one registry block whose trie exists: the key, the trie
+// attribute order it was built in, and the trie itself. Adopted marks
+// blocks installed pre-built from the session store (already published —
+// republishing them would only churn the store's recency list).
+type BuiltBlock struct {
+	Key     Key
+	Attrs   []string
+	Trie    *trie.Trie
+	Adopted bool
+}
+
+// BuiltBlocks snapshots every deposited block in deterministic key order —
+// the publish walk that deposits a cold shuffle's tries into the
+// session-resident store after the join phase. Blocks deposited but never
+// requested have a nil Trie; publishers treat a relation with any unbuilt
+// block as incomplete and skip its manifest.
+func (r *Registry) BuiltBlocks() []BuiltBlock {
+	r.mu.Lock()
+	out := make([]BuiltBlock, 0, len(r.blocks))
+	for k, e := range r.blocks {
+		out = append(out, BuiltBlock{Key: k, Attrs: e.attrs, Trie: e.built, Adopted: e.adopted != nil})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Rel != out[j].Key.Rel {
+			return out[i].Key.Rel < out[j].Key.Rel
+		}
+		return out[i].Key.Sig < out[j].Key.Sig
+	})
+	return out
 }
 
 // Cubes returns the sorted distinct cube ids with at least one bound block.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -150,6 +151,12 @@ type Cluster struct {
 	network  NetworkModel
 	transp   Transport
 	parallel bool
+	// ctx is the current run's cancellation context (never nil). Phases
+	// check it at every barrier, so a cancelled run returns promptly without
+	// starting further phase work; in-phase cancellation is handled by the
+	// workloads themselves (the cube scheduler and the join inner loops
+	// observe the same context).
+	ctx context.Context
 }
 
 // New builds a cluster.
@@ -169,6 +176,7 @@ func New(cfg Config) *Cluster {
 		network:  cfg.Network,
 		transp:   cfg.Transport,
 		parallel: !cfg.Sequential,
+		ctx:      context.Background(),
 	}
 	for i := 0; i < cfg.N; i++ {
 		c.Workers = append(c.Workers, newWorker(i, cfg.N))
@@ -179,12 +187,28 @@ func New(cfg Config) *Cluster {
 // Close releases the transport.
 func (c *Cluster) Close() error { return c.transp.Close() }
 
+// SetContext installs the cancellation context for subsequent phases.
+// A nil ctx resets to Background. A session-resident cluster calls this at
+// the start of every execution with that execution's context.
+func (c *Cluster) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+}
+
+// Context returns the current run's context (never nil).
+func (c *Cluster) Context() context.Context { return c.ctx }
+
 // ResetMetrics starts a fresh metrics collection (workers keep their data).
 func (c *Cluster) ResetMetrics() { c.Metrics = NewMetrics() }
 
 // Parallel runs fn on every worker and charges the phase's computation time
 // as the maximum per-worker duration (simulated parallel wall clock).
 func (c *Cluster) Parallel(phase string, fn func(w *Worker) error) error {
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("phase %s: %w", phase, err)
+	}
 	durs := make([]time.Duration, c.N)
 	errs := make([]error, c.N)
 	if c.parallel {
@@ -201,6 +225,10 @@ func (c *Cluster) Parallel(phase string, fn func(w *Worker) error) error {
 		wg.Wait()
 	} else {
 		for i := 0; i < c.N; i++ {
+			if err := c.ctx.Err(); err != nil {
+				errs[i] = err
+				break
+			}
 			t0 := time.Now()
 			errs[i] = fn(c.Workers[i])
 			durs[i] = time.Since(t0)
@@ -277,6 +305,9 @@ func (c *Cluster) Exchange(phase string,
 	}
 	pm.CommSeconds += c.network.CommSeconds(maxBytes, maxMsgs)
 
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("phase %s: %w", phase, err)
+	}
 	routed, err := c.transp.Route(bySender)
 	if err != nil {
 		return fmt.Errorf("phase %s: %w", phase, err)

@@ -5,12 +5,10 @@ import (
 	"time"
 
 	"adj/internal/cluster"
-	"adj/internal/costmodel"
 	"adj/internal/hcube"
 	"adj/internal/hypergraph"
 	"adj/internal/optimizer"
 	"adj/internal/relation"
-	"adj/internal/sampling"
 )
 
 // RunADJ executes the paper's system (§III): sample, co-optimize
@@ -37,45 +35,28 @@ func runADJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, coOptimiz
 		name = "ADJ(comm-first)"
 	}
 	rep := Report{Engine: name, Query: q.Name, Servers: cfg.NumServers}
-	c := newCluster(cfg)
-	defer c.Close()
+	c, release := clusterFor(cfg)
+	defer release()
 	c.LoadDatabase(rels)
 
-	// --- Optimization phase: calibrate, sample, plan. ---
-	t0 := time.Now()
-	params := defaultParams(cfg)
-	params.BetaTrie = costmodel.CalibrateBetaTrie(1 << 14)
-	opt, err := optimizer.New(q, rels, optimizer.Options{
-		Params:  params,
-		Samples: cfg.Samples,
-		Seed:    cfg.Seed,
-	})
-	if err != nil {
-		return rep, err
-	}
-	// β for raw relations from the sampler's own measured rate (§III-B): a
-	// probe estimate ensures the optimizer sees machine-scaled constants.
-	probe, err := sampling.EstimateCardinality(rels, q.Attrs(), sampling.Config{
-		Samples: cfg.Samples / 4, Seed: cfg.Seed, MaxDepth: 2,
-	})
-	if err == nil && probe.ExtensionsPerSecond() > 0 {
-		params.BetaBase = probe.ExtensionsPerSecond()
-		if params.BetaTrie < 2*params.BetaBase {
-			params.BetaTrie = 2 * params.BetaBase
-		}
-	}
-
+	// --- Optimization phase: calibrate, sample, plan — or reuse the
+	// prepared plan (a session's PreparedQuery pays planning once). ---
 	var plan *optimizer.Plan
-	if coOptimize {
-		plan, err = opt.CoOptimize()
+	if pp := preparedFor(cfg, name); pp != nil && pp.Opt != nil {
+		plan = pp.Opt
 	} else {
-		plan, err = opt.CommunicationFirst()
+		t0 := time.Now()
+		var err error
+		plan, err = adjPlan(q, rels, cfg, coOptimize)
+		if err != nil {
+			return rep, err
+		}
+		chargeSeconds(c, "optimize", t0)
 	}
-	if err != nil {
+	rep.Plan = plan.String()
+	if err := ctxErr(cfg); err != nil {
 		return rep, err
 	}
-	chargeSeconds(c, "optimize", t0)
-	rep.Plan = plan.String()
 
 	// --- Pre-computing phase: materialize chosen bags distributedly. ---
 	bagNames := make(map[int]string)
@@ -155,9 +136,11 @@ func runADJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, coOptimiz
 	if cfg.ShuffleKind != nil {
 		kind = *cfg.ShuffleKind
 	}
-	if err := hcube.Run(c, "shuffle", hcube.Plan{
+	shufflePlan := hcube.Plan{
 		Shares: shares, Rels: infos, Kind: kind, TrieOrder: plan.AttrOrder,
-	}); err != nil {
+		Reuse: shuffleReuse(cfg, plan.String(), infos),
+	}
+	if err := hcube.Run(c, "shuffle", shufflePlan); err != nil {
 		return rep, err
 	}
 
@@ -179,6 +162,9 @@ func runADJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, coOptimiz
 	}
 	rep.Results = total
 	rep.Output = output
+	// Publish the built block tries for the next execution over the same
+	// content (a no-op without a session store).
+	hcube.Publish(c, shufflePlan)
 	finishReport(&rep, c.Metrics)
 	return rep, nil
 }

@@ -24,12 +24,17 @@ import (
 func RunBigJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	rep := Report{Engine: "BigJoin", Query: q.Name, Servers: cfg.NumServers}
-	c := newCluster(cfg)
-	defer c.Close()
+	c, release := clusterFor(cfg)
+	defer release()
 	c.LoadDatabase(rels)
 
 	t0 := time.Now()
-	order := q.Attrs()
+	var order []string
+	if pp := preparedFor(cfg, "BigJoin"); pp != nil && len(pp.Order) > 0 {
+		order = pp.Order
+	} else {
+		order = q.Attrs()
+	}
 	chargeSeconds(c, "optimize", t0)
 	rep.Plan = fmt.Sprintf("rounds over ord=%v", order)
 	n := len(order)
@@ -44,6 +49,9 @@ func RunBigJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Repo
 	scatter(c, "round0", bindings)
 
 	for d := 1; d < n; d++ {
+		if err := ctxErr(cfg); err != nil {
+			return rep, err
+		}
 		attr := order[d]
 		prefix := order[:d]
 		// Relations containing attr, restricted to bound attrs.

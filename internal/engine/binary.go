@@ -23,12 +23,17 @@ import (
 func RunBinaryJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
 	rep := Report{Engine: "SparkSQL", Query: q.Name, Servers: cfg.NumServers}
-	c := newCluster(cfg)
-	defer c.Close()
+	c, release := clusterFor(cfg)
+	defer release()
 	c.LoadDatabase(rels)
 
 	t0 := time.Now()
-	order := binaryJoinOrder(rels)
+	var order []int
+	if pp := preparedFor(cfg, "SparkSQL"); pp != nil && len(pp.JoinOrder) > 0 {
+		order = pp.JoinOrder
+	} else {
+		order = binaryJoinOrder(rels)
+	}
 	chargeSeconds(c, "optimize", t0)
 	var names []string
 	for _, i := range order {
@@ -39,6 +44,9 @@ func RunBinaryJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (R
 	accName := rels[order[0]].Name
 	accAttrs := append([]string(nil), rels[order[0]].Attrs...)
 	for step, idx := range order[1:] {
+		if err := ctxErr(cfg); err != nil {
+			return rep, err
+		}
 		next := rels[idx]
 		outName := fmt.Sprintf("I%d", step+1)
 		size, err := distributedJoin(c, fmt.Sprintf("join%d", step+1),

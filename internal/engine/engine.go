@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -68,6 +69,29 @@ type Config struct {
 	// batched columnar result sink when collecting output. Kept as the
 	// equivalence/benchmark baseline; production runs leave it false.
 	PerTupleEmit bool
+
+	// --- Session execution (see the adj package's Session API) ---
+
+	// Ctx is the run's cancellation context (nil = context.Background()).
+	// Cancellation is observed at every phase barrier, between cubes in the
+	// scheduler, inside the Leapfrog inner loops and between samples while
+	// planning, so a mid-run cancel returns promptly with the context's
+	// error and no leaked goroutines.
+	Ctx context.Context
+	// Cluster, when non-nil, is a session-resident cluster borrowed for
+	// this run: the engine resets its metrics and per-cube state but does
+	// not close it. nil keeps the one-shot behavior (fresh cluster per run,
+	// closed on return).
+	Cluster *cluster.Cluster
+	// Prepared, when non-nil, supplies the cached planning artifact of a
+	// PreparedQuery: the engine skips its optimization phase (sampling
+	// included) and runs the cached plan. Produce it with Prepare.
+	Prepared *PreparedPlan
+	// Reuse, when non-nil, connects HCube shuffles to a session-resident
+	// block-trie store: relations whose content signatures are listed skip
+	// the shuffle entirely when the store still holds their complete block
+	// set, and publish their built tries afterwards for the next run.
+	Reuse *hcube.Reuse
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +202,45 @@ func newCluster(cfg Config) *cluster.Cluster {
 	})
 }
 
+// clusterFor returns the cluster a run executes on and its release hook:
+// a borrowed session-resident cluster (cfg.Cluster) is reset — fresh
+// metrics, run context installed — and handed back un-closed; otherwise a
+// fresh cluster is built and the release closes it. Engines must call
+// release exactly once (defer it).
+func clusterFor(cfg Config) (*cluster.Cluster, func()) {
+	if cfg.Cluster != nil {
+		c := cfg.Cluster
+		c.ResetMetrics()
+		c.SetContext(cfg.Ctx)
+		return c, func() { c.SetContext(nil) }
+	}
+	c := newCluster(cfg)
+	c.SetContext(cfg.Ctx)
+	return c, func() { c.Close() }
+}
+
+// ctxOf returns the run's context (never nil).
+func ctxOf(cfg Config) context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
+}
+
+// cancelOf returns a cheap cancellation poll for the run's context, or nil
+// when the run is uncancellable (the common one-shot case) so the hot
+// loops skip the check entirely.
+func cancelOf(cfg Config) func() bool {
+	if cfg.Ctx == nil || cfg.Ctx.Done() == nil {
+		return nil
+	}
+	ctx := cfg.Ctx
+	return func() bool { return ctx.Err() != nil }
+}
+
+// ctxErr reports the run context's error, if any.
+func ctxErr(cfg Config) error { return ctxOf(cfg).Err() }
+
 // defaultParams calibrates cost-model constants for a run.
 func defaultParams(cfg Config) costmodel.Params {
 	p := costmodel.DefaultParams(cfg.NumServers)
@@ -225,6 +288,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 			budgetPer = 1
 		}
 	}
+	cancelled := cancelOf(cfg)
 	err := c.Parallel(phase, func(w *cluster.Worker) error {
 		cubes := allCubes(w)
 		perCube := make([]int64, len(cubes))
@@ -238,7 +302,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 			if err != nil {
 				return err
 			}
-			opts := leapfrog.Options{Budget: budgetPer}
+			opts := leapfrog.Options{Budget: budgetPer, Cancel: cancelled}
 			if cfg.CollectOutput {
 				// Results stay columnar from the leaf intersection on: the
 				// sink appends whole runs to the cube's output columns. The
@@ -262,6 +326,9 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 				if errors.Is(err, leapfrog.ErrBudget) {
 					return ErrBudget
 				}
+				if errors.Is(err, leapfrog.ErrCanceled) {
+					return ctxOf(cfg).Err()
+				}
 				return err
 			}
 			perCube[ci] = st.Results
@@ -270,7 +337,10 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 		}
 		blocksOf := func(ci int) []blockcache.Key { return w.Blocks.BlockKeysOf(cubes[ci]) }
 		weightOf := func(ci int) int64 { return w.Blocks.CubeWeight(cubes[ci]) }
-		if err := runCubes(len(cubes), cfg.Sequential, blocksOf, weightOf, joinCube); err != nil {
+		if err := runCubes(len(cubes), cfg.Sequential, cancelled, blocksOf, weightOf, joinCube); err != nil {
+			return err
+		}
+		if err := ctxErr(cfg); err != nil {
 			return err
 		}
 		for _, r := range perCube {

@@ -69,7 +69,7 @@ func TestRunCubes(t *testing.T) {
 	for name, blocksOf := range affinities {
 		for _, sequential := range []bool{true, false} {
 			var visited [97]atomic.Int32
-			err := runCubes(97, sequential, blocksOf, nil, func(ci int) error {
+			err := runCubes(97, sequential, nil, blocksOf, nil, func(ci int) error {
 				visited[ci].Add(1)
 				return nil
 			})
@@ -85,7 +85,7 @@ func TestRunCubes(t *testing.T) {
 	}
 	boom := errors.New("boom")
 	var ran atomic.Int32
-	err := runCubes(64, false, nil, nil, func(ci int) error {
+	err := runCubes(64, false, nil, nil, nil, func(ci int) error {
 		ran.Add(1)
 		if ci == 3 {
 			return boom
@@ -95,7 +95,7 @@ func TestRunCubes(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("err=%v want boom", err)
 	}
-	if runCubes(0, false, nil, nil, func(int) error { t.Fatal("no tasks expected"); return nil }) != nil {
+	if runCubes(0, false, nil, nil, nil, func(int) error { t.Fatal("no tasks expected"); return nil }) != nil {
 		t.Fatal("empty task set must succeed")
 	}
 	_ = ran.Load() // races between the error and other goroutines are fine; count is unasserted

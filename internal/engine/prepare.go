@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adj/internal/costmodel"
+	"adj/internal/hcube"
+	"adj/internal/hypergraph"
+	"adj/internal/optimizer"
+	"adj/internal/relation"
+	"adj/internal/sampling"
+)
+
+// PreparedPlan is the cached planning artifact of a prepared query: the
+// part of a run that samples the data and chooses a plan, split from
+// execution so a session can pay it once and execute many times. Exactly
+// one of the plan fields is populated, matching the engine family.
+type PreparedPlan struct {
+	// Engine is the registry name the plan was prepared for; engines reject
+	// a plan prepared for a different engine (plans are not interchangeable:
+	// ADJ's co-optimized GHD plan means nothing to BinaryJoin).
+	Engine string
+	// Opt is the optimizer plan: co-optimized for ADJ, communication-first
+	// for the HCubeJ family.
+	Opt *optimizer.Plan
+	// JoinOrder is BinaryJoin's greedy pairwise order (indexes into the
+	// bound relation list).
+	JoinOrder []int
+	// Order is BigJoin's round order over the query attributes.
+	Order []string
+	// Seconds is the measured planning time — what a one-shot run would
+	// have charged to its Optimization phase.
+	Seconds float64
+}
+
+// Prepare computes the planning artifact for engineName over bound
+// relations: sampling-based cardinality estimation plus plan selection for
+// the optimizing engines, the cheap deterministic orders for the others.
+// The result plugs into Config.Prepared, making the engine skip its
+// optimization phase. cfg supplies the planning knobs (NumServers, Samples,
+// Seed, Ctx for cancellation).
+func Prepare(engineName string, q hypergraph.Query, rels []*relation.Relation, cfg Config) (*PreparedPlan, error) {
+	cfg = cfg.withDefaults()
+	t0 := time.Now()
+	pp := &PreparedPlan{Engine: engineName}
+	var err error
+	switch engineName {
+	case "ADJ":
+		pp.Opt, err = adjPlan(q, rels, cfg, true)
+	case "ADJ(comm-first)":
+		pp.Opt, err = adjPlan(q, rels, cfg, false)
+	case "HCubeJ", "HCubeJ+Cache":
+		pp.Opt, err = commFirstPlan(q, rels, cfg)
+	case "BigJoin":
+		pp.Order = q.Attrs()
+	case "SparkSQL":
+		pp.JoinOrder = binaryJoinOrder(rels)
+	default:
+		return nil, fmt.Errorf("engine: unknown engine %q (want one of %v)", engineName, EngineNames())
+	}
+	if err != nil {
+		return nil, err
+	}
+	pp.Seconds = time.Since(t0).Seconds()
+	return pp, nil
+}
+
+// preparedFor returns cfg's cached plan when it matches engineName, nil
+// otherwise (a mismatched plan is ignored rather than misapplied).
+func preparedFor(cfg Config, engineName string) *PreparedPlan {
+	if cfg.Prepared != nil && cfg.Prepared.Engine == engineName {
+		return cfg.Prepared
+	}
+	return nil
+}
+
+// adjPlan is ADJ's optimization phase (§III): calibrate cost constants,
+// probe the sampler for machine-scaled β, then co-optimize over the
+// GHD-restricted plan space (or pick the communication-first plan). Shared
+// by direct runs (charged to their optimize phase) and Prepare.
+func adjPlan(q hypergraph.Query, rels []*relation.Relation, cfg Config, coOptimize bool) (*optimizer.Plan, error) {
+	params := defaultParams(cfg)
+	params.BetaTrie = costmodel.CalibrateBetaTrie(1 << 14)
+	opt, err := optimizer.New(q, rels, optimizer.Options{
+		Params:  params,
+		Samples: cfg.Samples,
+		Seed:    cfg.Seed,
+		Cancel:  cancelOf(cfg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// β for raw relations from the sampler's own measured rate (§III-B): a
+	// probe estimate ensures the optimizer sees machine-scaled constants.
+	probe, err := sampling.EstimateCardinality(rels, q.Attrs(), sampling.Config{
+		Samples: cfg.Samples / 4, Seed: cfg.Seed, MaxDepth: 2, Cancel: cancelOf(cfg),
+	})
+	if err == nil && probe.ExtensionsPerSecond() > 0 {
+		params.BetaBase = probe.ExtensionsPerSecond()
+		if params.BetaTrie < 2*params.BetaBase {
+			params.BetaTrie = 2 * params.BetaBase
+		}
+	}
+	if err := ctxErr(cfg); err != nil {
+		return nil, err
+	}
+	if coOptimize {
+		return opt.CoOptimize()
+	}
+	return opt.CommunicationFirst()
+}
+
+// commFirstPlan is the HCubeJ family's order selection over all n! orders
+// by estimated intermediate size (Fig. 8's "All-Selected").
+func commFirstPlan(q hypergraph.Query, rels []*relation.Relation, cfg Config) (*optimizer.Plan, error) {
+	opt, err := optimizer.New(q, rels, optimizer.Options{
+		Params:  defaultParams(cfg),
+		Samples: cfg.Samples,
+		Seed:    cfg.Seed,
+		Cancel:  cancelOf(cfg),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(cfg); err != nil {
+		return nil, err
+	}
+	return opt.CommunicationFirst()
+}
+
+// shuffleReuse builds the hcube.Reuse for one shuffle from the session's
+// content signatures: base relations (query atoms) carry the signatures the
+// session computed at Register time; engine-materialized relations (ADJ's
+// pre-computed bags) get a signature derived deterministically from the
+// plan identity and every input signature — same inputs, same plan, same
+// content, so the derivation is sound. Relations can only be derived when
+// every atom signature is known; otherwise reuse is disabled for the run.
+func shuffleReuse(cfg Config, planID string, infos []hcube.RelInfo) *hcube.Reuse {
+	if cfg.Reuse == nil || cfg.Reuse.Store == nil {
+		return nil
+	}
+	sigs := make(map[string]uint64, len(infos))
+	for _, ri := range infos {
+		if s, ok := cfg.Reuse.Sigs[ri.Name]; ok {
+			sigs[ri.Name] = s
+			continue
+		}
+		if len(cfg.Reuse.Sigs) == 0 {
+			return nil
+		}
+		sigs[ri.Name] = derivedSig(planID, ri.Name, cfg.Reuse.Sigs)
+	}
+	return &hcube.Reuse{Store: cfg.Reuse.Store, Sigs: sigs}
+}
+
+// derivedSig fingerprints an engine-materialized relation by provenance:
+// the plan that materializes it, its name within that plan, and the
+// signatures of every input relation, folded in sorted-name order so the
+// hash is stable.
+func derivedSig(planID, name string, inputs map[string]uint64) uint64 {
+	h := relation.NewHash64()
+	h.Bytes(planID)
+	h.Bytes(name)
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h.Bytes(n)
+		h.Word(inputs[n])
+	}
+	return h.Sum()
+}

@@ -33,7 +33,12 @@ var cubeTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
 //
 // sequential runs the deterministic in-order loop (cube 0, 1, …) — the
 // exact legacy path, byte-identical scheduling.
-func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, weightOf func(ci int) int64, fn func(ci int) error) error {
+//
+// cancelled, when non-nil, is polled before each cube starts (both modes);
+// once it reports true no further cubes run and the scheduler returns the
+// first error its workers produced (typically the join's cancellation
+// error). Cubes already in flight finish through their own cancel polling.
+func runCubes(n int, sequential bool, cancelled func() bool, blocksOf func(ci int) []blockcache.Key, weightOf func(ci int) int64, fn func(ci int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -43,6 +48,9 @@ func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, we
 	}
 	if sequential || par <= 1 || n == 1 {
 		for ci := 0; ci < n; ci++ {
+			if cancelled != nil && cancelled() {
+				return nil
+			}
 			if err := fn(ci); err != nil {
 				return err
 			}
@@ -61,6 +69,9 @@ func runCubes(n int, sequential bool, blocksOf func(ci int) []blockcache.Key, we
 		go func(g int) {
 			defer wg.Done()
 			for !failed.Load() {
+				if cancelled != nil && cancelled() {
+					return
+				}
 				ci, ok := deques[g].popFront()
 				if !ok {
 					ci, ok = stealRichest(deques, g)

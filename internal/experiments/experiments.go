@@ -142,6 +142,7 @@ func All(cfg Config) ([]Result, error) {
 		{"table3", Table3},
 		{"table4", Table4},
 		{"emit", EmitPipeline},
+		{"session", SessionReuse},
 	}
 	var out []Result
 	for _, nf := range fns {
@@ -185,6 +186,8 @@ func ByID(id string) func(Config) (Result, error) {
 		return Table4
 	case "emit":
 		return EmitPipeline
+	case "session":
+		return SessionReuse
 	default:
 		return nil
 	}
@@ -193,5 +196,6 @@ func ByID(id string) func(Config) (Result, error) {
 // IDs lists experiment ids in paper order.
 func IDs() []string {
 	return []string{"table1", "fig1a", "fig1b", "fig6", "fig8", "fig9",
-		"fig10", "fig11", "fig12a", "fig12d", "table2", "table3", "table4", "emit"}
+		"fig10", "fig11", "fig12a", "fig12d", "table2", "table3", "table4", "emit",
+		"session"}
 }

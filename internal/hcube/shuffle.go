@@ -57,6 +57,180 @@ type Plan struct {
 	// block-trie cache — without it they fall back to materializing raw
 	// per-cube databases (the legacy path).
 	TrieOrder []string
+	// Reuse, when non-nil, connects the shuffle to a session-resident
+	// block-trie store: relations whose content signature is listed and
+	// whose complete block set survives in the store are not shuffled at
+	// all — every worker adopts the published tries straight into its
+	// registry (a "warm" relation). Relations without a surviving set run
+	// the normal exchange and have their built tries published afterwards
+	// via Publish. Requires a TrieOrder; ignored otherwise.
+	Reuse *Reuse
+}
+
+// Reuse names the session store and the content signatures of the shuffled
+// relations (relation name -> signature; relations absent from Sigs are
+// always shuffled cold and never published).
+type Reuse struct {
+	Store *blockcache.Store
+	Sigs  map[string]uint64
+}
+
+// layoutSig hashes the structural context that, together with a relation's
+// content signature, pins a block trie's identity: the per-column share
+// counts (in the relation's own column order — exactly what BlockSig
+// consumes) and the permutation of columns into the trie's attribute
+// order. Attribute names are excluded so reuse crosses atom renamings and
+// whole queries; the shuffle Kind is excluded because all kinds build the
+// same sorted distinct block tries.
+func (p Plan) layoutSig(ri RelInfo) uint64 {
+	relPos := p.Shares.RelPositions(ri.Attrs)
+	trieAttrs := p.trieAttrs(ri)
+	h := relation.NewHash64()
+	h.Word(uint64(len(ri.Attrs)))
+	for _, pos := range relPos {
+		h.Word(uint64(p.Shares.P[pos]))
+	}
+	for _, a := range trieAttrs {
+		for j, b := range ri.Attrs {
+			if a == b {
+				h.Word(uint64(j))
+				break
+			}
+		}
+	}
+	return h.Sum()
+}
+
+// warmRels returns, per relation name, the store's complete block-trie set
+// for relations the session store can serve without a shuffle. Relations
+// missing a manifest (or any evicted block) are omitted and run cold.
+func (p Plan) warmRels() map[string]map[int]*trie.Trie {
+	if p.Reuse == nil || p.Reuse.Store == nil || len(p.TrieOrder) == 0 {
+		return nil
+	}
+	var warm map[string]map[int]*trie.Trie
+	for _, ri := range p.Rels {
+		content, ok := p.Reuse.Sigs[ri.Name]
+		if !ok {
+			continue
+		}
+		blocks, ok := p.Reuse.Store.Snapshot(blockcache.ManifestID{Content: content, Layout: p.layoutSig(ri)})
+		if !ok {
+			continue
+		}
+		if warm == nil {
+			warm = make(map[string]map[int]*trie.Trie)
+		}
+		warm[ri.Name] = blocks
+	}
+	return warm
+}
+
+// adoptWarm installs one worker's share of the warm relations' block tries
+// into its registry: for every stored block whose signature maps a cube to
+// this worker, the published trie is re-skinned with the current query's
+// attribute names and deposited pre-built (requests count as cache hits,
+// never builds), and the matching cubes are bound — exactly the bindings a
+// cold shuffle's consume phase would have produced.
+func adoptWarm(w *cluster.Worker, p Plan, warm map[string]map[int]*trie.Trie) {
+	for _, ri := range p.Rels {
+		blocks, ok := warm[ri.Name]
+		if !ok {
+			continue
+		}
+		relPos := p.Shares.RelPositions(ri.Attrs)
+		attrs := p.trieAttrs(ri)
+		sigs := make([]int, 0, len(blocks))
+		for sig := range blocks {
+			sigs = append(sigs, sig)
+		}
+		sort.Ints(sigs)
+		for _, sig := range sigs {
+			var local []int
+			for _, cube := range p.Shares.BlockCubes(relPos, sig) {
+				if ServerOfCube(cube, w.N) == w.ID {
+					local = append(local, cube)
+				}
+			}
+			if len(local) == 0 {
+				continue
+			}
+			skinned := *blocks[sig]
+			skinned.Attrs = attrs
+			key := blockcache.Key{Rel: ri.Name, Sig: sig}
+			w.Blocks.DepositBuilt(key, attrs, &skinned)
+			for _, cube := range local {
+				w.Blocks.BindCube(cube, ri.Name, key)
+			}
+		}
+	}
+}
+
+// Publish deposits a completed run's built block tries into the session
+// store, then records each fully-built relation's manifest — the complete
+// signature set a later execution needs to go warm. Call it after the join
+// phase (block tries are built lazily at first cube use, so they only
+// exist once every cube has run). Adopted (warm) blocks skip the store
+// deposit — their tries are already resident — but still count toward
+// their relation's manifest, which is re-recorded idempotently; a relation
+// with any block still unbuilt skips its manifest write (and PutManifest
+// itself refuses sets whose blocks didn't stay resident). Block deposits
+// are idempotent across workers (replicated blocks are built to identical
+// tries on every receiving server).
+func Publish(c *cluster.Cluster, p Plan) {
+	if p.Reuse == nil || p.Reuse.Store == nil || len(p.TrieOrder) == 0 {
+		return
+	}
+	type relState struct {
+		sigs     map[int]bool
+		complete bool
+	}
+	states := make(map[string]*relState, len(p.Rels))
+	layouts := make(map[string]uint64, len(p.Rels))
+	for _, ri := range p.Rels {
+		if _, ok := p.Reuse.Sigs[ri.Name]; !ok {
+			continue
+		}
+		states[ri.Name] = &relState{sigs: make(map[int]bool), complete: true}
+		layouts[ri.Name] = p.layoutSig(ri)
+	}
+	if len(states) == 0 {
+		return
+	}
+	for _, w := range c.Workers {
+		for _, bb := range w.Blocks.BuiltBlocks() {
+			st, ok := states[bb.Key.Rel]
+			if !ok {
+				continue
+			}
+			st.sigs[bb.Key.Sig] = true
+			if bb.Trie == nil {
+				st.complete = false
+				continue
+			}
+			if !bb.Adopted {
+				p.Reuse.Store.Put(blockcache.BlockID{
+					Content: p.Reuse.Sigs[bb.Key.Rel],
+					Layout:  layouts[bb.Key.Rel],
+					Sig:     bb.Key.Sig,
+				}, bb.Trie)
+			}
+		}
+	}
+	for name, st := range states {
+		if !st.complete {
+			continue
+		}
+		sigs := make([]int, 0, len(st.sigs))
+		for sig := range st.sigs {
+			sigs = append(sigs, sig)
+		}
+		sort.Ints(sigs)
+		p.Reuse.Store.PutManifest(blockcache.ManifestID{
+			Content: p.Reuse.Sigs[name],
+			Layout:  layouts[name],
+		}, sigs)
+	}
 }
 
 // Run executes the shuffle on the cluster: afterwards every worker's
@@ -68,13 +242,18 @@ func Run(c *cluster.Cluster, phase string, p Plan) error {
 	for _, w := range c.Workers {
 		w.ResetCubes()
 	}
+	// Warm relations: the session store still holds the complete block-trie
+	// set for this content and layout, so they skip the exchange entirely —
+	// no encode, no wire, no shuffle-side trie build — and every worker
+	// adopts its share of the published tries during consume.
+	warm := p.warmRels()
 	switch p.Kind {
 	case Push:
-		return runPush(c, phase, p)
+		return runPush(c, phase, p, warm)
 	case Pull:
-		return runPull(c, phase, p)
+		return runPull(c, phase, p, warm)
 	case Merge:
-		return runMerge(c, phase, p)
+		return runMerge(c, phase, p, warm)
 	default:
 		return fmt.Errorf("hcube: unknown kind %d", p.Kind)
 	}
@@ -115,11 +294,14 @@ func (p Plan) attrsByRel() map[string][]string {
 // Envelope keys carry both the block signature and the destination cube
 // ("rel@sig#cube") so the receiver can deposit each sender's block once
 // into the block cache while still binding every replicated cube.
-func runPush(c *cluster.Cluster, phase string, p Plan) error {
+func runPush(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*trie.Trie) error {
 	return c.Exchange(phase,
 		func(w *cluster.Worker) ([]cluster.Envelope, error) {
 			var out []cluster.Envelope
 			for _, ri := range p.Rels {
+				if _, ok := warm[ri.Name]; ok {
+					continue
+				}
 				frag, ok := w.Rels[ri.Name]
 				if !ok {
 					continue
@@ -144,16 +326,20 @@ func runPush(c *cluster.Cluster, phase string, p Plan) error {
 			return out, nil
 		},
 		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			adoptWarm(w, p, warm)
 			return consumeTupleBlocks(w, inbox, p)
 		})
 }
 
 // runPull groups by block signature and ships each block once per server.
-func runPull(c *cluster.Cluster, phase string, p Plan) error {
+func runPull(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*trie.Trie) error {
 	return c.Exchange(phase,
 		func(w *cluster.Worker) ([]cluster.Envelope, error) {
 			var out []cluster.Envelope
 			for _, ri := range p.Rels {
+				if _, ok := warm[ri.Name]; ok {
+					continue
+				}
 				frag, ok := w.Rels[ri.Name]
 				if !ok {
 					continue
@@ -178,6 +364,7 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 			return out, nil
 		},
 		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			adoptWarm(w, p, warm)
 			var scratch relation.Relation // decode scratch for the legacy path
 			attrsOf := p.attrsByRel()
 			for _, e := range inbox {
@@ -233,7 +420,7 @@ func runPull(c *cluster.Cluster, phase string, p Plan) error {
 // merge happens lazily at a cube's first use, and a block shared by many
 // cubes is decoded and (when it is a relation's only block on the cube)
 // merged exactly once.
-func runMerge(c *cluster.Cluster, phase string, p Plan) error {
+func runMerge(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*trie.Trie) error {
 	if len(p.TrieOrder) == 0 {
 		return fmt.Errorf("hcube merge: TrieOrder required")
 	}
@@ -241,6 +428,9 @@ func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 		func(w *cluster.Worker) ([]cluster.Envelope, error) {
 			var out []cluster.Envelope
 			for _, ri := range p.Rels {
+				if _, ok := warm[ri.Name]; ok {
+					continue
+				}
 				frag, ok := w.Rels[ri.Name]
 				if !ok {
 					continue
@@ -265,6 +455,7 @@ func runMerge(c *cluster.Cluster, phase string, p Plan) error {
 			return out, nil
 		},
 		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			adoptWarm(w, p, warm)
 			attrsOf := p.attrsByRel()
 			for _, e := range inbox {
 				name, sig, err := splitKey(e.Key, '@')

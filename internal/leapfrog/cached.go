@@ -109,8 +109,15 @@ func (c *CachedJoin) Run(opt Options) (Stats, error) {
 		}
 		return nil
 	}
+	var steps int
 	var rec func(d int) error
 	rec = func(d int) error {
+		if opt.Cancel != nil {
+			if steps%cancelStride == 0 && opt.Cancel() {
+				return ErrCanceled
+			}
+			steps++
+		}
 		var vals []Value
 		// Cache key: the bound values of attributes < d that are relevant to
 		// level d's intersection (attributes shared with any relation active

@@ -26,6 +26,15 @@ type Value = relation.Value
 // harness maps it to the paper's frame-top "did not finish" bars.
 var ErrBudget = errors.New("leapfrog: extension budget exceeded")
 
+// ErrCanceled is returned when Options.Cancel reports cancellation mid-run;
+// the engines map it back to their context's error.
+var ErrCanceled = errors.New("leapfrog: run canceled")
+
+// cancelStride is how many main-loop iterations pass between Cancel polls:
+// rare enough that the indirect call disappears from the hot path, frequent
+// enough that cancellation latency stays in the microseconds.
+const cancelStride = 1024
+
 // Stats captures the work a join performed.
 type Stats struct {
 	// LevelTuples[d] counts the partial bindings materialized at depth d
@@ -79,6 +88,11 @@ type Options struct {
 	// FirstFixed, when non-nil, restricts the first attribute to one value —
 	// the constrained Leapfrog the sampler runs per sampled value (§IV).
 	FirstFixed *Value
+	// Cancel, when non-nil, is polled periodically (every cancelStride
+	// bindings); returning true aborts the run with ErrCanceled. The engines
+	// wire a context.Context's Err here so a mid-join cancellation returns
+	// promptly instead of finishing the cube.
+	Cancel func() bool
 }
 
 // BuildTries builds, for each bound relation, a trie whose attribute order
@@ -259,7 +273,14 @@ func (j *joiner) run(opt Options) (Stats, error) {
 			return st, nil
 		}
 	}
+	var steps int
 	for d >= 0 {
+		if opt.Cancel != nil {
+			if steps%cancelStride == 0 && opt.Cancel() {
+				return st, ErrCanceled
+			}
+			steps++
+		}
 		f := &lf[d]
 		if f.atEnd {
 			// Exhausted this level: go up and advance.

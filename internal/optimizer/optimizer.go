@@ -23,6 +23,10 @@ type Options struct {
 	Seed    int64
 	// GHDMaxBagAtoms caps bag size during decomposition (0 = none).
 	GHDMaxBagAtoms int
+	// Cancel, when non-nil, is threaded into every sampling run so a
+	// cancelled context aborts planning promptly (estimates truncated by
+	// cancellation stay unmemoized garbage, but the plan is abandoned).
+	Cancel func() bool
 }
 
 // Optimizer plans one query over one database.
@@ -89,6 +93,7 @@ func (o *Optimizer) SubsetSize(attrSet []string) float64 {
 		Seed:            o.opts.Seed,
 		MaxDepth:        len(attrSet),
 		PerSampleBudget: 5000,
+		Cancel:          o.opts.Cancel,
 	})
 	v := 0.0
 	if err == nil {
@@ -137,7 +142,7 @@ func (o *Optimizer) BagSize(id int) float64 {
 			rels[i] = o.Rels[ai]
 		}
 		est, err := sampling.EstimateCardinality(rels, bagOrder(rels), sampling.Config{
-			Samples: o.opts.Samples, Seed: o.opts.Seed,
+			Samples: o.opts.Samples, Seed: o.opts.Seed, Cancel: o.opts.Cancel,
 		})
 		if err == nil {
 			v = est.Cardinality

@@ -31,6 +31,11 @@ type Config struct {
 	// optimizer uses it to estimate partial-join sizes |T_S| without paying
 	// for the full subtree under each sample.
 	MaxDepth int
+	// Cancel, when non-nil, is polled between samples; returning true stops
+	// the run early with the partial tallies (the caller is abandoning the
+	// plan anyway, so a biased estimate is fine). Threads a context's
+	// cancellation through planning.
+	Cancel func() bool
 }
 
 // Estimate is the result of a sampling run.
@@ -118,7 +123,7 @@ func EstimateCardinality(rels []*relation.Relation, order []string, cfg Config) 
 	for i := range samples {
 		samples[i] = vals[rng.Intn(len(vals))]
 	}
-	acc := RunSamplesDepth(ext, samples, len(order), cfg.PerSampleBudget, cfg.MaxDepth)
+	acc := runSamples(ext, samples, len(order), cfg.PerSampleBudget, cfg.MaxDepth, cfg.Cancel)
 	est.absorb(acc, len(vals), cfg.Samples)
 	est.Seconds = time.Since(t0).Seconds()
 	return est, nil
@@ -152,12 +157,19 @@ func RunSamples(ext *leapfrog.Extender, samples []relation.Value, n int, budget 
 
 // RunSamplesDepth is RunSamples with a depth bound (0 = full depth).
 func RunSamplesDepth(ext *leapfrog.Extender, samples []relation.Value, n int, budget int64, maxDepth int) Accum {
+	return runSamples(ext, samples, n, budget, maxDepth, nil)
+}
+
+func runSamples(ext *leapfrog.Extender, samples []relation.Value, n int, budget int64, maxDepth int, cancel func() bool) Accum {
 	acc := Accum{LevelSums: make([]int64, n), Samples: len(samples)}
 	depth := n
 	if maxDepth > 0 && maxDepth < n {
 		depth = maxDepth
 	}
 	for _, a := range samples {
+		if cancel != nil && cancel() {
+			break
+		}
 		levels, ops := countConstrained(ext, a, n, budget, depth)
 		for i, c := range levels {
 			acc.LevelSums[i] += c

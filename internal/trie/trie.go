@@ -118,6 +118,20 @@ func (t *Trie) SizeValues() int {
 	return s
 }
 
+// MemBytes estimates the resident heap size of the trie: level value and
+// start arrays plus a fixed struct overhead. The session block-trie store
+// charges entries against its byte budget with this estimate.
+func (t *Trie) MemBytes() int64 {
+	b := int64(64) // struct + slice headers
+	for _, l := range t.Levels {
+		b += int64(len(l.Vals))*8 + int64(len(l.Starts))*4
+	}
+	for _, a := range t.Attrs {
+		b += int64(len(a)) + 16
+	}
+	return b
+}
+
 // Children returns the child value slice of parent node p at level d.
 func (t *Trie) Children(d int, p int32) []Value {
 	l := t.Levels[d]

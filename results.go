@@ -1,0 +1,92 @@
+package adj
+
+import (
+	"adj/internal/relation"
+)
+
+// Results is an execution's outcome: the run report plus a streaming,
+// run-aware iterator over the materialized result relation.
+//
+// Results arrive from the engines as prefix-replicated runs — all output
+// tuples sharing a binding of the first k-1 attributes, differing only in
+// the last — and NextRun surfaces exactly that structure without ever
+// materializing row-major tuples: the prefix is one k-1 tuple, the values
+// are a zero-copy slice of the result's last column. Rows materializes the
+// compatibility view for callers that want a plain Relation.
+type Results struct {
+	rep Report
+	out *relation.Relation
+	// iteration state over the columnar output
+	cols   [][]Value
+	prefix []Value // reused across NextRun calls (the documented aliasing)
+	row    int
+}
+
+func newResults(rep Report) *Results {
+	return &Results{rep: rep, out: rep.Output}
+}
+
+// Report returns the execution's full report (counters, cost breakdown,
+// plan, cache statistics).
+func (r *Results) Report() Report { return r.rep }
+
+// Count returns the number of result tuples (available on CountOnly runs
+// too).
+func (r *Results) Count() int64 { return r.rep.Results }
+
+// Attrs returns the result schema in the execution's attribute order, or
+// nil for CountOnly runs.
+func (r *Results) Attrs() []string {
+	if r.out == nil {
+		return nil
+	}
+	return r.out.Attrs
+}
+
+// NextRun returns the next result run: the shared prefix (all attributes
+// but the last, aliasing iterator-internal storage) and the run's values
+// for the last attribute (a zero-copy slice of the result's last column).
+// ok is false when the results are exhausted — or were never materialized
+// (CountOnly). Copy both slices to retain them across calls.
+func (r *Results) NextRun() (prefix []Value, values []Value, ok bool) {
+	if r.out == nil || r.out.Len() == 0 {
+		return nil, nil, false
+	}
+	if r.cols == nil {
+		r.cols = r.out.Columns()
+	}
+	n := r.out.Len()
+	if r.row >= n {
+		return nil, nil, false
+	}
+	k := len(r.cols)
+	i := r.row
+	j := i + 1
+	// A run extends while every prefix column repeats its value at i.
+scan:
+	for ; j < n; j++ {
+		for c := 0; c < k-1; c++ {
+			if r.cols[c][j] != r.cols[c][i] {
+				break scan
+			}
+		}
+	}
+	if r.prefix == nil {
+		r.prefix = make([]Value, k-1)
+	}
+	for c := 0; c < k-1; c++ {
+		r.prefix[c] = r.cols[c][i]
+	}
+	values = r.cols[k-1][i:j:j]
+	r.row = j
+	return r.prefix, values, true
+}
+
+// Rows returns the materialized result relation — the compatibility view
+// matching the old CollectOutput behavior. It returns nil on CountOnly
+// executions. The relation is the execution's own output; do not mutate it
+// while also iterating runs.
+func (r *Results) Rows() *Relation { return r.out }
+
+// Reset rewinds the run iterator to the first result.
+func (r *Results) Reset() { r.row = 0 }

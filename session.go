@@ -1,0 +1,311 @@
+package adj
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"adj/internal/blockcache"
+	"adj/internal/cluster"
+	"adj/internal/engine"
+	"adj/internal/hcube"
+	"adj/internal/relation"
+)
+
+// defaultTrieStoreBytes is the session trie store's byte budget when
+// Options.TrieStoreBytes is zero.
+const defaultTrieStoreBytes = 256 << 20
+
+// TrieStoreStats snapshots the session-resident block-trie store: resident
+// blocks/bytes, the configured budget, and hit/miss/eviction counters.
+type TrieStoreStats = blockcache.StoreStats
+
+// Session is the server-resident execution surface: a long-lived worker
+// pool answering a stream of join queries — the paper's deployment shape.
+// Open creates the pool once; Register deposits relations and computes
+// their content signatures; Prepare binds and plans a query once (paying
+// sampling up front); Exec runs it with context cancellation and streams
+// run-aware results.
+//
+// Underneath sits a session-resident, content-keyed block-trie store with
+// an LRU byte budget: a cold execution publishes the block tries its HCube
+// shuffle built, and every later execution over unchanged relation content
+// adopts them directly — zero shuffle traffic and zero shuffle-side trie
+// builds (Report.TrieBuilds == 0 on a warm run).
+//
+// A Session serializes executions (one query runs at a time, like one
+// coordinator driving one cluster); it is safe for concurrent use.
+type Session struct {
+	mu     sync.Mutex
+	opts   Options
+	clus   *cluster.Cluster
+	store  *blockcache.Store
+	rels   map[string]*registeredRel
+	closed bool
+}
+
+type registeredRel struct {
+	rel *Relation
+	sig uint64
+}
+
+// Open creates a session: a resident simulated cluster of opts.Workers
+// workers plus the cross-query trie store. Close it when done.
+func Open(opts Options) (*Session, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = 1000
+	}
+	var store *blockcache.Store
+	switch {
+	case opts.TrieStoreBytes < 0:
+		// reuse disabled
+	case opts.TrieStoreBytes == 0:
+		store = blockcache.NewStore(defaultTrieStoreBytes)
+	default:
+		store = blockcache.NewStore(opts.TrieStoreBytes)
+	}
+	return &Session{
+		opts:  opts,
+		clus:  cluster.New(cluster.Config{N: opts.Workers}),
+		store: store,
+		rels:  make(map[string]*registeredRel),
+	}, nil
+}
+
+// Close releases the session's cluster. Prepared queries of a closed
+// session fail on Exec.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.clus.Close()
+}
+
+// Register deposits a relation under name and computes its content
+// signature — the key under which the session store caches the relation's
+// block tries. Re-registering a name replaces the relation; changed content
+// fingerprints differently, so the next execution over it runs cold (the
+// stale tries age out of the LRU). The relation is retained by reference
+// and must not be mutated while registered.
+func (s *Session) Register(name string, rel *Relation) error {
+	if rel == nil {
+		return fmt.Errorf("adj: Register %q: nil relation", name)
+	}
+	if name == "" {
+		return fmt.Errorf("adj: Register: empty relation name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("adj: session closed")
+	}
+	reg := &registeredRel{rel: rel}
+	if s.store != nil {
+		// The fingerprint only keys the trie store; with reuse disabled
+		// (one-shot shims, TrieStoreBytes < 0) the O(values) hash pass is
+		// skipped entirely.
+		reg.sig = relation.Fingerprint(rel)
+	}
+	s.rels[name] = reg
+	return nil
+}
+
+// RegisterDatabase registers every relation of db.
+func (s *Session) RegisterDatabase(db Database) error {
+	for name, r := range db {
+		if err := s.Register(name, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registered reports whether name is registered.
+func (s *Session) Registered(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.rels[name]
+	return ok
+}
+
+// TrieStoreStats snapshots the session trie store (zero stats when reuse
+// is disabled).
+func (s *Session) TrieStoreStats() TrieStoreStats { return s.store.Stats() }
+
+// Prepare binds q's atoms against the registered relations and computes the
+// engine's planning artifact (sampling-based cardinality estimation and
+// plan selection for the optimizing engines) exactly once. The returned
+// PreparedQuery can be executed any number of times; executions rebind
+// against the session's current registrations, so a re-registered relation
+// is picked up without re-preparing (the cached plan is reused — re-prepare
+// after drastic data changes to replan).
+func (s *Session) Prepare(engineName string, q Query) (*PreparedQuery, error) {
+	return s.prepare(engineName, q, "")
+}
+
+// PrepareGraph prepares a subgraph query with every atom bound to the
+// registered binary relation edgesName — the paper's benchmark setup.
+func (s *Session) PrepareGraph(engineName string, q Query, edgesName string) (*PreparedQuery, error) {
+	return s.prepare(engineName, q, edgesName)
+}
+
+func (s *Session) prepare(engineName string, q Query, graphRel string) (*PreparedQuery, error) {
+	run, err := resolveEngine(engineName)
+	if err != nil {
+		return nil, err
+	}
+	p := &PreparedQuery{s: s, engineName: engineName, run: run, q: q, graphRel: graphRel}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("adj: session closed")
+	}
+	rels, _, err := s.bindLocked(p)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Prepare(engineName, q, rels, s.opts.toConfig())
+	if err != nil {
+		return nil, err
+	}
+	p.plan = plan
+	return p, nil
+}
+
+// bindLocked binds p's query atoms against the current registrations and
+// returns the bound relations plus the atom-name → content-signature map
+// the shuffle reuse layer keys on. Caller holds s.mu.
+func (s *Session) bindLocked(p *PreparedQuery) ([]*Relation, map[string]uint64, error) {
+	sigs := make(map[string]uint64, len(p.q.Atoms))
+	if p.graphRel != "" {
+		reg, ok := s.rels[p.graphRel]
+		if !ok {
+			return nil, nil, fmt.Errorf("adj: query %s: relation %q not registered", p.q.Name, p.graphRel)
+		}
+		if reg.rel.Arity() != 2 {
+			return nil, nil, fmt.Errorf("adj: PrepareGraph %q: relation %q is not binary", p.q.Name, p.graphRel)
+		}
+		rels := p.q.BindGraph(reg.rel)
+		for _, a := range p.q.Atoms {
+			sigs[a.Name] = reg.sig
+		}
+		return rels, sigs, nil
+	}
+	db := make(Database, len(s.rels))
+	for name, reg := range s.rels {
+		db[name] = reg.rel
+	}
+	rels, err := p.q.Bind(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, a := range p.q.Atoms {
+		sigs[a.Name] = s.rels[a.Name].sig
+	}
+	return rels, sigs, nil
+}
+
+// PreparedQuery is a query bound to a session with its planning done: the
+// chosen plan (and the sampled cardinalities behind it) is cached, so Exec
+// skips the optimization phase entirely.
+type PreparedQuery struct {
+	s          *Session
+	engineName string
+	run        engine.RunFunc
+	q          Query
+	graphRel   string
+	plan       *engine.PreparedPlan
+}
+
+// Engine returns the engine name the query was prepared for.
+func (p *PreparedQuery) Engine() string { return p.engineName }
+
+// Plan renders the cached plan.
+func (p *PreparedQuery) Plan() string {
+	if p.plan.Opt != nil {
+		return p.plan.Opt.String()
+	}
+	return fmt.Sprintf("%v%v", p.plan.Order, p.plan.JoinOrder)
+}
+
+// PlanSeconds is the measured planning time Prepare paid — what a one-shot
+// run charges to its Optimization phase.
+func (p *PreparedQuery) PlanSeconds() float64 { return p.plan.Seconds }
+
+// ExecOption tunes one execution.
+type ExecOption func(*execOpts)
+
+type execOpts struct {
+	countOnly bool
+}
+
+// CountOnly skips result materialization: the Results carry only the count
+// and report (NextRun yields nothing). Counting runs are faster — the leaf
+// intersections are tallied without emitting values.
+func CountOnly() ExecOption {
+	return func(o *execOpts) { o.countOnly = true }
+}
+
+// Exec runs the prepared query on the session's resident workers and
+// returns a streaming, run-aware Results iterator. ctx cancellation is
+// observed promptly at every stage — planning leftovers, phase barriers,
+// the cube scheduler and the Leapfrog inner loops — with no goroutines
+// leaked; the returned error is then ctx.Err().
+//
+// Executions over unchanged registered relations go warm: the shuffle is
+// skipped and every block trie is adopted from the session store
+// (Report.TrieBuilds == 0, Report.TrieCacheHits > 0). Executions serialize
+// on the session (one query at a time).
+func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results, error) {
+	var eo execOpts
+	for _, o := range opts {
+		o(&eo)
+	}
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("adj: session closed")
+	}
+	rels, sigs, err := s.bindLocked(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.opts.toConfig()
+	cfg.CollectOutput = !eo.countOnly
+	cfg.Ctx = ctx
+	cfg.Cluster = s.clus
+	cfg.Prepared = p.plan
+	if s.store != nil {
+		cfg.Reuse = &hcube.Reuse{Store: s.store, Sigs: sigs}
+	}
+	rep, err := p.run(p.q, rels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newResults(rep), nil
+}
+
+// execOneShot backs the package-level Run/RunGraph shims: execute on the
+// temporary session with the caller's CollectOutput semantics and fold the
+// planning time back into the report's Optimization phase, reproducing the
+// one-shot cost accounting.
+func (p *PreparedQuery) execOneShot(opts Options) (Report, error) {
+	var eo []ExecOption
+	if !opts.CollectOutput {
+		eo = append(eo, CountOnly())
+	}
+	res, err := p.Exec(context.Background(), eo...)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := res.Report()
+	rep.Optimization += p.plan.Seconds
+	return rep, nil
+}

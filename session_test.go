@@ -1,0 +1,347 @@
+package adj
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"adj/internal/relation"
+)
+
+// hcubeEngines are the engines whose executions go through the block-trie
+// registry (and therefore the session store).
+var hcubeEngines = map[string]bool{"ADJ": true, "HCubeJ": true, "HCubeJ+Cache": true}
+
+func randomEdges(t *testing.T, rng *rand.Rand, n, vertices int) *Relation {
+	t.Helper()
+	r := NewRelation("E", "src", "dst")
+	for i := 0; i < n; i++ {
+		r.Append(Value(rng.Intn(vertices)), Value(rng.Intn(vertices)))
+	}
+	return r
+}
+
+func sortedBytes(t *testing.T, r *Relation) []byte {
+	t.Helper()
+	if r == nil {
+		return nil
+	}
+	c := r.Clone()
+	c.Sort()
+	return relation.Encode(c)
+}
+
+// TestSessionMatchesOneShot is the randomized session-vs-oneshot
+// equivalence: for random graphs, every engine must produce the same count
+// and the same output multiset through a PreparedQuery (twice — cold and
+// warm) as through the one-shot RunGraph, and warm executions of the HCube
+// engines must be served entirely from the session trie store.
+func TestSessionMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	queries := []string{"Q1", "Q2"}
+	for trial := 0; trial < 3; trial++ {
+		edges := randomEdges(t, rng, 300+rng.Intn(300), 40+rng.Intn(40))
+		q := CatalogQuery(queries[trial%len(queries)])
+		opts := Options{Workers: 3, Samples: 60, Seed: int64(trial + 1)}
+
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Register("edges", edges); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range EngineNames() {
+			oneshotOpts := opts
+			oneshotOpts.CollectOutput = true
+			base, err := RunGraph(name, q, edges, oneshotOpts)
+			if err != nil {
+				t.Fatalf("%s oneshot: %v", name, err)
+			}
+			baseBytes := sortedBytes(t, base.Output)
+
+			pq, err := s.PrepareGraph(name, q, "edges")
+			if err != nil {
+				t.Fatalf("%s prepare: %v", name, err)
+			}
+			for exec := 0; exec < 2; exec++ {
+				res, err := pq.Exec(context.Background())
+				if err != nil {
+					t.Fatalf("%s exec %d: %v", name, exec, err)
+				}
+				rep := res.Report()
+				if rep.Failed {
+					t.Fatalf("%s exec %d failed: %s", name, exec, rep.FailReason)
+				}
+				if res.Count() != base.Results {
+					t.Fatalf("%s exec %d: count %d, oneshot %d", name, exec, res.Count(), base.Results)
+				}
+				if got := sortedBytes(t, res.Rows()); !bytes.Equal(got, baseBytes) {
+					t.Fatalf("%s exec %d: output differs from oneshot", name, exec)
+				}
+				// Streamed runs must reconstruct exactly the materialized rows.
+				rebuilt := NewRelation("out", res.Attrs()...)
+				res.Reset()
+				row := make([]Value, len(res.Attrs()))
+				for {
+					prefix, vals, ok := res.NextRun()
+					if !ok {
+						break
+					}
+					copy(row, prefix)
+					for _, v := range vals {
+						row[len(row)-1] = v
+						rebuilt.AppendTuple(row)
+					}
+				}
+				if !rebuilt.Equal(res.Rows()) {
+					t.Fatalf("%s exec %d: NextRun stream does not reconstruct Rows()", name, exec)
+				}
+				if exec == 1 && hcubeEngines[name] {
+					if rep.TrieBuilds != 0 {
+						t.Fatalf("%s warm exec: %d trie builds, want 0", name, rep.TrieBuilds)
+					}
+					if rep.TrieCacheHits == 0 {
+						t.Fatalf("%s warm exec: no trie cache hits", name)
+					}
+					// The HCube shuffle itself is skipped warm; ADJ plans
+					// with pre-computed bags (marked "*") still shuffle the
+					// bag-materializing joins each run.
+					if rep.TuplesShuffled != 0 && !strings.Contains(rep.Plan, "*") {
+						t.Fatalf("%s warm exec: shuffled %d tuples, want 0", name, rep.TuplesShuffled)
+					}
+				}
+				if exec == 0 && hcubeEngines[name] && rep.CacheBlocks > 0 && rep.TrieBuilds == 0 {
+					// The first execution of the first engine must be cold;
+					// later engines may legitimately share store entries
+					// (identical shares and permutations), which is the
+					// cross-engine reuse the content keying buys.
+					t.Logf("%s cold exec served from store (cross-engine reuse)", name)
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestSessionCountOnly checks the count-only execution path and that
+// NextRun yields nothing without materialized output.
+func TestSessionCountOnly(t *testing.T) {
+	edges := GenerateGraph("WB", 0.03)
+	s, err := Open(Options{Workers: 3, Samples: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Register("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := s.PrepareGraph("ADJ", CatalogQuery("Q1"), "edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Exec(context.Background(), CountOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() <= 0 {
+		t.Fatal("expected triangles")
+	}
+	if res.Rows() != nil {
+		t.Fatal("CountOnly must not materialize rows")
+	}
+	if _, _, ok := res.NextRun(); ok {
+		t.Fatal("CountOnly must not stream runs")
+	}
+}
+
+// TestSessionAdHocDatabase prepares a query over individually registered
+// relations and checks re-registration invalidates warm reuse.
+func TestSessionAdHocDatabase(t *testing.T) {
+	q, err := ParseQuery("Qt :- R(a,b) ⋈ S(b,c) ⋈ T(a,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, rows [][]Value) *Relation {
+		r := NewRelation(name, "x", "y")
+		for _, row := range rows {
+			r.Append(row...)
+		}
+		return r
+	}
+	e := [][]Value{{1, 2}, {2, 3}, {1, 3}}
+	s, err := Open(Options{Workers: 2, Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.RegisterDatabase(Database{"R": mk("R", e), "S": mk("S", e), "T": mk("T", e)}); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := s.Prepare("ADJ", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("count=%d want 1", res.Count())
+	}
+	// Warm re-execution.
+	res2, err := pq.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report().TrieBuilds != 0 {
+		t.Fatalf("warm exec built %d tries", res2.Report().TrieBuilds)
+	}
+	// Re-register R with different content: next exec must go cold for R's
+	// blocks and see the new result.
+	e2 := [][]Value{{1, 2}, {2, 3}, {1, 3}, {3, 4}, {4, 5}, {3, 5}}
+	if err := s.Register("R", mk("R", e2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("S", mk("S", e2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("T", mk("T", e2)); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := pq.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Count() != 2 {
+		t.Fatalf("after re-register count=%d want 2", res3.Count())
+	}
+	if res3.Report().TrieBuilds == 0 {
+		t.Fatal("re-registered content must rebuild tries")
+	}
+}
+
+// TestSessionEvictionRespectsBudget forces the trie store far under the
+// workload's footprint: resident bytes must stay within the budget,
+// evictions must occur, and execution must stay correct (falling back to
+// cold shuffles when block sets are broken).
+func TestSessionEvictionRespectsBudget(t *testing.T) {
+	edges := GenerateGraph("WB", 0.05)
+	s, err := Open(Options{Workers: 4, Samples: 100, Seed: 3, TrieStoreBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Register("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := s.PrepareGraph("ADJ", CatalogQuery("Q1"), "edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64 = -1
+	for i := 0; i < 3; i++ {
+		res, err := pq.Exec(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want < 0 {
+			want = res.Count()
+		} else if res.Count() != want {
+			t.Fatalf("exec %d count=%d want %d", i, res.Count(), want)
+		}
+	}
+	st := s.TrieStoreStats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a %d-byte budget (resident %d bytes)", st.Budget, st.Bytes)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("store bytes %d exceed budget %d", st.Bytes, st.Budget)
+	}
+}
+
+// TestSessionReuseDisabled checks TrieStoreBytes < 0 turns reuse off: the
+// second execution rebuilds everything and the store stays empty.
+func TestSessionReuseDisabled(t *testing.T) {
+	edges := GenerateGraph("WB", 0.03)
+	s, err := Open(Options{Workers: 3, Samples: 80, Seed: 4, TrieStoreBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Register("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := s.PrepareGraph("ADJ", CatalogQuery("Q1"), "edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := pq.Exec(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report().TrieBuilds == 0 {
+			t.Fatalf("exec %d: reuse disabled but no builds", i)
+		}
+	}
+	if st := s.TrieStoreStats(); st.Blocks != 0 {
+		t.Fatalf("disabled store holds %d blocks", st.Blocks)
+	}
+}
+
+// TestSessionExecCancel cancels a mid-flight execution and checks it
+// returns promptly with the context error and without leaking goroutines.
+func TestSessionExecCancel(t *testing.T) {
+	edges := GenerateGraph("LJ", 0.3)
+	s, err := Open(Options{Workers: 4, Samples: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Register("edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := s.PrepareGraph("ADJ", CatalogQuery("Q5"), "edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := pq.Exec(ctx)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Log("execution finished before cancellation took effect")
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled execution did not return")
+	}
+	waitForGoroutines(t, before)
+}
+
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
