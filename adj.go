@@ -69,6 +69,7 @@ package adj
 import (
 	"fmt"
 
+	"adj/internal/cluster"
 	"adj/internal/dataset"
 	"adj/internal/engine"
 	"adj/internal/ghd"
@@ -97,8 +98,31 @@ type Database = hypergraph.Database
 
 // Report is an engine run's outcome: result count, cost breakdown
 // (optimization / pre-computing / communication / computation seconds),
-// shuffle counters, block-trie cache counters and the chosen plan.
+// shuffle counters, block-trie cache counters, fault counters
+// (PanicsRecovered, TransportRetries, Retried) and the chosen plan.
 type Report = engine.Report
+
+// Typed failure classes of an execution, re-exported from the cluster
+// runtime so callers classify errors with errors.Is without importing
+// internal packages:
+//
+//   - ErrWorkerPanic: a worker (or the coordinator) panicked; the panic was
+//     recovered into the error (errors.As a *cluster.WorkerPanicError for
+//     worker ID, phase and stack).
+//   - ErrTransport: the exchange transport failed — retries exhausted, a
+//     connection died, or a payload arrived corrupt.
+//   - ErrCanceled: the execution's context was cancelled (this is
+//     context.Canceled itself).
+var (
+	ErrWorkerPanic = cluster.ErrWorkerPanic
+	ErrTransport   = cluster.ErrTransport
+	ErrCanceled    = cluster.ErrCanceled
+)
+
+// IsTransient reports whether an execution error is worth retrying on the
+// same session: transport failures are transient, panics and cancellations
+// are not. Options.Retry applies exactly this test.
+func IsTransient(err error) bool { return cluster.IsTransient(err) }
 
 // Options configures a Session (and, via the one-shot shims, a run).
 type Options struct {
@@ -124,6 +148,13 @@ type Options struct {
 	// reuse entirely. Least-recently-used blocks are evicted when the
 	// budget overflows.
 	TrieStoreBytes int64
+	// Retry opts executions into fail-safe re-running: when an Exec fails
+	// with a transient transport error (IsTransient — dial/write
+	// exhaustion, a dropped connection, a corrupt payload), the session
+	// resets its workers and repeats the execution once; the re-run's
+	// Report is marked Retried. Worker panics, cancellations and budget
+	// failures are never retried.
+	Retry bool
 }
 
 func (o Options) toConfig() engine.Config {

@@ -19,14 +19,21 @@
 // regression of the session trie store; the cold/warm wall times and
 // store footprint land in the snapshot's "session" section.
 //
-// When a reference snapshot exists (-ref, default BENCH_4.json), the
-// output embeds a before/after comparison for every shared benchmark key
-// plus per-engine timing, so BENCH_5.json directly reports the session
-// wins over the PR-4 numbers.
+// Since PR 6 every mode also enforces a fault-free-parity invariant:
+// each engine re-run through a quiescent fault-injection transport (the
+// full robustness chain — panic recovery, context-aware exchange routing,
+// retry accounting — engaged, zero faults armed) must return exactly the
+// plain run's result with zero recovered panics and zero transport
+// retries, so the recover/retry wrappers cost nothing on the happy path.
 //
-//	go run ./cmd/bench                  # writes BENCH_5.json, compares to BENCH_4.json
+// When a reference snapshot exists (-ref, default BENCH_5.json), the
+// output embeds a before/after comparison for every shared benchmark key
+// plus per-engine timing, so BENCH_6.json directly reports fault-free
+// parity against the PR-5 numbers.
+//
+//	go run ./cmd/bench                  # writes BENCH_6.json, compares to BENCH_5.json
 //	go run ./cmd/bench -scale 0.1 -out /tmp/b.json -ref ""
-//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines + emit + session invariants
+//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines + emit + session + parity invariants
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"adj/internal/blockcache"
 	"adj/internal/cluster"
 	"adj/internal/engine"
+	"adj/internal/faultinject"
 	"adj/internal/hcube"
 	"adj/internal/hypergraph"
 	"adj/internal/leapfrog"
@@ -296,8 +304,8 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_5.json", "output JSON path")
-		ref     = flag.String("ref", "BENCH_4.json", "reference snapshot to compare against (\"\" disables)")
+		out     = flag.String("out", "BENCH_6.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_5.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
@@ -347,6 +355,9 @@ func main() {
 	// smoke must still catch a silent regression to per-tuple emission.
 	benchEmitPipeline(&snap, edges)
 	emitEngineSmoke(q, rels, *workers, *cubes)
+	// Fault-free parity runs in every mode: the robustness layer must cost
+	// nothing (and change nothing) when no fault fires.
+	faultFreeParity(q, rels, *workers, *cubes)
 	// Session invariants (warm trie builds == 0, streamed output ==
 	// one-shot baseline byte-for-byte) run in every mode too.
 	snap.Session = benchSessionWorkload(q, edges, *workers, *quick)
@@ -718,6 +729,37 @@ func emitEngineSmoke(q hypergraph.Query, rels []*relation.Relation, workers, cub
 	}
 	fmt.Fprintf(os.Stderr, "engine emit smoke: ADJ results=%d runs=%d (runlen %.1f), sink == shim\n",
 		rep.Results, rep.EmittedRuns, float64(rep.EmittedValues)/float64(max(rep.EmittedRuns, 1)))
+}
+
+// faultFreeParity asserts the robustness layer is free on the happy path:
+// every engine re-run through a quiescent fault-injection transport (zero
+// rules armed, but the whole chain engaged — wrapper routing, the
+// context-aware exchange path, panic-recovery bookkeeping and retry
+// accounting) must return exactly the plain run's result and report zero
+// recovered panics and zero transport retries.
+func faultFreeParity(q hypergraph.Query, rels []*relation.Relation, workers, cubes int) {
+	for _, name := range engine.EngineNames() {
+		run := engine.Engines()[name]
+		cfg := engine.Config{NumServers: workers, Samples: 300, Seed: 1, CubesPerServer: cubes}
+		plain, err := run(q, rels, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("fault-free parity %s (plain): %w", name, err))
+		}
+		cfg.Transport = faultinject.Wrap(cluster.NewLocalTransport(workers), 1)
+		wrapped, err := run(q, rels, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("fault-free parity %s (quiescent injector): %w", name, err))
+		}
+		if wrapped.Results != plain.Results {
+			fatal(fmt.Errorf("fault-free parity %s: quiescent injector changed the result: %d vs %d",
+				name, wrapped.Results, plain.Results))
+		}
+		if wrapped.PanicsRecovered != 0 || wrapped.TransportRetries != 0 {
+			fatal(fmt.Errorf("fault-free parity %s: clean run reported panics=%d retries=%d",
+				name, wrapped.PanicsRecovered, wrapped.TransportRetries))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fault-free parity: all engines identical through quiescent fault layer\n")
 }
 
 // benchSessionWorkload measures the Session repeated-query path — the

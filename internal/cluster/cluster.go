@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -151,12 +153,21 @@ type Cluster struct {
 	network  NetworkModel
 	transp   Transport
 	parallel bool
-	// ctx is the current run's cancellation context (never nil). Phases
-	// check it at every barrier, so a cancelled run returns promptly without
-	// starting further phase work; in-phase cancellation is handled by the
-	// workloads themselves (the cube scheduler and the join inner loops
-	// observe the same context).
-	ctx context.Context
+	// parent is the caller's run context (SetContext's argument; never
+	// nil). Its error is what a cancelled run reports.
+	parent context.Context
+	// ctx derives from parent with an internal cancel the runtime fires on
+	// a worker panic, so peers observe prompt cancellation even when the
+	// caller's context stays live. Phases check it at every barrier;
+	// in-phase cancellation is handled by the workloads themselves (the
+	// cube scheduler and the join inner loops poll the same context via
+	// CancelPoll).
+	ctx       context.Context
+	cancelRun context.CancelFunc
+	// panicHook, when non-nil, runs at the start of every worker's phase
+	// body (fault injection: a hook that panics exercises the containment
+	// path). Production runs leave it nil.
+	panicHook func(phase string, workerID int)
 }
 
 // New builds a cluster.
@@ -176,8 +187,8 @@ func New(cfg Config) *Cluster {
 		network:  cfg.Network,
 		transp:   cfg.Transport,
 		parallel: !cfg.Sequential,
-		ctx:      context.Background(),
 	}
+	c.SetContext(context.Background())
 	for i := 0; i < cfg.N; i++ {
 		c.Workers = append(c.Workers, newWorker(i, cfg.N))
 	}
@@ -185,26 +196,78 @@ func New(cfg Config) *Cluster {
 }
 
 // Close releases the transport.
-func (c *Cluster) Close() error { return c.transp.Close() }
+func (c *Cluster) Close() error {
+	if c.cancelRun != nil {
+		c.cancelRun()
+	}
+	return c.transp.Close()
+}
 
 // SetContext installs the cancellation context for subsequent phases.
 // A nil ctx resets to Background. A session-resident cluster calls this at
-// the start of every execution with that execution's context.
+// the start of every execution with that execution's context. The
+// installed context is re-derived with an internal cancel so a worker
+// panic can cancel its peers promptly without touching the caller's
+// context; re-installing (the next run) re-arms it.
 func (c *Cluster) SetContext(ctx context.Context) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c.ctx = ctx
+	if c.cancelRun != nil {
+		c.cancelRun() // release the previous run's derived context
+	}
+	c.parent = ctx
+	c.ctx, c.cancelRun = context.WithCancel(ctx)
 }
 
-// Context returns the current run's context (never nil).
+// Context returns the current run's context (never nil). It is cancelled
+// when the caller's context is cancelled or when a worker panic aborts the
+// run.
 func (c *Cluster) Context() context.Context { return c.ctx }
+
+// CancelPoll returns a cheap poll reporting whether the current run is
+// cancelled (caller cancellation or a peer worker's panic). Workloads with
+// long inner loops (the cube scheduler, the Leapfrog intersections) poll
+// it between batches so an abort lands mid-phase, not at the next barrier.
+func (c *Cluster) CancelPoll() func() bool {
+	ctx := c.ctx
+	return func() bool { return ctx.Err() != nil }
+}
+
+// SetPanicHook installs a hook invoked at the start of every worker phase
+// body — the deterministic fault-injection point for panic containment
+// (see internal/faultinject). nil removes it.
+func (c *Cluster) SetPanicHook(hook func(phase string, workerID int)) {
+	c.panicHook = hook
+}
+
+// ResetRun clears all per-run worker state: inboxes, payload arenas,
+// per-cube databases, block-trie registries and relation fragments. A
+// session calls it after a failed or cancelled execution so no partial
+// exchange backlog or half-built registry can leak into the next run (a
+// clean run re-loads everything it needs; the session-level trie store is
+// separate state and survives).
+func (c *Cluster) ResetRun() {
+	for _, w := range c.Workers {
+		w.Inbox = nil
+		w.arena = payloadArena{}
+		w.Rels = make(map[string]*relation.Relation)
+		w.ResetCubes()
+		w.Scratch = make(map[string]interface{})
+	}
+}
 
 // ResetMetrics starts a fresh metrics collection (workers keep their data).
 func (c *Cluster) ResetMetrics() { c.Metrics = NewMetrics() }
 
 // Parallel runs fn on every worker and charges the phase's computation time
 // as the maximum per-worker duration (simulated parallel wall clock).
+//
+// Panic containment: a panic in any worker's phase body (either mode) is
+// recovered into a *WorkerPanicError carrying the worker ID, phase and
+// stack, the run's derived context is cancelled so peer workers polling it
+// bail out promptly, and exactly one error propagates — the panic, never
+// the collateral cancellations it provoked.
 func (c *Cluster) Parallel(phase string, fn func(w *Worker) error) error {
 	if err := c.ctx.Err(); err != nil {
 		return fmt.Errorf("phase %s: %w", phase, err)
@@ -218,7 +281,7 @@ func (c *Cluster) Parallel(phase string, fn func(w *Worker) error) error {
 			go func(i int) {
 				defer wg.Done()
 				t0 := time.Now()
-				errs[i] = fn(c.Workers[i])
+				errs[i] = c.runWorker(phase, c.Workers[i], fn)
 				durs[i] = time.Since(t0)
 			}(i)
 		}
@@ -230,7 +293,7 @@ func (c *Cluster) Parallel(phase string, fn func(w *Worker) error) error {
 				break
 			}
 			t0 := time.Now()
-			errs[i] = fn(c.Workers[i])
+			errs[i] = c.runWorker(phase, c.Workers[i], fn)
 			durs[i] = time.Since(t0)
 		}
 	}
@@ -241,12 +304,67 @@ func (c *Cluster) Parallel(phase string, fn func(w *Worker) error) error {
 		}
 	}
 	c.Metrics.Phase(phase).CompSeconds += max.Seconds()
+	return c.foldErrors(phase, errs)
+}
+
+// runWorker executes one worker's phase body with panic containment: a
+// panic is recovered into a *WorkerPanicError and the run's derived
+// context is cancelled so every peer observes the abort promptly (at its
+// next barrier check or inner-loop poll).
+func (c *Cluster) runWorker(phase string, w *Worker, fn func(w *Worker) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WorkerPanicError{
+				WorkerID: w.ID,
+				Phase:    phase,
+				Value:    r,
+				Stack:    debug.Stack(),
+			}
+			c.Metrics.AddPanicRecovered()
+			c.cancelRun()
+		}
+	}()
+	if c.panicHook != nil {
+		c.panicHook(phase, w.ID)
+	}
+	return fn(w)
+}
+
+// foldErrors reduces per-worker errors to the single error a phase
+// reports, by root-cause priority: a recovered panic beats everything (the
+// cancellations it provoked are collateral); then a caller-level
+// cancellation (the user's context, not the internal abort); then the
+// first remaining error in worker order.
+func (c *Cluster) foldErrors(phase string, errs []error) error {
+	var panicErr, firstErr error
+	firstWorker := -1
 	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("phase %s worker %d: %w", phase, i, err)
+		if err == nil {
+			continue
+		}
+		var wp *WorkerPanicError
+		if panicErr == nil && errors.As(err, &wp) {
+			panicErr = err
+		}
+		if firstErr == nil {
+			firstErr, firstWorker = err, i
 		}
 	}
-	return nil
+	if panicErr != nil {
+		return fmt.Errorf("phase %s: %w", phase, panicErr)
+	}
+	if firstErr == nil {
+		return nil
+	}
+	if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+		// Distinguish the caller's cancellation from the internal panic
+		// abort (already handled above) — report the parent context's error
+		// when it fired, else fall through to the worker's own error.
+		if perr := c.parent.Err(); perr != nil {
+			return fmt.Errorf("phase %s: %w", phase, perr)
+		}
+	}
+	return fmt.Errorf("phase %s worker %d: %w", phase, firstWorker, firstErr)
 }
 
 // Exchange runs one all-to-all shuffle: produce yields each worker's
@@ -308,7 +426,7 @@ func (c *Cluster) Exchange(phase string,
 	if err := c.ctx.Err(); err != nil {
 		return fmt.Errorf("phase %s: %w", phase, err)
 	}
-	routed, err := c.transp.Route(bySender)
+	routed, err := c.route(phase, bySender)
 	if err != nil {
 		return fmt.Errorf("phase %s: %w", phase, err)
 	}
@@ -324,6 +442,29 @@ func (c *Cluster) Exchange(phase string,
 	return c.Parallel(phase+"/recv", func(w *Worker) error {
 		return consume(w, w.Inbox)
 	})
+}
+
+// route dispatches one exchange's envelopes through the transport,
+// preferring the context-aware interface (deadlines, in-flight
+// cancellation, per-phase fault injection) when the transport implements
+// it, and folds the transport's retry counters into the run's metrics.
+func (c *Cluster) route(phase string, bySender [][]Envelope) ([][]Envelope, error) {
+	var before int64
+	rc, counted := c.transp.(RetryCounter)
+	if counted {
+		before = rc.RetryStats()
+	}
+	var routed [][]Envelope
+	var err error
+	if et, ok := c.transp.(ExchangeTransport); ok {
+		routed, err = et.RouteExchange(c.ctx, phase, bySender)
+	} else {
+		routed, err = c.transp.Route(bySender)
+	}
+	if counted {
+		c.Metrics.AddTransportRetries(rc.RetryStats() - before)
+	}
+	return routed, err
 }
 
 // LoadRelation distributes r across workers round-robin (the arbitrary

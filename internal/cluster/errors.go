@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The cluster runtime's typed error taxonomy. Every failure an engine run
+// can hit maps onto exactly one of three classes, and all of them survive
+// the phase-wrapping the runtime applies (`phase X worker Y: ...`), so
+// callers classify with errors.Is / errors.As at any layer:
+//
+//   - ErrWorkerPanic — a worker goroutine panicked during a phase. The
+//     panic is recovered into a *WorkerPanicError (worker ID, phase, panic
+//     value, stack) instead of crashing the process; peer workers are
+//     cancelled promptly and exactly one error propagates.
+//   - ErrTransport — the exchange transport failed: dial/write exhausted
+//     its retries, an in-flight connection died, or a payload arrived
+//     corrupt (decode failure). Carried by *TransportError. Transport
+//     errors are the transient class: a later run on the same cluster may
+//     succeed (Session Options.Retry keys on this).
+//   - ErrCanceled — the run's context was cancelled. This is context.Canceled
+//     itself, so existing errors.Is(err, context.Canceled) checks and the
+//     taxonomy name are the same test.
+var (
+	// ErrWorkerPanic classifies recovered worker panics (errors.Is target).
+	ErrWorkerPanic = errors.New("cluster: worker panic")
+	// ErrTransport classifies transport-layer failures (errors.Is target).
+	ErrTransport = errors.New("cluster: transport failure")
+	// ErrCanceled classifies cancelled runs. It is context.Canceled: the
+	// runtime returns the run context's own error, so both names match.
+	ErrCanceled = context.Canceled
+)
+
+// WorkerPanicError is a panic recovered from a worker goroutine, converted
+// into an error so one crashing worker fails its run instead of the whole
+// process. errors.Is(err, ErrWorkerPanic) matches it; errors.As recovers
+// the worker ID, phase and stack for diagnostics.
+type WorkerPanicError struct {
+	// WorkerID is the panicking worker.
+	WorkerID int
+	// Phase is the phase name the panic happened in.
+	Phase string
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its origin; the stack is kept out of the
+// one-line message (retrieve it via errors.As).
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("cluster: worker %d panicked in phase %q: %v", e.WorkerID, e.Phase, e.Value)
+}
+
+// Is matches the ErrWorkerPanic class.
+func (e *WorkerPanicError) Is(target error) bool { return target == ErrWorkerPanic }
+
+// TransportError is a typed transport failure: which operation failed
+// (dial, write, accept, decode, deliver), against which peer, after how
+// many attempts, and the underlying cause. errors.Is(err, ErrTransport)
+// matches it; Unwrap exposes the cause for further classification.
+type TransportError struct {
+	// Op is the failing operation: "dial", "write", "accept", "read",
+	// "decode", "deliver".
+	Op string
+	// Dest is the destination worker of the failing leg (-1 when the
+	// failure is not tied to one destination).
+	Dest int
+	// Attempts is how many attempts were made before giving up (0 when the
+	// operation is not retried).
+	Attempts int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the failure.
+func (e *TransportError) Error() string {
+	msg := "cluster: transport " + e.Op
+	if e.Dest >= 0 {
+		msg += fmt.Sprintf(" to %d", e.Dest)
+	}
+	if e.Attempts > 1 {
+		msg += fmt.Sprintf(" (after %d attempts)", e.Attempts)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Is matches the ErrTransport class.
+func (e *TransportError) Is(target error) bool { return target == ErrTransport }
+
+// Unwrap exposes the underlying cause.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// CorruptPayload wraps a receive-side decode failure as a typed transport
+// error, so a corrupt payload aborts its exchange with a classifiable
+// error (errors.Is(err, ErrTransport)) instead of an anonymous decode
+// message. Exchange consumers (hcube, distributed joins) wrap every
+// payload decode with it.
+func CorruptPayload(op string, err error) error {
+	return &TransportError{Op: "decode", Dest: -1, Err: fmt.Errorf("%s: %w", op, err)}
+}
+
+// IsTransient reports whether err is worth retrying a run over: transport
+// failures are transient (a flaky dial or dropped connection may not
+// recur), panics and cancellations are not.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransport) && !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}

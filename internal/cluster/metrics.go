@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // NetworkModel converts exchange counters into modeled seconds, calibrated
@@ -66,7 +67,28 @@ type Metrics struct {
 	mu     sync.Mutex
 	phases []*PhaseMetrics
 	byName map[string]*PhaseMetrics
+	// Fault counters (atomic; written from worker goroutines and the
+	// exchange path): panics recovered into errors by Parallel, and
+	// transport-level dial/write retries the exchanges performed.
+	panicsRecovered  atomic.Int64
+	transportRetries atomic.Int64
 }
+
+// AddPanicRecovered counts one worker panic recovered into an error.
+func (m *Metrics) AddPanicRecovered() { m.panicsRecovered.Add(1) }
+
+// PanicsRecovered returns the recovered-panic count of the run.
+func (m *Metrics) PanicsRecovered() int64 { return m.panicsRecovered.Load() }
+
+// AddTransportRetries folds n transport retries into the run's counter.
+func (m *Metrics) AddTransportRetries(n int64) {
+	if n > 0 {
+		m.transportRetries.Add(n)
+	}
+}
+
+// TransportRetries returns the transport dial/write retry count of the run.
+func (m *Metrics) TransportRetries() int64 { return m.transportRetries.Load() }
 
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics {

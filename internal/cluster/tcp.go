@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,22 +19,103 @@ import (
 // engines over it and must produce byte-identical results to the local
 // transport.
 //
+// Failure discipline (the fault-tolerance contract):
+//
+//   - Every connection opens with a header carrying the transport-local
+//     exchange sequence number and the sender ID, and closes with an
+//     explicit end-of-stream marker. A transfer without its marker is
+//     incomplete and is discarded by the receiver, never committed — so a
+//     sender may safely retry the whole stream on a new connection, and a
+//     connection left in the kernel accept backlog by an aborted exchange
+//     is recognized by its stale sequence number and dropped (no
+//     deadline-polling drain pass).
+//   - Dials and writes retry with capped exponential backoff plus seeded
+//     jitter up to RetryPolicy.MaxAttempts; exhaustion aborts the exchange
+//     with a typed *TransportError (errors.Is(err, ErrTransport)).
+//   - RouteExchange observes its context: a deadline becomes a per-
+//     connection I/O deadline, and in-flight cancellation aborts the
+//     exchange promptly (listeners deadline out, live connections are torn
+//     down), returning the context's error.
+//   - Frame-level protocol violations (implausible lengths — a corrupt
+//     stream) abort the exchange with a typed error immediately; transient
+//     I/O errors on a partially-read connection only discard that transfer
+//     and wait for the sender's retry (the sender aborts the exchange if
+//     its retries exhaust, so no one waits forever).
+//
 // Frame layout (little-endian):
 //
-//	u32 from | u32 to | u32 keyLen | key | u64 tuples | u64 weight |
-//	u32 payloadLen | payload
+//	header: u32 magic | u64 exchange | u32 sender | u32 attempt
+//	frame:  u32 from | u32 to | u32 keyLen | key | u64 tuples | u64 weight |
+//	        u32 payloadLen | payload
+//	end:    u32 0xFFFF_FFFF
 type TCPTransport struct {
 	n         int
 	listeners []net.Listener
 	addrs     []string
+	retry     RetryPolicy
+
+	seq     atomic.Uint64
+	retries atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// NewTCPTransport starts n loopback listeners (one per worker).
+// RetryPolicy bounds the transport's dial/write retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per (sender, destination)
+	// transfer (1 = no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt, capped at MaxDelay, with ±50% seeded jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+	// DialTimeout bounds a single dial attempt (tightened further by a
+	// context deadline when one is set).
+	DialTimeout time.Duration
+	// Seed makes the jitter deterministic (0 uses a fixed default seed —
+	// the transport is deterministic unless explicitly seeded otherwise).
+	Seed int64
+}
+
+// DefaultRetryPolicy is the production default: 3 attempts, 2ms base
+// backoff capped at 250ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 250 * time.Millisecond, DialTimeout: 5 * time.Second}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = d.DialTimeout
+	}
+	return p
+}
+
+// NewTCPTransport starts n loopback listeners (one per worker) with the
+// default retry policy.
 func NewTCPTransport(n int) (*TCPTransport, error) {
-	t := &TCPTransport{n: n}
+	return NewTCPTransportWithRetry(n, DefaultRetryPolicy())
+}
+
+// NewTCPTransportWithRetry starts n loopback listeners with an explicit
+// retry policy.
+func NewTCPTransportWithRetry(n int, policy RetryPolicy) (*TCPTransport, error) {
+	policy = policy.withDefaults()
+	t := &TCPTransport{n: n, retry: policy, rng: rand.New(rand.NewSource(policy.Seed + 1))}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -46,10 +131,35 @@ func NewTCPTransport(n int) (*TCPTransport, error) {
 // Addrs returns the listener addresses (for diagnostics).
 func (t *TCPTransport) Addrs() []string { return append([]string(nil), t.addrs...) }
 
-// Route performs one all-to-all exchange: every sender dials every
-// destination it has envelopes for, streams frames, and each listener
-// accepts until all senders signal completion.
+// RetryStats returns the cumulative dial/write retry count (RetryCounter).
+func (t *TCPTransport) RetryStats() int64 { return t.retries.Load() }
+
+// Route performs one exchange without context plumbing (Transport compat).
 func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
+	return t.RouteExchange(context.Background(), "", bySender)
+}
+
+// backoff returns the jittered exponential delay before retry `attempt`
+// (1-based: the delay after the attempt-th failure).
+func (t *TCPTransport) backoff(attempt int) time.Duration {
+	d := t.retry.BaseDelay << (attempt - 1)
+	if d > t.retry.MaxDelay || d <= 0 {
+		d = t.retry.MaxDelay
+	}
+	t.rngMu.Lock()
+	jitter := 0.5 + t.rng.Float64() // ±50% around the nominal delay
+	t.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// RouteExchange performs one all-to-all exchange under ctx: every sender
+// dials every destination it has envelopes for (with retry/backoff),
+// streams frames, and each listener accepts until every expected sender's
+// transfer has committed. The first unrecoverable failure on either side
+// aborts the exchange with a typed error; ctx cancellation aborts it with
+// ctx's error.
+func (t *TCPTransport) RouteExchange(ctx context.Context, phase string, bySender [][]Envelope) ([][]Envelope, error) {
+	exch := t.seq.Add(1)
 	out := make([][]Envelope, t.n)
 	var outMu sync.Mutex
 
@@ -61,7 +171,8 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 		perPair[s] = make([][]Envelope, t.n)
 		for _, e := range envs {
 			if e.To < 0 || e.To >= t.n {
-				return nil, fmt.Errorf("tcp transport: destination %d out of range", e.To)
+				return nil, &TransportError{Op: "deliver", Dest: e.To,
+					Err: fmt.Errorf("destination out of range [0,%d)", t.n)}
 			}
 			perPair[s][e.To] = append(perPair[s][e.To], e)
 		}
@@ -72,38 +183,58 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 		}
 	}
 
-	// A failed sender (dial or write error) never delivers its connection,
-	// so without intervention the destination's receiver goroutine would
-	// block in Accept forever and wg.Wait below would hang. The first
-	// failure on either side therefore aborts the exchange: an immediate
-	// accept deadline on every listener makes pending and future Accepts
-	// return (unblocking all receivers), and in-flight sender connections
-	// are torn down (unblocking senders stuck in large writes). The
-	// triggering error is recorded as the exchange's root cause; collateral
-	// errors the abort itself provokes (deadline-exceeded accepts,
-	// closed-connection writes) are discarded. Deadlines are cleared before
-	// returning so the transport stays usable for the next exchange.
+	// Abort: the first unrecoverable failure deadlines every listener
+	// (unblocking receivers stuck in Accept) and tears down live
+	// connections (unblocking blocked reads/writes). The triggering error
+	// is the exchange's root cause; collateral errors the abort provokes
+	// are discarded. abortCh lets senders bail out of backoff sleeps.
+	deadline, hasDeadline := ctx.Deadline()
 	live := &connSet{conns: make(map[net.Conn]struct{})}
+	abortCh := make(chan struct{})
 	var abortOnce sync.Once
 	var rootCause error // written inside abortOnce; read only after wg.Wait
 	abort := func(cause error) {
 		abortOnce.Do(func() {
 			rootCause = cause
+			close(abortCh)
 			now := time.Now()
 			for _, l := range t.listeners {
 				if tl, ok := l.(*net.TCPListener); ok {
 					tl.SetDeadline(now)
 				}
 			}
-			// Also tear down in-flight sender connections: a sender blocked
-			// in a large write to a destination that stopped accepting
-			// would otherwise never return.
 			live.abortAll()
 		})
 	}
+	aborted := func() bool {
+		select {
+		case <-abortCh:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// In-flight cancellation: a context watcher converts Done into an
+	// abort carrying the context's error.
+	watcherDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				abort(ctx.Err())
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 
-	// Receivers.
+	// Receivers: accept until every expected sender's transfer commits.
+	// Stale-exchange and duplicate-sender connections are recognized by
+	// their headers and dropped without counting; incomplete transfers
+	// (I/O error before the end marker) are discarded — the sender retries
+	// on a fresh connection or aborts the exchange.
 	for d := 0; d < t.n; d++ {
 		if expect[d] == 0 {
 			continue
@@ -111,23 +242,45 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			for c := 0; c < expect[d]; c++ {
+			committed := make(map[int]bool)
+			for len(committed) < expect[d] {
 				conn, err := t.listeners[d].Accept()
 				if err != nil {
-					// Abort even on independent accept failures (fd
-					// exhaustion, concurrent Close): senders blocked in a
-					// large write to this destination must be unblocked or
-					// wg.Wait hangs. A no-op recording nothing when the
-					// accept error was itself caused by an abort deadline.
-					abort(fmt.Errorf("tcp transport: accept on %d: %w", d, err))
+					if !aborted() {
+						abort(&TransportError{Op: "accept", Dest: d, Err: err})
+					}
 					return
+				}
+				if !live.add(conn) {
+					conn.Close()
+					return
+				}
+				if hasDeadline {
+					conn.SetDeadline(deadline)
+				}
+				sender, ok := readHeader(conn, exch)
+				if !ok || committed[sender] {
+					// Stale exchange, garbage header, or a duplicate retry
+					// of an already-committed transfer: drop silently.
+					live.remove(conn)
+					conn.Close()
+					continue
 				}
 				envs, err := readFrames(conn)
+				live.remove(conn)
 				conn.Close()
 				if err != nil {
-					abort(fmt.Errorf("tcp transport: read on %d: %w", d, err))
-					return
+					if errors.Is(err, errProtocol) {
+						// Corrupt stream: retrying cannot help (the sender
+						// believes it succeeded) — abort with a typed error.
+						abort(&TransportError{Op: "read", Dest: d, Err: err})
+						return
+					}
+					// Transfer died mid-stream: discard, let the sender's
+					// retry (or its abort) resolve the exchange.
+					continue
 				}
+				committed[sender] = true
 				outMu.Lock()
 				out[d] = append(out[d], envs...)
 				outMu.Unlock()
@@ -135,7 +288,10 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 		}(d)
 	}
 
-	// Senders.
+	// Senders: one goroutine per (sender, destination) leg, retrying the
+	// whole transfer (dial + frames + end marker) with backoff on dial or
+	// write failure. Safe because the receiver commits a transfer only
+	// when its end marker arrives and dedupes by sender ID.
 	for s := range perPair {
 		for d := 0; d < t.n; d++ {
 			envs := perPair[s][d]
@@ -143,60 +299,40 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 				continue
 			}
 			wg.Add(1)
-			go func(d int, envs []Envelope) {
+			go func(s, d int, envs []Envelope) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", t.addrs[d])
-				if err != nil {
-					abort(fmt.Errorf("tcp transport: dial %d: %w", d, err))
-					return
-				}
-				if !live.add(conn) {
-					// Exchange already aborted; the root-cause error is
-					// recorded by whoever called abort.
-					conn.Close()
-					return
-				}
-				defer func() {
-					live.remove(conn)
-					conn.Close()
-				}()
-				for _, e := range envs {
-					if err := writeFrame(conn, e); err != nil {
-						abort(fmt.Errorf("tcp transport: write to %d: %w", d, err))
+				var lastErr error
+				lastOp := "dial"
+				for attempt := 1; attempt <= t.retry.MaxAttempts; attempt++ {
+					if aborted() {
 						return
 					}
+					if attempt > 1 {
+						t.retries.Add(1)
+						select {
+						case <-abortCh:
+							return
+						case <-time.After(t.backoff(attempt - 1)):
+						}
+					}
+					lastOp, lastErr = t.sendOnce(exch, s, d, attempt, envs, live, deadline, hasDeadline)
+					if lastErr == nil {
+						return
+					}
+					if aborted() {
+						return // collateral failure of someone else's abort
+					}
 				}
-			}(d, envs)
+				abort(&TransportError{Op: lastOp, Dest: d, Attempts: t.retry.MaxAttempts, Err: lastErr})
+			}(s, d, envs)
 		}
 	}
 
 	wg.Wait()
-	if rootCause != nil {
-		// Drain stale backlog connections before the listeners are
-		// re-armed: a sender that dialed and wrote successfully while its
-		// receiver was already gone leaves a fully-written connection in
-		// the kernel accept queue, and the next exchange on this transport
-		// would otherwise accept it and mistake the previous exchange's
-		// envelopes for its own. Accept with an already-expired deadline
-		// errors without dequeuing, so each drain attempt arms a short
-		// future deadline: queued connections are returned immediately and
-		// an empty queue costs one bounded wait.
-		for _, l := range t.listeners {
-			tl, ok := l.(*net.TCPListener)
-			if !ok {
-				continue
-			}
-			for {
-				tl.SetDeadline(time.Now().Add(10 * time.Millisecond))
-				conn, err := tl.Accept()
-				if err != nil {
-					break
-				}
-				conn.Close()
-			}
-		}
-	}
-	// Re-arm the listeners for the next exchange.
+	close(watcherDone)
+	// Re-arm the listeners for the next exchange. Connections an aborted
+	// exchange left in the accept backlog carry its sequence number and
+	// are dropped by header inspection next time — no drain pass needed.
 	for _, l := range t.listeners {
 		if tl, ok := l.(*net.TCPListener); ok {
 			tl.SetDeadline(time.Time{})
@@ -207,6 +343,52 @@ func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
 	}
 	return out, nil
 }
+
+// sendOnce performs one complete transfer attempt: dial, header, frames,
+// end marker. It returns the failing operation name and error, or ("", nil)
+// on success.
+func (t *TCPTransport) sendOnce(exch uint64, s, d, attempt int, envs []Envelope, live *connSet, deadline time.Time, hasDeadline bool) (string, error) {
+	dialTimeout := t.retry.DialTimeout
+	if hasDeadline {
+		if until := time.Until(deadline); until < dialTimeout {
+			dialTimeout = until
+		}
+	}
+	if dialTimeout <= 0 {
+		return "dial", context.DeadlineExceeded
+	}
+	conn, err := net.DialTimeout("tcp", t.addrs[d], dialTimeout)
+	if err != nil {
+		return "dial", err
+	}
+	if !live.add(conn) {
+		conn.Close()
+		return "write", errExchangeAborted
+	}
+	defer func() {
+		live.remove(conn)
+		conn.Close()
+	}()
+	if hasDeadline {
+		conn.SetDeadline(deadline)
+	}
+	if err := writeHeader(conn, exch, s, attempt); err != nil {
+		return "write", err
+	}
+	for _, e := range envs {
+		if err := writeFrame(conn, e); err != nil {
+			return "write", err
+		}
+	}
+	if err := writeEndMarker(conn); err != nil {
+		return "write", err
+	}
+	return "", nil
+}
+
+// errExchangeAborted marks a send attempt cut short because the exchange
+// was already aborted; the root cause is recorded by whoever aborted.
+var errExchangeAborted = errors.New("exchange aborted")
 
 // Close shuts all listeners.
 func (t *TCPTransport) Close() error {
@@ -225,9 +407,9 @@ func (t *TCPTransport) Close() error {
 	return first
 }
 
-// connSet tracks the sender connections of one in-flight exchange so an
-// abort can tear them all down (unblocking writes stuck against a
-// destination that stopped accepting).
+// connSet tracks the live connections of one in-flight exchange so an
+// abort can tear them all down (unblocking reads and writes stuck against
+// a peer that stopped participating).
 type connSet struct {
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -261,6 +443,52 @@ func (cs *connSet) abortAll() {
 	cs.mu.Unlock()
 }
 
+// tcpMagic opens every connection header ("AJX1").
+const tcpMagic = 0x414A5831
+
+// endMarker terminates a transfer's frame stream. Frames begin with the
+// sender's worker ID (< n), so the all-ones word is unambiguous.
+const endMarker = 0xFFFFFFFF
+
+// errProtocol classifies frame-level violations: implausible lengths or a
+// malformed stream. Unlike transient I/O errors, these abort the exchange
+// (the bytes are corrupt; a retry cannot repair them).
+var errProtocol = errors.New("tcp transport: protocol violation")
+
+func writeHeader(w io.Writer, exch uint64, sender, attempt int) error {
+	var head [20]byte
+	binary.LittleEndian.PutUint32(head[0:], tcpMagic)
+	binary.LittleEndian.PutUint64(head[4:], exch)
+	binary.LittleEndian.PutUint32(head[12:], uint32(sender))
+	binary.LittleEndian.PutUint32(head[16:], uint32(attempt))
+	_, err := w.Write(head[:])
+	return err
+}
+
+// readHeader validates a connection's opening header against the current
+// exchange number and returns the sender ID. ok is false for garbage,
+// truncated headers, or stale exchanges — connections to drop silently.
+func readHeader(r io.Reader, exch uint64) (sender int, ok bool) {
+	var head [20]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != tcpMagic {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(head[4:]) != exch {
+		return 0, false
+	}
+	return int(binary.LittleEndian.Uint32(head[12:])), true
+}
+
+func writeEndMarker(w io.Writer) error {
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], endMarker)
+	_, err := w.Write(b4[:])
+	return err
+}
+
 func writeFrame(w io.Writer, e Envelope) error {
 	head := make([]byte, 0, 32+len(e.Key))
 	var b4 [4]byte
@@ -287,7 +515,10 @@ func writeFrame(w io.Writer, e Envelope) error {
 	return err
 }
 
-// readFrames consumes frames until EOF.
+// readFrames consumes frames until the end-of-stream marker. An I/O error
+// (including EOF before the marker) marks an incomplete transfer the
+// caller should discard; a frame-level violation returns an error wrapping
+// errProtocol, which aborts the exchange.
 func readFrames(r io.Reader) ([]Envelope, error) {
 	var out []Envelope
 	var b4 [4]byte
@@ -295,12 +526,16 @@ func readFrames(r io.Reader) ([]Envelope, error) {
 	for {
 		if _, err := io.ReadFull(r, b4[:]); err != nil {
 			if err == io.EOF {
-				return out, nil
+				return nil, fmt.Errorf("stream ended before end marker: %w", io.ErrUnexpectedEOF)
 			}
 			return nil, err
 		}
+		first := binary.LittleEndian.Uint32(b4[:])
+		if first == endMarker {
+			return out, nil
+		}
 		var e Envelope
-		e.From = int(binary.LittleEndian.Uint32(b4[:]))
+		e.From = int(first)
 		if _, err := io.ReadFull(r, b4[:]); err != nil {
 			return nil, err
 		}
@@ -310,7 +545,7 @@ func readFrames(r io.Reader) ([]Envelope, error) {
 		}
 		keyLen := binary.LittleEndian.Uint32(b4[:])
 		if keyLen > 1<<20 {
-			return nil, fmt.Errorf("tcp transport: implausible key length %d", keyLen)
+			return nil, fmt.Errorf("%w: implausible key length %d", errProtocol, keyLen)
 		}
 		key := make([]byte, keyLen)
 		if _, err := io.ReadFull(r, key); err != nil {
@@ -330,7 +565,7 @@ func readFrames(r io.Reader) ([]Envelope, error) {
 		}
 		plen := binary.LittleEndian.Uint32(b4[:])
 		if plen > 1<<31 {
-			return nil, fmt.Errorf("tcp transport: implausible payload length %d", plen)
+			return nil, fmt.Errorf("%w: implausible payload length %d", errProtocol, plen)
 		}
 		e.Payload = make([]byte, plen)
 		if _, err := io.ReadFull(r, e.Payload); err != nil {

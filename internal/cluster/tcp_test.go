@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -190,5 +192,165 @@ func TestTCPRouteNoStaleBacklogBusyReceiver(t *testing.T) {
 				iter, len(out[1]), out[1][0].Key)
 		}
 		tr.Close()
+	}
+}
+
+// TestTCPRetryStatsCountDialRetries verifies the retry loop: a dead
+// destination is retried MaxAttempts times with backoff, the retry counter
+// records the extra attempts, and the final error is a typed
+// *TransportError carrying the attempt count.
+func TestTCPRetryStatsCountDialRetries(t *testing.T) {
+	tr, err := NewTCPTransportWithRetry(2, RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.addrs[1] = deadAddr(t)
+
+	bySender := make([][]Envelope, 2)
+	bySender[0] = []Envelope{{From: 0, To: 1, Key: "k", Payload: []byte("p")}}
+	_, err = routeWithTimeout(t, tr, bySender, 30*time.Second)
+	if err == nil {
+		t.Fatal("Route to a dead destination should fail")
+	}
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("want ErrTransport, got %v", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TransportError, got %T", err)
+	}
+	if te.Op != "dial" || te.Dest != 1 || te.Attempts != 3 {
+		t.Fatalf("unexpected TransportError: %+v", te)
+	}
+	if got := tr.RetryStats(); got != 2 {
+		t.Fatalf("RetryStats() = %d, want 2 (attempts 2 and 3)", got)
+	}
+}
+
+// TestTCPRouteExchangeCancelInFlight cancels the context while a sender is
+// stuck retrying a dead destination: the exchange must abort promptly and
+// return the context's error, classifiable as ErrCanceled.
+func TestTCPRouteExchangeCancelInFlight(t *testing.T) {
+	tr, err := NewTCPTransportWithRetry(2, RetryPolicy{
+		MaxAttempts: 1000, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.addrs[1] = deadAddr(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	bySender := make([][]Envelope, 2)
+	bySender[0] = []Envelope{{From: 0, To: 1, Key: "k", Payload: []byte("p")}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.RouteExchange(ctx, "test", bySender)
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RouteExchange ignored in-flight cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestTCPRouteExchangeDeadline gives the exchange a context deadline while
+// its only destination is dead: the retry loop must stop at the deadline
+// and surface context.DeadlineExceeded instead of spinning through its
+// (effectively unbounded) attempt budget.
+func TestTCPRouteExchangeDeadline(t *testing.T) {
+	tr, err := NewTCPTransportWithRetry(2, RetryPolicy{
+		MaxAttempts: 100000, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.addrs[1] = deadAddr(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	bySender := make([][]Envelope, 2)
+	bySender[0] = []Envelope{{From: 0, To: 1, Key: "k", Payload: []byte("p")}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.RouteExchange(ctx, "test", bySender)
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RouteExchange ignored its deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestTCPCorruptStreamAbortsTyped parks a connection with a valid header
+// but a corrupt frame (implausible key length) in a receiver's accept
+// backlog: the receiver must abort the exchange with a typed transport
+// error — corruption is not retried — and the transport must still serve
+// the next exchange.
+func TestTCPCorruptStreamAbortsTyped(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// The next exchange on this transport will be sequence 1; forge its
+	// header from an unexpected sender (0), then a frame whose key length
+	// is beyond the protocol bound.
+	conn, err := net.Dial("tcp", tr.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHeader(conn, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var frame [12]byte
+	// from=0, to=1, keyLen=1<<30 (implausible)
+	frame[4] = 1
+	frame[8], frame[9], frame[10], frame[11] = 0, 0, 0, 0x40
+	if _, err := conn.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	bySender := make([][]Envelope, 2)
+	bySender[1] = []Envelope{{From: 1, To: 1, Key: "legit", Payload: []byte("x")}}
+	_, err = routeWithTimeout(t, tr, bySender, 30*time.Second)
+	if err == nil {
+		t.Fatal("corrupt stream should abort the exchange")
+	}
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("want ErrTransport, got %v", err)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || te.Op != "read" {
+		t.Fatalf("want read-side TransportError, got %v", err)
+	}
+
+	// The poisoned exchange must not break the transport.
+	out, err := routeWithTimeout(t, tr, bySender, 30*time.Second)
+	if err != nil {
+		t.Fatalf("recovery exchange failed: %v", err)
+	}
+	if len(out[1]) != 1 || out[1][0].Key != "legit" {
+		t.Fatalf("recovery exchange delivered %+v", out[1])
 	}
 }

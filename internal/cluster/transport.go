@@ -1,6 +1,9 @@
 package cluster
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Envelope is one logical message between workers. Payload is an opaque
 // serialized blob (relation block, trie block, or control data); Tuples
@@ -24,15 +27,33 @@ func (e Envelope) MsgWeight() int64 {
 	return 1
 }
 
-// Transport routes envelopes between workers. Implementations must deliver
-// every envelope to inboxes grouped by destination and preserve payload
-// bytes exactly.
+// Transport routes envelopes between workers. Implementations must either
+// deliver every envelope to inboxes grouped by destination with payload
+// bytes preserved exactly, or return an error — partial or corrupted
+// delivery without an error is a contract violation (the engines would
+// silently compute wrong results).
 type Transport interface {
 	// Route takes all envelopes produced in one exchange (grouped by sender)
 	// and returns them grouped by destination worker.
 	Route(bySender [][]Envelope) ([][]Envelope, error)
 	// Close releases transport resources.
 	Close() error
+}
+
+// ExchangeTransport is the context-aware transport surface: RouteExchange
+// receives the run's context (deadline + in-flight cancellation) and the
+// exchange's phase name (metrics, fault injection). Cluster.Exchange
+// prefers it when implemented and falls back to Route otherwise.
+type ExchangeTransport interface {
+	Transport
+	RouteExchange(ctx context.Context, phase string, bySender [][]Envelope) ([][]Envelope, error)
+}
+
+// RetryCounter is implemented by transports that retry failed operations;
+// RetryStats returns the cumulative retry count, which Exchange diffs
+// around each route to charge retries to the run's metrics.
+type RetryCounter interface {
+	RetryStats() int64
 }
 
 // LocalTransport moves envelopes in-process. Payloads are still serialized

@@ -215,7 +215,7 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 			for _, e := range inbox {
 				r, err := relation.Decode(e.Payload)
 				if err != nil {
-					return err
+					return cluster.CorruptPayload("bigjoin exchange", err)
 				}
 				switch e.Key {
 				case "idx":
@@ -328,7 +328,7 @@ func verifyRound(c *cluster.Cluster, phase string, ver *relation.Relation, prefi
 			for _, e := range inbox {
 				r, err := relation.Decode(e.Payload)
 				if err != nil {
-					return err
+					return cluster.CorruptPayload("bigjoin exchange", err)
 				}
 				switch e.Key {
 				case "idx":

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"adj/internal/cluster"
+	"adj/internal/dataset"
+	"adj/internal/faultinject"
+	"adj/internal/hypergraph"
+)
+
+// TestChaosMatrix drives every engine, in both execution modes, through
+// randomized fault injection — dropped envelopes, failed dials, corrupted
+// payloads, injected delays and worker panics — and asserts the
+// fault-tolerance contract on every run:
+//
+//   - a run that completes returns exactly the fault-free result count
+//     (faults never silently change results), and
+//   - a run that fails returns a clean typed error (cluster.ErrWorkerPanic,
+//     cluster.ErrTransport or a context error), never an anonymous one, and
+//   - either way the goroutine count settles back to baseline (no leaks)
+//     within a bounded deadline (no hangs).
+func TestChaosMatrix(t *testing.T) {
+	edges := dataset.Load("WB", 0.05)
+	q := hypergraph.Get("Q1")
+	rels := q.BindGraph(edges)
+	base := Config{NumServers: 4, Samples: 100, Seed: 7}
+
+	// Fault-free reference counts, one per engine.
+	want := make(map[string]int64)
+	for name, run := range Engines() {
+		rep, err := run(q, rels, base)
+		if err != nil {
+			t.Fatalf("%s fault-free reference run: %v", name, err)
+		}
+		want[name] = rep.Results
+	}
+
+	kinds := []struct {
+		name  string
+		rule  faultinject.Rule
+		panic bool
+	}{
+		{"drop", faultinject.Rule{From: faultinject.Any, To: faultinject.Any, Drop: 0.2}, false},
+		{"faildial", faultinject.Rule{From: faultinject.Any, To: faultinject.Any, FailDial: 0.3}, false},
+		{"corrupt", faultinject.Rule{From: faultinject.Any, To: faultinject.Any, Corrupt: 0.2}, false},
+		{"delay", faultinject.Rule{From: faultinject.Any, To: faultinject.Any, Delay: 0.5, MaxDelay: time.Millisecond}, false},
+		{"panic", faultinject.Rule{}, true},
+	}
+	// Each cell runs minSeeds randomized runs, and keeps drawing seeds (up
+	// to maxSeeds) until at least one fault has actually fired — a cell
+	// whose faults all missed would verify nothing.
+	minSeeds, maxSeeds := int64(3), int64(25)
+	if testing.Short() {
+		minSeeds = 1
+	}
+
+	for _, sequential := range []bool{false, true} {
+		mode := "parallel"
+		if sequential {
+			mode = "sequential"
+		}
+		for engName, run := range Engines() {
+			for _, k := range kinds {
+				engName, run, k, sequential := engName, run, k, sequential
+				t.Run(engName+"/"+mode+"/"+k.name, func(t *testing.T) {
+					fired := false
+					for seed := int64(1); seed <= maxSeeds; seed++ {
+						if seed > minSeeds && fired {
+							break
+						}
+						baseline := runtime.NumGoroutine()
+						cfg := base
+						cfg.Sequential = sequential
+						var clus *cluster.Cluster
+						var ftr *faultinject.Transport
+						if k.panic {
+							// Panic injection needs the cluster's hook, so
+							// borrow an explicit cluster for the run.
+							clus = cluster.New(cluster.Config{N: cfg.NumServers, Sequential: sequential})
+							clus.SetPanicHook(faultinject.PanicHook(seed, 0.02, ""))
+							cfg.Cluster = clus
+						} else {
+							ftr = faultinject.Wrap(
+								cluster.NewLocalTransport(cfg.NumServers), seed, k.rule)
+							cfg.Transport = ftr
+						}
+
+						done := make(chan struct {
+							results int64
+							err     error
+						}, 1)
+						go func() {
+							rep, err := run(q, rels, cfg)
+							done <- struct {
+								results int64
+								err     error
+							}{rep.Results, err}
+						}()
+						var results int64
+						var err error
+						select {
+						case r := <-done:
+							results, err = r.results, r.err
+						case <-time.After(120 * time.Second):
+							t.Fatalf("seed %d: run hung under fault injection", seed)
+						}
+
+						if err != nil {
+							typed := errors.Is(err, cluster.ErrWorkerPanic) ||
+								errors.Is(err, cluster.ErrTransport) ||
+								errors.Is(err, context.Canceled) ||
+								errors.Is(err, context.DeadlineExceeded)
+							if !typed {
+								t.Fatalf("seed %d: failed run's error is untyped: %v", seed, err)
+							}
+						} else if results != want[engName] {
+							t.Fatalf("seed %d: faulted run silently changed the result: got %d, want %d",
+								seed, results, want[engName])
+						}
+						if ftr != nil {
+							fired = fired || ftr.Injected() > 0
+						} else {
+							fired = fired || err != nil // a fired hook always fails the run
+						}
+						if clus != nil {
+							clus.Close()
+						}
+						waitGoroutines(t, baseline)
+					}
+					if !fired {
+						t.Fatalf("no fault fired across %d seeds — the cell verified nothing", maxSeeds)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosPanicErrorDetail spot-checks the diagnostic payload of a
+// contained panic surfacing through a full engine run: the error carries
+// the worker, the phase and the stack.
+func TestChaosPanicErrorDetail(t *testing.T) {
+	edges := dataset.Load("WB", 0.03)
+	q := hypergraph.Get("Q1")
+	rels := q.BindGraph(edges)
+
+	clus := cluster.New(cluster.Config{N: 2})
+	defer clus.Close()
+	clus.SetPanicHook(func(phase string, workerID int) {
+		if workerID == 1 {
+			panic("chaos")
+		}
+	})
+	_, err := RunADJ(q, rels, Config{NumServers: 2, Samples: 50, Seed: 1, Cluster: clus})
+	var wp *cluster.WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("want *WorkerPanicError, got %v", err)
+	}
+	if wp.WorkerID != 1 || wp.Phase == "" || len(wp.Stack) == 0 {
+		t.Fatalf("panic diagnostics incomplete: worker=%d phase=%q stack=%d bytes",
+			wp.WorkerID, wp.Phase, len(wp.Stack))
+	}
+}

@@ -64,7 +64,7 @@ func distributedJoin(c *cluster.Cluster, phase string, aName string, aAttrs []st
 			for _, e := range inbox {
 				r, err := relation.Decode(e.Payload)
 				if err != nil {
-					return err
+					return cluster.CorruptPayload("binary join exchange", err)
 				}
 				switch e.Key[0] {
 				case 'L':
@@ -128,7 +128,7 @@ func distributedCross(c *cluster.Cluster, phase string, aName string, aAttrs []s
 			for _, e := range inbox {
 				r, err := relation.Decode(e.Payload)
 				if err != nil {
-					return err
+					return cluster.CorruptPayload("binary join exchange", err)
 				}
 				smallRel.AppendAll(r)
 			}

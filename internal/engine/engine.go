@@ -139,6 +139,15 @@ type Report struct {
 	// Failed marks budget/memory failures (frame-top bars).
 	Failed     bool
 	FailReason string
+	// Fault counters (fault-tolerant execution): PanicsRecovered counts
+	// worker panics the runtime recovered into errors during this run,
+	// TransportRetries the transport-level dial/write retries its exchanges
+	// performed. Retried marks an execution the session re-ran after a
+	// transient transport failure (Options.Retry) — a degraded but
+	// successful exec.
+	PanicsRecovered  int64
+	TransportRetries int64
+	Retried          bool
 	// Plan documents the chosen plan (ADJ) or order (others).
 	Plan string
 	// Output holds materialized results when Config.CollectOutput.
@@ -212,7 +221,14 @@ func clusterFor(cfg Config) (*cluster.Cluster, func()) {
 		c := cfg.Cluster
 		c.ResetMetrics()
 		c.SetContext(cfg.Ctx)
-		return c, func() { c.SetContext(nil) }
+		return c, func() {
+			// Hand the cluster back with no per-run residue: a failed or
+			// cancelled run must not leave inbox backlog, arena bytes or
+			// half-built registries for the session's next execution (the
+			// session-level trie store lives elsewhere and survives).
+			c.ResetRun()
+			c.SetContext(nil)
+		}
 	}
 	c := newCluster(cfg)
 	c.SetContext(cfg.Ctx)
@@ -288,7 +304,12 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 			budgetPer = 1
 		}
 	}
-	cancelled := cancelOf(cfg)
+	// Poll the cluster's derived run context, not just cfg.Ctx: it is also
+	// cancelled when a peer worker panics, so the leapfrog inner loops and
+	// the cube scheduler abandon their work mid-phase instead of computing
+	// to the barrier of a run that already failed.
+	runCtx := c.Context()
+	cancelled := c.CancelPoll()
 	err := c.Parallel(phase, func(w *cluster.Worker) error {
 		cubes := allCubes(w)
 		perCube := make([]int64, len(cubes))
@@ -327,7 +348,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 					return ErrBudget
 				}
 				if errors.Is(err, leapfrog.ErrCanceled) {
-					return ctxOf(cfg).Err()
+					return runCtx.Err()
 				}
 				return err
 			}
@@ -340,7 +361,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 		if err := runCubes(len(cubes), cfg.Sequential, cancelled, blocksOf, weightOf, joinCube); err != nil {
 			return err
 		}
-		if err := ctxErr(cfg); err != nil {
+		if err := runCtx.Err(); err != nil {
 			return err
 		}
 		for _, r := range perCube {
@@ -471,6 +492,8 @@ func finishReport(r *Report, m *cluster.Metrics) {
 		r.BytesShuffled += p.BytesSent
 		r.Messages += p.Messages
 	}
+	r.PanicsRecovered = m.PanicsRecovered()
+	r.TransportRetries = m.TransportRetries()
 	r.Metrics = m
 }
 

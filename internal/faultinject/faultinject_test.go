@@ -1,0 +1,204 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"adj/internal/cluster"
+)
+
+func envs(n int) [][]cluster.Envelope {
+	bySender := make([][]cluster.Envelope, n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			bySender[s] = append(bySender[s], cluster.Envelope{
+				From: s, To: d, Key: "k", Payload: []byte{0xAD, 1, 2, 3},
+			})
+		}
+	}
+	return bySender
+}
+
+// TestDeterministicSchedule replays the same seed twice over the same
+// exchange sequence and requires identical injection counts and identical
+// per-exchange outcomes.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) (Stats, []bool) {
+		tr := Wrap(cluster.NewLocalTransport(3), seed,
+			Rule{From: Any, To: Any, Drop: 0.2, Corrupt: 0.2, FailDial: 0.05})
+		var outcomes []bool
+		for i := 0; i < 50; i++ {
+			_, err := tr.RouteExchange(context.Background(), "phase", envs(3))
+			outcomes = append(outcomes, err == nil)
+		}
+		return tr.Stats(), outcomes
+	}
+	s1, o1 := run(42)
+	s2, o2 := run(42)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed, different outcome at exchange %d", i)
+		}
+	}
+	if s1.Drops == 0 && s1.FailDials == 0 {
+		t.Fatalf("schedule injected nothing: %+v", s1)
+	}
+	s3, _ := run(43)
+	if s1 == s3 {
+		t.Fatalf("different seeds produced identical stats %+v (suspicious)", s1)
+	}
+}
+
+// TestDropIsTypedError verifies a dropped leg aborts the exchange with an
+// error classifying as both cluster.ErrTransport and ErrInjected.
+func TestDropIsTypedError(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 7, Rule{From: Any, To: Any, Drop: 1})
+	_, err := tr.Route(envs(2))
+	if err == nil {
+		t.Fatal("Drop=1 should fail the exchange")
+	}
+	if !errors.Is(err, cluster.ErrTransport) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop error not typed: %v", err)
+	}
+	if tr.Stats().Drops != 1 {
+		t.Fatalf("stats = %+v, want one drop", tr.Stats())
+	}
+}
+
+// TestFailDialIsTypedError verifies the exchange-level fail-dial fault.
+func TestFailDialIsTypedError(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 7, Rule{From: Any, To: Any, FailDial: 1})
+	_, err := tr.Route(envs(2))
+	if !errors.Is(err, cluster.ErrTransport) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("fail-dial error not typed: %v", err)
+	}
+	var te *cluster.TransportError
+	if !errors.As(err, &te) || te.Op != "dial" {
+		t.Fatalf("want dial-class TransportError, got %v", err)
+	}
+}
+
+// TestCorruptFlipsCopyNotOriginal verifies corruption damages only a copy:
+// the exchange delivers a payload with its magic byte flipped while the
+// sender's buffer is untouched (engines may retain encode buffers).
+func TestCorruptFlipsCopyNotOriginal(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 7, Rule{From: 0, To: 1, Corrupt: 1})
+	bySender := envs(2)
+	orig := bySender[0][1].Payload // the 0→1 leg
+	out, err := tr.Route(bySender)
+	if err != nil {
+		t.Fatalf("corruption should not fail the exchange itself: %v", err)
+	}
+	if orig[0] != 0xAD {
+		t.Fatal("corruption mutated the sender's buffer")
+	}
+	var hit bool
+	for _, e := range out[1] {
+		if e.From == 0 && e.Payload[0] != 0xAD {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("no corrupted payload delivered on the matched leg")
+	}
+	// Unmatched legs (From != 0) must arrive intact.
+	for _, e := range out[0] {
+		if e.Payload[0] != 0xAD {
+			t.Fatalf("corruption leaked onto unmatched leg %d→%d", e.From, e.To)
+		}
+	}
+}
+
+// TestRuleScoping verifies phase and leg matching: a rule scoped to one
+// phase substring and one leg must not fire elsewhere.
+func TestRuleScoping(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 7, Rule{Phase: "hcube", From: 1, To: 0, Drop: 1})
+	if _, err := tr.RouteExchange(context.Background(), "join/emit", envs(2)); err != nil {
+		t.Fatalf("rule fired outside its phase: %v", err)
+	}
+	if _, err := tr.RouteExchange(context.Background(), "hcube/push", envs(2)); err == nil {
+		t.Fatal("rule did not fire in its phase")
+	}
+}
+
+// TestDelayObservesContext verifies an injected delay respects context
+// cancellation instead of sleeping through it.
+func TestDelayObservesContext(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 7,
+		Rule{From: Any, To: Any, Delay: 1, MaxDelay: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.RouteExchange(ctx, "slow", envs(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored the context deadline")
+	}
+}
+
+// TestPanicHookDeterministic verifies the hook's crash schedule replays
+// under the same seed and respects its phase scope.
+func TestPanicHookDeterministic(t *testing.T) {
+	fire := func(seed int64) []bool {
+		hook := PanicHook(seed, 0.3, "join")
+		var hits []bool
+		for i := 0; i < 40; i++ {
+			hits = append(hits, func() (panicked bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						panicked = true
+						if err, ok := r.(error); !ok || !errors.Is(err, ErrInjected) {
+							t.Errorf("panic value not ErrInjected: %v", r)
+						}
+					}
+				}()
+				hook("join/probe", i%4)
+				return false
+			}())
+		}
+		return hits
+	}
+	h1, h2 := fire(5), fire(5)
+	any := false
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("same seed, different crash schedule at %d", i)
+		}
+		any = any || h1[i]
+	}
+	if !any {
+		t.Fatal("hook never fired at prob 0.3 over 40 calls")
+	}
+
+	quiet := PanicHook(5, 1, "hcube")
+	quiet("join/probe", 0) // out of scope: must not panic
+}
+
+// TestTimesBoundsInjections verifies the fail-once-then-heal schedule:
+// Drop=1 with Times=1 fails exactly the first exchange, and SetRules
+// restarts the budget.
+func TestTimesBoundsInjections(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 9, Rule{From: Any, To: Any, Drop: 1, Times: 1})
+	if _, err := tr.Route(envs(2)); err == nil {
+		t.Fatal("first exchange should fail")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := tr.Route(envs(2)); err != nil {
+			t.Fatalf("exchange %d after Times budget spent should succeed: %v", i, err)
+		}
+	}
+	if tr.Stats().Drops != 1 {
+		t.Fatalf("drops = %d, want exactly 1", tr.Stats().Drops)
+	}
+	tr.SetRules(Rule{From: Any, To: Any, Drop: 1, Times: 1})
+	if _, err := tr.Route(envs(2)); err == nil {
+		t.Fatal("SetRules should restart the Times budget")
+	}
+}

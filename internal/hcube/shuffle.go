@@ -385,7 +385,7 @@ func runPull(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*
 					key := blockcache.Key{Rel: name, Sig: sig}
 					part := new(relation.Relation)
 					if err := relation.DecodeInto(e.Payload, part); err != nil {
-						return err
+						return cluster.CorruptPayload("hcube pull block", err)
 					}
 					w.Blocks.DepositTuples(key, attrs, part)
 					for _, cube := range p.Shares.BlockCubes(relPos, sig) {
@@ -396,7 +396,7 @@ func runPull(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*
 					continue
 				}
 				if err := relation.DecodeInto(e.Payload, &scratch); err != nil {
-					return err
+					return cluster.CorruptPayload("hcube pull tuples", err)
 				}
 				for _, cube := range p.Shares.BlockCubes(relPos, sig) {
 					if ServerOfCube(cube, w.N) != w.ID {
@@ -464,7 +464,7 @@ func runMerge(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]
 				}
 				bt, err := trie.Decode(e.Payload)
 				if err != nil {
-					return err
+					return cluster.CorruptPayload("hcube merge trie", err)
 				}
 				ri, ok := relByName(p.Rels, name)
 				if !ok {
@@ -520,7 +520,7 @@ func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope, p Plan) err
 				seen[sk] = true
 				part := new(relation.Relation)
 				if err := relation.DecodeInto(e.Payload, part); err != nil {
-					return err
+					return cluster.CorruptPayload("hcube push block", err)
 				}
 				w.Blocks.DepositTuples(key, attrs, part)
 			}
@@ -528,7 +528,7 @@ func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope, p Plan) err
 			continue
 		}
 		if err := relation.DecodeInto(e.Payload, &scratch); err != nil {
-			return err
+			return cluster.CorruptPayload("hcube push tuples", err)
 		}
 		db := w.CubeDB(cube)
 		tgt, ok := db[name]

@@ -1,6 +1,8 @@
 package adj
 
 import (
+	"fmt"
+
 	"adj/internal/relation"
 )
 
@@ -33,6 +35,25 @@ func (r *Results) Report() Report { return r.rep }
 // Count returns the number of result tuples (available on CountOnly runs
 // too).
 func (r *Results) Count() int64 { return r.rep.Results }
+
+// Err returns the execution's terminal status.
+//
+// Contract: Exec never returns a Results for a failed or cancelled
+// execution — those return (nil, error), and an error from Exec means no
+// partial output exists anywhere. The one degraded case that does produce
+// a Results is a budget/memory failure (Report.Failed — the paper's
+// frame-top bars), which the engines report as data, not as an error. Err
+// makes that case visible to streaming consumers that only see the
+// iterator: it returns nil when the run completed (NextRun's ok=false then
+// means "result set exhausted" or CountOnly), and the failure otherwise
+// (ok=false then means "the run did not finish"). Err is valid at any
+// point of iteration and does not change with iterator position.
+func (r *Results) Err() error {
+	if r.rep.Failed {
+		return fmt.Errorf("adj: %s run on %s failed: %s", r.rep.Engine, r.rep.Query, r.rep.FailReason)
+	}
+	return nil
+}
 
 // Attrs returns the result schema in the execution's attribute order, or
 // nil for CountOnly runs.

@@ -3,6 +3,7 @@ package adj
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"adj/internal/blockcache"
@@ -285,11 +286,53 @@ func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results,
 	if s.store != nil {
 		cfg.Reuse = &hcube.Reuse{Store: s.store, Sigs: sigs}
 	}
-	rep, err := p.run(p.q, rels, cfg)
+
+	// Fail-safe execution: any failure — a typed transport error, a
+	// recovered worker panic, a cancellation, even a coordinator-side panic
+	// caught by the guard — leaves the session fully usable. The engine's
+	// release hook already drains per-run worker state; the extra ResetRun
+	// here covers panics that unwound past it. The session-level trie store
+	// is untouched either way, so a warm data set stays warm across a
+	// failed execution.
+	rep, err := runGuarded(p.run, p.q, rels, cfg)
 	if err != nil {
-		return nil, err
+		s.clus.ResetRun()
+		if s.opts.Retry && cluster.IsTransient(err) && ctx.Err() == nil {
+			// Transient transport failure and the caller opted in: re-run
+			// once on the reset workers. The re-run's report is marked so
+			// callers can count degraded executions.
+			rep, err = runGuarded(p.run, p.q, rels, cfg)
+			if err == nil {
+				rep.Retried = true
+			} else {
+				s.clus.ResetRun()
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	return newResults(rep), nil
+}
+
+// runGuarded executes an engine run with coordinator-side panic
+// containment: worker-body panics are already recovered by the cluster
+// runtime, and this guard converts a panic anywhere else in the engine
+// (planning leftovers, shuffle coordination, report assembly) into the
+// same typed error class, so a session never crashes the process and
+// never wedges its lock.
+func runGuarded(run engine.RunFunc, q Query, rels []*Relation, cfg engine.Config) (rep engine.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &cluster.WorkerPanicError{
+				WorkerID: -1, // coordinator, not a worker
+				Phase:    "coordinator",
+				Value:    r,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
+	return run(q, rels, cfg)
 }
 
 // execOneShot backs the package-level Run/RunGraph shims: execute on the
