@@ -183,12 +183,16 @@ func resolveEngine(name string) (engine.RunFunc, error) {
 	if run, ok := engine.Engines()[name]; ok {
 		return run, nil
 	}
-	return nil, fmt.Errorf("adj: unknown engine %q (want one of %v)", name, EngineNames())
+	return nil, fmt.Errorf("adj: unknown engine %q (want one of %v)", name, AllEngineNames())
 }
 
-// EngineNames lists the available engines: "ADJ", "HCubeJ", "HCubeJ+Cache",
+// EngineNames lists the paper's engines: "ADJ", "HCubeJ", "HCubeJ+Cache",
 // "BigJoin", "SparkSQL".
 func EngineNames() []string { return engine.EngineNames() }
+
+// AllEngineNames is EngineNames plus "Hybrid", the selectivity-routed
+// binary/WCOJ engine layered on top of the paper's five.
+func AllEngineNames() []string { return engine.AllEngineNames() }
 
 // NewRelation creates an empty relation with the given schema.
 func NewRelation(name string, attrs ...string) *Relation {
@@ -287,14 +291,25 @@ func CountAcyclic(q Query, db Database) (int64, error) {
 	return yannakakis.Count(q, rels, d)
 }
 
-// Explain returns ADJ's chosen plan for a graph-bound query without
-// executing the distributed join (it still samples, which is where
-// planning cost lives). It runs the same planning pass Prepare does, so
-// the printed plan is exactly what an execution would use.
+// Explain returns ADJ's physical plan for a graph-bound query — see
+// ExplainEngine.
 func Explain(q Query, edges *Relation, opts Options) (string, error) {
-	pp, err := engine.Prepare("ADJ", q, q.BindGraph(edges), opts.toConfig())
+	return ExplainEngine("ADJ", q, edges, opts)
+}
+
+// ExplainEngine returns the named engine's physical plan for a graph-bound
+// query, rendered as an indented operator tree with per-op strategy and
+// cost annotations, without executing the distributed join (it still
+// samples, which is where planning cost lives). It runs the same planning
+// pass Prepare does, so the printed plan is exactly the operator DAG an
+// execution would interpret.
+func ExplainEngine(engineName string, q Query, edges *Relation, opts Options) (string, error) {
+	pp, err := engine.Prepare(engineName, q, q.BindGraph(edges), opts.toConfig())
 	if err != nil {
 		return "", err
+	}
+	if pp.Program != nil {
+		return pp.Program.Tree(), nil
 	}
 	return pp.Opt.String(), nil
 }

@@ -17,7 +17,9 @@
 // tries (visible as builds=0 / zero shuffled tuples on later engines).
 // For isolated per-engine measurements use cmd/bench, which runs each
 // engine on a fresh cluster.
-//	adj -query Q6 -dataset LJ -explain        # print ADJ's plan only
+//
+//	adj -query Q6 -dataset LJ -explain              # print ADJ's plan DAG only
+//	adj -query Q5 -dataset LJ -engine Hybrid -explain   # the hybrid route's DAG
 package main
 
 import (
@@ -37,14 +39,14 @@ func main() {
 		dataset  = flag.String("dataset", "LJ", "named synthetic dataset: WB AS WT LJ EN OK")
 		scale    = flag.Float64("scale", 0.1, "dataset scale (1.0 ≈ paper edge counts ×10⁻³)")
 		snap     = flag.String("snap", "", "load a SNAP edge-list file instead of a synthetic dataset")
-		engine   = flag.String("engine", "ADJ", "engine: "+strings.Join(adj.EngineNames(), " "))
+		engine   = flag.String("engine", "ADJ", "engine: "+strings.Join(adj.AllEngineNames(), " "))
 		workers  = flag.Int("workers", 8, "simulated cluster size")
 		samples  = flag.Int("samples", 1000, "sampling budget for the optimizer")
 		seed     = flag.Int64("seed", 1, "random seed")
 		budget   = flag.Int64("budget", 100_000_000, "intermediate-work budget (0 = unlimited)")
 		repeat   = flag.Int("repeat", 1, "execute the prepared query this many times on one session (run 2+ go warm)")
 		all      = flag.Bool("all", false, "run every engine and compare")
-		explain  = flag.Bool("explain", false, "print ADJ's chosen plan and exit")
+		explain  = flag.Bool("explain", false, "print the chosen engine's plan DAG and exit")
 		phases   = flag.Bool("phases", false, "print per-phase metrics")
 	)
 	flag.Parse()
@@ -65,7 +67,7 @@ func main() {
 	opts := adj.Options{Workers: *workers, Samples: *samples, Seed: *seed, Budget: *budget}
 
 	if *explain {
-		plan, err := adj.Explain(q, edges, opts)
+		plan, err := adj.ExplainEngine(*engine, q, edges, opts)
 		exitOn(err)
 		fmt.Println(plan)
 		return
@@ -78,7 +80,7 @@ func main() {
 
 	names := []string{*engine}
 	if *all {
-		names = adj.EngineNames()
+		names = adj.AllEngineNames()
 	}
 	for _, name := range names {
 		pq, err := sess.PrepareGraph(name, q, "edges")

@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	mrand "math/rand"
 	"os"
 	"runtime"
 	sortslice "sort"
@@ -124,6 +125,12 @@ type Snapshot struct {
 	// prepared once, executed cold (shuffle + trie builds, published to the
 	// session store) then warm (shuffle skipped, tries adopted).
 	Session *SessionBench `json:"session,omitempty"`
+	// Hybrid is the strategy-routing workload: a path-attached triangle
+	// where the Hybrid engine's split plan (semijoin-reduced WCOJ core +
+	// ear hash joins) must beat both the pure leapfrog and the pure binary
+	// strategies on modeled cost, with a warm plan-cache hit charging zero
+	// planning seconds.
+	Hybrid *HybridBench `json:"hybrid,omitempty"`
 	// Reference names the snapshot the VsReference section compares
 	// against (empty when none was found).
 	Reference          string                 `json:"reference,omitempty"`
@@ -145,6 +152,27 @@ type SessionBench struct {
 	WarmTrieCacheHits int64   `json:"warm_trie_cache_hits"`
 	StoreBlocks       int64   `json:"store_blocks"`
 	StoreBytes        int64   `json:"store_bytes"`
+}
+
+// HybridBench reports the strategy-routing measurement on the
+// path-attached-triangle workload: the Hybrid engine's routed plan against
+// the pure worst-case-optimal (HCubeJ) and pure binary (SparkSQL)
+// strategies, all agreeing on the result exactly.
+type HybridBench struct {
+	Query             string  `json:"query"`
+	Results           int64   `json:"results"`
+	RoutedPlan        string  `json:"routed_plan"`
+	HybridSeconds     float64 `json:"hybrid_modeled_seconds"`
+	LeapfrogSeconds   float64 `json:"pure_leapfrog_modeled_seconds"`
+	BinarySeconds     float64 `json:"pure_binary_modeled_seconds"`
+	HybridShuffled    int64   `json:"hybrid_tuples_shuffled"`
+	LeapfrogShuffled  int64   `json:"pure_leapfrog_tuples_shuffled"`
+	BinaryShuffled    int64   `json:"pure_binary_tuples_shuffled"`
+	SpeedupVsLeapfrog float64 `json:"speedup_vs_pure_leapfrog"`
+	SpeedupVsBinary   float64 `json:"speedup_vs_pure_binary"`
+	// WarmOptimizationSeconds is the planning cost of a warm plan-cache
+	// hit; the bench fatals unless it is exactly zero.
+	WarmOptimizationSeconds float64 `json:"warm_optimization_seconds"`
 }
 
 func metricOf(r testing.BenchmarkResult) Metric {
@@ -304,8 +332,8 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_6.json", "output JSON path")
-		ref     = flag.String("ref", "BENCH_5.json", "reference snapshot to compare against (\"\" disables)")
+		out     = flag.String("out", "BENCH_7.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_6.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
@@ -361,6 +389,10 @@ func main() {
 	// Session invariants (warm trie builds == 0, streamed output ==
 	// one-shot baseline byte-for-byte) run in every mode too.
 	snap.Session = benchSessionWorkload(q, edges, *workers, *quick)
+	// Strategy-routing invariants (the hybrid split beats both pure
+	// strategies; a warm plan-cache hit charges zero planning seconds)
+	// run in every mode too.
+	snap.Hybrid = benchHybridWorkload(*workers, *quick)
 
 	snap.Engines = runEngines(q, rels, *workers, *cubes)
 	if *cubes == 1 {
@@ -896,6 +928,126 @@ func benchSessionWorkload(q hypergraph.Query, edges *relation.Relation, workers 
 	return sb
 }
 
+// hybridJoinWorkload builds the path-attached-triangle instance the hybrid
+// router splits: R1(a,b) ⋈ R2(b,c) ⋈ R3(a,c) is a large random-graph
+// cyclic core, P1(c,d) is a small path relation selective on the
+// attachment attribute c (few distinct values), and P2(d,e) is a large far
+// path relation that a pure HCube shuffle must replicate across servers
+// but the hybrid tail merely hash-partitions.
+func hybridJoinWorkload(scale int) (hypergraph.Query, adj.Database) {
+	rng := mrand.New(mrand.NewSource(11))
+	nodes := int64(scale / 2)
+	tri := relation.New("E", "src", "dst")
+	for i := 0; i < 10*scale; i++ {
+		tri.Append(relation.Value(rng.Int63n(nodes)), relation.Value(rng.Int63n(nodes)))
+	}
+	q := hypergraph.Query{Name: "Qhybrid", Atoms: []hypergraph.Atom{
+		{Name: "R1", Attrs: []string{"a", "b"}},
+		{Name: "R2", Attrs: []string{"b", "c"}},
+		{Name: "R3", Attrs: []string{"a", "c"}},
+		{Name: "P1", Attrs: []string{"c", "d"}},
+		{Name: "P2", Attrs: []string{"d", "e"}},
+	}}
+	p1 := relation.New("P1", "c", "d")
+	p2 := relation.New("P2", "d", "e")
+	domain := int64(50 * scale)
+	for i := 0; i < scale; i++ {
+		p1.Append(relation.Value(rng.Intn(40)), relation.Value(10000+rng.Int63n(domain)))
+	}
+	for i := 0; i < 40*scale; i++ {
+		p2.Append(relation.Value(10000+rng.Int63n(domain)), relation.Value(rng.Int63n(8000)))
+	}
+	// Set semantics: random draws collide, and duplicate input tuples
+	// would make trie-based and hash-join-based engines disagree on
+	// output multiplicity.
+	tri.SortDedup()
+	p1.SortDedup()
+	p2.SortDedup()
+	return q, adj.Database{"R1": tri, "R2": tri, "R3": tri, "P1": p1, "P2": p2}
+}
+
+// benchHybridWorkload measures selectivity-driven strategy routing and
+// enforces its invariants in every mode:
+//
+//   - the router picks the split plan (semijoin-reduced core + ear hash
+//     joins) on this workload, and its modeled cost beats both the pure
+//     leapfrog (HCubeJ) and the pure binary (SparkSQL) strategies;
+//   - all three agree on the result count exactly;
+//   - a warm plan-cache hit reports zero planning/sampling seconds.
+func benchHybridWorkload(workers int, quick bool) *HybridBench {
+	scale := 2000
+	if quick {
+		scale = 1000
+	}
+	q, db := hybridJoinWorkload(scale)
+	opts := adj.Options{Workers: workers, Samples: 300, Seed: 7}
+
+	sess, err := adj.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.RegisterDatabase(db); err != nil {
+		fatal(err)
+	}
+	pq, err := sess.Prepare("Hybrid", q)
+	if err != nil {
+		fatal(err)
+	}
+	if !strings.Contains(pq.Explain(), "Semijoin") {
+		fatal(fmt.Errorf("hybrid router did not pick the split plan:\n%s", pq.Explain()))
+	}
+
+	var hybrid adj.Report
+	for exec := 0; exec < 2; exec++ {
+		res, err := pq.Exec(context.Background(), adj.CountOnly())
+		if err != nil {
+			fatal(err)
+		}
+		hybrid = res.Report()
+		if exec > 0 && hybrid.Optimization != 0 {
+			fatal(fmt.Errorf("warm hybrid exec charged %.6fs planning, want 0", hybrid.Optimization))
+		}
+	}
+	hb := &HybridBench{
+		Query:                   q.Name,
+		Results:                 hybrid.Results,
+		RoutedPlan:              hybrid.Plan,
+		HybridSeconds:           hybrid.Total(),
+		HybridShuffled:          hybrid.TuplesShuffled,
+		WarmOptimizationSeconds: hybrid.Optimization,
+	}
+	pures := []struct {
+		engine  string
+		seconds *float64
+		shuf    *int64
+		speedup *float64
+	}{
+		{"HCubeJ", &hb.LeapfrogSeconds, &hb.LeapfrogShuffled, &hb.SpeedupVsLeapfrog},
+		{"SparkSQL", &hb.BinarySeconds, &hb.BinaryShuffled, &hb.SpeedupVsBinary},
+	}
+	for _, p := range pures {
+		rep, err := adj.Run(p.engine, q, db, opts)
+		if err != nil {
+			fatal(fmt.Errorf("hybrid workload %s: %w", p.engine, err))
+		}
+		if rep.Results != hb.Results {
+			fatal(fmt.Errorf("hybrid workload: %s disagrees: %d vs %d", p.engine, rep.Results, hb.Results))
+		}
+		*p.seconds = rep.Total()
+		*p.shuf = rep.TuplesShuffled
+		*p.speedup = rep.Total() / hb.HybridSeconds
+		if rep.Total() <= hb.HybridSeconds {
+			fatal(fmt.Errorf("hybrid (%.4fs) did not beat %s (%.4fs)", hb.HybridSeconds, p.engine, rep.Total()))
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"hybrid routing: %d results, %.4fs vs leapfrog %.4fs (%.1fx) / binary %.4fs (%.1fx), warm planning 0s\n",
+		hb.Results, hb.HybridSeconds, hb.LeapfrogSeconds, hb.SpeedupVsLeapfrog,
+		hb.BinarySeconds, hb.SpeedupVsBinary)
+	return hb
+}
+
 // benchCubeCompute sets up a triangle shuffle's receiver state by hand:
 // shares (2,2,2) over the global order give 8 cubes; each relation splits
 // into 4 blocks of 8 per-sender trie parts, every block shared by 2 cubes.
@@ -1199,7 +1351,6 @@ func mergeReference(ts []*trie.Trie) *trie.Trie {
 	}
 	return trie.FromSorted(out)
 }
-
 
 // countJoin runs the production joiner and returns the result count.
 func countJoin(tries []*trie.Trie, order []string) int64 {

@@ -83,7 +83,7 @@ func TestRunRoundtripEveryWidth(t *testing.T) {
 	runRoundtrip(t, []int64{0, 1 << 40, -(1 << 40)}, 8)          // wide deltas (exceptions would cost more)
 	runRoundtrip(t, []int64{math.MaxInt64}, 8)                   // zigzag(MaxInt64) needs 8
 	runRoundtrip(t, []int64{math.MinInt64}, 8)                   // zigzag(MinInt64) = MaxUint64
-	runRoundtrip(t, nil, 0) // empty run is one width byte
+	runRoundtrip(t, nil, 0)                                      // empty run is one width byte
 	// Full-range swings: two of the three deltas are tiny (the overflowing
 	// subtraction wraps to ±1), so the adaptive encoder stores them at base
 	// width 1 with a single wide exception — 17 bytes instead of 25.

@@ -1,13 +1,7 @@
 package engine
 
 import (
-	"errors"
-	"time"
-
-	"adj/internal/cluster"
-	"adj/internal/hcube"
 	"adj/internal/hypergraph"
-	"adj/internal/optimizer"
 	"adj/internal/relation"
 )
 
@@ -15,9 +9,10 @@ import (
 // pre-computing/communication/computation over the GHD-restricted plan
 // space (Alg. 2), pre-compute the chosen bags with distributed joins,
 // shuffle the rewritten query Qi with the optimized Merge HCube, and run
-// Leapfrog per cube under the chosen valid attribute order.
+// Leapfrog per cube under the chosen valid attribute order. The planning
+// lives in Prepare/lowerADJ; execution is the shared IR interpreter.
 func RunADJ(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
-	return runADJ(q, rels, cfg, true)
+	return runEngine("ADJ", q, rels, cfg)
 }
 
 // RunADJCommFirst is ADJ's machinery with the communication-first strategy
@@ -25,146 +20,5 @@ func RunADJ(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, 
 // Tables II–IV. It still uses the optimized shuffle, isolating the plan
 // strategy as the only difference.
 func RunADJCommFirst(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
-	return runADJ(q, rels, cfg, false)
-}
-
-func runADJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, coOptimize bool) (Report, error) {
-	cfg = cfg.withDefaults()
-	name := "ADJ"
-	if !coOptimize {
-		name = "ADJ(comm-first)"
-	}
-	rep := Report{Engine: name, Query: q.Name, Servers: cfg.NumServers}
-	c, release := clusterFor(cfg)
-	defer release()
-	c.LoadDatabase(rels)
-
-	// --- Optimization phase: calibrate, sample, plan — or reuse the
-	// prepared plan (a session's PreparedQuery pays planning once). ---
-	var plan *optimizer.Plan
-	if pp := preparedFor(cfg, name); pp != nil && pp.Opt != nil {
-		plan = pp.Opt
-	} else {
-		t0 := time.Now()
-		var err error
-		plan, err = adjPlan(q, rels, cfg, coOptimize)
-		if err != nil {
-			return rep, err
-		}
-		chargeSeconds(c, "optimize", t0)
-	}
-	rep.Plan = plan.String()
-	if err := ctxErr(cfg); err != nil {
-		return rep, err
-	}
-
-	// --- Pre-computing phase: materialize chosen bags distributedly. ---
-	bagNames := make(map[int]string)
-	for _, id := range plan.Precompute {
-		bag := plan.Decomp.Bags[id]
-		outName := optimizer.BagRelationName(plan.Decomp, id)
-		bagNames[id] = outName
-		accName := q.Atoms[bag.Atoms[0]].Name
-		accAttrs := append([]string(nil), q.Atoms[bag.Atoms[0]].Attrs...)
-		for step, ai := range bag.Atoms[1:] {
-			next := q.Atoms[ai]
-			stepOut := outName
-			if step < len(bag.Atoms)-2 {
-				stepOut = outName + "~" + next.Name
-			}
-			if _, err := distributedJoin(c, "precompute",
-				accName, accAttrs, next.Name, next.Attrs, stepOut, cfg.Budget); err != nil {
-				if errors.Is(err, ErrBudget) {
-					rep.Failed = true
-					rep.FailReason = "budget(precompute)"
-					finishReport(&rep, c.Metrics)
-					return rep, nil
-				}
-				return rep, err
-			}
-			accName = stepOut
-			accAttrs = joinedAttrs(accAttrs, next.Attrs)
-		}
-		// Canonicalize fragment schemas to the bag's sorted vertex order so
-		// HCube hashes columns consistently with the RelInfo registered below.
-		if err := c.Parallel("precompute/canon", func(w *cluster.Worker) error {
-			frag, ok := w.Rels[outName]
-			if !ok {
-				return nil
-			}
-			canon := frag.ProjectMulti(bag.Vertices...)
-			canon.Name = outName
-			w.Rels[outName] = canon
-			return nil
-		}); err != nil {
-			return rep, err
-		}
-	}
-
-	// --- Build the rewritten query Qi's relation set. ---
-	var infos []hcube.RelInfo
-	for _, bag := range plan.Decomp.Bags {
-		if nm, ok := bagNames[bag.ID]; ok {
-			size := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(nm)) })
-			infos = append(infos, hcube.RelInfo{Name: nm, Attrs: bag.Vertices, Size: size})
-			continue
-		}
-		for _, ai := range bag.Atoms {
-			r := rels[ai]
-			infos = append(infos, hcube.RelInfo{Name: r.Name, Attrs: r.Attrs, Size: int64(r.Len())})
-		}
-	}
-
-	// --- Communication phase: optimized HCube (Merge by default). ---
-	shares, err := hcube.Optimize(infos, hcube.Config{
-		Attrs:           plan.AttrOrder,
-		NumServers:      cfg.NumServers,
-		MaxCubes:        maxCubes(cfg),
-		MinCubes:        maxCubes(cfg),
-		MemoryPerServer: cfg.MemoryPerServer,
-	})
-	if err != nil {
-		return rep, err
-	}
-	if cfg.MemoryPerServer > 0 && hcube.LoadPerCube(infos, shares) > float64(cfg.MemoryPerServer) {
-		rep.Failed = true
-		rep.FailReason = "memory"
-		finishReport(&rep, c.Metrics)
-		return rep, nil
-	}
-	kind := hcube.Merge
-	if cfg.ShuffleKind != nil {
-		kind = *cfg.ShuffleKind
-	}
-	shufflePlan := hcube.Plan{
-		Shares: shares, Rels: infos, Kind: kind, TrieOrder: plan.AttrOrder,
-		Reuse: shuffleReuse(cfg, plan.String(), infos),
-	}
-	if err := hcube.Run(c, "shuffle", shufflePlan); err != nil {
-		return rep, err
-	}
-
-	// --- Computation phase: Leapfrog per cube under the plan's order. ---
-	total, output, cstats, estats, err := localCubeJoin(c, "join", infos, plan.AttrOrder, cfg, false)
-	rep.CacheBlocks = cstats.Blocks
-	rep.TrieBuilds = cstats.Builds
-	rep.TrieCacheHits = cstats.Hits
-	rep.EmittedRuns = estats.runs
-	rep.EmittedValues = estats.values
-	if err != nil {
-		if errors.Is(err, ErrBudget) {
-			rep.Failed = true
-			rep.FailReason = "budget"
-			finishReport(&rep, c.Metrics)
-			return rep, nil
-		}
-		return rep, err
-	}
-	rep.Results = total
-	rep.Output = output
-	// Publish the built block tries for the next execution over the same
-	// content (a no-op without a session store).
-	hcube.Publish(c, shufflePlan)
-	finishReport(&rep, c.Metrics)
-	return rep, nil
+	return runEngine("ADJ(comm-first)", q, rels, cfg)
 }

@@ -1,16 +1,13 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strconv"
-	"time"
 
 	"adj/internal/cluster"
 	"adj/internal/hypergraph"
 	"adj/internal/relation"
-	"adj/internal/sampling"
 )
 
 // RunBigJoin is the multi-round distributed worst-case-optimal baseline
@@ -20,111 +17,11 @@ import (
 // candidate extensions, and every other relation containing the attribute
 // verifies them via a shuffle to the worker owning the matching index
 // partition. Low memory per round, but every round shuffles all partial
-// bindings — the multi-round communication cost the one-round engines avoid.
+// bindings — the multi-round communication cost the one-round engines
+// avoid. Planning lives in Prepare/lowerBigJoin; execution is the shared
+// IR interpreter.
 func RunBigJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
-	cfg = cfg.withDefaults()
-	rep := Report{Engine: "BigJoin", Query: q.Name, Servers: cfg.NumServers}
-	c, release := clusterFor(cfg)
-	defer release()
-	c.LoadDatabase(rels)
-
-	t0 := time.Now()
-	var order []string
-	if pp := preparedFor(cfg, "BigJoin"); pp != nil && len(pp.Order) > 0 {
-		order = pp.Order
-	} else {
-		order = q.Attrs()
-	}
-	chargeSeconds(c, "optimize", t0)
-	rep.Plan = fmt.Sprintf("rounds over ord=%v", order)
-	n := len(order)
-
-	// Round 0: initial bindings = val(A0), computed from distributed
-	// projections and scattered round-robin.
-	vals := sampling.ValA(rels, order[0])
-	bindings := relation.New("bind0", order[0])
-	for _, v := range vals {
-		bindings.Append(v)
-	}
-	scatter(c, "round0", bindings)
-
-	for d := 1; d < n; d++ {
-		if err := ctxErr(cfg); err != nil {
-			return rep, err
-		}
-		attr := order[d]
-		prefix := order[:d]
-		// Relations containing attr, restricted to bound attrs.
-		var active []int
-		for i, r := range rels {
-			if r.HasAttr(attr) {
-				active = append(active, i)
-			}
-		}
-		if len(active) == 0 {
-			return rep, fmt.Errorf("bigjoin: attribute %q uncovered", attr)
-		}
-		// Proposer: smallest active relation.
-		prop := active[0]
-		for _, i := range active[1:] {
-			if rels[i].Len() < rels[prop].Len() {
-				prop = i
-			}
-		}
-		var verifiers []int
-		for _, i := range active {
-			if i != prop {
-				verifiers = append(verifiers, i)
-			}
-		}
-
-		phase := fmt.Sprintf("round%d", d)
-		// Step 1: propose. Bindings are shuffled to the worker owning the
-		// proposer's index partition (hash of bound proposer attrs); that
-		// worker emits (binding ++ candidate).
-		if err := proposeRound(c, phase+"/propose", rels[prop], prefix, attr, cfg); err != nil {
-			return failIfBudget(&rep, c, err)
-		}
-		// Step 2: verify against each other relation in turn.
-		for vi, ridx := range verifiers {
-			if err := verifyRound(c, fmt.Sprintf("%s/verify%d", phase, vi), rels[ridx], prefix, attr, cfg); err != nil {
-				return failIfBudget(&rep, c, err)
-			}
-		}
-		// Budget check on the surviving bindings.
-		if cfg.Budget > 0 {
-			sz := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize("bindings")) })
-			if sz > cfg.Budget {
-				rep.Failed = true
-				rep.FailReason = fmt.Sprintf("budget(round %d: %d bindings)", d, sz)
-				finishReport(&rep, c.Metrics)
-				return rep, nil
-			}
-		}
-	}
-
-	rep.Results = c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize("bindings")) })
-	if cfg.CollectOutput {
-		out := relation.New("out", order...)
-		for _, w := range c.Workers {
-			if frag, ok := w.Rels["bindings"]; ok {
-				out.AppendAll(frag)
-			}
-		}
-		rep.Output = out
-	}
-	finishReport(&rep, c.Metrics)
-	return rep, nil
-}
-
-func failIfBudget(rep *Report, c *cluster.Cluster, err error) (Report, error) {
-	if errors.Is(err, ErrBudget) {
-		rep.Failed = true
-		rep.FailReason = "budget"
-		finishReport(rep, c.Metrics)
-		return *rep, nil
-	}
-	return *rep, err
+	return runEngine("BigJoin", q, rels, cfg)
 }
 
 // scatter distributes a coordinator-built relation round-robin as the

@@ -1,12 +1,6 @@
 package engine
 
 import (
-	"errors"
-	"fmt"
-	"strings"
-	"time"
-
-	"adj/internal/cluster"
 	"adj/internal/hypergraph"
 	"adj/internal/relation"
 )
@@ -14,72 +8,17 @@ import (
 // RunBinaryJoin is the SparkSQL-style baseline (§VII): the query is
 // decomposed into a sequence of distributed binary hash joins, shuffling
 // every intermediate result. On cyclic queries the intermediates explode —
-// exactly the failure mode Fig. 12 shows for SparkSQL.
-//
-// The join order is greedy: start from the smallest relation, repeatedly
-// join with the connected relation minimizing a textbook size estimate
-// (|A|·|B| / max distinct on the join key) — the style of plan a
-// cost-based pairwise optimizer would emit.
+// exactly the failure mode Fig. 12 shows for SparkSQL. Planning lives in
+// binaryJoinOrder/lowerBinary; execution is the shared IR interpreter.
 func RunBinaryJoin(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
-	cfg = cfg.withDefaults()
-	rep := Report{Engine: "SparkSQL", Query: q.Name, Servers: cfg.NumServers}
-	c, release := clusterFor(cfg)
-	defer release()
-	c.LoadDatabase(rels)
-
-	t0 := time.Now()
-	var order []int
-	if pp := preparedFor(cfg, "SparkSQL"); pp != nil && len(pp.JoinOrder) > 0 {
-		order = pp.JoinOrder
-	} else {
-		order = binaryJoinOrder(rels)
-	}
-	chargeSeconds(c, "optimize", t0)
-	var names []string
-	for _, i := range order {
-		names = append(names, rels[i].Name)
-	}
-	rep.Plan = "pairwise: " + strings.Join(names, " ⋈ ")
-
-	accName := rels[order[0]].Name
-	accAttrs := append([]string(nil), rels[order[0]].Attrs...)
-	for step, idx := range order[1:] {
-		if err := ctxErr(cfg); err != nil {
-			return rep, err
-		}
-		next := rels[idx]
-		outName := fmt.Sprintf("I%d", step+1)
-		size, err := distributedJoin(c, fmt.Sprintf("join%d", step+1),
-			accName, accAttrs, next.Name, next.Attrs, outName, cfg.Budget)
-		if err != nil {
-			if errors.Is(err, ErrBudget) {
-				rep.Failed = true
-				rep.FailReason = fmt.Sprintf("budget(intermediate %d tuples)", size)
-				finishReport(&rep, c.Metrics)
-				return rep, nil
-			}
-			return rep, err
-		}
-		accName = outName
-		accAttrs = joinedAttrs(accAttrs, next.Attrs)
-	}
-
-	rep.Results = c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(accName)) })
-	if cfg.CollectOutput {
-		out := relation.New("out", q.Attrs()...)
-		for _, w := range c.Workers {
-			if frag, ok := w.Rels[accName]; ok {
-				out.AppendAll(frag.ProjectMulti(q.Attrs()...))
-			}
-		}
-		rep.Output = out
-	}
-	finishReport(&rep, c.Metrics)
-	return rep, nil
+	return runEngine("SparkSQL", q, rels, cfg)
 }
 
 // binaryJoinOrder returns a greedy connected pairwise order over relation
-// indexes.
+// indexes: start from the smallest relation, repeatedly join with the
+// connected relation minimizing a textbook size estimate
+// (|A|·|B| / max distinct on the join key) — the style of plan a
+// cost-based pairwise optimizer would emit.
 func binaryJoinOrder(rels []*relation.Relation) []int {
 	n := len(rels)
 	used := make([]bool, n)

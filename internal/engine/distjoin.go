@@ -156,6 +156,74 @@ func distributedCross(c *cluster.Cluster, phase string, aName string, aAttrs []s
 	return size, nil
 }
 
+// distributedSemijoin computes A ⋉ B over worker fragments: A is
+// hash-partitioned on the shared attributes, B's projection onto them
+// (deduplicated per fragment to cut volume) is partitioned the same way,
+// and each worker keeps the A tuples with a match. The result fragments
+// are stored as outName. This is the hybrid plan's pre-reduction: a
+// selective acyclic fragment shrinks a cyclic-core relation before the
+// core is shuffled.
+func distributedSemijoin(c *cluster.Cluster, phase string, aName string, aAttrs []string,
+	bName string, bAttrs []string, outName string) error {
+
+	shared := sharedAttrs(aAttrs, bAttrs)
+	if len(shared) == 0 {
+		return fmt.Errorf("distributedSemijoin: %s and %s share no attributes", aName, bName)
+	}
+	aCols := attrIdx(aAttrs, shared)
+
+	return c.Exchange(phase,
+		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+			var out []cluster.Envelope
+			if frag, ok := w.Rels[aName]; ok {
+				parts := frag.PartitionBy(aCols, w.N)
+				for to, p := range parts {
+					if p.Len() == 0 {
+						continue
+					}
+					out = append(out, cluster.Envelope{
+						To: to, Key: "L", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
+					})
+				}
+			}
+			if frag, ok := w.Rels[bName]; ok {
+				proj := frag.ProjectMulti(shared...).SortDedup()
+				parts := proj.PartitionBy(attrIdx(shared, shared), w.N)
+				for to, p := range parts {
+					if p.Len() == 0 {
+						continue
+					}
+					out = append(out, cluster.Envelope{
+						To: to, Key: "R", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
+					})
+				}
+			}
+			return out, nil
+		},
+		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+			left := relation.New(aName, aAttrs...)
+			keys := relation.New(bName, shared...)
+			for _, e := range inbox {
+				r, err := relation.Decode(e.Payload)
+				if err != nil {
+					return cluster.CorruptPayload("semijoin exchange", err)
+				}
+				switch e.Key {
+				case "L":
+					left.AppendAll(r)
+				case "R":
+					keys.AppendAll(r)
+				default:
+					return fmt.Errorf("distributedSemijoin: bad key %q", e.Key)
+				}
+			}
+			res := left.Semijoin(keys, shared)
+			res.Name = outName
+			w.Rels[outName] = res
+			return nil
+		})
+}
+
 func sharedAttrs(a, b []string) []string {
 	var out []string
 	for _, x := range a {

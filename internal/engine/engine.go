@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"adj/internal/blockcache"
@@ -176,8 +177,8 @@ func (r Report) String() string {
 // atom, schemas renamed to query attributes) and a config.
 type RunFunc func(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error)
 
-// Engines returns the registry of all five engines keyed by the paper's
-// names.
+// Engines returns the registry of runnable engines keyed by name: the
+// paper's five plus Hybrid, the selectivity-routed binary/WCOJ planner.
 func Engines() map[string]RunFunc {
 	return map[string]RunFunc{
 		"ADJ":          RunADJ,
@@ -185,12 +186,20 @@ func Engines() map[string]RunFunc {
 		"HCubeJ+Cache": RunHCubeJCache,
 		"BigJoin":      RunBigJoin,
 		"SparkSQL":     RunBinaryJoin,
+		"Hybrid":       RunHybrid,
 	}
 }
 
-// EngineNames returns registry keys in the paper's presentation order.
+// EngineNames returns the paper's five engines in its presentation order
+// (benchmark tables and figures iterate these).
 func EngineNames() []string {
 	return []string{"SparkSQL", "BigJoin", "HCubeJ", "HCubeJ+Cache", "ADJ"}
+}
+
+// AllEngineNames returns every registry key in presentation order: the
+// paper's five followed by the engines this implementation adds.
+func AllEngineNames() []string {
+	return append(EngineNames(), "Hybrid")
 }
 
 // maxCubes returns the hypercube count for a run: one per server unless
@@ -285,6 +294,13 @@ func sortAttrsByOrder(attrs []string, order []string) []string {
 // part of join processing). The per-worker extension budget is cfg.Budget
 // divided across workers.
 //
+// When storeAs is non-empty each worker additionally keeps its own cube
+// outputs resident as w.Rels[storeAs] — a valid partition of the result,
+// since HCube assigns every output tuple to exactly one cube. This is how
+// the hybrid plan's cyclic core feeds its downstream distributed hash
+// joins without a coordinator round-trip; the coordinator still only sees
+// the count unless cfg.CollectOutput asks for the merge.
+//
 // By default a worker's cubes are spread over locality-partitioned
 // work-stealing deques (see runCubes): cubes sharing blocks run on the
 // same goroutine, back to back, so a block trie built for one cube is
@@ -293,7 +309,8 @@ func sortAttrsByOrder(attrs []string, order []string) []string {
 // richest deque. cfg.Sequential restores the deterministic in-order loop.
 // Results and outputs are accumulated per cube and folded in cube order,
 // so both modes produce identical reports.
-func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool) (int64, *relation.Relation, blockcache.Stats, emitStats, error) {
+func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, order []string, cfg Config, cached bool, storeAs string) (int64, *relation.Relation, blockcache.Stats, emitStats, error) {
+	collect := cfg.CollectOutput || storeAs != ""
 	results := make([]int64, c.N)
 	outputs := make([]*relation.Relation, c.N)
 	emitted := make([]emitStats, c.N)
@@ -315,7 +332,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 		perCube := make([]int64, len(cubes))
 		perCubeEmit := make([]emitStats, len(cubes))
 		var perCubeOut []*relation.Relation
-		if cfg.CollectOutput {
+		if collect {
 			perCubeOut = make([]*relation.Relation, len(cubes))
 		}
 		joinCube := func(ci int) error {
@@ -324,7 +341,7 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 				return err
 			}
 			opts := leapfrog.Options{Budget: budgetPer, Cancel: cancelled}
-			if cfg.CollectOutput {
+			if collect {
 				// Results stay columnar from the leaf intersection on: the
 				// sink appends whole runs to the cube's output columns. The
 				// per-tuple shim remains as the equivalence baseline.
@@ -370,14 +387,21 @@ func localCubeJoin(c *cluster.Cluster, phase string, infos []hcube.RelInfo, orde
 		for _, e := range perCubeEmit {
 			emitted[w.ID].add(e)
 		}
-		if cfg.CollectOutput {
+		if collect {
 			out := relation.New("out", order...)
 			for _, o := range perCubeOut {
 				if o != nil {
 					out.AppendAll(o)
 				}
 			}
-			outputs[w.ID] = out
+			if storeAs != "" {
+				stored := out
+				stored.Name = storeAs
+				w.Rels[storeAs] = stored
+			}
+			if cfg.CollectOutput {
+				outputs[w.ID] = out
+			}
 		}
 		return nil
 	})
@@ -480,9 +504,9 @@ func cubeTries(w *cluster.Worker, cube int, infos []hcube.RelInfo, order []strin
 func finishReport(r *Report, m *cluster.Metrics) {
 	for _, p := range m.Phases() {
 		switch {
-		case hasPrefix(p.Name, "optimize"):
+		case strings.HasPrefix(p.Name, "optimize"):
 			r.Optimization += p.CompSeconds + p.CommSeconds
-		case hasPrefix(p.Name, "precompute"):
+		case strings.HasPrefix(p.Name, "precompute"):
 			r.PreComputing += p.CompSeconds + p.CommSeconds
 		default:
 			r.Communication += p.CommSeconds
@@ -496,8 +520,6 @@ func finishReport(r *Report, m *cluster.Metrics) {
 	r.TransportRetries = m.TransportRetries()
 	r.Metrics = m
 }
-
-func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
 
 // chargeSeconds adds measured coordinator-side seconds to a named phase.
 func chargeSeconds(c *cluster.Cluster, phase string, start time.Time) {

@@ -261,13 +261,19 @@ func TestReportString(t *testing.T) {
 
 func TestEngineNamesComplete(t *testing.T) {
 	reg := Engines()
-	for _, n := range EngineNames() {
+	for _, n := range AllEngineNames() {
 		if _, ok := reg[n]; !ok {
 			t.Fatalf("engine %q missing from registry", n)
 		}
 	}
-	if len(reg) != len(EngineNames()) {
-		t.Fatalf("registry size %d != names %d", len(reg), len(EngineNames()))
+	if len(reg) != len(AllEngineNames()) {
+		t.Fatalf("registry size %d != names %d", len(reg), len(AllEngineNames()))
+	}
+	// The paper's five stay a prefix of the full list, in its order.
+	for i, n := range EngineNames() {
+		if AllEngineNames()[i] != n {
+			t.Fatalf("AllEngineNames()[%d] = %q, want %q", i, AllEngineNames()[i], n)
+		}
 	}
 }
 

@@ -1,13 +1,7 @@
 package engine
 
 import (
-	"errors"
-	"fmt"
-	"time"
-
-	"adj/internal/hcube"
 	"adj/internal/hypergraph"
-	"adj/internal/optimizer"
 	"adj/internal/relation"
 )
 
@@ -16,100 +10,15 @@ import (
 // Leapfrog per cube. The attribute order is selected from all n! orders by
 // estimated intermediate size (Fig. 8's "All-Selected"), and the original
 // Push shuffle is used unless overridden — both as in the paper's HCubeJ.
+// Planning lives in Prepare/lowerHCubeJ; execution is the shared IR
+// interpreter.
 func RunHCubeJ(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
-	return runHCubeJ(q, rels, cfg, false)
+	return runEngine("HCubeJ", q, rels, cfg)
 }
 
 // RunHCubeJCache is HCubeJ with the CacheTrieJoin-style cached Leapfrog.
 // Its cache budget shrinks with the memory HCube's shuffled load consumes,
 // reproducing the starvation the paper reports on large datasets.
 func RunHCubeJCache(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
-	return runHCubeJ(q, rels, cfg, true)
-}
-
-func runHCubeJ(q hypergraph.Query, rels []*relation.Relation, cfg Config, cached bool) (Report, error) {
-	cfg = cfg.withDefaults()
-	name := "HCubeJ"
-	if cached {
-		name = "HCubeJ+Cache"
-	}
-	rep := Report{Engine: name, Query: q.Name, Servers: cfg.NumServers}
-	c, release := clusterFor(cfg)
-	defer release()
-	c.LoadDatabase(rels)
-
-	// Optimization: order selection (over all orders) + share optimization,
-	// both charged to the optimize phase like the paper's Optimization
-	// column for the communication-first strategy. A prepared plan skips
-	// the order search (the share optimization is a cheap enumeration and
-	// reruns every time).
-	t0 := time.Now()
-	var plan *optimizer.Plan
-	if pp := preparedFor(cfg, name); pp != nil && pp.Opt != nil {
-		plan = pp.Opt
-	} else {
-		var err error
-		plan, err = commFirstPlan(q, rels, cfg)
-		if err != nil {
-			return rep, err
-		}
-	}
-	infos := hcube.InfoOf(rels)
-	shares, err := hcube.Optimize(infos, hcube.Config{
-		Attrs:           plan.AttrOrder,
-		NumServers:      cfg.NumServers,
-		MaxCubes:        maxCubes(cfg),
-		MinCubes:        maxCubes(cfg),
-		MemoryPerServer: cfg.MemoryPerServer,
-	})
-	if err != nil {
-		return rep, err
-	}
-	chargeSeconds(c, "optimize", t0)
-	rep.Plan = fmt.Sprintf("ord=%v shares=%v", plan.AttrOrder, shares.P)
-	if err := ctxErr(cfg); err != nil {
-		return rep, err
-	}
-
-	// Memory failure: if even the best shares exceed server memory, the run
-	// dies like the paper's OOM bars.
-	if cfg.MemoryPerServer > 0 && hcube.LoadPerCube(infos, shares) > float64(cfg.MemoryPerServer) {
-		rep.Failed = true
-		rep.FailReason = "memory"
-		finishReport(&rep, c.Metrics)
-		return rep, nil
-	}
-
-	kind := hcube.Push
-	if cfg.ShuffleKind != nil {
-		kind = *cfg.ShuffleKind
-	}
-	shufflePlan := hcube.Plan{
-		Shares: shares, Rels: infos, Kind: kind, TrieOrder: plan.AttrOrder,
-		Reuse: shuffleReuse(cfg, rep.Plan, infos),
-	}
-	if err := hcube.Run(c, "shuffle", shufflePlan); err != nil {
-		return rep, err
-	}
-
-	total, output, cstats, estats, err := localCubeJoin(c, "join", infos, plan.AttrOrder, cfg, cached)
-	rep.CacheBlocks = cstats.Blocks
-	rep.TrieBuilds = cstats.Builds
-	rep.TrieCacheHits = cstats.Hits
-	rep.EmittedRuns = estats.runs
-	rep.EmittedValues = estats.values
-	if err != nil {
-		if errors.Is(err, ErrBudget) {
-			rep.Failed = true
-			rep.FailReason = "budget"
-			finishReport(&rep, c.Metrics)
-			return rep, nil
-		}
-		return rep, err
-	}
-	rep.Results = total
-	rep.Output = output
-	hcube.Publish(c, shufflePlan)
-	finishReport(&rep, c.Metrics)
-	return rep, nil
+	return runEngine("HCubeJ+Cache", q, rels, cfg)
 }

@@ -1,0 +1,516 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adj/internal/costmodel"
+	"adj/internal/hcube"
+	"adj/internal/hypergraph"
+	"adj/internal/optimizer"
+	"adj/internal/plan"
+	"adj/internal/relation"
+)
+
+// RunHybrid executes the selectivity-routed binary/WCOJ engine: the query
+// hypergraph is split by GYO ear decomposition into a cyclic core and
+// acyclic ears, the sampling estimator prices a pure worst-case-optimal
+// plan against the hybrid split, and the cheaper strategy wins. A hybrid
+// plan semijoin-reduces core relations by their selective ears, runs the
+// core as one optimized Merge shuffle + Leapfrog (kept worker-resident),
+// then folds the ears back in with distributed hash joins — mixing both
+// execution strategies inside a single plan, which only the shared IR
+// makes expressible. Planning lives in lowerHybrid; execution is the
+// shared IR interpreter.
+func RunHybrid(q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
+	return runEngine("Hybrid", q, rels, cfg)
+}
+
+// earSelectivity gates semijoin pre-reduction: an ear reduces a core
+// relation only when it holds at most this fraction of the core
+// relation's distinct join keys (fewer surviving keys → the reduction
+// pays for its exchange).
+const earSelectivity = 0.75
+
+// lowerHybrid decomposes, prices and lowers the query. Returns the chosen
+// Program plus the optimizer plan of its WCOJ part (nil for a pure binary
+// route), for inspection and Explain.
+func lowerHybrid(q hypergraph.Query, rels []*relation.Relation, cfg Config) (*plan.Program, *optimizer.Plan, error) {
+	params := defaultParams(cfg)
+	opt, err := optimizer.New(q, rels, optimizer.Options{
+		Params:  params,
+		Samples: cfg.Samples,
+		Seed:    cfg.Seed,
+		Cancel:  cancelOf(cfg),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fullPlan, err := opt.CommunicationFirst()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctxErr(cfg); err != nil {
+		return nil, nil, err
+	}
+	wcojCost := fullPlan.Est.Communication + orderCompCost(opt, fullPlan.AttrOrder, params)
+
+	core, ears := earDecompose(q)
+
+	// Fully acyclic: the whole query is ears. Route to pairwise hash joins
+	// when the estimator prices them under the leapfrog, mirroring the
+	// size-thresholded strategy switches unified architectures use.
+	if len(core) == 0 {
+		binOrder := binaryJoinOrder(rels)
+		binCost := binaryChainCost(opt, q, rels, binOrder, params)
+		if binCost < wcojCost {
+			prog := lowerBinary(q, rels, binOrder)
+			prog.Engine = "Hybrid"
+			prog.Label = fmt.Sprintf("hybrid: binary (acyclic; binary=%.3gs wcoj=%.3gs) %s",
+				binCost, wcojCost, prog.Label)
+			for _, op := range prog.Ops {
+				if op.Kind == plan.HashJoin {
+					op.Cost.Seconds = 0 // priced as a chain, not per op
+				}
+			}
+			return prog, nil, nil
+		}
+		prog := hybridWCOJProgram(q, rels, fullPlan, fmt.Sprintf(
+			"hybrid: wcoj ord=%v (acyclic; wcoj=%.3gs binary=%.3gs)", fullPlan.AttrOrder, wcojCost, binCost))
+		return prog, fullPlan, nil
+	}
+
+	// Fully cyclic: nothing to split; run the optimized pure WCOJ plan.
+	if len(ears) == 0 {
+		prog := hybridWCOJProgram(q, rels, fullPlan, fmt.Sprintf(
+			"hybrid: wcoj ord=%v (cyclic core only)", fullPlan.AttrOrder))
+		return prog, fullPlan, nil
+	}
+
+	// Mixed: price the split — Leapfrog over the cyclic core, hash joins
+	// over the ears — against the pure strategies.
+	//
+	// Ears join back in reverse removal order: each ear's GYO witness is
+	// the core or an ear removed after it, so the chain stays connected.
+	tail := make([]int, len(ears))
+	for i, ai := range ears {
+		tail[len(ears)-1-i] = ai
+	}
+
+	// Selective-ear semijoin pre-reductions, materialized locally now:
+	// planning already scans local relations (binaryJoinOrder's distinct
+	// counts), and the reduced relations give the core optimizer honest
+	// sizes and orders — pricing the unreduced core would bias the router
+	// toward the pure plan the reductions exist to beat. Execution redoes
+	// the reductions distributedly; this copy only feeds the estimator.
+	reds, coreRels := planReductions(q, rels, core, tail)
+
+	coreQ := hypergraph.Query{Name: q.Name, Atoms: make([]hypergraph.Atom, len(core))}
+	for i, ai := range core {
+		coreQ.Atoms[i] = q.Atoms[ai]
+	}
+	coreOpt, err := optimizer.New(coreQ, coreRels, optimizer.Options{
+		Params:  params,
+		Samples: cfg.Samples,
+		Seed:    cfg.Seed,
+		Cancel:  cancelOf(cfg),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	corePlan, err := coreOpt.CommunicationFirst()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctxErr(cfg); err != nil {
+		return nil, nil, err
+	}
+
+	coreCost := corePlan.Est.Communication + orderCompCost(coreOpt, corePlan.AttrOrder, params)
+	redCost := reductionCost(reds, rels, params)
+	tailCost := hybridTailCost(opt, coreOpt, q, rels, corePlan.AttrOrder, tail, params)
+	hybridCost := redCost + coreCost + tailCost
+
+	if wcojCost <= hybridCost {
+		prog := hybridWCOJProgram(q, rels, fullPlan, fmt.Sprintf(
+			"hybrid: wcoj ord=%v (wcoj=%.3gs hybrid=%.3gs)", fullPlan.AttrOrder, wcojCost, hybridCost))
+		return prog, fullPlan, nil
+	}
+
+	prog := buildHybridProgram(q, rels, core, tail, reds, corePlan, wcojCost, hybridCost)
+	return prog, corePlan, nil
+}
+
+// reduction is one planned semijoin pre-reduction: core relation inName
+// (the atom's relation or a previous reduction's output) shrunk by the
+// ear at atom index earIdx on their shared attributes.
+type reduction struct {
+	coreIdx int // index into the core slice
+	earIdx  int // atom index of the reducing ear
+	inName  string
+	outName string
+	shared  []string
+	est     int64 // exact local size of the reduced relation
+}
+
+// planReductions walks core × ears, chains every selective reduction and
+// returns the plan plus the locally-materialized reduced core relations
+// (for estimation only; unreduced cores pass through unchanged).
+func planReductions(q hypergraph.Query, rels []*relation.Relation, core, tail []int) ([]reduction, []*relation.Relation) {
+	var reds []reduction
+	coreRels := make([]*relation.Relation, len(core))
+	for i, ai := range core {
+		coreRels[i] = rels[ai]
+	}
+	for i := range coreRels {
+		name := q.Atoms[core[i]].Name
+		for _, ei := range tail {
+			ear := rels[ei]
+			shared := sharedAttrs(coreRels[i].Attrs, ear.Attrs)
+			if len(shared) == 0 {
+				continue
+			}
+			if !earIsSelective(coreRels[i], ear, shared) {
+				continue
+			}
+			reduced := coreRels[i].Semijoin(ear, shared)
+			outName := name + "⋉" + ear.Name
+			reduced.Name = outName
+			reds = append(reds, reduction{
+				coreIdx: i, earIdx: ei, inName: name, outName: outName,
+				shared: shared, est: int64(reduced.Len()),
+			})
+			coreRels[i] = reduced
+			name = outName
+		}
+	}
+	return reds, coreRels
+}
+
+// reductionCost prices the planned reductions: each ships the core side
+// plus the ear's distinct keys and materializes the survivors.
+func reductionCost(reds []reduction, rels []*relation.Relation, p costmodel.Params) float64 {
+	cost := 0.0
+	for _, rd := range reds {
+		if p.Alpha > 0 {
+			cost += (float64(rels[rd.earIdx].Len()) + 2*float64(rd.est)) / p.Alpha
+		}
+	}
+	return cost
+}
+
+// buildHybridProgram lowers the chosen split: the planned semijoin
+// pre-reductions, the core's Merge shuffle + Leapfrog kept
+// worker-resident, then the ear hash-join chain and the final gather.
+func buildHybridProgram(q hypergraph.Query, rels []*relation.Relation,
+	core, tail []int, reds []reduction, corePlan *optimizer.Plan, wcojCost, hybridCost float64) *plan.Program {
+
+	coreNames := make([]string, len(core))
+	for i, ai := range core {
+		coreNames[i] = q.Atoms[ai].Name
+	}
+	earNames := make([]string, len(tail))
+	for i, ai := range tail {
+		earNames[i] = q.Atoms[ai].Name
+	}
+	label := fmt.Sprintf("hybrid: core=[%s] ord=%v ⋈ ears=[%s] (hybrid=%.3gs wcoj=%.3gs)",
+		strings.Join(coreNames, " "), corePlan.AttrOrder, strings.Join(earNames, " "),
+		hybridCost, wcojCost)
+	prog := &plan.Program{Engine: "Hybrid", Label: label}
+
+	// Semijoin pre-reduction ops, replaying the plan-time decisions: shrink
+	// a core relation by a directly connected ear when the ear is selective
+	// on their shared attributes. Always sound — the ear joins back in
+	// later, so tuples the reduction drops could never reach the output.
+	type coreRef struct {
+		name    string
+		attrs   []string
+		size    int64
+		dynamic bool
+		lastOp  int // -1 when no reduction op produced it
+	}
+	refs := make([]coreRef, len(core))
+	for i, ai := range core {
+		refs[i] = coreRef{name: q.Atoms[ai].Name, attrs: q.Atoms[ai].Attrs,
+			size: int64(rels[ai].Len()), lastOp: -1}
+	}
+	for n, rd := range reds {
+		r := refs[rd.coreIdx]
+		ear := rels[rd.earIdx]
+		op := prog.Add(&plan.Op{
+			Kind: plan.Semijoin, Phase: fmt.Sprintf("precompute/reduce%d", n+1),
+			Strategy: "binary",
+			Inputs:   inputsOf(r.lastOp),
+			Left:     plan.Sig{Name: r.name, Attrs: r.attrs},
+			Right:    plan.Sig{Name: ear.Name, Attrs: ear.Attrs},
+			Out:      plan.Sig{Name: rd.outName, Attrs: r.attrs},
+			Cost:     plan.Cost{Card: float64(rd.est)},
+			Note:     "selective ear pre-reduction",
+		})
+		refs[rd.coreIdx] = coreRef{name: rd.outName, attrs: r.attrs,
+			size: rd.est, dynamic: true, lastOp: op.ID}
+	}
+
+	// The core: one optimized Merge shuffle + Leapfrog, outputs kept
+	// worker-resident as ~core to feed the ear joins.
+	relRefs := make([]plan.RelRef, len(refs))
+	var shuffleIns []int
+	for i, r := range refs {
+		relRefs[i] = plan.RelRef{Name: r.name, Attrs: r.attrs, Size: r.size, Dynamic: r.dynamic}
+		if r.lastOp >= 0 {
+			shuffleIns = append(shuffleIns, r.lastOp)
+		}
+	}
+	sh := prog.Add(&plan.Op{
+		Kind: plan.Shuffle, Phase: "shuffle",
+		Inputs: shuffleIns, Rels: relRefs, Order: corePlan.AttrOrder,
+		ShuffleKind: "merge", ReuseID: label,
+		Cost: plan.Cost{Seconds: corePlan.Est.Communication},
+	})
+	bt := prog.Add(&plan.Op{Kind: plan.BuildTrie, Inputs: []int{sh.ID}, Order: corePlan.AttrOrder})
+	lf := prog.Add(&plan.Op{
+		Kind: plan.LeapfrogCube, Phase: "join", Strategy: "wcoj",
+		Inputs: []int{bt.ID}, Order: corePlan.AttrOrder,
+		StoreAs: "~core", BudgetLabel: "budget",
+	})
+
+	// The ears fold back in with distributed hash joins.
+	accName := "~core"
+	accAttrs := append([]string(nil), corePlan.AttrOrder...)
+	last := lf.ID
+	for step, ai := range tail {
+		ear := q.Atoms[ai]
+		outName := fmt.Sprintf("I%d", step+1)
+		outAttrs := joinedAttrs(accAttrs, ear.Attrs)
+		op := prog.Add(&plan.Op{
+			Kind: plan.HashJoin, Phase: fmt.Sprintf("join%d", step+1), Strategy: "binary",
+			Inputs:      []int{last},
+			Left:        plan.Sig{Name: accName, Attrs: accAttrs},
+			Right:       plan.Sig{Name: ear.Name, Attrs: ear.Attrs},
+			Out:         plan.Sig{Name: outName, Attrs: outAttrs},
+			BudgetLabel: "budget(intermediate %d tuples)",
+		})
+		last = op.ID
+		accName = outName
+		accAttrs = outAttrs
+	}
+	prog.Add(&plan.Op{
+		Kind: plan.Emit, Inputs: []int{last},
+		From: accName, ProjectOnto: q.Attrs(),
+		Out: plan.Sig{Name: "out", Attrs: q.Attrs()},
+	})
+	return prog
+}
+
+func inputsOf(lastOp int) []int {
+	if lastOp < 0 {
+		return nil
+	}
+	return []int{lastOp}
+}
+
+// earIsSelective reports whether ear's distinct key set on the shared
+// attributes is small relative to the core relation's — the plan-time
+// proxy for "most core tuples drop".
+func earIsSelective(coreRel, ear *relation.Relation, shared []string) bool {
+	earKeys := ear.ProjectMulti(shared...).SortDedup().Len()
+	coreKeys := coreRel.ProjectMulti(shared...).SortDedup().Len()
+	if coreKeys == 0 {
+		return false
+	}
+	return float64(earKeys) < earSelectivity*float64(coreKeys)
+}
+
+// hybridWCOJProgram lowers a pure worst-case-optimal route for the Hybrid
+// engine: one optimized Merge shuffle of every relation, Leapfrog under
+// the chosen order.
+func hybridWCOJProgram(q hypergraph.Query, rels []*relation.Relation, opt *optimizer.Plan, label string) *plan.Program {
+	prog := &plan.Program{Engine: "Hybrid", Label: label}
+	infos := hcube.InfoOf(rels)
+	refs := make([]plan.RelRef, len(infos))
+	for i, ri := range infos {
+		refs[i] = plan.RelRef{Name: ri.Name, Attrs: ri.Attrs, Size: ri.Size}
+	}
+	sh := prog.Add(&plan.Op{
+		Kind: plan.Shuffle, Phase: "shuffle",
+		Rels: refs, Order: opt.AttrOrder,
+		ShuffleKind: "merge", ReuseID: label,
+		Cost: plan.Cost{Seconds: opt.Est.Communication},
+	})
+	bt := prog.Add(&plan.Op{Kind: plan.BuildTrie, Inputs: []int{sh.ID}, Order: opt.AttrOrder})
+	lf := prog.Add(&plan.Op{
+		Kind: plan.LeapfrogCube, Phase: "join", Strategy: "wcoj",
+		Inputs: []int{bt.ID}, Order: opt.AttrOrder,
+		BudgetLabel: "budget",
+	})
+	prog.Add(&plan.Op{
+		Kind: plan.Emit, Inputs: []int{lf.ID},
+		Out: plan.Sig{Name: "out", Attrs: opt.AttrOrder},
+	})
+	return prog
+}
+
+// orderCompCost prices Leapfrog under an attribute order: the sum of
+// estimated partial-binding counts over the order's proper prefixes,
+// converted to seconds at the base extension rate.
+func orderCompCost(opt *optimizer.Optimizer, order []string, p costmodel.Params) float64 {
+	cost := 0.0
+	for i := 1; i < len(order); i++ {
+		cost += costmodel.ExtendCost(opt.SubsetSize(order[:i]), p.BetaBase, p.NumServers)
+	}
+	return cost
+}
+
+// binaryChainCost prices a pairwise hash-join chain: each step shuffles
+// both inputs and materializes the estimated intermediate.
+func binaryChainCost(opt *optimizer.Optimizer, q hypergraph.Query, rels []*relation.Relation,
+	order []int, p costmodel.Params) float64 {
+
+	cost := 0.0
+	accAttrs := append([]string(nil), rels[order[0]].Attrs...)
+	cur := float64(rels[order[0]].Len())
+	for _, idx := range order[1:] {
+		next := rels[idx]
+		accAttrs = joinedAttrs(accAttrs, next.Attrs)
+		out := opt.SubsetSize(queryAttrsIn(q, accAttrs))
+		cost += stepCost(cur, float64(next.Len()), out, p)
+		cur = out
+	}
+	return cost
+}
+
+// hybridTailCost prices the ear hash-join chain stitched onto the core's
+// Leapfrog output.
+func hybridTailCost(opt, coreOpt *optimizer.Optimizer, q hypergraph.Query, rels []*relation.Relation,
+	coreOrder []string, tail []int, p costmodel.Params) float64 {
+
+	cost := 0.0
+	accAttrs := append([]string(nil), coreOrder...)
+	cur := coreOpt.SubsetSize(coreOrder)
+	for _, ai := range tail {
+		ear := rels[ai]
+		accAttrs = joinedAttrs(accAttrs, ear.Attrs)
+		out := opt.SubsetSize(queryAttrsIn(q, accAttrs))
+		cost += stepCost(cur, float64(ear.Len()), out, p)
+		cur = out
+	}
+	return cost
+}
+
+// stepCost prices one distributed hash join: shuffle both inputs plus the
+// output at the network rate, probe at the join rate.
+func stepCost(left, right, out float64, p costmodel.Params) float64 {
+	comm := 0.0
+	if p.Alpha > 0 {
+		comm = (left + right + out) / p.Alpha
+	}
+	return comm + costmodel.ExtendCost(out, p.JoinRate, p.NumServers)
+}
+
+// queryAttrsIn returns the members of set in the query's canonical
+// attribute order (SubsetSize keys are order-independent, but a canonical
+// order keeps the memo hits aligned with the optimizer's own probes).
+func queryAttrsIn(q hypergraph.Query, set []string) []string {
+	in := make(map[string]bool, len(set))
+	for _, a := range set {
+		in[a] = true
+	}
+	var out []string
+	for _, a := range q.Attrs() {
+		if in[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// earDecompose runs GYO ear removal on the query hypergraph: an atom is
+// an ear when every attribute it holds is either exclusive to it or
+// contained in a single witness atom still alive. Repeated removal leaves
+// the cyclic core (empty for α-acyclic queries). Ears are returned in
+// removal order; the core in atom order.
+func earDecompose(q hypergraph.Query) (core, ears []int) {
+	n := len(q.Atoms)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	left := n
+	for left > 1 {
+		removed := -1
+		// Attribute occurrence counts among live atoms.
+		occ := make(map[string]int)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for _, a := range q.Atoms[i].Attrs {
+				occ[a]++
+			}
+		}
+		for i := 0; i < n && removed < 0; i++ {
+			if !alive[i] {
+				continue
+			}
+			var sharedA []string
+			for _, a := range q.Atoms[i].Attrs {
+				if occ[a] > 1 {
+					sharedA = append(sharedA, a)
+				}
+			}
+			if len(sharedA) == 0 {
+				removed = i // isolated atom: trivially an ear
+				break
+			}
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				if containsAll(q.Atoms[j].Attrs, sharedA) {
+					removed = i
+					break
+				}
+			}
+		}
+		if removed < 0 {
+			break
+		}
+		alive[removed] = false
+		ears = append(ears, removed)
+		left--
+	}
+	if left == 1 {
+		// The last atom standing is always an ear: the query was acyclic.
+		for i := 0; i < n; i++ {
+			if alive[i] {
+				alive[i] = false
+				ears = append(ears, i)
+			}
+		}
+		left = 0
+	}
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			core = append(core, i)
+		}
+	}
+	sort.Ints(core)
+	return core, ears
+}
+
+func containsAll(attrs, want []string) bool {
+	for _, w := range want {
+		found := false
+		for _, a := range attrs {
+			if a == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

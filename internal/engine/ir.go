@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"adj/internal/cluster"
+	"adj/internal/hcube"
+	"adj/internal/hypergraph"
+	"adj/internal/plan"
+	"adj/internal/relation"
+	"adj/internal/sampling"
+)
+
+// errRunFailed is the interpreter's internal signal that a run ended in a
+// *reported* failure (budget, memory): the Report is already marked Failed
+// with its FailReason and the run returns (rep, nil), matching the paper's
+// frame-top failure bars rather than a Go error.
+var errRunFailed = errors.New("engine: run failed (reported)")
+
+// runEngine is the shared engine body every registry entry delegates to:
+// borrow/build the cluster, plan (or reuse the prepared Program), walk the
+// operator DAG with the IR interpreter, and fold metrics into the paper's
+// cost buckets. Engines differ only in the Program their planner lowers.
+func runEngine(name string, q hypergraph.Query, rels []*relation.Relation, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{Engine: name, Query: q.Name, Servers: cfg.NumServers}
+	c, release := clusterFor(cfg)
+	defer release()
+	c.LoadDatabase(rels)
+
+	// Planning: reuse the prepared Program (a session's PreparedQuery pays
+	// planning once) or lower the query now, charged to the optimize phase.
+	var prog *plan.Program
+	if pp := preparedFor(cfg, name); pp != nil && pp.Program != nil {
+		prog = pp.Program
+	} else {
+		t0 := time.Now()
+		pp, err := Prepare(name, q, rels, cfg)
+		if err != nil {
+			return rep, err
+		}
+		prog = pp.Program
+		chargeSeconds(c, "optimize", t0)
+	}
+	rep.Plan = prog.Label
+	if err := ctxErr(cfg); err != nil {
+		return rep, err
+	}
+
+	if err := runProgram(c, prog, rels, cfg, &rep); err != nil {
+		if errors.Is(err, errRunFailed) {
+			finishReport(&rep, c.Metrics)
+			return rep, nil
+		}
+		return rep, err
+	}
+	finishReport(&rep, c.Metrics)
+	return rep, nil
+}
+
+// progState is the interpreter's per-run scratch: results of executed ops
+// that later ops consume by ID.
+type progState struct {
+	// lf holds each LeapfrogCube op's outcome.
+	lf map[int]lfResult
+	// shuffles records each executed hcube plan (keyed by op ID) for the
+	// downstream LeapfrogCube and the end-of-run trie publish.
+	shuffles map[int]hcube.Plan
+	// published collects the shuffle plans to Publish on success, in
+	// execution order.
+	published []hcube.Plan
+}
+
+type lfResult struct {
+	total  int64
+	merged *relation.Relation
+}
+
+// runProgram interprets a lowered Program op by op on the resident
+// cluster. A reported failure (budget, memory) marks rep and returns
+// errRunFailed; every other error is a real failure of the run.
+func runProgram(c *cluster.Cluster, prog *plan.Program, rels []*relation.Relation, cfg Config, rep *Report) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	st := &progState{lf: make(map[int]lfResult), shuffles: make(map[int]hcube.Plan)}
+	for _, op := range prog.Ops {
+		if err := ctxErr(cfg); err != nil {
+			return err
+		}
+		if err := runOp(c, prog, op, st, rels, cfg, rep); err != nil {
+			return err
+		}
+	}
+	// Publish the built block tries for the next execution over the same
+	// content (a no-op without a session store).
+	for _, sp := range st.published {
+		hcube.Publish(c, sp)
+	}
+	return nil
+}
+
+func runOp(c *cluster.Cluster, prog *plan.Program, op *plan.Op, st *progState,
+	rels []*relation.Relation, cfg Config, rep *Report) error {
+	switch op.Kind {
+	case plan.Shuffle:
+		return runShuffle(c, op, st, cfg, rep)
+	case plan.BuildTrie:
+		// Tries are built lazily per (relation, block) at first cube use —
+		// see cubeTries — so the op itself is a marker carrying the order
+		// and cost annotation for Explain.
+		return nil
+	case plan.LeapfrogCube:
+		return runLeapfrog(c, prog, op, st, cfg, rep)
+	case plan.HashJoin:
+		size, err := distributedJoin(c, op.Phase, op.Left.Name, op.Left.Attrs,
+			op.Right.Name, op.Right.Attrs, op.Out.Name, cfg.Budget)
+		if err != nil {
+			return opFailure(c, op, st, err, size, rep)
+		}
+		return nil
+	case plan.Semijoin:
+		var err error
+		if op.Attr != "" {
+			err = verifyRound(c, op.Phase, rels[op.RelIdx], op.Prefix, op.Attr, cfg)
+		} else {
+			err = distributedSemijoin(c, op.Phase, op.Left.Name, op.Left.Attrs,
+				op.Right.Name, op.Right.Attrs, op.Out.Name)
+		}
+		if err != nil {
+			return opFailure(c, op, st, err, 0, rep)
+		}
+		return checkOpBudget(c, op, cfg, rep)
+	case plan.Project:
+		return c.Parallel(op.Phase, func(w *cluster.Worker) error {
+			frag, ok := w.Rels[op.Left.Name]
+			if !ok {
+				return nil
+			}
+			canon := frag.ProjectMulti(op.Out.Attrs...)
+			canon.Name = op.Out.Name
+			w.Rels[op.Out.Name] = canon
+			return nil
+		})
+	case plan.Scatter:
+		vals := sampling.ValA(rels, op.Attr)
+		bindings := relation.New("bind0", op.Attr)
+		for _, v := range vals {
+			bindings.Append(v)
+		}
+		scatter(c, op.Phase, bindings)
+		return nil
+	case plan.Extend:
+		if err := proposeRound(c, op.Phase, rels[op.RelIdx], op.Prefix, op.Attr, cfg); err != nil {
+			return opFailure(c, op, st, err, 0, rep)
+		}
+		return checkOpBudget(c, op, cfg, rep)
+	case plan.Emit:
+		return runEmit(c, prog, op, st, cfg, rep)
+	default:
+		return fmt.Errorf("engine: unknown plan op kind %v", op.Kind)
+	}
+}
+
+// runShuffle executes one HCube exchange: re-gather dynamic sizes,
+// optimize shares (charged to the optimize phase when the plan says so),
+// enforce the memory bound, and run the shuffle with session reuse wired.
+func runShuffle(c *cluster.Cluster, op *plan.Op, st *progState, cfg Config, rep *Report) error {
+	infos := make([]hcube.RelInfo, len(op.Rels))
+	for i, rr := range op.Rels {
+		size := rr.Size
+		if rr.Dynamic {
+			name := rr.Name
+			size = c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(name)) })
+		}
+		infos[i] = hcube.RelInfo{Name: rr.Name, Attrs: rr.Attrs, Size: size}
+	}
+	t0 := time.Now()
+	shares, err := hcube.Optimize(infos, hcube.Config{
+		Attrs:           op.Order,
+		NumServers:      cfg.NumServers,
+		MaxCubes:        maxCubes(cfg),
+		MinCubes:        maxCubes(cfg),
+		MemoryPerServer: cfg.MemoryPerServer,
+	})
+	if err != nil {
+		return err
+	}
+	if op.ChargeOptimize {
+		// The HCubeJ family charges share optimization to the paper's
+		// Optimization column; ADJ's shares are part of the shuffle.
+		chargeSeconds(c, "optimize", t0)
+	}
+	planID := op.ReuseID
+	if op.LabelShares {
+		rep.Plan = fmt.Sprintf("ord=%v shares=%v", op.Order, shares.P)
+		planID = rep.Plan
+	}
+	if cfg.MemoryPerServer > 0 && hcube.LoadPerCube(infos, shares) > float64(cfg.MemoryPerServer) {
+		rep.Failed = true
+		rep.FailReason = "memory"
+		return errRunFailed
+	}
+	kind := shuffleKindOf(op, cfg)
+	sp := hcube.Plan{
+		Shares: shares, Rels: infos, Kind: kind, TrieOrder: op.Order,
+		Reuse: shuffleReuse(cfg, planID, infos),
+	}
+	if err := hcube.Run(c, op.Phase, sp); err != nil {
+		return err
+	}
+	st.shuffles[op.ID] = sp
+	st.published = append(st.published, sp)
+	return nil
+}
+
+// shuffleKindOf resolves the HCube implementation: the run config's
+// override wins, then the plan's choice, then Push (the original).
+func shuffleKindOf(op *plan.Op, cfg Config) hcube.Kind {
+	if cfg.ShuffleKind != nil {
+		return *cfg.ShuffleKind
+	}
+	switch op.ShuffleKind {
+	case "merge":
+		return hcube.Merge
+	case "pull":
+		return hcube.Pull
+	default:
+		return hcube.Push
+	}
+}
+
+// runLeapfrog executes the WCOJ over the cubes its upstream Shuffle
+// distributed, folding the cache/emit counters into the report.
+func runLeapfrog(c *cluster.Cluster, prog *plan.Program, op *plan.Op, st *progState, cfg Config, rep *Report) error {
+	sp, ok := shuffleFor(prog, op, st)
+	if !ok {
+		return fmt.Errorf("engine: LeapfrogCube #%d has no upstream Shuffle", op.ID)
+	}
+	total, output, cstats, estats, err := localCubeJoin(c, op.Phase, sp.Rels, op.Order, cfg, op.Cached, op.StoreAs)
+	rep.CacheBlocks += cstats.Blocks
+	rep.TrieBuilds += cstats.Builds
+	rep.TrieCacheHits += cstats.Hits
+	rep.EmittedRuns += estats.runs
+	rep.EmittedValues += estats.values
+	if err != nil {
+		return opFailure(c, op, st, err, 0, rep)
+	}
+	st.lf[op.ID] = lfResult{total: total, merged: output}
+	return nil
+}
+
+// shuffleFor resolves the executed hcube plan feeding op, walking through
+// marker ops (BuildTrie) to the upstream Shuffle.
+func shuffleFor(prog *plan.Program, op *plan.Op, st *progState) (hcube.Plan, bool) {
+	for _, in := range op.Inputs {
+		if sp, ok := st.shuffles[in]; ok {
+			return sp, true
+		}
+		if sp, ok := shuffleFor(prog, prog.Ops[in], st); ok {
+			return sp, true
+		}
+	}
+	return hcube.Plan{}, false
+}
+
+// runEmit terminates the plan: count and optionally materialize results,
+// either from the upstream LeapfrogCube's folded outputs or by gathering
+// the worker fragments of the From relation.
+func runEmit(c *cluster.Cluster, prog *plan.Program, op *plan.Op, st *progState, cfg Config, rep *Report) error {
+	if op.From == "" {
+		for _, in := range op.Inputs {
+			if r, ok := st.lf[in]; ok {
+				rep.Results = r.total
+				rep.Output = r.merged
+				return nil
+			}
+		}
+		return fmt.Errorf("engine: Emit #%d has no upstream LeapfrogCube result", op.ID)
+	}
+	name := op.From
+	rep.Results = c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(name)) })
+	if cfg.CollectOutput {
+		out := relation.New("out", op.Out.Attrs...)
+		for _, w := range c.Workers {
+			// Empty fragments may carry a degenerate schema (BigJoin's
+			// verify resets a drained worker to an attribute-less bindings
+			// relation); they contribute nothing, so skip before projecting.
+			if frag, ok := w.Rels[name]; ok && frag.Len() > 0 {
+				out.AppendAll(frag.ProjectMulti(op.ProjectOnto...))
+			}
+		}
+		rep.Output = out
+	}
+	return nil
+}
+
+// opFailure routes an op error: a budget overrun becomes the reported
+// failure the op's BudgetLabel names (with the offending size substituted
+// for a "%d" verb); everything else propagates as a real error.
+func opFailure(c *cluster.Cluster, op *plan.Op, st *progState, err error, size int64, rep *Report) error {
+	if !errors.Is(err, ErrBudget) {
+		return err
+	}
+	label := op.BudgetLabel
+	if label == "" {
+		label = "budget"
+	}
+	if strings.Contains(label, "%d") {
+		label = fmt.Sprintf(label, size)
+	}
+	rep.Failed = true
+	rep.FailReason = label
+	return errRunFailed
+}
+
+// checkOpBudget enforces a post-op bound on the op output's global size
+// (BigJoin's per-round binding cap).
+func checkOpBudget(c *cluster.Cluster, op *plan.Op, cfg Config, rep *Report) error {
+	if !op.CheckBudget || cfg.Budget <= 0 {
+		return nil
+	}
+	name := op.Out.Name
+	sz := c.GatherCounts(func(w *cluster.Worker) int64 { return int64(w.LocalSize(name)) })
+	if sz > cfg.Budget {
+		rep.Failed = true
+		rep.FailReason = fmt.Sprintf("budget(round %d: %d bindings)", op.Round, sz)
+		return errRunFailed
+	}
+	return nil
+}

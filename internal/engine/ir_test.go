@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adj/internal/hypergraph"
+	"adj/internal/plan"
+	"adj/internal/testutil"
+)
+
+// Every engine's Prepare must lower to a valid physical program: a
+// well-formed DAG (inputs strictly precede consumers) ending in exactly
+// one Emit, with the engine's identity stamped on it.
+func TestEveryEngineLowersToValidProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := testutil.RandEdges(rng, "E", 300, 25)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	for _, name := range AllEngineNames() {
+		pp, err := Prepare(name, q, rels, smallCfg(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pp.Program == nil {
+			t.Fatalf("%s: Prepare returned no program", name)
+		}
+		if err := pp.Program.Validate(); err != nil {
+			t.Fatalf("%s: invalid program: %v", name, err)
+		}
+		if pp.Program.Engine != name {
+			t.Fatalf("%s: program stamped %q", name, pp.Program.Engine)
+		}
+		emits := 0
+		for _, op := range pp.Program.Ops {
+			if op.Kind == plan.Emit {
+				emits++
+			}
+		}
+		if emits != 1 {
+			t.Fatalf("%s: %d Emit ops, want 1", name, emits)
+		}
+		if last := pp.Program.Ops[len(pp.Program.Ops)-1]; last.Kind != plan.Emit {
+			t.Fatalf("%s: last op is %s, want Emit", name, last.Kind)
+		}
+		if tree := pp.Program.Tree(); !strings.Contains(tree, "Emit") {
+			t.Fatalf("%s: Tree rendering missing Emit:\n%s", name, tree)
+		}
+	}
+}
+
+// The lowered programs must carry the engines' established phase
+// vocabulary — finishReport buckets cost by these names, so a drift here
+// silently moves seconds between report columns.
+func TestLoweredPhaseNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	edges := testutil.RandEdges(rng, "E", 300, 25)
+	q := hypergraph.Q1()
+	rels := q.BindGraph(edges)
+	cfg := smallCfg(3)
+
+	phasesOf := func(name string) map[plan.Kind][]string {
+		t.Helper()
+		pp, err := Prepare(name, q, rels, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := make(map[plan.Kind][]string)
+		for _, op := range pp.Program.Ops {
+			out[op.Kind] = append(out[op.Kind], op.Phase)
+		}
+		return out
+	}
+
+	adj := phasesOf("ADJ")
+	if got := adj[plan.Shuffle]; len(got) != 1 || got[0] != "shuffle" {
+		t.Fatalf("ADJ shuffle phases = %v", got)
+	}
+	if got := adj[plan.LeapfrogCube]; len(got) != 1 || got[0] != "join" {
+		t.Fatalf("ADJ leapfrog phases = %v", got)
+	}
+
+	spark := phasesOf("SparkSQL")
+	for i, ph := range spark[plan.HashJoin] {
+		if want := "join" + string(rune('1'+i)); ph != want {
+			t.Fatalf("SparkSQL join %d phase = %q, want %q", i, ph, want)
+		}
+	}
+
+	big := phasesOf("BigJoin")
+	if got := big[plan.Scatter]; len(got) != 1 || got[0] != "round0" {
+		t.Fatalf("BigJoin scatter phases = %v", got)
+	}
+	for _, ph := range big[plan.Extend] {
+		if !strings.HasPrefix(ph, "round") || !strings.HasSuffix(ph, "/propose") {
+			t.Fatalf("BigJoin propose phase = %q", ph)
+		}
+	}
+	for _, ph := range big[plan.Semijoin] {
+		if !strings.Contains(ph, "/verify") {
+			t.Fatalf("BigJoin verify phase = %q", ph)
+		}
+	}
+}
+
+// A prepared execution must reproduce the direct run exactly — same
+// results, same failure state, same shuffle volume — with the one intended
+// difference: planning already happened, so the optimization phase reports
+// (close to) zero for engines that charge planning up front.
+func TestPreparedRunParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := testutil.RandEdges(rng, "E", 400, 30)
+	q := hypergraph.Q2()
+	rels := q.BindGraph(edges)
+	cfg := smallCfg(3)
+	for _, name := range AllEngineNames() {
+		direct, err := Engines()[name](q, rels, cfg)
+		if err != nil {
+			t.Fatalf("%s direct: %v", name, err)
+		}
+		pp, err := Prepare(name, q, rels, cfg)
+		if err != nil {
+			t.Fatalf("%s prepare: %v", name, err)
+		}
+		pcfg := cfg
+		pcfg.Prepared = pp
+		warm, err := Engines()[name](q, rels, pcfg)
+		if err != nil {
+			t.Fatalf("%s prepared: %v", name, err)
+		}
+		if warm.Results != direct.Results {
+			t.Fatalf("%s: prepared results=%d direct=%d", name, warm.Results, direct.Results)
+		}
+		if warm.Failed != direct.Failed {
+			t.Fatalf("%s: prepared failed=%v direct=%v", name, warm.Failed, direct.Failed)
+		}
+		if warm.TuplesShuffled != direct.TuplesShuffled {
+			t.Fatalf("%s: prepared shuffled=%d direct=%d", name, warm.TuplesShuffled, direct.TuplesShuffled)
+		}
+		if warm.Plan != direct.Plan {
+			t.Fatalf("%s: prepared plan %q != direct %q", name, warm.Plan, direct.Plan)
+		}
+		// ADJ and Hybrid pay sampling at Prepare; the prepared run must not
+		// pay it again. (The HCubeJ family charges share optimization inside
+		// the shuffle, so it reports optimization seconds either way.)
+		switch name {
+		case "ADJ", "ADJ(comm-first)", "Hybrid":
+			if warm.Optimization != 0 {
+				t.Fatalf("%s: prepared run charged %.6fs optimization", name, warm.Optimization)
+			}
+			if direct.Optimization == 0 {
+				t.Fatalf("%s: direct run charged no optimization", name)
+			}
+		}
+	}
+}
+
+// Budget failures routed through the interpreter must keep the engines'
+// established FailReason formats.
+func TestInterpreterBudgetFailReasons(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	edges := testutil.RandEdges(rng, "E", 2000, 40)
+	q := hypergraph.Q2()
+	rels := q.BindGraph(edges)
+	cfg := smallCfg(2)
+	cfg.Budget = 40
+
+	cases := []struct {
+		engine string
+		prefix string
+	}{
+		{"SparkSQL", "budget(intermediate "},
+		{"BigJoin", "budget"}, // per-worker propose cap trips before the round check
+		{"HCubeJ", "budget"},
+	}
+	for _, tc := range cases {
+		rep, err := Engines()[tc.engine](q, rels, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.engine, err)
+		}
+		if !rep.Failed {
+			t.Fatalf("%s: tiny budget did not fail (results=%d)", tc.engine, rep.Results)
+		}
+		if !strings.HasPrefix(rep.FailReason, tc.prefix) {
+			t.Fatalf("%s: FailReason = %q, want prefix %q", tc.engine, rep.FailReason, tc.prefix)
+		}
+	}
+}

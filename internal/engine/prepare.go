@@ -9,21 +9,26 @@ import (
 	"adj/internal/hcube"
 	"adj/internal/hypergraph"
 	"adj/internal/optimizer"
+	"adj/internal/plan"
 	"adj/internal/relation"
 	"adj/internal/sampling"
 )
 
 // PreparedPlan is the cached planning artifact of a prepared query: the
 // part of a run that samples the data and chooses a plan, split from
-// execution so a session can pay it once and execute many times. Exactly
-// one of the plan fields is populated, matching the engine family.
+// execution so a session can pay it once and execute many times. Program
+// is what executes — the lowered operator DAG the IR interpreter walks;
+// the other plan fields keep the engine-family artifact it was lowered
+// from (inspection, Explain).
 type PreparedPlan struct {
 	// Engine is the registry name the plan was prepared for; engines reject
 	// a plan prepared for a different engine (plans are not interchangeable:
 	// ADJ's co-optimized GHD plan means nothing to BinaryJoin).
 	Engine string
+	// Program is the lowered physical plan the IR interpreter executes.
+	Program *plan.Program
 	// Opt is the optimizer plan: co-optimized for ADJ, communication-first
-	// for the HCubeJ family.
+	// for the HCubeJ family and the hybrid's cyclic core.
 	Opt *optimizer.Plan
 	// JoinOrder is BinaryJoin's greedy pairwise order (indexes into the
 	// bound relation list).
@@ -36,11 +41,13 @@ type PreparedPlan struct {
 }
 
 // Prepare computes the planning artifact for engineName over bound
-// relations: sampling-based cardinality estimation plus plan selection for
-// the optimizing engines, the cheap deterministic orders for the others.
-// The result plugs into Config.Prepared, making the engine skip its
-// optimization phase. cfg supplies the planning knobs (NumServers, Samples,
-// Seed, Ctx for cancellation).
+// relations and lowers it to the physical plan.Program the IR interpreter
+// executes: sampling-based cardinality estimation plus plan selection for
+// the optimizing engines, the cheap deterministic orders for the others,
+// selectivity-driven strategy routing for Hybrid. The result plugs into
+// Config.Prepared, making the engine skip its optimization phase. cfg
+// supplies the planning knobs (NumServers, Samples, Seed, Ctx for
+// cancellation).
 func Prepare(engineName string, q hypergraph.Query, rels []*relation.Relation, cfg Config) (*PreparedPlan, error) {
 	cfg = cfg.withDefaults()
 	t0 := time.Now()
@@ -49,16 +56,30 @@ func Prepare(engineName string, q hypergraph.Query, rels []*relation.Relation, c
 	switch engineName {
 	case "ADJ":
 		pp.Opt, err = adjPlan(q, rels, cfg, true)
+		if err == nil {
+			pp.Program = lowerADJ(q, rels, pp.Opt)
+		}
 	case "ADJ(comm-first)":
 		pp.Opt, err = adjPlan(q, rels, cfg, false)
+		if err == nil {
+			pp.Program = lowerADJ(q, rels, pp.Opt)
+			pp.Program.Engine = engineName
+		}
 	case "HCubeJ", "HCubeJ+Cache":
 		pp.Opt, err = commFirstPlan(q, rels, cfg)
+		if err == nil {
+			pp.Program = lowerHCubeJ(engineName, rels, pp.Opt, engineName == "HCubeJ+Cache")
+		}
 	case "BigJoin":
 		pp.Order = q.Attrs()
+		pp.Program, err = lowerBigJoin(q, rels, pp.Order)
 	case "SparkSQL":
 		pp.JoinOrder = binaryJoinOrder(rels)
+		pp.Program = lowerBinary(q, rels, pp.JoinOrder)
+	case "Hybrid":
+		pp.Program, pp.Opt, err = lowerHybrid(q, rels, cfg)
 	default:
-		return nil, fmt.Errorf("engine: unknown engine %q (want one of %v)", engineName, EngineNames())
+		return nil, fmt.Errorf("engine: unknown engine %q (want one of %v)", engineName, AllEngineNames())
 	}
 	if err != nil {
 		return nil, err

@@ -69,4 +69,3 @@ func Fig9(cfg Config) (Result, error) {
 	}
 	return res, nil
 }
-

@@ -1,0 +1,92 @@
+package adj
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The session plan cache is keyed by (engine, query shape, relation
+// content): warm executions route straight to the interpreter with zero
+// planning seconds; re-registering changed content replans automatically
+// (charged to that execution's Optimization); re-registering identical
+// content stays warm.
+func TestSessionPlanCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	edges := randomEdges(t, rng, 400, 40)
+	q := CatalogQuery("Q1")
+	for _, name := range []string{"ADJ", "Hybrid"} {
+		s, err := Open(Options{Workers: 3, Samples: 80, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Register("edges", edges); err != nil {
+			t.Fatal(err)
+		}
+		pq, err := s.PrepareGraph(name, q, "edges")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pq.PlanSeconds() <= 0 {
+			t.Fatalf("%s: Prepare reported no planning time", name)
+		}
+		if expl := pq.Explain(); !strings.Contains(expl, "Emit") {
+			t.Fatalf("%s: Explain missing operator tree:\n%s", name, expl)
+		}
+
+		// Warm hit: the cached plan executes with zero planning cost.
+		res, err := pq.Exec(context.Background(), CountOnly())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := res.Count()
+		if opt := res.Report().Optimization; opt != 0 {
+			t.Fatalf("%s: warm execution charged %.6fs optimization", name, opt)
+		}
+
+		// Identical content re-registered: the content signature is
+		// unchanged, so the key still matches and no replan happens.
+		if err := s.Register("edges", edges.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		res, err = pq.Exec(context.Background(), CountOnly())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if opt := res.Report().Optimization; opt != 0 {
+			t.Fatalf("%s: identical re-register caused a replan (%.6fs)", name, opt)
+		}
+		if res.Count() != want {
+			t.Fatalf("%s: count changed on identical data: %d != %d", name, res.Count(), want)
+		}
+
+		// Changed content: the key misses, the execution replans and pays
+		// for it, and the answer reflects the new data.
+		bigger := edges.Clone()
+		for i := 0; i < 200; i++ {
+			bigger.Append(Value(rng.Intn(40)), Value(rng.Intn(40)))
+		}
+		if err := s.Register("edges", bigger); err != nil {
+			t.Fatal(err)
+		}
+		res, err = pq.Exec(context.Background(), CountOnly())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if opt := res.Report().Optimization; opt <= 0 {
+			t.Fatalf("%s: changed content did not replan (optimization=%.6fs)", name, opt)
+		}
+
+		// And the replanned plan is cached in turn: the next execution over
+		// the same content is warm again.
+		res, err = pq.Exec(context.Background(), CountOnly())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if opt := res.Report().Optimization; opt != 0 {
+			t.Fatalf("%s: replanned plan not cached (%.6fs)", name, opt)
+		}
+		s.Close()
+	}
+}

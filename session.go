@@ -42,12 +42,14 @@ type Session struct {
 	clus   *cluster.Cluster
 	store  *blockcache.Store
 	rels   map[string]*registeredRel
+	epochs uint64
 	closed bool
 }
 
 type registeredRel struct {
-	rel *Relation
-	sig uint64
+	rel   *Relation
+	sig   uint64
+	epoch uint64
 }
 
 // Open creates a session: a resident simulated cluster of opts.Workers
@@ -106,7 +108,8 @@ func (s *Session) Register(name string, rel *Relation) error {
 	if s.closed {
 		return fmt.Errorf("adj: session closed")
 	}
-	reg := &registeredRel{rel: rel}
+	s.epochs++
+	reg := &registeredRel{rel: rel, epoch: s.epochs}
 	if s.store != nil {
 		// The fingerprint only keys the trie store; with reuse disabled
 		// (one-shot shims, TrieStoreBytes < 0) the O(values) hash pass is
@@ -140,12 +143,15 @@ func (s *Session) Registered(name string) bool {
 func (s *Session) TrieStoreStats() TrieStoreStats { return s.store.Stats() }
 
 // Prepare binds q's atoms against the registered relations and computes the
-// engine's planning artifact (sampling-based cardinality estimation and
-// plan selection for the optimizing engines) exactly once. The returned
+// engine's planning artifact (sampling-based cardinality estimation, plan
+// selection and the lowered physical program) exactly once. The returned
 // PreparedQuery can be executed any number of times; executions rebind
-// against the session's current registrations, so a re-registered relation
-// is picked up without re-preparing (the cached plan is reused — re-prepare
-// after drastic data changes to replan).
+// against the session's current registrations. The cached plan is keyed by
+// the planning inputs — the engine, the query shape and every bound
+// relation's content signature — so a warm execution routes straight to the
+// interpreter with zero sampling or planning cost, while an execution over
+// re-registered relations with changed content replans automatically (the
+// replanning time shows up in that report's Optimization).
 func (s *Session) Prepare(engineName string, q Query) (*PreparedQuery, error) {
 	return s.prepare(engineName, q, "")
 }
@@ -176,7 +182,38 @@ func (s *Session) prepare(engineName string, q Query, graphRel string) (*Prepare
 		return nil, err
 	}
 	p.plan = plan
+	p.planKey = s.planKeyLocked(p)
 	return p, nil
+}
+
+// planKeyLocked fingerprints a prepared query's planning inputs: the
+// engine, the query shape, and the content signature of every bound
+// relation (its registration epoch when content hashing is off, i.e. the
+// trie store is disabled). Two equal keys mean the cached plan was
+// computed from identical inputs and can be executed as-is. Caller holds
+// s.mu.
+func (s *Session) planKeyLocked(p *PreparedQuery) uint64 {
+	h := relation.NewHash64()
+	h.Bytes(p.engineName)
+	h.Bytes(p.q.Name)
+	for _, a := range p.q.Atoms {
+		h.Bytes(a.Name)
+		for _, at := range a.Attrs {
+			h.Bytes(at)
+		}
+		name := a.Name
+		if p.graphRel != "" {
+			name = p.graphRel
+		}
+		if reg, ok := s.rels[name]; ok {
+			if s.store != nil {
+				h.Word(reg.sig)
+			} else {
+				h.Word(reg.epoch)
+			}
+		}
+	}
+	return h.Sum()
 }
 
 // bindLocked binds p's query atoms against the current registrations and
@@ -222,6 +259,7 @@ type PreparedQuery struct {
 	q          Query
 	graphRel   string
 	plan       *engine.PreparedPlan
+	planKey    uint64
 }
 
 // Engine returns the engine name the query was prepared for.
@@ -238,6 +276,16 @@ func (p *PreparedQuery) Plan() string {
 // PlanSeconds is the measured planning time Prepare paid — what a one-shot
 // run charges to its Optimization phase.
 func (p *PreparedQuery) PlanSeconds() float64 { return p.plan.Seconds }
+
+// Explain renders the prepared physical plan — the operator DAG Exec will
+// interpret — as an indented tree with per-op strategy and cost
+// annotations.
+func (p *PreparedQuery) Explain() string {
+	if p.plan.Program != nil {
+		return p.plan.Program.Tree()
+	}
+	return p.Plan()
+}
 
 // ExecOption tunes one execution.
 type ExecOption func(*execOpts)
@@ -278,6 +326,22 @@ func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results,
 	if err != nil {
 		return nil, err
 	}
+
+	// Plan-cache validation: the cached plan is keyed by the planning
+	// inputs' content, so a warm hit routes straight to the interpreter —
+	// zero sampling, zero planning. A key mismatch (a relation was
+	// re-registered with different content) replans here and charges the
+	// replanning time to this execution's Optimization phase.
+	var replanSeconds float64
+	if key := s.planKeyLocked(p); key != p.planKey {
+		pl, err := engine.Prepare(p.engineName, p.q, rels, s.opts.toConfig())
+		if err != nil {
+			return nil, err
+		}
+		p.plan, p.planKey = pl, key
+		replanSeconds = pl.Seconds
+	}
+
 	cfg := s.opts.toConfig()
 	cfg.CollectOutput = !eo.countOnly
 	cfg.Ctx = ctx
@@ -312,6 +376,7 @@ func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results,
 			return nil, err
 		}
 	}
+	rep.Optimization += replanSeconds
 	return newResults(rep), nil
 }
 
