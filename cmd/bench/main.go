@@ -125,6 +125,11 @@ type Snapshot struct {
 	// prepared once, executed cold (shuffle + trie builds, published to the
 	// session store) then warm (shuffle skipped, tries adopted).
 	Session *SessionBench `json:"session,omitempty"`
+	// Streaming is the pipelined-shuffle workload: streamed-vs-materialized
+	// parity across every engine, comm/compute overlap on a shuffle-heavy
+	// run, dial amortization over the persistent TCP transport, and the
+	// receive-side memory bound on the multi-round BigJoin.
+	Streaming *StreamBench `json:"streaming,omitempty"`
 	// Hybrid is the strategy-routing workload: a path-attached triangle
 	// where the Hybrid engine's split plan (semijoin-reduced WCOJ core +
 	// ear hash joins) must beat both the pure leapfrog and the pure binary
@@ -152,6 +157,31 @@ type SessionBench struct {
 	WarmTrieCacheHits int64   `json:"warm_trie_cache_hits"`
 	StoreBlocks       int64   `json:"store_blocks"`
 	StoreBytes        int64   `json:"store_bytes"`
+}
+
+// StreamBench reports the streaming-shuffle measurement: wire-level chunk
+// counters from the parallel (pipelined) engine runs, the comm/compute
+// overlap reclaimed on a shuffle-heavy workload, the dial count of one
+// multi-round run over the persistent TCP transport, and the receive-side
+// peak bytes of the BigJoin run streamed vs materialized.
+type StreamBench struct {
+	// StreamChunks totals the chunk envelopes the parallel engine runs
+	// moved through the pipelined path (every engine must stream).
+	StreamChunks int64 `json:"stream_chunks"`
+	// OverlapEngine / OverlapSeconds: the shuffle-heavy run's measured
+	// comm/compute overlap (producer+consumer busy time in excess of the
+	// exchange wall time). Must be > 0: the pipeline's whole point.
+	OverlapEngine  string  `json:"overlap_engine"`
+	OverlapSeconds float64 `json:"overlap_seconds"`
+	// TCPDials is the number of connections one multi-round BigJoin run
+	// dialed over the real TCP transport; TCPDialBound is workers² — the
+	// persistent-connection ceiling no matter how many exchanges ran.
+	TCPDials     int64 `json:"tcp_dials"`
+	TCPDialBound int64 `json:"tcp_dial_bound"`
+	// BigJoin receive-side peak payload bytes held at one worker: bounded
+	// chunk queues (streamed) vs the full materialized inbox.
+	RecvPeakStreamedBytes     int64 `json:"bigjoin_recv_peak_streamed_bytes"`
+	RecvPeakMaterializedBytes int64 `json:"bigjoin_recv_peak_materialized_bytes"`
 }
 
 // HybridBench reports the strategy-routing measurement on the
@@ -332,8 +362,8 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_7.json", "output JSON path")
-		ref     = flag.String("ref", "BENCH_6.json", "reference snapshot to compare against (\"\" disables)")
+		out     = flag.String("out", "BENCH_8.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_7.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
@@ -386,6 +416,10 @@ func main() {
 	// Fault-free parity runs in every mode: the robustness layer must cost
 	// nothing (and change nothing) when no fault fires.
 	faultFreeParity(q, rels, *workers, *cubes)
+	// Streaming-shuffle invariants (streamed == materialized for every
+	// engine, chunks flow, overlap > 0, TCP dials amortized, BigJoin
+	// receive peak bounded) run in every mode too.
+	snap.Streaming = benchStreamingShuffle(q, rels, *dataset, *workers, *cubes)
 	// Session invariants (warm trie builds == 0, streamed output ==
 	// one-shot baseline byte-for-byte) run in every mode too.
 	snap.Session = benchSessionWorkload(q, edges, *workers, *quick)
@@ -792,6 +826,117 @@ func faultFreeParity(q hypergraph.Query, rels []*relation.Relation, workers, cub
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fault-free parity: all engines identical through quiescent fault layer\n")
+}
+
+// benchStreamingShuffle enforces the pipelined-shuffle invariants in every
+// mode (quick included) and returns the streaming section of the snapshot:
+//
+//   - every engine run in the parallel (streamed) mode produces sorted
+//     output byte-identical to its sequential (materialized shim) run, and
+//     moves a nonzero number of chunk envelopes while the shim moves none;
+//   - the streamed BigJoin's receive-side peak bytes never exceed the
+//     materialized inbox peak (bounded chunk queues vs full inboxes);
+//   - a shuffle-heavy run reports comm/compute overlap > 0;
+//   - one multi-round BigJoin over the real TCP transport dials at most
+//     workers² connections across all its exchanges (persistent
+//     connections amortize, nothing re-dials per exchange).
+func benchStreamingShuffle(q hypergraph.Query, rels []*relation.Relation, dataset string, workers, cubes int) *StreamBench {
+	sb := &StreamBench{TCPDialBound: int64(workers * workers)}
+	sortedBytes := func(r *relation.Relation) []byte {
+		if r == nil {
+			return nil
+		}
+		return relation.Encode(r.Clone().Sort())
+	}
+	var wantResults int64 = -1
+	for _, name := range engine.AllEngineNames() {
+		run := engine.Engines()[name]
+		cfg := engine.Config{NumServers: workers, Samples: 300, Seed: 1,
+			CubesPerServer: cubes, CollectOutput: true}
+		streamed, err := run(q, rels, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("streaming %s (parallel): %w", name, err))
+		}
+		cfg.Sequential = true
+		mat, err := run(q, rels, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("streaming %s (sequential): %w", name, err))
+		}
+		if streamed.Results != mat.Results || !bytes.Equal(sortedBytes(streamed.Output), sortedBytes(mat.Output)) {
+			fatal(fmt.Errorf("streaming %s: streamed output differs from materialized (%d vs %d results)",
+				name, streamed.Results, mat.Results))
+		}
+		if wantResults == -1 {
+			wantResults = streamed.Results
+		}
+		if streamed.StreamChunks == 0 {
+			fatal(fmt.Errorf("streaming %s: parallel run moved zero chunks — pipelined path not engaged", name))
+		}
+		if mat.StreamChunks != 0 {
+			fatal(fmt.Errorf("streaming %s: sequential run reported %d stream chunks", name, mat.StreamChunks))
+		}
+		sb.StreamChunks += streamed.StreamChunks
+		if name == "BigJoin" {
+			sb.RecvPeakStreamedBytes = streamed.RecvPeakBytes
+			sb.RecvPeakMaterializedBytes = mat.RecvPeakBytes
+			if streamed.RecvPeakBytes > mat.RecvPeakBytes {
+				fatal(fmt.Errorf("streaming BigJoin: streamed receive peak %d B exceeds materialized inbox peak %d B",
+					streamed.RecvPeakBytes, mat.RecvPeakBytes))
+			}
+		}
+	}
+
+	// Overlap on a shuffle-heavy workload: the Push-shuffle HCubeJ over a
+	// floor-scaled graph (per-tuple envelopes, consumers depositing as
+	// chunks land). Overlap is producer+consumer busy time in excess of
+	// exchange wall time — real wall-clock concurrency, which a
+	// single-processor host cannot exhibit (one core serializes every
+	// goroutine, so elapsed always covers the sum of busy times). Enforce
+	// the overlap > 0 invariant only where the hardware can express it;
+	// allow a few scheduling-fluke retries before declaring the pipeline
+	// dead.
+	sb.OverlapEngine = "HCubeJ"
+	heavy := adj.GenerateGraph(dataset, 0.2)
+	heavyRels := q.BindGraph(heavy)
+	for attempt := 0; attempt < 3 && sb.OverlapSeconds == 0; attempt++ {
+		rep, err := engine.RunHCubeJ(q, heavyRels, engine.Config{
+			NumServers: workers, Samples: 300, Seed: 1, CubesPerServer: cubes})
+		if err != nil {
+			fatal(fmt.Errorf("streaming overlap run: %w", err))
+		}
+		sb.OverlapSeconds = rep.OverlapSeconds
+	}
+	if sb.OverlapSeconds <= 0 {
+		if runtime.GOMAXPROCS(0) > 1 {
+			fatal(fmt.Errorf("streaming: shuffle-heavy %s run reclaimed zero comm/compute overlap", sb.OverlapEngine))
+		}
+		fmt.Fprintf(os.Stderr, "streaming: single-processor host (GOMAXPROCS=1) — comm/compute overlap unmeasurable, skipping the overlap > 0 invariant\n")
+	}
+
+	// Dial amortization over the real wire: one multi-round BigJoin run
+	// (many exchanges) must dial at most workers² persistent connections.
+	tcp, err := cluster.NewTCPTransport(workers)
+	if err != nil {
+		fatal(fmt.Errorf("streaming: tcp transport: %w", err))
+	}
+	rep, err := engine.RunBigJoin(q, rels, engine.Config{NumServers: workers, Samples: 300, Seed: 1,
+		CubesPerServer: cubes, Transport: tcp})
+	if err != nil {
+		fatal(fmt.Errorf("streaming BigJoin over TCP: %w", err))
+	}
+	if rep.Results != wantResults {
+		fatal(fmt.Errorf("streaming BigJoin over TCP: %d results, local runs found %d", rep.Results, wantResults))
+	}
+	sb.TCPDials = rep.TransportDials
+	if sb.TCPDials == 0 || sb.TCPDials > sb.TCPDialBound {
+		fatal(fmt.Errorf("streaming BigJoin over TCP dialed %d connections, want in (0, %d]: persistent connections not amortizing",
+			sb.TCPDials, sb.TCPDialBound))
+	}
+	fmt.Fprintf(os.Stderr,
+		"streaming: %d chunks, overlap %.4fs (%s), tcp dials %d/%d, bigjoin recv peak %d B streamed vs %d B materialized\n",
+		sb.StreamChunks, sb.OverlapSeconds, sb.OverlapEngine,
+		sb.TCPDials, sb.TCPDialBound, sb.RecvPeakStreamedBytes, sb.RecvPeakMaterializedBytes)
+	return sb
 }
 
 // benchSessionWorkload measures the Session repeated-query path — the

@@ -64,6 +64,43 @@ func (w *Worker) EncodeRelation(r *relation.Relation) []byte {
 	return payload
 }
 
+// DefaultChunkRows bounds the rows per stream chunk when a producer
+// passes chunkRows <= 0: large enough to amortize framing, small enough
+// that receivers start decoding long before a big block finishes sending.
+const DefaultChunkRows = 8192
+
+// EncodeRelationChunks serializes r in row-range chunks of at most
+// chunkRows rows (<= 0 uses DefaultChunkRows), invoking fn once per chunk
+// with the arena-parked payload, the row range [lo, hi), and the chunk
+// ordinal. Each chunk is an independently decodable relation encoding; a
+// relation at or under chunkRows yields exactly one chunk, byte-identical
+// to EncodeRelation's output. Iteration stops at fn's first error.
+func (w *Worker) EncodeRelationChunks(r *relation.Relation, chunkRows int, fn func(payload []byte, lo, hi, chunk int) error) error {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	n := r.Len()
+	if n <= chunkRows {
+		return fn(w.EncodeRelation(r), 0, n, 0)
+	}
+	sp := encScratch.Get().(*[]byte)
+	defer func() { encScratch.Put(sp) }()
+	chunk := 0
+	for lo := 0; lo < n; lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > n {
+			hi = n
+		}
+		buf := relation.AppendEncodeRange((*sp)[:0], r, lo, hi)
+		*sp = buf[:0]
+		if err := fn(w.PayloadCopy(buf), lo, hi, chunk); err != nil {
+			return err
+		}
+		chunk++
+	}
+	return nil
+}
+
 // payloadArena is a slab allocator for envelope payloads. Reset keeps the
 // first slab, so steady-state exchanges reuse one allocation.
 type payloadArena struct {
@@ -449,10 +486,14 @@ func (c *Cluster) Exchange(phase string,
 // cancellation, per-phase fault injection) when the transport implements
 // it, and folds the transport's retry counters into the run's metrics.
 func (c *Cluster) route(phase string, bySender [][]Envelope) ([][]Envelope, error) {
-	var before int64
+	var retryBefore, dialBefore int64
 	rc, counted := c.transp.(RetryCounter)
 	if counted {
-		before = rc.RetryStats()
+		retryBefore = rc.RetryStats()
+	}
+	dc, dialed := c.transp.(DialCounter)
+	if dialed {
+		dialBefore = dc.DialStats()
 	}
 	var routed [][]Envelope
 	var err error
@@ -462,7 +503,10 @@ func (c *Cluster) route(phase string, bySender [][]Envelope) ([][]Envelope, erro
 		routed, err = c.transp.Route(bySender)
 	}
 	if counted {
-		c.Metrics.AddTransportRetries(rc.RetryStats() - before)
+		c.Metrics.AddTransportRetries(rc.RetryStats() - retryBefore)
+	}
+	if dialed {
+		c.Metrics.AddTransportDials(dc.DialStats() - dialBefore)
 	}
 	return routed, err
 }

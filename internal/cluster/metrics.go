@@ -60,6 +60,22 @@ type PhaseMetrics struct {
 	// Messages counts logical envelopes (Push counts one per tuple even
 	// though the runtime batches the physical transfer).
 	Messages int64
+	// OverlapSeconds is the comm/compute overlap the streaming path
+	// reclaimed: producer busy time + consumer busy time in excess of the
+	// exchange's wall time (0 on the materialized path, where consume
+	// cannot start before the last producer finishes).
+	OverlapSeconds float64
+	// StreamChunks counts chunk envelopes delivered through the streaming
+	// path (0 when the exchange ran materialized).
+	StreamChunks int64
+	// InflightPeakChunks is the high-water mark of chunks queued at any
+	// single receiver (bounded by the stream window).
+	InflightPeakChunks int64
+	// RecvPeakBytes is the high-water mark of receive-side payload bytes
+	// held at any single worker: queued chunk bytes when streamed, the
+	// full inbox when materialized. The streaming win on multi-round
+	// engines shows up here.
+	RecvPeakBytes int64
 }
 
 // Metrics collects phase metrics for one engine run.
@@ -72,6 +88,7 @@ type Metrics struct {
 	// transport-level dial/write retries the exchanges performed.
 	panicsRecovered  atomic.Int64
 	transportRetries atomic.Int64
+	transportDials   atomic.Int64
 }
 
 // AddPanicRecovered counts one worker panic recovered into an error.
@@ -89,6 +106,17 @@ func (m *Metrics) AddTransportRetries(n int64) {
 
 // TransportRetries returns the transport dial/write retry count of the run.
 func (m *Metrics) TransportRetries() int64 { return m.transportRetries.Load() }
+
+// AddTransportDials folds n transport dials into the run's counter.
+func (m *Metrics) AddTransportDials(n int64) {
+	if n > 0 {
+		m.transportDials.Add(n)
+	}
+}
+
+// TransportDials returns the number of connections the run's exchanges
+// dialed. Persistent transports amortize: after warm-up a run dials 0.
+func (m *Metrics) TransportDials() int64 { return m.transportDials.Load() }
 
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics {
@@ -129,6 +157,36 @@ func (m *Metrics) TotalTuplesSent() int64 {
 	var t int64
 	for _, p := range m.Phases() {
 		t += p.TuplesSent
+	}
+	return t
+}
+
+// TotalOverlapSeconds sums streaming comm/compute overlap over all phases.
+func (m *Metrics) TotalOverlapSeconds() float64 {
+	t := 0.0
+	for _, p := range m.Phases() {
+		t += p.OverlapSeconds
+	}
+	return t
+}
+
+// TotalStreamChunks sums delivered stream chunks over all phases.
+func (m *Metrics) TotalStreamChunks() int64 {
+	var t int64
+	for _, p := range m.Phases() {
+		t += p.StreamChunks
+	}
+	return t
+}
+
+// MaxRecvPeakBytes returns the largest receive-side byte high-water of any
+// phase.
+func (m *Metrics) MaxRecvPeakBytes() int64 {
+	var t int64
+	for _, p := range m.Phases() {
+		if p.RecvPeakBytes > t {
+			t = p.RecvPeakBytes
+		}
 	}
 	return t
 }

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StreamExchange runs one all-to-all shuffle through the streaming
+// transport path: every worker's producer emits bounded chunks while every
+// worker's consumer pulls and processes them, so communication overlaps
+// computation on both sides (trie builds start when the first chunk lands,
+// not when the slowest sender finishes).
+//
+// Contract: produce must Send complete, independently-decodable chunks and
+// return (the cluster closes the sender half); consume must drain its
+// receiver until end-of-stream or error, must tolerate any arrival
+// interleaving across senders, and must not retain a received payload past
+// the next Recv (transports pool receive buffers).
+//
+// In sequential mode — the deterministic simulation — or over a transport
+// without streaming support, the exchange runs materialized through the
+// same Exchange shim as every legacy call site: produce collects into an
+// inbox routed as one batch, consume iterates it in deterministic order.
+// Results must be identical either way; only wall-clock and the wire-level
+// counters (chunks, overlap, receive peaks) differ.
+func (c *Cluster) StreamExchange(phase string,
+	produce func(w *Worker, s StreamSender) error,
+	consume func(w *Worker, r StreamReceiver) error) error {
+
+	if st, ok := c.transp.(StreamTransport); ok && c.parallel {
+		err := c.streamedExchange(phase, st, produce, consume)
+		if !errors.Is(err, ErrStreamUnsupported) {
+			return err
+		}
+	}
+	return c.materializedStreamExchange(phase, produce, consume)
+}
+
+// streamedExchange is the overlapping path: 2N goroutines (one producer
+// and one consumer per worker, both under panic containment) over one
+// multiplexed transport exchange.
+func (c *Cluster) streamedExchange(phase string, st StreamTransport,
+	produce func(w *Worker, s StreamSender) error,
+	consume func(w *Worker, r StreamReceiver) error) error {
+
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("phase %s: %w", phase, err)
+	}
+
+	var retryBefore, dialBefore int64
+	rc, hasRetry := c.transp.(RetryCounter)
+	if hasRetry {
+		retryBefore = rc.RetryStats()
+	}
+	dc, hasDial := c.transp.(DialCounter)
+	if hasDial {
+		dialBefore = dc.DialStats()
+	}
+
+	es, err := st.OpenExchange(c.ctx, phase, DefaultStreamWindow)
+	if err != nil {
+		if errors.Is(err, ErrStreamUnsupported) {
+			return err
+		}
+		return fmt.Errorf("phase %s: %w", phase, err)
+	}
+
+	n := c.N
+	tracker := &abortTracker{}
+	prodErrs := make([]error, n)
+	consErrs := make([]error, n)
+	prodDur := make([]time.Duration, n)
+	consDur := make([]time.Duration, n)
+	senders := make([]*meteredSender, n)
+	receivers := make([]*meteredReceiver, n)
+
+	defer func() {
+		for _, w := range c.Workers {
+			w.arena.reset()
+		}
+	}()
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Workers[i]
+			ms := &meteredSender{inner: es.Sender(i), w: w, inBytes: make([]int64, n)}
+			senders[i] = ms
+			ts := time.Now()
+			err := c.runWorker(phase+"/send", w, func(w *Worker) error {
+				return produce(w, ms)
+			})
+			prodDur[i] = time.Since(ts)
+			ms.inner.Close()
+			if err != nil {
+				if tracker.abort(es, err) || err != tracker.cause() {
+					prodErrs[i] = err
+				}
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			w := c.Workers[i]
+			mr := &meteredReceiver{inner: es.Receiver(i)}
+			receivers[i] = mr
+			ts := time.Now()
+			err := c.runWorker(phase+"/recv", w, func(w *Worker) error {
+				return consume(w, mr)
+			})
+			consDur[i] = time.Since(ts)
+			if err != nil {
+				if tracker.abort(es, err) || err != tracker.cause() {
+					consErrs[i] = err
+				}
+				return
+			}
+			// Drain anything the consumer left unread so senders blocked on
+			// the window can finish and pooled buffers return.
+			for {
+				if _, ok, err := mr.inner.Recv(); err != nil || !ok {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	stats := es.Stats()
+	es.Close()
+
+	// Accounting. Producer/consumer "busy" time excludes blocking inside
+	// Send/Recv (backpressure waits are not computation); the comp phases
+	// keep the same vocabulary as the materialized path, and the overlap
+	// counter records how much busy time the pipeline packed into less
+	// wall clock than a barriered exchange would need.
+	pm := c.Metrics.Phase(phase)
+	inBytes := make([]int64, n)
+	var maxBytes, maxMsgs int64
+	var maxProdBusy, maxConsBusy float64
+	for i := 0; i < n; i++ {
+		ms, mr := senders[i], receivers[i]
+		if ms == nil || mr == nil {
+			continue
+		}
+		pm.BytesSent += ms.bytes
+		pm.TuplesSent += ms.tuples
+		pm.Messages += ms.msgs
+		if ms.bytes > maxBytes {
+			maxBytes = ms.bytes
+		}
+		if ms.msgs > maxMsgs {
+			maxMsgs = ms.msgs
+		}
+		for d, b := range ms.inBytes {
+			inBytes[d] += b
+		}
+		if busy := (prodDur[i] - ms.wait).Seconds(); busy > maxProdBusy {
+			maxProdBusy = busy
+		}
+		if busy := (consDur[i] - mr.wait).Seconds(); busy > maxConsBusy {
+			maxConsBusy = busy
+		}
+	}
+	for _, b := range inBytes {
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	pm.CommSeconds += c.network.CommSeconds(maxBytes, maxMsgs)
+	c.Metrics.Phase(phase + "/send").CompSeconds += maxProdBusy
+	c.Metrics.Phase(phase + "/recv").CompSeconds += maxConsBusy
+	if overlap := maxProdBusy + maxConsBusy - elapsed; overlap > 0 {
+		pm.OverlapSeconds += overlap
+	}
+	pm.StreamChunks += stats.Chunks
+	if stats.InflightPeak > pm.InflightPeakChunks {
+		pm.InflightPeakChunks = stats.InflightPeak
+	}
+	if stats.RecvPeakBytes > pm.RecvPeakBytes {
+		pm.RecvPeakBytes = stats.RecvPeakBytes
+	}
+	if hasRetry {
+		c.Metrics.AddTransportRetries(rc.RetryStats() - retryBefore)
+	}
+	if hasDial {
+		c.Metrics.AddTransportDials(dc.DialStats() - dialBefore)
+	}
+
+	if err := c.foldErrors(phase+"/send", prodErrs); err != nil {
+		return err
+	}
+	if err := c.foldErrors(phase+"/recv", consErrs); err != nil {
+		return err
+	}
+	if cause := tracker.cause(); cause != nil {
+		// Every worker error was collateral of one abort (e.g. the caller's
+		// context fired): the cause itself is the phase's error.
+		return fmt.Errorf("phase %s: %w", phase, cause)
+	}
+	return nil
+}
+
+// materializedStreamExchange runs a StreamExchange body through the
+// materialized Exchange shim: identical accounting, routing, and error
+// semantics to every legacy call site, with deterministic consume order in
+// sequential mode.
+func (c *Cluster) materializedStreamExchange(phase string,
+	produce func(w *Worker, s StreamSender) error,
+	consume func(w *Worker, r StreamReceiver) error) error {
+
+	inboxBytes := make([]int64, c.N)
+	err := c.Exchange(phase,
+		func(w *Worker) ([]Envelope, error) {
+			cs := &collectSender{}
+			if err := produce(w, cs); err != nil {
+				return nil, err
+			}
+			return cs.envs, nil
+		},
+		func(w *Worker, inbox []Envelope) error {
+			var b int64
+			for i := range inbox {
+				b += int64(len(inbox[i].Payload))
+			}
+			inboxBytes[w.ID] = b
+			return consume(w, &sliceReceiver{inbox: inbox})
+		})
+	var peak int64
+	for _, b := range inboxBytes {
+		if b > peak {
+			peak = b
+		}
+	}
+	pm := c.Metrics.Phase(phase)
+	if peak > pm.RecvPeakBytes {
+		pm.RecvPeakBytes = peak
+	}
+	return err
+}
+
+// abortTracker distinguishes a worker's own error from the collateral
+// errors an exchange abort propagates to its peers: only the first abort's
+// owner (and workers failing with a different error, e.g. a recovered
+// panic) record into the fold arrays.
+type abortTracker struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (a *abortTracker) abort(es ExchangeStream, err error) (first bool) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+		first = true
+	}
+	a.mu.Unlock()
+	es.Abort(err)
+	return first
+}
+
+func (a *abortTracker) cause() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// meteredSender stamps From, tallies network counters per chunk, and
+// tracks time blocked inside the transport (excluded from comp charging).
+type meteredSender struct {
+	inner   StreamSender
+	w       *Worker
+	wait    time.Duration
+	bytes   int64
+	tuples  int64
+	msgs    int64
+	inBytes []int64
+}
+
+func (s *meteredSender) Send(e Envelope) error {
+	e.From = s.w.ID
+	b := int64(len(e.Payload))
+	t0 := time.Now()
+	err := s.inner.Send(e)
+	s.wait += time.Since(t0)
+	if err != nil {
+		return err
+	}
+	s.bytes += b
+	s.tuples += e.Tuples
+	s.msgs += e.MsgWeight()
+	if e.To >= 0 && e.To < len(s.inBytes) {
+		s.inBytes[e.To] += b
+	}
+	return nil
+}
+
+func (s *meteredSender) Close() error { return s.inner.Close() }
+
+// meteredReceiver tracks time blocked inside Recv (excluded from comp
+// charging: waiting for chunks is communication, not computation).
+type meteredReceiver struct {
+	inner StreamReceiver
+	wait  time.Duration
+}
+
+func (r *meteredReceiver) Recv() (Envelope, bool, error) {
+	t0 := time.Now()
+	e, ok, err := r.inner.Recv()
+	r.wait += time.Since(t0)
+	return e, ok, err
+}
+
+// collectSender materializes a produce callback's chunks for the Exchange
+// shim.
+type collectSender struct {
+	envs []Envelope
+}
+
+func (s *collectSender) Send(e Envelope) error {
+	s.envs = append(s.envs, e)
+	return nil
+}
+
+func (s *collectSender) Close() error { return nil }
+
+// sliceReceiver iterates a materialized inbox through the StreamReceiver
+// surface.
+type sliceReceiver struct {
+	inbox []Envelope
+	i     int
+}
+
+func (r *sliceReceiver) Recv() (Envelope, bool, error) {
+	if r.i >= len(r.inbox) {
+		return Envelope{}, false, nil
+	}
+	e := r.inbox[r.i]
+	r.i++
+	return e, true, nil
+}

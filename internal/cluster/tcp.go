@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -13,41 +14,47 @@ import (
 	"time"
 )
 
-// TCPTransport routes envelopes over real loopback TCP sockets using a
-// minimal length-prefixed frame protocol. It exists to keep the
-// serialization and wire path honest: integration tests run the full join
-// engines over it and must produce byte-identical results to the local
-// transport.
+// TCPTransport routes envelopes over real loopback TCP sockets. It exists
+// to keep the serialization and wire path honest: integration tests run
+// the full join engines over it and must produce byte-identical results to
+// the local transport.
 //
-// Failure discipline (the fault-tolerance contract):
+// Connection discipline (the serving-scale contract):
 //
-//   - Every connection opens with a header carrying the transport-local
-//     exchange sequence number and the sender ID, and closes with an
-//     explicit end-of-stream marker. A transfer without its marker is
-//     incomplete and is discarded by the receiver, never committed — so a
-//     sender may safely retry the whole stream on a new connection, and a
-//     connection left in the kernel accept backlog by an aborted exchange
-//     is recognized by its stale sequence number and dropped (no
-//     deadline-polling drain pass).
-//   - Dials and writes retry with capped exponential backoff plus seeded
-//     jitter up to RetryPolicy.MaxAttempts; exhaustion aborts the exchange
-//     with a typed *TransportError (errors.Is(err, ErrTransport)).
-//   - RouteExchange observes its context: a deadline becomes a per-
-//     connection I/O deadline, and in-flight cancellation aborts the
-//     exchange promptly (listeners deadline out, live connections are torn
-//     down), returning the context's error.
-//   - Frame-level protocol violations (implausible lengths — a corrupt
-//     stream) abort the exchange with a typed error immediately; transient
-//     I/O errors on a partially-read connection only discard that transfer
-//     and wait for the sender's retry (the sender aborts the exchange if
-//     its retries exhaust, so no one waits forever).
+//   - One long-lived connection per (sender, destination) pair per
+//     transport lifetime: lazily dialed on first use, reused by every
+//     subsequent exchange, and healed (re-dialed on next use) after an
+//     error tears it down. Dials retry with capped exponential backoff
+//     plus seeded jitter up to RetryPolicy.MaxAttempts; exhaustion aborts
+//     the exchange with a typed *TransportError.
+//   - Exchange frames are multiplexed over the shared connections by the
+//     transport-local exchange sequence number. The receive side demuxes
+//     each frame into the addressed exchange's bounded per-destination
+//     chunk queue (blocking the connection reader when the queue is full,
+//     so backpressure propagates to the sender through TCP flow control).
+//     Frames addressed to an exchange that is not registered — one that
+//     already completed or aborted — are discarded silently; an active
+//     exchange always registers before its senders emit.
+//   - A write failure mid-stream cannot be retried: earlier chunks of the
+//     stream may already have been consumed by the receiver, so the
+//     transport tears the connection down and aborts the exchange with a
+//     typed transient *TransportError. Recovery is the caller's re-run
+//     (session retry), which finds the connection healed by lazy redial.
+//   - OpenExchange observes its context: a deadline becomes a per-write
+//     deadline and bounds dial attempts; in-flight cancellation aborts the
+//     exchange at chunk granularity, returning the context's error from
+//     every blocked Send/Recv.
+//   - Frame-level protocol violations (implausible lengths, bad
+//     addressing — a corrupt stream) abort the addressed exchange with a
+//     typed error and close the connection; retrying cannot repair
+//     corrupt bytes.
 //
-// Frame layout (little-endian):
+// Wire layout (little-endian):
 //
-//	header: u32 magic | u64 exchange | u32 sender | u32 attempt
-//	frame:  u32 from | u32 to | u32 keyLen | key | u64 tuples | u64 weight |
-//	        u32 payloadLen | payload
-//	end:    u32 0xFFFF_FFFF
+//	conn header: u32 magic | u32 sender        (once per connection)
+//	frame:       u64 exchange | u32 from | u32 to | u32 chunk |
+//	             u32 keyLen | key | u64 tuples | u64 weight |
+//	             u32 payloadLen | payload
 type TCPTransport struct {
 	n         int
 	listeners []net.Listener
@@ -56,18 +63,41 @@ type TCPTransport struct {
 
 	seq     atomic.Uint64
 	retries atomic.Int64
+	dials   atomic.Int64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	connMu sync.Mutex
+	slots  map[pairKey]*connSlot
+
+	exMu      sync.Mutex
+	exchanges map[uint64]*tcpExchange
+
+	inMu     sync.Mutex
+	inConns  map[net.Conn]struct{}
+	inClosed bool
+
+	acceptWG sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// RetryPolicy bounds the transport's dial/write retries.
+type pairKey struct{ s, d int }
+
+// connSlot holds the persistent connection of one worker pair. dialMu
+// serializes dialing so concurrent Sends for the same pair share one dial.
+type connSlot struct {
+	dialMu sync.Mutex
+	mu     sync.Mutex
+	wc     *wconn
+}
+
+// RetryPolicy bounds the transport's dial retries.
 type RetryPolicy struct {
-	// MaxAttempts is the total number of attempts per (sender, destination)
-	// transfer (1 = no retry).
+	// MaxAttempts is the total number of dial attempts per connection
+	// (1 = no retry).
 	MaxAttempts int
 	// BaseDelay is the backoff before the first retry; it doubles per
 	// attempt, capped at MaxDelay, with ±50% seeded jitter.
@@ -115,7 +145,14 @@ func NewTCPTransport(n int) (*TCPTransport, error) {
 // retry policy.
 func NewTCPTransportWithRetry(n int, policy RetryPolicy) (*TCPTransport, error) {
 	policy = policy.withDefaults()
-	t := &TCPTransport{n: n, retry: policy, rng: rand.New(rand.NewSource(policy.Seed + 1))}
+	t := &TCPTransport{
+		n:         n,
+		retry:     policy,
+		rng:       rand.New(rand.NewSource(policy.Seed + 1)),
+		slots:     make(map[pairKey]*connSlot),
+		exchanges: make(map[uint64]*tcpExchange),
+		inConns:   make(map[net.Conn]struct{}),
+	}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -125,14 +162,23 @@ func NewTCPTransportWithRetry(n int, policy RetryPolicy) (*TCPTransport, error) 
 		t.listeners = append(t.listeners, l)
 		t.addrs = append(t.addrs, l.Addr().String())
 	}
+	for i := range t.listeners {
+		t.acceptWG.Add(1)
+		go t.acceptLoop(i)
+	}
 	return t, nil
 }
 
 // Addrs returns the listener addresses (for diagnostics).
 func (t *TCPTransport) Addrs() []string { return append([]string(nil), t.addrs...) }
 
-// RetryStats returns the cumulative dial/write retry count (RetryCounter).
+// RetryStats returns the cumulative dial retry count (RetryCounter).
 func (t *TCPTransport) RetryStats() int64 { return t.retries.Load() }
+
+// DialStats returns the cumulative successful dial count (DialCounter).
+// With persistent connections it is bounded by n² per transport lifetime
+// unless connections are torn down by faults.
+func (t *TCPTransport) DialStats() int64 { return t.dials.Load() }
 
 // Route performs one exchange without context plumbing (Transport compat).
 func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
@@ -152,425 +198,695 @@ func (t *TCPTransport) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * jitter)
 }
 
-// RouteExchange performs one all-to-all exchange under ctx: every sender
-// dials every destination it has envelopes for (with retry/backoff),
-// streams frames, and each listener accepts until every expected sender's
-// transfer has committed. The first unrecoverable failure on either side
-// aborts the exchange with a typed error; ctx cancellation aborts it with
-// ctx's error.
-func (t *TCPTransport) RouteExchange(ctx context.Context, phase string, bySender [][]Envelope) ([][]Envelope, error) {
-	exch := t.seq.Add(1)
-	out := make([][]Envelope, t.n)
-	var outMu sync.Mutex
-
-	// Count connections each receiver should expect: one per sender that has
-	// at least one envelope for it.
-	expect := make([]int, t.n)
-	perPair := make([][][]Envelope, len(bySender))
-	for s, envs := range bySender {
-		perPair[s] = make([][]Envelope, t.n)
-		for _, e := range envs {
-			if e.To < 0 || e.To >= t.n {
-				return nil, &TransportError{Op: "deliver", Dest: e.To,
-					Err: fmt.Errorf("destination out of range [0,%d)", t.n)}
-			}
-			perPair[s][e.To] = append(perPair[s][e.To], e)
-		}
-		for d := 0; d < t.n; d++ {
-			if len(perPair[s][d]) > 0 {
-				expect[d]++
-			}
-		}
+// OpenExchange registers a streaming exchange and returns its stream. The
+// exchange is registered before any sender can emit, so its frames are
+// never mistaken for stale traffic. Every sender half must be closed for
+// receivers to observe end-of-stream, and Close must always be called.
+func (t *TCPTransport) OpenExchange(ctx context.Context, phase string, window int) (ExchangeStream, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, &TransportError{Op: "open", Dest: -1, Err: errors.New("transport closed")}
 	}
+	t.mu.Unlock()
+	ex := &tcpExchange{
+		t:          t,
+		id:         t.seq.Add(1),
+		queues:     make([]*chunkQueue, t.n),
+		senderDone: make([]bool, t.n),
+		expected:   make([]int64, t.n),
+		delivered:  make([]int64, t.n),
+		destDone:   make([]bool, t.n),
+		abortCh:    make(chan struct{}),
+		watchStop:  make(chan struct{}),
+		watchDone:  make(chan struct{}),
+	}
+	ex.deadline, ex.hasDeadline = ctx.Deadline()
+	for i := range ex.queues {
+		ex.queues[i] = newChunkQueue(window)
+	}
+	t.exMu.Lock()
+	t.exchanges[ex.id] = ex
+	t.exMu.Unlock()
+	go func() {
+		defer close(ex.watchDone)
+		if ctx.Done() == nil {
+			<-ex.watchStop
+			return
+		}
+		select {
+		case <-ctx.Done():
+			ex.abort(ctx.Err())
+		case <-ex.watchStop:
+		}
+	}()
+	return ex, nil
+}
 
-	// Abort: the first unrecoverable failure deadlines every listener
-	// (unblocking receivers stuck in Accept) and tears down live
-	// connections (unblocking blocked reads/writes). The triggering error
-	// is the exchange's root cause; collateral errors the abort provokes
-	// are discarded. abortCh lets senders bail out of backoff sleeps.
-	deadline, hasDeadline := ctx.Deadline()
-	live := &connSet{conns: make(map[net.Conn]struct{})}
-	abortCh := make(chan struct{})
-	var abortOnce sync.Once
-	var rootCause error // written inside abortOnce; read only after wg.Wait
-	abort := func(cause error) {
-		abortOnce.Do(func() {
-			rootCause = cause
-			close(abortCh)
-			now := time.Now()
-			for _, l := range t.listeners {
-				if tl, ok := l.(*net.TCPListener); ok {
-					tl.SetDeadline(now)
+// RouteExchange performs one materialized all-to-all exchange as a shim
+// over the streaming path: senders stream their envelopes as chunks over
+// the persistent connections, receivers drain their queues into
+// caller-owned slices. The first unrecoverable failure aborts the
+// exchange with a typed error; ctx cancellation aborts it with ctx's
+// error.
+func (t *TCPTransport) RouteExchange(ctx context.Context, phase string, bySender [][]Envelope) ([][]Envelope, error) {
+	es, err := t.OpenExchange(ctx, phase, 0)
+	if err != nil {
+		return nil, err
+	}
+	ex := es.(*tcpExchange)
+	defer ex.Close()
+
+	out := make([][]Envelope, t.n)
+	var wg sync.WaitGroup
+	for s := 0; s < t.n; s++ {
+		var envs []Envelope
+		if s < len(bySender) {
+			envs = bySender[s]
+		}
+		wg.Add(1)
+		go func(s int, envs []Envelope) {
+			defer wg.Done()
+			snd := ex.Sender(s)
+			for _, e := range envs {
+				if err := snd.Send(e); err != nil {
+					break
 				}
 			}
-			live.abortAll()
-		})
+			snd.Close()
+		}(s, envs)
 	}
-	aborted := func() bool {
-		select {
-		case <-abortCh:
-			return true
-		default:
-			return false
-		}
-	}
-
-	// In-flight cancellation: a context watcher converts Done into an
-	// abort carrying the context's error.
-	watcherDone := make(chan struct{})
-	if ctx.Done() != nil {
-		go func() {
-			select {
-			case <-ctx.Done():
-				abort(ctx.Err())
-			case <-watcherDone:
-			}
-		}()
-	}
-
-	var wg sync.WaitGroup
-
-	// Receivers: accept until every expected sender's transfer commits.
-	// Stale-exchange and duplicate-sender connections are recognized by
-	// their headers and dropped without counting; incomplete transfers
-	// (I/O error before the end marker) are discarded — the sender retries
-	// on a fresh connection or aborts the exchange.
 	for d := 0; d < t.n; d++ {
-		if expect[d] == 0 {
-			continue
-		}
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			committed := make(map[int]bool)
-			for len(committed) < expect[d] {
-				conn, err := t.listeners[d].Accept()
-				if err != nil {
-					if !aborted() {
-						abort(&TransportError{Op: "accept", Dest: d, Err: err})
-					}
+			rcv := ex.Receiver(d)
+			for {
+				e, ok, err := rcv.Recv()
+				if err != nil || !ok {
 					return
 				}
-				if !live.add(conn) {
-					conn.Close()
-					return
-				}
-				if hasDeadline {
-					conn.SetDeadline(deadline)
-				}
-				sender, ok := readHeader(conn, exch)
-				if !ok || committed[sender] {
-					// Stale exchange, garbage header, or a duplicate retry
-					// of an already-committed transfer: drop silently.
-					live.remove(conn)
-					conn.Close()
-					continue
-				}
-				envs, err := readFrames(conn)
-				live.remove(conn)
-				conn.Close()
-				if err != nil {
-					if errors.Is(err, errProtocol) {
-						// Corrupt stream: retrying cannot help (the sender
-						// believes it succeeded) — abort with a typed error.
-						abort(&TransportError{Op: "read", Dest: d, Err: err})
-						return
-					}
-					// Transfer died mid-stream: discard, let the sender's
-					// retry (or its abort) resolve the exchange.
-					continue
-				}
-				committed[sender] = true
-				outMu.Lock()
-				out[d] = append(out[d], envs...)
-				outMu.Unlock()
+				// Own the (pooled) payload before the next Recv.
+				e.Payload = append([]byte(nil), e.Payload...)
+				out[d] = append(out[d], e)
 			}
 		}(d)
 	}
-
-	// Senders: one goroutine per (sender, destination) leg, retrying the
-	// whole transfer (dial + frames + end marker) with backoff on dial or
-	// write failure. Safe because the receiver commits a transfer only
-	// when its end marker arrives and dedupes by sender ID.
-	for s := range perPair {
-		for d := 0; d < t.n; d++ {
-			envs := perPair[s][d]
-			if len(envs) == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(s, d int, envs []Envelope) {
-				defer wg.Done()
-				var lastErr error
-				lastOp := "dial"
-				for attempt := 1; attempt <= t.retry.MaxAttempts; attempt++ {
-					if aborted() {
-						return
-					}
-					if attempt > 1 {
-						t.retries.Add(1)
-						select {
-						case <-abortCh:
-							return
-						case <-time.After(t.backoff(attempt - 1)):
-						}
-					}
-					lastOp, lastErr = t.sendOnce(exch, s, d, attempt, envs, live, deadline, hasDeadline)
-					if lastErr == nil {
-						return
-					}
-					if aborted() {
-						return // collateral failure of someone else's abort
-					}
-				}
-				abort(&TransportError{Op: lastOp, Dest: d, Attempts: t.retry.MaxAttempts, Err: lastErr})
-			}(s, d, envs)
-		}
-	}
-
 	wg.Wait()
-	close(watcherDone)
-	// Re-arm the listeners for the next exchange. Connections an aborted
-	// exchange left in the accept backlog carry its sequence number and
-	// are dropped by header inspection next time — no drain pass needed.
-	for _, l := range t.listeners {
-		if tl, ok := l.(*net.TCPListener); ok {
-			tl.SetDeadline(time.Time{})
-		}
-	}
-	if rootCause != nil {
-		return nil, rootCause
+	if cause := ex.cause(); cause != nil {
+		return nil, cause
 	}
 	return out, nil
 }
 
-// sendOnce performs one complete transfer attempt: dial, header, frames,
-// end marker. It returns the failing operation name and error, or ("", nil)
-// on success.
-func (t *TCPTransport) sendOnce(exch uint64, s, d, attempt int, envs []Envelope, live *connSet, deadline time.Time, hasDeadline bool) (string, error) {
-	dialTimeout := t.retry.DialTimeout
-	if hasDeadline {
-		if until := time.Until(deadline); until < dialTimeout {
-			dialTimeout = until
-		}
+// getConn returns the persistent connection for (s, d), dialing it (with
+// retry/backoff) if absent or previously broken.
+func (t *TCPTransport) getConn(ex *tcpExchange, s, d int) (*wconn, error) {
+	key := pairKey{s, d}
+	t.connMu.Lock()
+	slot := t.slots[key]
+	if slot == nil {
+		slot = &connSlot{}
+		t.slots[key] = slot
 	}
-	if dialTimeout <= 0 {
-		return "dial", context.DeadlineExceeded
+	t.connMu.Unlock()
+
+	slot.dialMu.Lock()
+	defer slot.dialMu.Unlock()
+	slot.mu.Lock()
+	wc := slot.wc
+	slot.mu.Unlock()
+	if wc != nil && !wc.broken.Load() {
+		return wc, nil
 	}
-	conn, err := net.DialTimeout("tcp", t.addrs[d], dialTimeout)
+	wc, err := t.dialConn(ex, s, d)
 	if err != nil {
-		return "dial", err
+		return nil, err
 	}
-	if !live.add(conn) {
-		conn.Close()
-		return "write", errExchangeAborted
-	}
-	defer func() {
-		live.remove(conn)
-		conn.Close()
-	}()
-	if hasDeadline {
-		conn.SetDeadline(deadline)
-	}
-	if err := writeHeader(conn, exch, s, attempt); err != nil {
-		return "write", err
-	}
-	for _, e := range envs {
-		if err := writeFrame(conn, e); err != nil {
-			return "write", err
-		}
-	}
-	if err := writeEndMarker(conn); err != nil {
-		return "write", err
-	}
-	return "", nil
+	slot.mu.Lock()
+	slot.wc = wc
+	slot.mu.Unlock()
+	return wc, nil
 }
 
-// errExchangeAborted marks a send attempt cut short because the exchange
-// was already aborted; the root cause is recorded by whoever aborted.
-var errExchangeAborted = errors.New("exchange aborted")
+func (t *TCPTransport) dialConn(ex *tcpExchange, s, d int) (*wconn, error) {
+	var lastErr error
+	for attempt := 1; attempt <= t.retry.MaxAttempts; attempt++ {
+		if err := ex.cause(); err != nil {
+			return nil, err
+		}
+		if attempt > 1 {
+			t.retries.Add(1)
+			select {
+			case <-ex.abortCh:
+				return nil, ex.cause()
+			case <-time.After(t.backoff(attempt - 1)):
+			}
+		}
+		dialTimeout := t.retry.DialTimeout
+		if ex.hasDeadline {
+			if until := time.Until(ex.deadline); until < dialTimeout {
+				dialTimeout = until
+			}
+		}
+		if dialTimeout <= 0 {
+			lastErr = context.DeadlineExceeded
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", t.addrs[d], dialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var hd [8]byte
+		binary.LittleEndian.PutUint32(hd[0:], tcpMagic)
+		binary.LittleEndian.PutUint32(hd[4:], uint32(s))
+		if _, err := conn.Write(hd[:]); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		t.dials.Add(1)
+		return &wconn{conn: conn}, nil
+	}
+	return nil, &TransportError{Op: "dial", Dest: d, Attempts: t.retry.MaxAttempts, Err: lastErr}
+}
 
-// Close shuts all listeners.
+// killWriters tears down connections currently writing for exchange id
+// (part of abort: unblocks a sender stuck in a write the receiver will
+// never drain). The torn connection heals by lazy redial on next use.
+func (t *TCPTransport) killWriters(id uint64) {
+	t.connMu.Lock()
+	var victims []*wconn
+	for _, slot := range t.slots {
+		slot.mu.Lock()
+		wc := slot.wc
+		slot.mu.Unlock()
+		if wc != nil && wc.writing.Load() == id {
+			victims = append(victims, wc)
+		}
+	}
+	t.connMu.Unlock()
+	for _, wc := range victims {
+		wc.fail()
+	}
+}
+
+func (t *TCPTransport) lookupExchange(id uint64) *tcpExchange {
+	t.exMu.Lock()
+	ex := t.exchanges[id]
+	t.exMu.Unlock()
+	return ex
+}
+
+func (t *TCPTransport) unregister(id uint64) {
+	t.exMu.Lock()
+	delete(t.exchanges, id)
+	t.exMu.Unlock()
+}
+
+// acceptLoop accepts inbound connections for worker d and spawns a demux
+// reader per connection.
+func (t *TCPTransport) acceptLoop(d int) {
+	defer t.acceptWG.Done()
+	for {
+		conn, err := t.listeners[d].Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		t.inMu.Lock()
+		if t.inClosed {
+			t.inMu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inConns[conn] = struct{}{}
+		t.inMu.Unlock()
+		t.acceptWG.Add(1)
+		go func() {
+			defer t.acceptWG.Done()
+			t.serveConn(d, conn)
+			t.inMu.Lock()
+			delete(t.inConns, conn)
+			t.inMu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// serveConn demuxes one inbound connection's frames into their exchanges'
+// receive queues. Receive payload buffers are pooled per connection and
+// returned by the receiver after decode adoption (the payload handed to
+// Recv is only valid until the next Recv). Pushing into a full queue
+// blocks the reader — backpressure reaches the sender via TCP flow
+// control.
+func (t *TCPTransport) serveConn(d int, conn net.Conn) {
+	var hd [8]byte
+	if _, err := io.ReadFull(conn, hd[:]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hd[0:]) != tcpMagic {
+		return
+	}
+	if sender := int(binary.LittleEndian.Uint32(hd[4:])); sender < 0 || sender >= t.n {
+		return
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	pool := &bufPool{}
+	var fh [24]byte
+	var tail [20]byte
+	for {
+		if _, err := io.ReadFull(br, fh[:]); err != nil {
+			return
+		}
+		exchID := binary.LittleEndian.Uint64(fh[0:])
+		from := int(binary.LittleEndian.Uint32(fh[8:]))
+		to := int(binary.LittleEndian.Uint32(fh[12:]))
+		chunk := int32(binary.LittleEndian.Uint32(fh[16:]))
+		keyLen := binary.LittleEndian.Uint32(fh[20:])
+		ex := t.lookupExchange(exchID)
+		if keyLen > 1<<20 {
+			t.abortProto(ex, d, fmt.Errorf("%w: implausible key length %d", errProtocol, keyLen))
+			return
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(br, tail[:]); err != nil {
+			return
+		}
+		tuples := int64(binary.LittleEndian.Uint64(tail[0:]))
+		weight := int64(binary.LittleEndian.Uint64(tail[8:]))
+		plen := binary.LittleEndian.Uint32(tail[16:])
+		if plen > 1<<31 {
+			t.abortProto(ex, d, fmt.Errorf("%w: implausible payload length %d", errProtocol, plen))
+			return
+		}
+		if from < 0 || from >= t.n || to != d {
+			t.abortProto(ex, d, fmt.Errorf("%w: bad addressing from=%d to=%d at worker %d", errProtocol, from, to, d))
+			return
+		}
+		if ex == nil {
+			// Completed, aborted, or never-registered exchange: stale
+			// traffic, discarded without disturbing the connection.
+			if _, err := br.Discard(int(plen)); err != nil {
+				return
+			}
+			continue
+		}
+		buf := pool.get(int(plen))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		env := Envelope{
+			From: from, To: to, Key: string(key), Payload: buf,
+			Tuples: tuples, Weight: weight, Chunk: chunk,
+		}
+		ex.deliver(d, queuedChunk{env: env, release: func() { pool.put(buf) }})
+	}
+}
+
+// abortProto handles a frame-level protocol violation: the addressed
+// exchange (when identifiable and active) aborts with a typed read error;
+// the connection is closed by the caller either way.
+func (t *TCPTransport) abortProto(ex *tcpExchange, d int, err error) {
+	if ex != nil {
+		ex.abort(&TransportError{Op: "read", Dest: d, Err: err})
+	}
+}
+
+// Close shuts down listeners, persistent connections, and any in-flight
+// exchanges, then waits for the demux goroutines to settle.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return nil
 	}
 	t.closed = true
+	t.mu.Unlock()
+
+	t.exMu.Lock()
+	exs := make([]*tcpExchange, 0, len(t.exchanges))
+	for _, ex := range t.exchanges {
+		exs = append(exs, ex)
+	}
+	t.exMu.Unlock()
+	for _, ex := range exs {
+		ex.abort(&TransportError{Op: "close", Dest: -1, Err: errors.New("transport closed")})
+	}
+
 	var first error
 	for _, l := range t.listeners {
 		if err := l.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	t.connMu.Lock()
+	for _, slot := range t.slots {
+		slot.mu.Lock()
+		if slot.wc != nil {
+			slot.wc.fail()
+		}
+		slot.mu.Unlock()
+	}
+	t.connMu.Unlock()
+	t.inMu.Lock()
+	t.inClosed = true
+	for c := range t.inConns {
+		c.Close()
+	}
+	t.inMu.Unlock()
+	t.acceptWG.Wait()
 	return first
 }
 
-// connSet tracks the live connections of one in-flight exchange so an
-// abort can tear them all down (unblocking reads and writes stuck against
-// a peer that stopped participating).
-type connSet struct {
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	aborted bool
+// wconn is one persistent outbound connection. A mutex serializes frame
+// writes (exchanges multiplex whole frames); writing publishes the
+// exchange currently holding the writer so an abort can tear down a
+// blocked write.
+type wconn struct {
+	conn        net.Conn
+	mu          sync.Mutex
+	scratch     []byte
+	curDeadline time.Time
+	writing     atomic.Uint64
+	broken      atomic.Bool
 }
 
-// add registers c; it reports false (without registering) when the
-// exchange has already been aborted, in which case the caller must close c.
-func (cs *connSet) add(c net.Conn) bool {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if cs.aborted {
-		return false
+var errConnBroken = errors.New("tcp transport: connection broken")
+
+func (wc *wconn) fail() {
+	wc.broken.Store(true)
+	wc.conn.Close()
+}
+
+func (wc *wconn) writeFrame(ex *tcpExchange, e Envelope) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.broken.Load() {
+		return errConnBroken
 	}
-	cs.conns[c] = struct{}{}
-	return true
-}
-
-func (cs *connSet) remove(c net.Conn) {
-	cs.mu.Lock()
-	delete(cs.conns, c)
-	cs.mu.Unlock()
-}
-
-func (cs *connSet) abortAll() {
-	cs.mu.Lock()
-	cs.aborted = true
-	for c := range cs.conns {
-		c.Close()
+	wc.writing.Store(ex.id)
+	defer wc.writing.Store(0)
+	if ex.hasDeadline {
+		if !wc.curDeadline.Equal(ex.deadline) {
+			wc.conn.SetWriteDeadline(ex.deadline)
+			wc.curDeadline = ex.deadline
+		}
+	} else if !wc.curDeadline.IsZero() {
+		wc.conn.SetWriteDeadline(time.Time{})
+		wc.curDeadline = time.Time{}
 	}
-	cs.mu.Unlock()
+	buf := wc.scratch[:0]
+	var b4 [4]byte
+	var b8 [8]byte
+	p32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b4[:], v)
+		buf = append(buf, b4[:]...)
+	}
+	p64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		buf = append(buf, b8[:]...)
+	}
+	p64(ex.id)
+	p32(uint32(e.From))
+	p32(uint32(e.To))
+	p32(uint32(e.Chunk))
+	p32(uint32(len(e.Key)))
+	buf = append(buf, e.Key...)
+	p64(uint64(e.Tuples))
+	p64(uint64(e.Weight))
+	p32(uint32(len(e.Payload)))
+	wc.scratch = buf[:0]
+	if _, err := wc.conn.Write(buf); err != nil {
+		wc.fail()
+		return err
+	}
+	if len(e.Payload) > 0 {
+		if _, err := wc.conn.Write(e.Payload); err != nil {
+			wc.fail()
+			return err
+		}
+	}
+	return nil
 }
 
-// tcpMagic opens every connection header ("AJX1").
-const tcpMagic = 0x414A5831
+// tcpExchange is one registered streaming exchange. Completion is
+// accounted in-process: each sender records its per-destination chunk
+// counts at Close, and a destination's queue closes once every sender has
+// closed and the destination has received its expected chunk count.
+type tcpExchange struct {
+	t           *TCPTransport
+	id          uint64
+	deadline    time.Time
+	hasDeadline bool
+	queues      []*chunkQueue
 
-// endMarker terminates a transfer's frame stream. Frames begin with the
-// sender's worker ID (< n), so the all-ones word is unambiguous.
-const endMarker = 0xFFFFFFFF
+	mu            sync.Mutex
+	closedSenders int
+	senderDone    []bool
+	expected      []int64
+	delivered     []int64
+	destDone      []bool
+	abortErr      error
+	closed        bool
+
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+func (ex *tcpExchange) Sender(worker int) StreamSender {
+	return &tcpSender{ex: ex, s: worker, sent: make([]int64, ex.t.n)}
+}
+
+func (ex *tcpExchange) Receiver(worker int) StreamReceiver {
+	return &tcpReceiver{ex: ex, d: worker}
+}
+
+func (ex *tcpExchange) cause() error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.abortErr
+}
+
+func (ex *tcpExchange) Abort(cause error) {
+	if cause == nil {
+		cause = errors.New("tcp transport: exchange aborted")
+	}
+	ex.abort(cause)
+}
+
+func (ex *tcpExchange) abort(cause error) {
+	ex.abortOnce.Do(func() {
+		ex.mu.Lock()
+		ex.abortErr = cause
+		ex.mu.Unlock()
+		close(ex.abortCh)
+		for _, q := range ex.queues {
+			q.fail(cause)
+		}
+		ex.t.killWriters(ex.id)
+	})
+}
+
+func (ex *tcpExchange) Stats() StreamStats {
+	var s StreamStats
+	for _, q := range ex.queues {
+		s.merge(q.stats())
+	}
+	return s
+}
+
+func (ex *tcpExchange) Close() error {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return nil
+	}
+	ex.closed = true
+	complete := ex.abortErr == nil
+	if complete {
+		for _, done := range ex.destDone {
+			if !done {
+				complete = false
+				break
+			}
+		}
+	}
+	ex.mu.Unlock()
+	if !complete && ex.cause() == nil {
+		ex.abort(errors.New("tcp transport: exchange closed before completion"))
+	}
+	close(ex.watchStop)
+	<-ex.watchDone
+	ex.t.unregister(ex.id)
+	return nil
+}
+
+// deliver pushes one inbound chunk into destination d's queue (blocking
+// under backpressure) and runs completion accounting. Aborted exchanges
+// discard the chunk, returning its buffer to the pool.
+func (ex *tcpExchange) deliver(d int, item queuedChunk) {
+	if err := ex.queues[d].push(item); err != nil {
+		if item.release != nil {
+			item.release()
+		}
+		return
+	}
+	ex.mu.Lock()
+	ex.delivered[d]++
+	ex.maybeFinishLocked(d)
+	ex.mu.Unlock()
+}
+
+func (ex *tcpExchange) senderClosed(s int, sent []int64) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if s < 0 || s >= len(ex.senderDone) || ex.senderDone[s] {
+		return
+	}
+	ex.senderDone[s] = true
+	ex.closedSenders++
+	for d, c := range sent {
+		ex.expected[d] += c
+	}
+	if ex.closedSenders == len(ex.senderDone) {
+		for d := range ex.queues {
+			ex.maybeFinishLocked(d)
+		}
+	}
+}
+
+func (ex *tcpExchange) maybeFinishLocked(d int) {
+	if ex.destDone[d] || ex.closedSenders != len(ex.senderDone) || ex.abortErr != nil {
+		return
+	}
+	if ex.delivered[d] >= ex.expected[d] {
+		ex.destDone[d] = true
+		ex.queues[d].close()
+	}
+}
+
+type tcpSender struct {
+	ex     *tcpExchange
+	s      int
+	sent   []int64
+	closed bool
+}
+
+func (snd *tcpSender) Send(e Envelope) error {
+	ex := snd.ex
+	if err := ex.cause(); err != nil {
+		return err
+	}
+	t := ex.t
+	if e.To < 0 || e.To >= t.n {
+		err := &TransportError{Op: "deliver", Dest: e.To,
+			Err: fmt.Errorf("destination out of range [0,%d)", t.n)}
+		ex.abort(err)
+		return err
+	}
+	wc, err := t.getConn(ex, snd.s, e.To)
+	if err != nil {
+		ex.abort(err)
+		return err
+	}
+	if err := wc.writeFrame(ex, e); err != nil {
+		terr := &TransportError{Op: "write", Dest: e.To, Attempts: 1, Err: err}
+		ex.abort(terr)
+		return terr
+	}
+	snd.sent[e.To]++
+	return nil
+}
+
+func (snd *tcpSender) Close() error {
+	if snd.closed {
+		return nil
+	}
+	snd.closed = true
+	snd.ex.senderClosed(snd.s, snd.sent)
+	return nil
+}
+
+type tcpReceiver struct {
+	ex      *tcpExchange
+	d       int
+	pending func()
+}
+
+func (r *tcpReceiver) Recv() (Envelope, bool, error) {
+	if r.pending != nil {
+		r.pending()
+		r.pending = nil
+	}
+	c, ok, err := r.ex.queues[r.d].pop()
+	if err != nil || !ok {
+		return Envelope{}, false, err
+	}
+	r.pending = c.release
+	return c.env, true, nil
+}
+
+// bufPool is a per-connection free list of receive payload buffers: the
+// demux reader gets, the receiving worker puts back after decode adoption.
+type bufPool struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+const (
+	bufPoolMin  = 4096
+	bufPoolKeep = 8
+)
+
+func (p *bufPool) get(n int) []byte {
+	p.mu.Lock()
+	for i := len(p.bufs) - 1; i >= 0; i-- {
+		if cap(p.bufs[i]) >= n {
+			b := p.bufs[i][:n]
+			p.bufs = append(p.bufs[:i], p.bufs[i+1:]...)
+			p.mu.Unlock()
+			return b
+		}
+	}
+	p.mu.Unlock()
+	c := n
+	if c < bufPoolMin {
+		c = bufPoolMin
+	}
+	return make([]byte, n, c)
+}
+
+func (p *bufPool) put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bufs) < bufPoolKeep {
+		p.bufs = append(p.bufs, b[:0])
+	}
+	p.mu.Unlock()
+}
+
+// tcpMagic opens every connection header ("AJX2" — protocol v2:
+// persistent multiplexed streaming).
+const tcpMagic = 0x414A5832
 
 // errProtocol classifies frame-level violations: implausible lengths or a
 // malformed stream. Unlike transient I/O errors, these abort the exchange
 // (the bytes are corrupt; a retry cannot repair them).
 var errProtocol = errors.New("tcp transport: protocol violation")
-
-func writeHeader(w io.Writer, exch uint64, sender, attempt int) error {
-	var head [20]byte
-	binary.LittleEndian.PutUint32(head[0:], tcpMagic)
-	binary.LittleEndian.PutUint64(head[4:], exch)
-	binary.LittleEndian.PutUint32(head[12:], uint32(sender))
-	binary.LittleEndian.PutUint32(head[16:], uint32(attempt))
-	_, err := w.Write(head[:])
-	return err
-}
-
-// readHeader validates a connection's opening header against the current
-// exchange number and returns the sender ID. ok is false for garbage,
-// truncated headers, or stale exchanges — connections to drop silently.
-func readHeader(r io.Reader, exch uint64) (sender int, ok bool) {
-	var head [20]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return 0, false
-	}
-	if binary.LittleEndian.Uint32(head[0:]) != tcpMagic {
-		return 0, false
-	}
-	if binary.LittleEndian.Uint64(head[4:]) != exch {
-		return 0, false
-	}
-	return int(binary.LittleEndian.Uint32(head[12:])), true
-}
-
-func writeEndMarker(w io.Writer) error {
-	var b4 [4]byte
-	binary.LittleEndian.PutUint32(b4[:], endMarker)
-	_, err := w.Write(b4[:])
-	return err
-}
-
-func writeFrame(w io.Writer, e Envelope) error {
-	head := make([]byte, 0, 32+len(e.Key))
-	var b4 [4]byte
-	var b8 [8]byte
-	p32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(b4[:], v)
-		head = append(head, b4[:]...)
-	}
-	p64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(b8[:], v)
-		head = append(head, b8[:]...)
-	}
-	p32(uint32(e.From))
-	p32(uint32(e.To))
-	p32(uint32(len(e.Key)))
-	head = append(head, e.Key...)
-	p64(uint64(e.Tuples))
-	p64(uint64(e.MsgWeight()))
-	p32(uint32(len(e.Payload)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	_, err := w.Write(e.Payload)
-	return err
-}
-
-// readFrames consumes frames until the end-of-stream marker. An I/O error
-// (including EOF before the marker) marks an incomplete transfer the
-// caller should discard; a frame-level violation returns an error wrapping
-// errProtocol, which aborts the exchange.
-func readFrames(r io.Reader) ([]Envelope, error) {
-	var out []Envelope
-	var b4 [4]byte
-	var b8 [8]byte
-	for {
-		if _, err := io.ReadFull(r, b4[:]); err != nil {
-			if err == io.EOF {
-				return nil, fmt.Errorf("stream ended before end marker: %w", io.ErrUnexpectedEOF)
-			}
-			return nil, err
-		}
-		first := binary.LittleEndian.Uint32(b4[:])
-		if first == endMarker {
-			return out, nil
-		}
-		var e Envelope
-		e.From = int(first)
-		if _, err := io.ReadFull(r, b4[:]); err != nil {
-			return nil, err
-		}
-		e.To = int(binary.LittleEndian.Uint32(b4[:]))
-		if _, err := io.ReadFull(r, b4[:]); err != nil {
-			return nil, err
-		}
-		keyLen := binary.LittleEndian.Uint32(b4[:])
-		if keyLen > 1<<20 {
-			return nil, fmt.Errorf("%w: implausible key length %d", errProtocol, keyLen)
-		}
-		key := make([]byte, keyLen)
-		if _, err := io.ReadFull(r, key); err != nil {
-			return nil, err
-		}
-		e.Key = string(key)
-		if _, err := io.ReadFull(r, b8[:]); err != nil {
-			return nil, err
-		}
-		e.Tuples = int64(binary.LittleEndian.Uint64(b8[:]))
-		if _, err := io.ReadFull(r, b8[:]); err != nil {
-			return nil, err
-		}
-		e.Weight = int64(binary.LittleEndian.Uint64(b8[:]))
-		if _, err := io.ReadFull(r, b4[:]); err != nil {
-			return nil, err
-		}
-		plen := binary.LittleEndian.Uint32(b4[:])
-		if plen > 1<<31 {
-			return nil, fmt.Errorf("%w: implausible payload length %d", errProtocol, plen)
-		}
-		e.Payload = make([]byte, plen)
-		if _, err := io.ReadFull(r, e.Payload); err != nil {
-			return nil, err
-		}
-		out = append(out, e)
-	}
-}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"testing"
@@ -300,11 +301,10 @@ func TestTCPRouteExchangeDeadline(t *testing.T) {
 	}
 }
 
-// TestTCPCorruptStreamAbortsTyped parks a connection with a valid header
-// but a corrupt frame (implausible key length) in a receiver's accept
-// backlog: the receiver must abort the exchange with a typed transport
-// error — corruption is not retried — and the transport must still serve
-// the next exchange.
+// TestTCPCorruptStreamAbortsTyped forges a connection carrying a corrupt
+// frame (implausible key length) addressed to an open exchange: the
+// exchange must abort with a typed read-side transport error — corruption
+// is not retried — and the transport must still serve the next exchange.
 func TestTCPCorruptStreamAbortsTyped(t *testing.T) {
 	tr, err := NewTCPTransport(2)
 	if err != nil {
@@ -312,28 +312,41 @@ func TestTCPCorruptStreamAbortsTyped(t *testing.T) {
 	}
 	defer tr.Close()
 
-	// The next exchange on this transport will be sequence 1; forge its
-	// header from an unexpected sender (0), then a frame whose key length
-	// is beyond the protocol bound.
+	es, err := tr.OpenExchange(context.Background(), "x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	conn, err := net.Dial("tcp", tr.addrs[1])
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := writeHeader(conn, 1, 0, 1); err != nil {
+	var hd [8]byte
+	binary.LittleEndian.PutUint32(hd[0:], tcpMagic)
+	binary.LittleEndian.PutUint32(hd[4:], 0) // sender 0
+	if _, err := conn.Write(hd[:]); err != nil {
 		t.Fatal(err)
 	}
-	var frame [12]byte
-	// from=0, to=1, keyLen=1<<30 (implausible)
-	frame[4] = 1
-	frame[8], frame[9], frame[10], frame[11] = 0, 0, 0, 0x40
-	if _, err := conn.Write(frame[:]); err != nil {
+	var fh [24]byte
+	binary.LittleEndian.PutUint64(fh[0:], es.(*tcpExchange).id)
+	binary.LittleEndian.PutUint32(fh[8:], 0)      // from
+	binary.LittleEndian.PutUint32(fh[12:], 1)     // to
+	binary.LittleEndian.PutUint32(fh[16:], 0)     // chunk
+	binary.LittleEndian.PutUint32(fh[20:], 1<<30) // keyLen: beyond bound
+	if _, err := conn.Write(fh[:]); err != nil {
 		t.Fatal(err)
 	}
 
-	bySender := make([][]Envelope, 2)
-	bySender[1] = []Envelope{{From: 1, To: 1, Key: "legit", Payload: []byte("x")}}
-	_, err = routeWithTimeout(t, tr, bySender, 30*time.Second)
+	recvErr := make(chan error, 1)
+	go func() {
+		_, _, err := es.Receiver(1).Recv()
+		recvErr <- err
+	}()
+	select {
+	case err = <-recvErr:
+	case <-time.After(30 * time.Second):
+		t.Fatal("receiver did not observe the corrupt-stream abort")
+	}
 	if err == nil {
 		t.Fatal("corrupt stream should abort the exchange")
 	}
@@ -344,8 +357,11 @@ func TestTCPCorruptStreamAbortsTyped(t *testing.T) {
 	if !errors.As(err, &te) || te.Op != "read" {
 		t.Fatalf("want read-side TransportError, got %v", err)
 	}
+	es.Close()
 
 	// The poisoned exchange must not break the transport.
+	bySender := make([][]Envelope, 2)
+	bySender[1] = []Envelope{{From: 1, To: 1, Key: "legit", Payload: []byte("x")}}
 	out, err := routeWithTimeout(t, tr, bySender, 30*time.Second)
 	if err != nil {
 		t.Fatalf("recovery exchange failed: %v", err)

@@ -48,79 +48,84 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 	boundAttrs := sharedAttrs(prop.Attrs, prefix)
 	newAttrs := append(append([]string(nil), prefix...), attr)
 
-	return c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
-			var out []cluster.Envelope
+	return c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			// Ship proposer fragments partitioned by bound attrs (index build).
 			if frag, ok := w.Rels[prop.Name]; ok {
-				var parts []*relation.Relation
 				if len(boundAttrs) == 0 {
 					// Unconstrained: broadcast the projection on attr.
 					proj := frag.Project(attr)
-					for to := 0; to < w.N; to++ {
-						parts = append(parts, proj)
-					}
-					for to, p := range parts {
-						if p.Len() == 0 {
-							continue
-						}
-						out = append(out, cluster.Envelope{
-							To: to, Key: "idx", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
+					if proj.Len() > 0 {
+						err := w.EncodeRelationChunks(proj, 0, func(payload []byte, lo, hi, chunk int) error {
+							for to := 0; to < w.N; to++ {
+								if err := s.Send(cluster.Envelope{
+									To: to, Key: "idx", Chunk: int32(chunk),
+									Payload: payload, Tuples: int64(hi - lo), Weight: partWeight(chunk),
+								}); err != nil {
+									return err
+								}
+							}
+							return nil
 						})
+						if err != nil {
+							return err
+						}
 					}
 				} else {
-					parts = frag.PartitionBy(attrIdx(frag.Attrs, boundAttrs), w.N)
-					for to, p := range parts {
-						if p.Len() == 0 {
-							continue
-						}
-						out = append(out, cluster.Envelope{
-							To: to, Key: "idx", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
-						})
+					parts := frag.PartitionBy(attrIdx(frag.Attrs, boundAttrs), w.N)
+					if err := sendParts(w, s, parts, "idx"); err != nil {
+						return err
 					}
 				}
 			}
 			// Ship bindings partitioned by the same key.
 			if b, ok := w.Rels["bindings"]; ok && b.Len() > 0 {
-				var parts []*relation.Relation
 				if len(boundAttrs) == 0 {
-					parts = []*relation.Relation{b}
 					// Keep bindings local; candidates are broadcast.
-					out = append(out, cluster.Envelope{
-						To: w.ID, Key: "bind", Payload: w.EncodeRelation(b), Tuples: int64(b.Len()),
-					})
-				} else {
-					parts = b.PartitionBy(attrIdx(b.Attrs, boundAttrs), w.N)
-					for to, p := range parts {
-						if p.Len() == 0 {
-							continue
-						}
-						out = append(out, cluster.Envelope{
-							To: to, Key: "bind", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
+					err := w.EncodeRelationChunks(b, 0, func(payload []byte, lo, hi, chunk int) error {
+						return s.Send(cluster.Envelope{
+							To: w.ID, Key: "bind", Chunk: int32(chunk),
+							Payload: payload, Tuples: int64(hi - lo), Weight: partWeight(chunk),
 						})
+					})
+					if err != nil {
+						return err
+					}
+				} else {
+					parts := b.PartitionBy(attrIdx(b.Attrs, boundAttrs), w.N)
+					if err := sendParts(w, s, parts, "bind"); err != nil {
+						return err
 					}
 				}
 			}
-			return out, nil
+			return nil
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			idx := relation.New(prop.Name, prop.Attrs...)
 			if len(boundAttrs) == 0 {
 				idx = relation.New(prop.Name, attr)
 			}
 			binds := relation.New("bindings", prefix...)
-			for _, e := range inbox {
-				r, err := relation.Decode(e.Payload)
+			var scratch relation.Relation
+			for {
+				e, ok, err := r.Recv()
 				if err != nil {
-					return cluster.CorruptPayload("bigjoin exchange", err)
+					return err
 				}
+				if !ok {
+					break
+				}
+				var dst *relation.Relation
 				switch e.Key {
 				case "idx":
-					idx.AppendAll(r)
+					dst = idx
 				case "bind":
-					binds.AppendAll(r)
+					dst = binds
 				default:
 					return fmt.Errorf("bigjoin propose: bad key %q", e.Key)
+				}
+				if err := relation.DecodeAppend(e.Payload, dst, &scratch); err != nil {
+					return cluster.CorruptPayload("bigjoin exchange", err)
 				}
 			}
 			// Build candidate lists per bound-key, aborting as soon as the
@@ -193,56 +198,49 @@ func proposeRound(c *cluster.Cluster, phase string, prop *relation.Relation, pre
 // only when the relation contains the projection.
 func verifyRound(c *cluster.Cluster, phase string, ver *relation.Relation, prefix []string, attr string, cfg Config) error {
 	checkAttrs := append(sharedAttrs(ver.Attrs, prefix), attr)
-	return c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
-			var out []cluster.Envelope
+	return c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			if frag, ok := w.Rels[ver.Name]; ok {
 				parts := frag.PartitionBy(attrIdx(frag.Attrs, checkAttrs), w.N)
-				for to, p := range parts {
-					if p.Len() == 0 {
-						continue
-					}
-					out = append(out, cluster.Envelope{
-						To: to, Key: "idx", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
-					})
+				if err := sendParts(w, s, parts, "idx"); err != nil {
+					return err
 				}
 			}
 			if b, ok := w.Rels["bindings"]; ok && b.Len() > 0 {
 				parts := b.PartitionBy(attrIdx(b.Attrs, checkAttrs), w.N)
-				for to, p := range parts {
-					if p.Len() == 0 {
-						continue
-					}
-					out = append(out, cluster.Envelope{
-						To: to, Key: "bind", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
-					})
+				if err := sendParts(w, s, parts, "bind"); err != nil {
+					return err
 				}
 			}
-			return out, nil
+			return nil
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			var idx, binds *relation.Relation
-			for _, e := range inbox {
-				r, err := relation.Decode(e.Payload)
+			var scratch relation.Relation
+			for {
+				e, ok, err := r.Recv()
 				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := relation.DecodeInto(e.Payload, &scratch); err != nil {
 					return cluster.CorruptPayload("bigjoin exchange", err)
 				}
+				var dst **relation.Relation
 				switch e.Key {
 				case "idx":
-					if idx == nil {
-						idx = r
-					} else {
-						idx.AppendAll(r)
-					}
+					dst = &idx
 				case "bind":
-					if binds == nil {
-						binds = r
-					} else {
-						binds.AppendAll(r)
-					}
+					dst = &binds
 				default:
 					return fmt.Errorf("bigjoin verify: bad key %q", e.Key)
 				}
+				if *dst == nil {
+					*dst = relation.New(scratch.Name, scratch.Attrs...)
+				}
+				(*dst).AppendAll(&scratch)
 			}
 			if binds == nil {
 				w.Rels["bindings"] = relation.New("bindings")

@@ -27,9 +27,8 @@ func distributedJoin(c *cluster.Cluster, phase string, aName string, aAttrs []st
 	aCols := attrIdx(aAttrs, shared)
 	bCols := attrIdx(bAttrs, shared)
 
-	errJoin := c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
-			var out []cluster.Envelope
+	errJoin := c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			for _, side := range []struct {
 				name  string
 				attrs []string
@@ -48,31 +47,48 @@ func distributedJoin(c *cluster.Cluster, phase string, aName string, aAttrs []st
 					if p.Len() == 0 {
 						continue
 					}
-					out = append(out, cluster.Envelope{
-						To:      to,
-						Key:     side.tag + "/" + side.name + "/" + strconv.Itoa(to),
-						Payload: w.EncodeRelation(p),
-						Tuples:  int64(p.Len()),
+					to := to
+					key := side.tag + "/" + side.name + "/" + strconv.Itoa(to)
+					err := w.EncodeRelationChunks(p, 0, func(payload []byte, lo, hi, chunk int) error {
+						return s.Send(cluster.Envelope{
+							To:      to,
+							Key:     key,
+							Chunk:   int32(chunk),
+							Payload: payload,
+							Tuples:  int64(hi - lo),
+							Weight:  partWeight(chunk),
+						})
 					})
+					if err != nil {
+						return err
+					}
 				}
 			}
-			return out, nil
+			return nil
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			left := relation.New(aName, aAttrs...)
 			right := relation.New(bName, bAttrs...)
-			for _, e := range inbox {
-				r, err := relation.Decode(e.Payload)
+			var scratch relation.Relation
+			for {
+				e, ok, err := r.Recv()
 				if err != nil {
-					return cluster.CorruptPayload("binary join exchange", err)
+					return err
 				}
+				if !ok {
+					break
+				}
+				var dst *relation.Relation
 				switch e.Key[0] {
 				case 'L':
-					left.AppendAll(r)
+					dst = left
 				case 'R':
-					right.AppendAll(r)
+					dst = right
 				default:
 					return fmt.Errorf("distributedJoin: bad key %q", e.Key)
+				}
+				if err := relation.DecodeAppend(e.Payload, dst, &scratch); err != nil {
+					return cluster.CorruptPayload("binary join exchange", err)
 				}
 			}
 			res, err := relation.HashJoinLimit(left, right, int(budget))
@@ -108,29 +124,38 @@ func distributedCross(c *cluster.Cluster, phase string, aName string, aAttrs []s
 		small, smallAttrs = aName, aAttrs
 		big, bigAttrs = bName, bAttrs
 	}
-	err := c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
+	err := c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			frag, ok := w.Rels[small]
 			if !ok || frag.Len() == 0 {
-				return nil, nil
+				return nil
 			}
-			payload := w.EncodeRelation(frag)
-			var out []cluster.Envelope
-			for to := 0; to < w.N; to++ {
-				out = append(out, cluster.Envelope{
-					To: to, Key: "B/" + small, Payload: payload, Tuples: int64(frag.Len()),
-				})
-			}
-			return out, nil
+			return w.EncodeRelationChunks(frag, 0, func(payload []byte, lo, hi, chunk int) error {
+				for to := 0; to < w.N; to++ {
+					if err := s.Send(cluster.Envelope{
+						To: to, Key: "B/" + small, Chunk: int32(chunk),
+						Payload: payload, Tuples: int64(hi - lo), Weight: partWeight(chunk),
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			smallRel := relation.New(small, smallAttrs...)
-			for _, e := range inbox {
-				r, err := relation.Decode(e.Payload)
+			var scratch relation.Relation
+			for {
+				e, ok, err := r.Recv()
 				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := relation.DecodeAppend(e.Payload, smallRel, &scratch); err != nil {
 					return cluster.CorruptPayload("binary join exchange", err)
 				}
-				smallRel.AppendAll(r)
 			}
 			bigRel, ok := w.Rels[big]
 			if !ok {
@@ -172,49 +197,44 @@ func distributedSemijoin(c *cluster.Cluster, phase string, aName string, aAttrs 
 	}
 	aCols := attrIdx(aAttrs, shared)
 
-	return c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
-			var out []cluster.Envelope
+	return c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			if frag, ok := w.Rels[aName]; ok {
-				parts := frag.PartitionBy(aCols, w.N)
-				for to, p := range parts {
-					if p.Len() == 0 {
-						continue
-					}
-					out = append(out, cluster.Envelope{
-						To: to, Key: "L", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
-					})
+				if err := sendParts(w, s, frag.PartitionBy(aCols, w.N), "L"); err != nil {
+					return err
 				}
 			}
 			if frag, ok := w.Rels[bName]; ok {
 				proj := frag.ProjectMulti(shared...).SortDedup()
-				parts := proj.PartitionBy(attrIdx(shared, shared), w.N)
-				for to, p := range parts {
-					if p.Len() == 0 {
-						continue
-					}
-					out = append(out, cluster.Envelope{
-						To: to, Key: "R", Payload: w.EncodeRelation(p), Tuples: int64(p.Len()),
-					})
+				if err := sendParts(w, s, proj.PartitionBy(attrIdx(shared, shared), w.N), "R"); err != nil {
+					return err
 				}
 			}
-			return out, nil
+			return nil
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			left := relation.New(aName, aAttrs...)
 			keys := relation.New(bName, shared...)
-			for _, e := range inbox {
-				r, err := relation.Decode(e.Payload)
+			var scratch relation.Relation
+			for {
+				e, ok, err := r.Recv()
 				if err != nil {
-					return cluster.CorruptPayload("semijoin exchange", err)
+					return err
 				}
+				if !ok {
+					break
+				}
+				var dst *relation.Relation
 				switch e.Key {
 				case "L":
-					left.AppendAll(r)
+					dst = left
 				case "R":
-					keys.AppendAll(r)
+					dst = keys
 				default:
 					return fmt.Errorf("distributedSemijoin: bad key %q", e.Key)
+				}
+				if err := relation.DecodeAppend(e.Payload, dst, &scratch); err != nil {
+					return cluster.CorruptPayload("semijoin exchange", err)
 				}
 			}
 			res := left.Semijoin(keys, shared)
@@ -222,6 +242,41 @@ func distributedSemijoin(c *cluster.Cluster, phase string, aName string, aAttrs 
 			w.Rels[outName] = res
 			return nil
 		})
+}
+
+// partWeight is the message weight of a partition chunk: the first chunk
+// carries the envelope's single logical message, continuations ride free —
+// so Messages counts are invariant to chunk granularity.
+func partWeight(chunk int) int64 {
+	if chunk > 0 {
+		return cluster.WeightContinuation
+	}
+	return 0
+}
+
+// sendParts streams one hash-partitioned relation: part i goes to worker i
+// in bounded chunks under the given envelope key.
+func sendParts(w *cluster.Worker, s cluster.StreamSender, parts []*relation.Relation, key string) error {
+	for to, p := range parts {
+		if p.Len() == 0 {
+			continue
+		}
+		to := to
+		err := w.EncodeRelationChunks(p, 0, func(payload []byte, lo, hi, chunk int) error {
+			return s.Send(cluster.Envelope{
+				To:      to,
+				Key:     key,
+				Chunk:   int32(chunk),
+				Payload: payload,
+				Tuples:  int64(hi - lo),
+				Weight:  partWeight(chunk),
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func sharedAttrs(a, b []string) []string {

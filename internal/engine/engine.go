@@ -149,6 +149,18 @@ type Report struct {
 	PanicsRecovered  int64
 	TransportRetries int64
 	Retried          bool
+	// Streaming-shuffle counters: StreamChunks counts chunk envelopes
+	// delivered through the pipelined path (0 when every exchange ran
+	// materialized), OverlapSeconds the comm/compute overlap the pipeline
+	// reclaimed (producer + consumer busy time in excess of exchange wall
+	// time), RecvPeakBytes the largest receive-side payload high-water of
+	// any phase (window-bounded when streamed, the full inbox when
+	// materialized), and TransportDials the connections the run's exchanges
+	// opened — persistent transports amortize these toward zero.
+	StreamChunks   int64
+	OverlapSeconds float64
+	RecvPeakBytes  int64
+	TransportDials int64
 	// Plan documents the chosen plan (ADJ) or order (others).
 	Plan string
 	// Output holds materialized results when Config.CollectOutput.
@@ -518,6 +530,10 @@ func finishReport(r *Report, m *cluster.Metrics) {
 	}
 	r.PanicsRecovered = m.PanicsRecovered()
 	r.TransportRetries = m.TransportRetries()
+	r.StreamChunks = m.TotalStreamChunks()
+	r.OverlapSeconds = m.TotalOverlapSeconds()
+	r.RecvPeakBytes = m.MaxRecvPeakBytes()
+	r.TransportDials = m.TransportDials()
 	r.Metrics = m
 }
 

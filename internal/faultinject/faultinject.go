@@ -155,6 +155,14 @@ func (t *Transport) RetryStats() int64 {
 	return 0
 }
 
+// DialStats forwards the inner transport's dial counter (0 otherwise).
+func (t *Transport) DialStats() int64 {
+	if dc, ok := t.inner.(cluster.DialCounter); ok {
+		return dc.DialStats()
+	}
+	return 0
+}
+
 // Close closes the inner transport.
 func (t *Transport) Close() error { return t.inner.Close() }
 
@@ -256,6 +264,101 @@ func (t *Transport) RouteExchange(ctx context.Context, phase string, bySender []
 	}
 	return t.inner.Route(out)
 }
+
+// OpenExchange applies the fault schedule to a streaming exchange
+// (cluster.StreamTransport): exchange-level FailDial rules fire at open;
+// Drop, Corrupt and Delay rules fire per chunk at its Send boundary — a
+// drop aborts the exchange with a typed transient error mid-stream,
+// corruption flips the magic byte of a copied chunk so the receive-side
+// decode fails typed, a delay stalls that one chunk. Chunk-level flips
+// still come from the one seeded source and Times budgets stay exact, but
+// in the goroutine-parallel streamed mode the order in which concurrent
+// senders consume flips follows the runtime schedule; schedules that must
+// replay exactly (the retry tests) use Times=1/probability-1 rules, which
+// are order-independent.
+func (t *Transport) OpenExchange(ctx context.Context, phase string, window int) (cluster.ExchangeStream, error) {
+	st, ok := t.inner.(cluster.StreamTransport)
+	if !ok {
+		return nil, cluster.ErrStreamUnsupported
+	}
+	rules := t.snapshotRules()
+	for ri, r := range rules {
+		if !r.matchesPhase(phase) {
+			continue
+		}
+		if t.roll(ri, r, r.FailDial) {
+			t.failDials.Add(1)
+			return nil, &cluster.TransportError{Op: "dial", Dest: Any, Attempts: 1,
+				Err: fmt.Errorf("%w: fail-dial in phase %q", ErrInjected, phase)}
+		}
+	}
+	inner, err := st.OpenExchange(ctx, phase, window)
+	if err != nil {
+		return nil, err
+	}
+	return &faultStream{t: t, inner: inner, ctx: ctx, phase: phase, rules: rules}, nil
+}
+
+// faultStream wraps one streaming exchange: sender halves inject
+// chunk-boundary faults, everything else passes through.
+type faultStream struct {
+	t     *Transport
+	inner cluster.ExchangeStream
+	ctx   context.Context
+	phase string
+	rules []Rule
+}
+
+func (fs *faultStream) Sender(worker int) cluster.StreamSender {
+	return &faultSender{fs: fs, inner: fs.inner.Sender(worker)}
+}
+
+func (fs *faultStream) Receiver(worker int) cluster.StreamReceiver {
+	return fs.inner.Receiver(worker)
+}
+
+func (fs *faultStream) Abort(cause error)          { fs.inner.Abort(cause) }
+func (fs *faultStream) Stats() cluster.StreamStats { return fs.inner.Stats() }
+func (fs *faultStream) Close() error               { return fs.inner.Close() }
+
+type faultSender struct {
+	fs    *faultStream
+	inner cluster.StreamSender
+}
+
+func (s *faultSender) Send(e cluster.Envelope) error {
+	fs := s.fs
+	t := fs.t
+	for ri, r := range fs.rules {
+		if !r.matchesPhase(fs.phase) || !r.matchesLeg(e.From, e.To) {
+			continue
+		}
+		if t.roll(ri, r, r.Drop) {
+			t.drops.Add(1)
+			err := &cluster.TransportError{Op: "deliver", Dest: e.To, Attempts: 1,
+				Err: fmt.Errorf("%w: dropped chunk %d of %d→%d in phase %q", ErrInjected, e.Chunk, e.From, e.To, fs.phase)}
+			fs.inner.Abort(err)
+			return err
+		}
+		if len(e.Payload) > 0 && t.roll(ri, r, r.Corrupt) {
+			t.corrupts.Add(1)
+			p := append([]byte(nil), e.Payload...)
+			p[0] ^= 0xFF
+			e.Payload = p
+		}
+		if t.roll(ri, r, r.Delay) {
+			t.delays.Add(1)
+			select {
+			case <-fs.ctx.Done():
+				return fs.ctx.Err()
+			case <-time.After(t.randDelay(r.MaxDelay)):
+			}
+		}
+	}
+	return s.inner.Send(e)
+}
+
+func (s *faultSender) Close() error { return s.inner.Close() }
 
 // PanicHook returns a hook for Cluster.SetPanicHook that panics with
 // probability prob in workers whose phase name contains phaseSubstr

@@ -202,3 +202,139 @@ func TestTimesBoundsInjections(t *testing.T) {
 		t.Fatal("SetRules should restart the Times budget")
 	}
 }
+
+// --- Streaming-path fault tests: faults injected at chunk boundaries
+// through OpenExchange, the surface the pipelined shuffle runs on. ---
+
+// streamRoundTrip opens a streaming exchange over tr, streams `chunks`
+// chunks from worker 0 to worker 1, closes the sender halves, and drains
+// receiver 1. It returns the drained payload copies or the first error.
+func streamRoundTrip(ctx context.Context, tr cluster.StreamTransport, chunks int) ([][]byte, error) {
+	es, err := tr.OpenExchange(ctx, "stream", 8)
+	if err != nil {
+		return nil, err
+	}
+	defer es.Close()
+
+	sendErr := make(chan error, 1)
+	go func() {
+		snd := es.Sender(0)
+		for k := 0; k < chunks; k++ {
+			e := cluster.Envelope{From: 0, To: 1, Key: "k", Chunk: int32(k),
+				Payload: []byte{0xAD, byte(k), 2, 3}}
+			if err := snd.Send(e); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- snd.Close()
+	}()
+	go es.Sender(1).Close()
+
+	rcv := es.Receiver(1)
+	var got [][]byte
+	for {
+		e, ok, err := rcv.Recv()
+		if err != nil {
+			<-sendErr
+			return got, err
+		}
+		if !ok {
+			break
+		}
+		got = append(got, append([]byte(nil), e.Payload...))
+	}
+	if err := <-sendErr; err != nil {
+		return got, err
+	}
+	return got, nil
+}
+
+// TestStreamDropAbortsMidStream injects exactly one drop at a chunk
+// boundary: the sender's Send fails typed, the receiver observes the same
+// abort cause, and a healed transport then streams clean.
+func TestStreamDropAbortsMidStream(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 11, Rule{From: Any, To: Any, Drop: 1, Times: 1})
+	_, err := streamRoundTrip(context.Background(), tr, 6)
+	if err == nil {
+		t.Fatal("dropped chunk did not abort the stream")
+	}
+	if !errors.Is(err, cluster.ErrTransport) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop error %v is not typed ErrTransport+ErrInjected", err)
+	}
+	var terr *cluster.TransportError
+	if !errors.As(err, &terr) || terr.Op != "deliver" {
+		t.Fatalf("drop error %v does not carry Op=deliver", err)
+	}
+	if got, err := streamRoundTrip(context.Background(), tr, 6); err != nil || len(got) != 6 {
+		t.Fatalf("healed stream: got %d chunks, err %v", len(got), err)
+	}
+	if tr.Stats().Drops != 1 {
+		t.Fatalf("drops = %d, want exactly 1", tr.Stats().Drops)
+	}
+}
+
+// TestStreamFailDialAtOpen verifies exchange-level FailDial fires at
+// OpenExchange with a typed dial error, before any chunk moves.
+func TestStreamFailDialAtOpen(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 3, Rule{From: Any, To: Any, FailDial: 1, Times: 1})
+	_, err := tr.OpenExchange(context.Background(), "stream", 8)
+	if err == nil {
+		t.Fatal("fail-dial rule did not fail OpenExchange")
+	}
+	var terr *cluster.TransportError
+	if !errors.As(err, &terr) || terr.Op != "dial" || !errors.Is(err, ErrInjected) {
+		t.Fatalf("open error %v is not a typed injected dial failure", err)
+	}
+	if got, err := streamRoundTrip(context.Background(), tr, 4); err != nil || len(got) != 4 {
+		t.Fatalf("healed open: got %d chunks, err %v", len(got), err)
+	}
+}
+
+// TestStreamCorruptFlipsChunkCopy corrupts exactly one chunk mid-stream:
+// the receiver sees one flipped leading byte, the rest arrive intact, and
+// the sender's original buffer is untouched.
+func TestStreamCorruptFlipsChunkCopy(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 5, Rule{From: Any, To: Any, Corrupt: 1, Times: 1})
+	got, err := streamRoundTrip(context.Background(), tr, 5)
+	if err != nil {
+		t.Fatalf("corruption must not abort the stream: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %d chunks, want 5", len(got))
+	}
+	flipped := 0
+	for _, p := range got {
+		switch p[0] {
+		case 0xAD:
+		case 0xAD ^ 0xFF:
+			flipped++
+		default:
+			t.Fatalf("chunk leading byte %#x is neither intact nor flipped", p[0])
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d chunks flipped, want exactly 1 (Times=1)", flipped)
+	}
+}
+
+// TestStreamDelayObservesContext arms a long per-chunk delay under an
+// already-expiring context: the chunk's Send must return the context error
+// promptly instead of sleeping out the full delay.
+func TestStreamDelayObservesContext(t *testing.T) {
+	tr := Wrap(cluster.NewLocalTransport(2), 13,
+		Rule{From: Any, To: Any, Delay: 1, MaxDelay: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := streamRoundTrip(ctx, tr, 3)
+	if err == nil {
+		t.Fatal("delayed stream under expired context should fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored context: took %v", elapsed)
+	}
+}

@@ -288,16 +288,17 @@ func (p Plan) attrsByRel() map[string][]string {
 }
 
 // runPush replicates tuples to every matching cube. Tuples are bucketed
-// into sorted blocks by hash signature so each block is delta-encoded once
-// and its payload shared by all destination cubes, but Weight still counts
-// one message per tuple copy (the Push cost model the paper measures).
-// Envelope keys carry both the block signature and the destination cube
-// ("rel@sig#cube") so the receiver can deposit each sender's block once
-// into the block cache while still binding every replicated cube.
+// into sorted blocks by hash signature; each block streams out in bounded
+// chunks whose payloads are shared by all destination cubes, but Weight
+// still counts one message per tuple copy (the Push cost model the paper
+// measures — each chunk carries the weight of its rows, so the per-tuple
+// total is chunking-invariant). Envelope keys carry both the block
+// signature and the destination cube ("rel@sig#cube") so the receiver can
+// deposit each sender's chunk once into the block cache while still
+// binding every replicated cube.
 func runPush(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*trie.Trie) error {
-	return c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
-			var out []cluster.Envelope
+	return c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			for _, ri := range p.Rels {
 				if _, ok := warm[ri.Name]; ok {
 					continue
@@ -311,31 +312,45 @@ func runPush(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*
 				for bi, sig := range sigs {
 					b := blocks[bi]
 					b.Sort()
-					payload := w.EncodeRelation(b)
-					for _, cube := range p.Shares.BlockCubes(relPos, sig) {
-						out = append(out, cluster.Envelope{
-							To:      ServerOfCube(cube, c.N),
-							Key:     ri.Name + "@" + strconv.Itoa(sig) + "#" + strconv.Itoa(cube),
-							Payload: payload,
-							Tuples:  int64(b.Len()),
-							Weight:  int64(b.Len()), // per-tuple shuffle messages
-						})
+					cubes := p.Shares.BlockCubes(relPos, sig)
+					err := w.EncodeRelationChunks(b, 0, func(payload []byte, lo, hi, chunk int) error {
+						for _, cube := range cubes {
+							if err := s.Send(cluster.Envelope{
+								To:      ServerOfCube(cube, c.N),
+								Key:     ri.Name + "@" + strconv.Itoa(sig) + "#" + strconv.Itoa(cube),
+								Chunk:   int32(chunk),
+								Payload: payload,
+								Tuples:  int64(hi - lo),
+								Weight:  int64(hi - lo), // per-tuple shuffle messages
+							}); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						return err
 					}
 				}
 			}
-			return out, nil
+			return nil
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			adoptWarm(w, p, warm)
-			return consumeTupleBlocks(w, inbox, p)
+			return consumeTupleBlocks(w, r, p)
 		})
 }
 
-// runPull groups by block signature and ships each block once per server.
+// runPull groups by block signature and ships each block once per server,
+// streamed as bounded chunks: the first chunk of a block copy carries the
+// block's single message weight, continuations ride free
+// (WeightContinuation), so the per-block message count the Pull cost model
+// measures is chunking-invariant. Receivers deposit each chunk as one more
+// tuple part of its block — the lazy trie build concatenates, sorts and
+// dedups parts, so chunk granularity never changes the built trie.
 func runPull(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*trie.Trie) error {
-	return c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
-			var out []cluster.Envelope
+	return c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			for _, ri := range p.Rels {
 				if _, ok := warm[ri.Name]; ok {
 					continue
@@ -349,25 +364,45 @@ func runPull(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*
 				for bi, sig := range sigs {
 					b := blocks[bi]
 					b.Sort()
-					payload := w.EncodeRelation(b)
-					for _, server := range blockServers(p.Shares, relPos, sig, c.N) {
-						out = append(out, cluster.Envelope{
-							To:      server,
-							Key:     ri.Name + "@" + strconv.Itoa(sig),
-							Payload: payload,
-							Tuples:  int64(b.Len()),
-							Weight:  1, // one message per block copy
-						})
+					servers := blockServers(p.Shares, relPos, sig, c.N)
+					err := w.EncodeRelationChunks(b, 0, func(payload []byte, lo, hi, chunk int) error {
+						weight := int64(1) // one message per block copy
+						if chunk > 0 {
+							weight = cluster.WeightContinuation
+						}
+						for _, server := range servers {
+							if err := s.Send(cluster.Envelope{
+								To:      server,
+								Key:     ri.Name + "@" + strconv.Itoa(sig),
+								Chunk:   int32(chunk),
+								Payload: payload,
+								Tuples:  int64(hi - lo),
+								Weight:  weight,
+							}); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						return err
 					}
 				}
 			}
-			return out, nil
+			return nil
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			adoptWarm(w, p, warm)
 			var scratch relation.Relation // decode scratch for the legacy path
 			attrsOf := p.attrsByRel()
-			for _, e := range inbox {
+			for {
+				e, ok, err := r.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
 				name, sig, err := splitKey(e.Key, '@')
 				if err != nil {
 					return err
@@ -378,10 +413,12 @@ func runPull(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*
 				}
 				relPos := p.Shares.RelPositions(ri.Attrs)
 				if attrs := attrsOf[name]; attrs != nil {
-					// Deposit the sender's sub-block once; bind every local
-					// cube matching the signature. The block relation is
-					// freshly decoded (not scratch) because the registry
-					// retains it until the block trie is built.
+					// Deposit the sender's chunk as one tuple part; bind every
+					// local cube matching the signature (rebinds are no-ops).
+					// The part relation is freshly decoded (not scratch)
+					// because the registry retains it until the block trie is
+					// built — received payloads are only valid until the next
+					// Recv.
 					key := blockcache.Key{Rel: name, Sig: sig}
 					part := new(relation.Relation)
 					if err := relation.DecodeInto(e.Payload, part); err != nil {
@@ -411,7 +448,6 @@ func runPull(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]*
 					tgt.AppendAll(&scratch)
 				}
 			}
-			return nil
 		})
 }
 
@@ -424,9 +460,8 @@ func runMerge(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]
 	if len(p.TrieOrder) == 0 {
 		return fmt.Errorf("hcube merge: TrieOrder required")
 	}
-	return c.Exchange(phase,
-		func(w *cluster.Worker) ([]cluster.Envelope, error) {
-			var out []cluster.Envelope
+	return c.StreamExchange(phase,
+		func(w *cluster.Worker, s cluster.StreamSender) error {
 			for _, ri := range p.Rels {
 				if _, ok := warm[ri.Name]; ok {
 					continue
@@ -439,25 +474,38 @@ func runMerge(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]
 				attrs := p.trieAttrs(ri)
 				sigs, blocks := groupBlocks(frag, p.Shares, relPos, ri)
 				for bi, sig := range sigs {
+					// A trie encoding is one indivisible unit (receivers merge
+					// whole tries), so each block copy streams as one chunk —
+					// receivers still overlap: the first trie deposits while
+					// later blocks are still being built and encoded.
 					bt := trie.Build(blocks[bi], attrs)
-					payload := trie.Encode(bt)
+					payload := w.PayloadCopy(trie.Encode(bt))
 					for _, server := range blockServers(p.Shares, relPos, sig, c.N) {
-						out = append(out, cluster.Envelope{
+						if err := s.Send(cluster.Envelope{
 							To:      server,
 							Key:     ri.Name + "@" + strconv.Itoa(sig),
 							Payload: payload,
 							Tuples:  int64(bt.Len()),
 							Weight:  1,
-						})
+						}); err != nil {
+							return err
+						}
 					}
 				}
 			}
-			return out, nil
+			return nil
 		},
-		func(w *cluster.Worker, inbox []cluster.Envelope) error {
+		func(w *cluster.Worker, r cluster.StreamReceiver) error {
 			adoptWarm(w, p, warm)
 			attrsOf := p.attrsByRel()
-			for _, e := range inbox {
+			for {
+				e, ok, err := r.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
 				name, sig, err := splitKey(e.Key, '@')
 				if err != nil {
 					return err
@@ -479,25 +527,34 @@ func runMerge(c *cluster.Cluster, phase string, p Plan, warm map[string]map[int]
 					}
 				}
 			}
-			return nil
 		})
 }
 
 // --- helpers ---
 
-// consumeTupleBlocks routes Push envelopes ("rel@sig#cube"). With a
-// TrieOrder, each sender's block is decoded and deposited once and every
-// replicated cube binds the shared key; without one it falls back to
-// appending raw tuples into per-cube databases.
-func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope, p Plan) error {
+// consumeTupleBlocks drains Push envelopes ("rel@sig#cube") from the
+// stream. With a TrieOrder, each sender's chunk is decoded and deposited
+// once — replicated cube copies carry the same chunk ordinal, so the dedup
+// key is (sender, block, chunk) — and every replicated cube binds the
+// shared block key; without one it falls back to appending raw tuples into
+// per-cube databases.
+func consumeTupleBlocks(w *cluster.Worker, r cluster.StreamReceiver, p Plan) error {
 	var scratch relation.Relation // decode scratch for the legacy path
 	type seenKey struct {
-		from int
-		key  blockcache.Key
+		from  int
+		chunk int32
+		key   blockcache.Key
 	}
 	var seen map[seenKey]bool
 	attrsOf := p.attrsByRel()
-	for _, e := range inbox {
+	for {
+		e, ok, err := r.Recv()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		relSig, cube, err := splitKey(e.Key, '#')
 		if err != nil {
 			return err
@@ -512,7 +569,7 @@ func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope, p Plan) err
 		}
 		if attrs := attrsOf[name]; attrs != nil {
 			key := blockcache.Key{Rel: name, Sig: sig}
-			sk := seenKey{e.From, key}
+			sk := seenKey{e.From, e.Chunk, key}
 			if seen == nil {
 				seen = make(map[seenKey]bool)
 			}
@@ -538,7 +595,6 @@ func consumeTupleBlocks(w *cluster.Worker, inbox []cluster.Envelope, p Plan) err
 		}
 		tgt.AppendAll(&scratch)
 	}
-	return nil
 }
 
 // groupBlocks buckets a fragment's tuples by block signature into one

@@ -57,6 +57,23 @@ var colScratch = sync.Pool{New: func() interface{} {
 // input uses the strided column loops below. Both produce byte-identical
 // payloads (the per-run format is shared with deltaenc.AppendRun).
 func AppendEncode(dst []byte, r *Relation) []byte {
+	return AppendEncodeRange(dst, r, 0, r.Len())
+}
+
+// AppendEncodeRange serializes the row range [lo, hi) of r onto dst as a
+// complete, standalone relation encoding: the chunk carries the full
+// schema header and its delta runs restart at the range boundary, so every
+// chunk decodes independently through DecodeInto/DecodeAppend. This is the
+// streaming transport's chunked encode: a block cut into row ranges
+// ships as it is encoded instead of materializing one monolithic payload.
+// AppendEncodeRange(dst, r, 0, r.Len()) is byte-identical to AppendEncode.
+func AppendEncodeRange(dst []byte, r *Relation, lo, hi int) []byte {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := r.Len(); hi > max {
+		hi = max
+	}
 	dst = append(dst, codecMagic)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Name)))
 	dst = append(dst, r.Name...)
@@ -66,20 +83,23 @@ func AppendEncode(dst []byte, r *Relation) []byte {
 		dst = binary.AppendUvarint(dst, uint64(len(a)))
 		dst = append(dst, a...)
 	}
-	n := r.Len()
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
 	dst = binary.AppendUvarint(dst, uint64(n))
 	if n == 0 || k == 0 {
 		return dst
 	}
 	if cs := r.colsView(); cs != nil {
 		for _, col := range cs {
-			dst = deltaenc.AppendRun(dst, col)
+			dst = deltaenc.AppendRun(dst, col[lo:hi])
 		}
 		return dst
 	}
-	// Row-major input: gather each column into pooled scratch and encode it
-	// through the same run encoder the columnar path uses, so both layouts
-	// produce byte-identical payloads.
+	// Row-major input: gather each column's range into pooled scratch and
+	// encode it through the same run encoder the columnar path uses, so
+	// both layouts produce byte-identical payloads.
 	sp := colScratch.Get().(*[]Value)
 	col := *sp
 	if cap(col) < n {
@@ -89,7 +109,7 @@ func AppendEncode(dst []byte, r *Relation) []byte {
 	}
 	data := r.data
 	for j := 0; j < k; j++ {
-		for i, o := j, 0; i < len(data); i, o = i+k, o+1 {
+		for i, o := lo*k+j, 0; o < n; i, o = i+k, o+1 {
 			col[o] = data[i]
 		}
 		dst = deltaenc.AppendRun(dst, col)
@@ -243,6 +263,21 @@ func DecodeInto(buf []byte, r *Relation) error {
 		r.data = r.data[:0]
 		r.lay = layoutRows
 	}
+	return nil
+}
+
+// DecodeAppend decodes one chunk payload through scratch (caller-owned,
+// reused across chunks — the steady state allocates nothing) and appends
+// its tuples to dst via the columnar appender. This is the streaming
+// receiver's incremental decode: chunks of one logical block accumulate
+// into dst in arrival order without materializing the whole block's bytes
+// first. The chunk's schema must match dst's (same arity; dst adopts the
+// chunk's schema when empty, as AppendAll does).
+func DecodeAppend(buf []byte, dst, scratch *Relation) error {
+	if err := DecodeInto(buf, scratch); err != nil {
+		return err
+	}
+	dst.AppendAll(scratch)
 	return nil
 }
 
