@@ -69,6 +69,7 @@ package adj
 import (
 	"fmt"
 
+	"adj/internal/admission"
 	"adj/internal/cluster"
 	"adj/internal/dataset"
 	"adj/internal/engine"
@@ -113,11 +114,43 @@ type Report = engine.Report
 //     connection died, or a payload arrived corrupt.
 //   - ErrCanceled: the execution's context was cancelled (this is
 //     context.Canceled itself).
+//   - ErrOverloaded: the serving tier shed or refused the request before
+//     it ran (admission queue full, bulk shed under pressure, or a tenant
+//     over budget). errors.As a *OverloadError for the reason, the queue
+//     depth and a retry-after hint; retrying after the hint is always
+//     safe because the execution never started.
 var (
 	ErrWorkerPanic = cluster.ErrWorkerPanic
 	ErrTransport   = cluster.ErrTransport
 	ErrCanceled    = cluster.ErrCanceled
+	ErrOverloaded  = cluster.ErrOverloaded
 )
+
+// OverloadError is the typed admission rejection behind ErrOverloaded.
+type OverloadError = cluster.OverloadError
+
+// Class is an execution's admission class (see WithClass).
+type Class = admission.Class
+
+// Admission classes: Interactive executions are latency-sensitive —
+// granted before Bulk and shed only when the queue is hard-full; Bulk
+// executions are throughput work, shed first under overload.
+const (
+	Interactive = admission.Interactive
+	Bulk        = admission.Bulk
+)
+
+// AdmissionConfig tunes a session's (or server's) admission controller:
+// concurrency limit, queue bound, shed watermarks, tenant budgets. The
+// zero value derives everything from Options.Concurrency.
+type AdmissionConfig = admission.Config
+
+// AdmissionStats snapshots an admission controller (see
+// Session.AdmissionStats and Server.Stats).
+type AdmissionStats = admission.Stats
+
+// TenantStats is one tenant's decayed budget consumption.
+type TenantStats = admission.TenantStats
 
 // IsTransient reports whether an execution error is worth retrying on the
 // same session: transport failures are transient, panics and cancellations
@@ -155,6 +188,17 @@ type Options struct {
 	// Report is marked Retried. Worker panics, cancellations and budget
 	// failures are never retried.
 	Retry bool
+	// Concurrency is the session's resident cluster-pool size — how many
+	// Exec calls run truly in parallel (default: the admission
+	// controller's concurrency limit, itself defaulting to 1). Each
+	// in-flight execution borrows one pool cluster exclusively; the trie
+	// store is shared across the pool.
+	Concurrency int
+	// Admission tunes the session's admission controller (queue bound,
+	// shed watermarks, tenant budgets). Zero-value fields take defaults
+	// derived from Concurrency. Ignored by Server.OpenShared sessions,
+	// which share the server's controller.
+	Admission AdmissionConfig
 }
 
 func (o Options) toConfig() engine.Config {

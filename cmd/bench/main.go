@@ -26,14 +26,24 @@
 // plain run's result with zero recovered panics and zero transport
 // retries, so the recover/retry wrappers cost nothing on the happy path.
 //
-// When a reference snapshot exists (-ref, default BENCH_5.json), the
-// output embeds a before/after comparison for every shared benchmark key
-// plus per-engine timing, so BENCH_6.json directly reports fault-free
-// parity against the PR-5 numbers.
+// Since PR 9 every mode also drives the multi-tenant serving tier: a bulk
+// flood through a one-slot admission gate must shed with typed
+// *adj.OverloadError rejections (positive retry hints) while every
+// interactive request completes within a fairness bound; two sessions
+// opened through one Server must warm each other (the second session's
+// first execution builds zero tries); and on multi-core hosts N warmed
+// executions run concurrently over the cluster pool must beat the same N
+// serialized by >= 2x. The counters land in the snapshot's "serving"
+// section.
 //
-//	go run ./cmd/bench                  # writes BENCH_6.json, compares to BENCH_5.json
+// When a reference snapshot exists (-ref, default BENCH_8.json), the
+// output embeds a before/after comparison for every shared benchmark key
+// plus per-engine timing, so BENCH_9.json directly reports single-query
+// latency against the PR-8 numbers alongside the new serving counters.
+//
+//	go run ./cmd/bench                  # writes BENCH_9.json, compares to BENCH_8.json
 //	go run ./cmd/bench -scale 0.1 -out /tmp/b.json -ref ""
-//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines + emit + session + parity invariants
+//	go run ./cmd/bench -quick -out /tmp/smoke.json -ref ""   # CI smoke: engines + emit + session + parity + serving invariants
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"container/heap"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	mrand "math/rand"
@@ -48,6 +59,8 @@ import (
 	"runtime"
 	sortslice "sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -136,6 +149,12 @@ type Snapshot struct {
 	// strategies on modeled cost, with a warm plan-cache hit charging zero
 	// planning seconds.
 	Hybrid *HybridBench `json:"hybrid,omitempty"`
+	// Serving is the multi-tenant serving workload: overload shedding
+	// under a bulk flood (typed rejections, interactive completion, a
+	// fairness bound on interactive waits), cross-session store warmth
+	// through a Server handle, and concurrent-vs-serialized Exec
+	// throughput over the cluster pool.
+	Serving *ServingBench `json:"serving,omitempty"`
 	// Reference names the snapshot the VsReference section compares
 	// against (empty when none was found).
 	Reference          string                 `json:"reference,omitempty"`
@@ -203,6 +222,35 @@ type HybridBench struct {
 	// WarmOptimizationSeconds is the planning cost of a warm plan-cache
 	// hit; the bench fatals unless it is exactly zero.
 	WarmOptimizationSeconds float64 `json:"warm_optimization_seconds"`
+}
+
+// ServingBench reports the multi-tenant serving measurement: overload
+// shedding under a bulk flood against an interactive trickle, cross-session
+// store warmth through a Server handle, and concurrent-vs-serialized Exec
+// throughput over the session's cluster pool.
+type ServingBench struct {
+	// Overload scenario: a bulk flood through a one-slot admission gate.
+	// The bench fatals unless BulkShed > 0, every rejection is a typed
+	// *adj.OverloadError with a positive retry hint, all interactive
+	// requests complete, and the worst interactive queue wait stays under
+	// the fairness bound.
+	BulkSubmitted      int     `json:"bulk_submitted"`
+	BulkShed           int     `json:"bulk_shed"`
+	BulkCompleted      int     `json:"bulk_completed"`
+	InteractiveRuns    int     `json:"interactive_runs"`
+	InteractiveMaxWait float64 `json:"interactive_max_wait_seconds"`
+	// Cross-session warmth: the second session's first execution over the
+	// same graph through a shared Server store must build zero tries.
+	CrossSessionTrieBuilds int64 `json:"cross_session_warm_trie_builds"`
+	CrossSessionCacheHits  int64 `json:"cross_session_warm_trie_cache_hits"`
+	// Throughput: the same warmed executions run back-to-back vs
+	// concurrently over the pool. Speedup = serialized / concurrent wall
+	// time; enforced >= 2x only on multi-core hosts.
+	Concurrency       int     `json:"concurrency"`
+	SingleExecSeconds float64 `json:"single_exec_seconds"`
+	SerializedSeconds float64 `json:"serialized_seconds"`
+	ConcurrentSeconds float64 `json:"concurrent_seconds"`
+	ConcurrentSpeedup float64 `json:"concurrent_speedup"`
 }
 
 func metricOf(r testing.BenchmarkResult) Metric {
@@ -362,8 +410,8 @@ func sortSlice(s []*trie.Iterator, less func(a, b *trie.Iterator) bool) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_8.json", "output JSON path")
-		ref     = flag.String("ref", "BENCH_7.json", "reference snapshot to compare against (\"\" disables)")
+		out     = flag.String("out", "BENCH_9.json", "output JSON path")
+		ref     = flag.String("ref", "BENCH_8.json", "reference snapshot to compare against (\"\" disables)")
 		scale   = flag.Float64("scale", 0.2, "dataset scale for the power-law graph")
 		dataset = flag.String("dataset", "LJ", "generated dataset name (power-law: WB, AS, LJ, ...)")
 		workers = flag.Int("workers", 8, "cluster size for the engine runs")
@@ -427,6 +475,10 @@ func main() {
 	// strategies; a warm plan-cache hit charges zero planning seconds)
 	// run in every mode too.
 	snap.Hybrid = benchHybridWorkload(*workers, *quick)
+	// Serving invariants (bulk shed under flood with typed errors while
+	// interactive completes, cross-session warm hits through a Server,
+	// concurrent throughput over the pool) run in every mode too.
+	snap.Serving = benchServingWorkload(q, edges, *workers, *quick)
 
 	snap.Engines = runEngines(q, rels, *workers, *cubes)
 	if *cubes == 1 {
@@ -1191,6 +1243,250 @@ func benchHybridWorkload(workers int, quick bool) *HybridBench {
 		hb.Results, hb.HybridSeconds, hb.LeapfrogSeconds, hb.SpeedupVsLeapfrog,
 		hb.BinarySeconds, hb.SpeedupVsBinary)
 	return hb
+}
+
+// benchServingWorkload drives the multi-tenant serving tier and enforces
+// its invariants in every mode:
+//
+//   - a bulk flood through a one-slot admission gate must shed (bulk
+//     beyond the shed watermark rejected with a typed *adj.OverloadError
+//     carrying a positive retry hint) while the concurrent interactive
+//     trickle completes in full, its worst queue wait bounded by a
+//     generous multiple of a single execution — bulk cannot starve
+//     interactive;
+//   - the storm leaves the session fully healthy: the next execution is
+//     warm (zero trie builds);
+//   - two sessions opened through one Server warm each other — the second
+//     session's first execution over the same graph adopts the first's
+//     tries (zero builds, nonzero store hits);
+//   - on a multi-core host, N warmed executions run concurrently over the
+//     cluster pool must beat the same N back-to-back by >= 2x (a
+//     single-processor host serializes every goroutine, so the invariant
+//     is unmeasurable there and skipped with a note).
+func benchServingWorkload(q hypergraph.Query, edges *relation.Relation, workers int, quick bool) *ServingBench {
+	sb := &ServingBench{}
+
+	// --- Overload: bulk flood vs interactive trickle through one slot ---
+	sess, err := adj.Open(adj.Options{Workers: workers, Samples: 300, Seed: 1,
+		Admission: adj.AdmissionConfig{MaxConcurrent: 1, MaxQueue: 16, ShedQueue: 1}})
+	if err != nil {
+		fatal(err)
+	}
+	if err := sess.Register("edges", edges); err != nil {
+		fatal(err)
+	}
+	pq, err := sess.PrepareGraph("ADJ", q, "edges")
+	if err != nil {
+		fatal(err)
+	}
+	// Warm the store and take the single-execution baseline the fairness
+	// bound scales from.
+	t0 := time.Now()
+	if _, err := pq.Exec(context.Background(), adj.CountOnly()); err != nil {
+		fatal(err)
+	}
+	sb.SingleExecSeconds = time.Since(t0).Seconds()
+
+	bulkN, interN := 24, 6
+	if quick {
+		bulkN, interN = 12, 4
+	}
+	sb.BulkSubmitted, sb.InteractiveRuns = bulkN, interN
+	var (
+		wg        sync.WaitGroup
+		shed      atomic.Int64
+		completed atomic.Int64
+		badErr    atomic.Value
+		maxWaitNs atomic.Int64
+	)
+	for i := 0; i < bulkN; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := pq.Exec(context.Background(), adj.CountOnly(),
+				adj.WithClass(adj.Bulk), adj.WithTenant("bulk"))
+			switch {
+			case err == nil:
+				completed.Add(1)
+			case errors.Is(err, adj.ErrOverloaded):
+				var oe *adj.OverloadError
+				if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+					badErr.Store(fmt.Errorf("serving: shed without a usable retry hint: %v", err))
+				}
+				shed.Add(1)
+			default:
+				badErr.Store(fmt.Errorf("serving: bulk exec failed with a non-overload error: %v", err))
+			}
+		}()
+	}
+	for i := 0; i < interN; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := pq.Exec(context.Background(), adj.CountOnly(), adj.WithTenant("inter"))
+			if err != nil {
+				badErr.Store(fmt.Errorf("serving: interactive exec rejected during bulk flood: %v", err))
+				return
+			}
+			ns := int64(res.QueueSeconds() * float64(time.Second))
+			for {
+				cur := maxWaitNs.Load()
+				if ns <= cur || maxWaitNs.CompareAndSwap(cur, ns) {
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := badErr.Load(); e != nil {
+		fatal(e.(error))
+	}
+	sb.BulkShed = int(shed.Load())
+	sb.BulkCompleted = int(completed.Load())
+	sb.InteractiveMaxWait = time.Duration(maxWaitNs.Load()).Seconds()
+	if sb.BulkShed == 0 {
+		fatal(fmt.Errorf("serving: bulk flood of %d through a one-slot gate shed nothing", bulkN))
+	}
+	// Fairness: an interactive request waits behind at most the in-flight
+	// execution, one queued bulk (the shed watermark rejects the rest) and
+	// the other interactives — bound the worst wait by a generous multiple
+	// of that many single executions, floored to absorb scheduler noise.
+	bound := float64(interN+2) * sb.SingleExecSeconds * 10
+	if bound < 1.0 {
+		bound = 1.0
+	}
+	if sb.InteractiveMaxWait > bound {
+		fatal(fmt.Errorf("serving: interactive wait %.4fs exceeds fairness bound %.4fs",
+			sb.InteractiveMaxWait, bound))
+	}
+	// Post-storm health: the pool must come back warm and clean.
+	res, err := pq.Exec(context.Background(), adj.CountOnly())
+	if err != nil {
+		fatal(fmt.Errorf("serving: post-storm exec: %w", err))
+	}
+	if rep := res.Report(); rep.TrieBuilds != 0 {
+		fatal(fmt.Errorf("serving: post-storm exec built %d tries, want 0 (pool unhealthy)", rep.TrieBuilds))
+	}
+	if err := sess.Close(); err != nil {
+		fatal(err)
+	}
+
+	// --- Cross-session warmth through a Server ---
+	srv := adj.NewServer(adj.ServerOptions{Admission: adj.AdmissionConfig{MaxConcurrent: 2}})
+	sOpts := adj.Options{Workers: workers, Samples: 300, Seed: 1}
+	sA, err := srv.OpenShared(sOpts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sA.Register("edges", edges); err != nil {
+		fatal(err)
+	}
+	pqA, err := sA.PrepareGraph("ADJ", q, "edges")
+	if err != nil {
+		fatal(err)
+	}
+	resA, err := pqA.Exec(context.Background(), adj.CountOnly())
+	if err != nil {
+		fatal(err)
+	}
+	if resA.Report().TrieBuilds == 0 {
+		fatal(fmt.Errorf("serving: session A's cold run built no tries — warmth claim would be vacuous"))
+	}
+	sB, err := srv.OpenShared(sOpts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sB.Register("edges", edges); err != nil {
+		fatal(err)
+	}
+	pqB, err := sB.PrepareGraph("ADJ", q, "edges")
+	if err != nil {
+		fatal(err)
+	}
+	resB, err := pqB.Exec(context.Background(), adj.CountOnly())
+	if err != nil {
+		fatal(err)
+	}
+	repB := resB.Report()
+	sb.CrossSessionTrieBuilds = repB.TrieBuilds
+	sb.CrossSessionCacheHits = repB.TrieCacheHits
+	if sb.CrossSessionTrieBuilds != 0 || sb.CrossSessionCacheHits == 0 {
+		fatal(fmt.Errorf("serving: session B's first exec built %d tries with %d store hits, want 0 builds and > 0 hits (shared store not warming)",
+			sb.CrossSessionTrieBuilds, sb.CrossSessionCacheHits))
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+
+	// --- Throughput: serialized vs concurrent over the cluster pool ---
+	conc := runtime.GOMAXPROCS(0)
+	if conc < 2 {
+		conc = 2
+	}
+	if conc > 4 {
+		conc = 4
+	}
+	sb.Concurrency = conc
+	psess, err := adj.Open(adj.Options{Workers: workers, Samples: 300, Seed: 1, Concurrency: conc})
+	if err != nil {
+		fatal(err)
+	}
+	defer psess.Close()
+	if err := psess.Register("edges", edges); err != nil {
+		fatal(err)
+	}
+	ppq, err := psess.PrepareGraph("ADJ", q, "edges")
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := ppq.Exec(context.Background(), adj.CountOnly()); err != nil {
+		fatal(err)
+	}
+	n := 4 * conc
+	if quick {
+		n = 2 * conc
+	}
+	t0 = time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := ppq.Exec(context.Background(), adj.CountOnly()); err != nil {
+			fatal(fmt.Errorf("serving: serialized exec %d: %w", i, err))
+		}
+	}
+	sb.SerializedSeconds = time.Since(t0).Seconds()
+	var terr atomic.Value
+	t0 = time.Now()
+	wg = sync.WaitGroup{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := ppq.Exec(context.Background(), adj.CountOnly()); err != nil {
+				terr.Store(fmt.Errorf("serving: concurrent exec %d: %w", i, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	sb.ConcurrentSeconds = time.Since(t0).Seconds()
+	if e := terr.Load(); e != nil {
+		fatal(e.(error))
+	}
+	if sb.ConcurrentSeconds > 0 {
+		sb.ConcurrentSpeedup = sb.SerializedSeconds / sb.ConcurrentSeconds
+	}
+	if sb.ConcurrentSpeedup < 2 {
+		if runtime.GOMAXPROCS(0) > 1 {
+			fatal(fmt.Errorf("serving: %d concurrent execs over a %d-cluster pool only %.2fx over serialized, want >= 2x",
+				n, conc, sb.ConcurrentSpeedup))
+		}
+		fmt.Fprintf(os.Stderr, "serving: single-processor host (GOMAXPROCS=1) — concurrent speedup %.2fx unmeasurable, skipping the >= 2x invariant\n",
+			sb.ConcurrentSpeedup)
+	}
+	fmt.Fprintf(os.Stderr,
+		"serving: flood %d bulk -> %d shed / %d ran, %d interactive all ran (max wait %.4fs), cross-session warm builds=%d hits=%d, %d execs serialized %.4fs vs concurrent(%d) %.4fs — %.2fx\n",
+		sb.BulkSubmitted, sb.BulkShed, sb.BulkCompleted, sb.InteractiveRuns, sb.InteractiveMaxWait,
+		sb.CrossSessionTrieBuilds, sb.CrossSessionCacheHits,
+		n, sb.SerializedSeconds, conc, sb.ConcurrentSeconds, sb.ConcurrentSpeedup)
+	return sb
 }
 
 // benchCubeCompute sets up a triangle shuffle's receiver state by hand:

@@ -1,0 +1,316 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adj/internal/cluster"
+)
+
+// admit is a test helper: Admit with a background context, failing the
+// test on rejection.
+func admit(t *testing.T, c *Controller, req Request) *Ticket {
+	t.Helper()
+	tk, err := c.Admit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Admit(%v/%q): %v", req.Class, req.Tenant, err)
+	}
+	return tk
+}
+
+// waitDepth polls until the controller's queue depth reaches want.
+func waitDepth(t *testing.T, c *Controller, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().Depth == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth never reached %d (now %d)", want, c.Stats().Depth)
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 2})
+	t1 := admit(t, c, Request{})
+	t2 := admit(t, c, Request{})
+	if got := c.Stats().InFlight; got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	granted := make(chan *Ticket, 1)
+	go func() {
+		tk := admit(t, c, Request{})
+		granted <- tk
+	}()
+	waitDepth(t, c, 1)
+	select {
+	case <-granted:
+		t.Fatal("third request granted beyond MaxConcurrent")
+	case <-time.After(20 * time.Millisecond):
+	}
+	t1.Release(Usage{})
+	select {
+	case tk := <-granted:
+		tk.Release(Usage{})
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never granted after release")
+	}
+	t2.Release(Usage{})
+	st := c.Stats()
+	if st.InFlight != 0 || st.Depth != 0 || st.Admitted != 3 {
+		t.Fatalf("final stats %+v, want inflight 0 depth 0 admitted 3", st)
+	}
+}
+
+// TestInteractivePriority queues a bulk request before an interactive one
+// and checks the interactive request is granted first anyway.
+func TestInteractivePriority(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, MaxQueue: 8, ShedQueue: 8})
+	hold := admit(t, c, Request{})
+
+	order := make(chan Class, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tk := admit(t, c, Request{Class: Bulk})
+		order <- Bulk
+		tk.Release(Usage{})
+	}()
+	waitDepth(t, c, 1) // bulk is queued first
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tk := admit(t, c, Request{Class: Interactive})
+		order <- Interactive
+		tk.Release(Usage{})
+	}()
+	waitDepth(t, c, 2)
+
+	hold.Release(Usage{})
+	wg.Wait()
+	first, second := <-order, <-order
+	if first != Interactive || second != Bulk {
+		t.Fatalf("grant order = %v, %v; want interactive before bulk", first, second)
+	}
+}
+
+func TestBulkShedWatermark(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, MaxQueue: 8, ShedQueue: 2})
+	hold := admit(t, c, Request{})
+	defer hold.Release(Usage{})
+
+	// Two queued interactive requests put the depth at the bulk watermark.
+	results := make(chan *Ticket, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			tk, err := c.Admit(context.Background(), Request{})
+			if err == nil {
+				results <- tk
+			}
+		}()
+	}
+	waitDepth(t, c, 2)
+
+	_, err := c.Admit(context.Background(), Request{Class: Bulk})
+	if !errors.Is(err, cluster.ErrOverloaded) {
+		t.Fatalf("bulk at watermark: err = %v, want ErrOverloaded", err)
+	}
+	var oe *cluster.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err %T does not unwrap to *cluster.OverloadError", err)
+	}
+	if oe.Reason != "bulk shed" || oe.QueueDepth != 2 || oe.RetryAfter <= 0 {
+		t.Fatalf("overload detail = %+v", oe)
+	}
+	// Interactive still passes the bulk watermark (queues behind the two).
+	go func() {
+		tk, err := c.Admit(context.Background(), Request{})
+		if err == nil {
+			results <- tk
+		}
+	}()
+	waitDepth(t, c, 3)
+	if got := c.Stats().Shed; got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+	hold.Release(Usage{})
+	for i := 0; i < 3; i++ {
+		tk := <-results
+		tk.Release(Usage{})
+	}
+}
+
+func TestQueueFullShedsInteractive(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, MaxQueue: 1, ShedQueue: 1})
+	hold := admit(t, c, Request{})
+	granted := make(chan *Ticket, 1)
+	go func() {
+		tk, err := c.Admit(context.Background(), Request{})
+		if err == nil {
+			granted <- tk
+		}
+	}()
+	waitDepth(t, c, 1)
+
+	_, err := c.Admit(context.Background(), Request{})
+	var oe *cluster.OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue full" {
+		t.Fatalf("interactive over MaxQueue: err = %v, want queue-full OverloadError", err)
+	}
+	hold.Release(Usage{})
+	(<-granted).Release(Usage{})
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1})
+	hold := admit(t, c, Request{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, Request{})
+		errc <- err
+	}()
+	waitDepth(t, c, 0+1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait: err = %v, want context.Canceled", err)
+	}
+	st := c.Stats()
+	if st.Depth != 0 || st.Rejected != 1 {
+		t.Fatalf("after cancel: %+v, want depth 0 rejected 1", st)
+	}
+	// The pool stays healthy: the slot releases and re-admits normally.
+	hold.Release(Usage{})
+	admit(t, c, Request{}).Release(Usage{})
+}
+
+// TestDeadlineInfeasible teaches the controller a 1s service time via a
+// fake clock, then asks for admission behind a held slot with a 10ms
+// deadline: the estimated wait exceeds it, so the reject is immediate
+// (context.DeadlineExceeded) without queuing.
+func TestDeadlineInfeasible(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := NewController(Config{MaxConcurrent: 1, Clock: clock})
+
+	tk := admit(t, c, Request{})
+	now = now.Add(time.Second) // the run "took" 1s
+	tk.Release(Usage{})
+	if got := c.Stats().ServiceSeconds; got != 1 {
+		t.Fatalf("ServiceSeconds = %v, want 1", got)
+	}
+
+	hold := admit(t, c, Request{})
+	defer hold.Release(Usage{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Admit(ctx, Request{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("infeasible deadline: err = %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Millisecond {
+		t.Fatalf("infeasible deadline waited %v before rejecting; want immediate", waited)
+	}
+	if st := c.Stats(); st.Depth != 0 || st.Rejected != 1 {
+		t.Fatalf("after reject: %+v, want depth 0 rejected 1", st)
+	}
+
+	// A feasible deadline (10s) on the same queue is accepted.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	granted := make(chan *Ticket, 1)
+	go func() {
+		tk, err := c.Admit(ctx2, Request{})
+		if err == nil {
+			granted <- tk
+		}
+	}()
+	waitDepth(t, c, 1)
+	hold.Release(Usage{})
+	select {
+	case tk := <-granted:
+		tk.Release(Usage{})
+	case <-time.After(5 * time.Second):
+		t.Fatal("feasible-deadline request never granted")
+	}
+}
+
+func TestTenantBudgetDecay(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := NewController(Config{
+		MaxConcurrent: 2,
+		TenantBytes:   100,
+		BudgetWindow:  time.Minute,
+		Clock:         clock,
+	})
+
+	tk := admit(t, c, Request{Tenant: "alice"})
+	tk.Release(Usage{Bytes: 200})
+
+	_, err := c.Admit(context.Background(), Request{Tenant: "alice"})
+	var oe *cluster.OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "tenant bytes budget" {
+		t.Fatalf("over-budget tenant: err = %v, want tenant-bytes OverloadError", err)
+	}
+	if !errors.Is(err, cluster.ErrOverloaded) {
+		t.Fatalf("budget refusal must match ErrOverloaded, got %v", err)
+	}
+	// Another tenant is unaffected.
+	admit(t, c, Request{Tenant: "bob"}).Release(Usage{Bytes: 50})
+
+	// Two half-lives later alice's 200 bytes decayed to 50 < 100.
+	now = now.Add(2 * time.Minute)
+	admit(t, c, Request{Tenant: "alice"}).Release(Usage{})
+
+	st := c.Stats()
+	if ts, ok := st.Tenants["alice"]; !ok || ts.Bytes > 100 {
+		t.Fatalf("alice's decayed account = %+v, want <= 100 bytes", ts)
+	}
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1 (the budget refusal)", st.Rejected)
+	}
+}
+
+func TestCPUBudget(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewController(Config{
+		MaxConcurrent:    1,
+		TenantCPUSeconds: 1.0,
+		BudgetWindow:     time.Minute,
+		Clock:            func() time.Time { return now },
+	})
+	tk := admit(t, c, Request{Tenant: "carol"})
+	tk.Release(Usage{CPUSeconds: 2.0})
+	_, err := c.Admit(context.Background(), Request{Tenant: "carol"})
+	var oe *cluster.OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "tenant cpu budget" {
+		t.Fatalf("cpu over budget: err = %v", err)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1})
+	tk := admit(t, c, Request{})
+	tk.Release(Usage{})
+	tk.Release(Usage{}) // second release must not free a phantom slot
+	tk2 := admit(t, c, Request{})
+	if got := c.Stats().InFlight; got != 1 {
+		t.Fatalf("InFlight = %d after double release + admit, want 1", got)
+	}
+	tk2.Release(Usage{})
+}
+
+func TestClassString(t *testing.T) {
+	if Interactive.String() != "interactive" || Bulk.String() != "bulk" {
+		t.Fatalf("class names: %q, %q", Interactive.String(), Bulk.String())
+	}
+}

@@ -4,10 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // The cluster runtime's typed error taxonomy. Every failure an engine run
-// can hit maps onto exactly one of three classes, and all of them survive
+// can hit maps onto exactly one of these classes, and all of them survive
 // the phase-wrapping the runtime applies (`phase X worker Y: ...`), so
 // callers classify with errors.Is / errors.As at any layer:
 //
@@ -23,6 +24,11 @@ import (
 //   - ErrCanceled — the run's context was cancelled. This is context.Canceled
 //     itself, so existing errors.Is(err, context.Canceled) checks and the
 //     taxonomy name are the same test.
+//   - ErrOverloaded — the serving tier refused the request before it ran:
+//     the admission queue was full, a load-shed watermark tripped, or a
+//     tenant exhausted its budget. Carried by *OverloadError with a
+//     retry-after hint; the execution never started, so retrying after the
+//     hint is always safe.
 var (
 	// ErrWorkerPanic classifies recovered worker panics (errors.Is target).
 	ErrWorkerPanic = errors.New("cluster: worker panic")
@@ -31,6 +37,11 @@ var (
 	// ErrCanceled classifies cancelled runs. It is context.Canceled: the
 	// runtime returns the run context's own error, so both names match.
 	ErrCanceled = context.Canceled
+	// ErrOverloaded classifies admission-control rejections (errors.Is
+	// target): the serving tier shed or refused the request to protect
+	// in-flight work. Carried by *OverloadError, which adds the shed
+	// reason, the queue depth at rejection and a retry-after hint.
+	ErrOverloaded = errors.New("cluster: overloaded")
 )
 
 // WorkerPanicError is a panic recovered from a worker goroutine, converted
@@ -107,8 +118,36 @@ func CorruptPayload(op string, err error) error {
 
 // IsTransient reports whether err is worth retrying a run over: transport
 // failures are transient (a flaky dial or dropped connection may not
-// recur), panics and cancellations are not.
+// recur), panics and cancellations are not. Overload rejections are not
+// transient in this sense either — the execution never started, and an
+// immediate retry would land on the same overloaded queue; honor the
+// OverloadError's RetryAfter instead.
 func IsTransient(err error) bool {
 	return errors.Is(err, ErrTransport) && !errors.Is(err, context.Canceled) &&
 		!errors.Is(err, context.DeadlineExceeded)
 }
+
+// OverloadError is a typed admission rejection: the serving tier refused
+// the request to keep in-flight work responsive. errors.Is(err,
+// ErrOverloaded) matches it; errors.As recovers why (queue full, bulk
+// shed, tenant budget), the queue depth at rejection and a retry-after
+// hint sized from the controller's observed service times.
+type OverloadError struct {
+	// Reason is the rejection cause: "queue full", "bulk shed",
+	// "tenant bytes budget", "tenant cpu budget".
+	Reason string
+	// QueueDepth is the admission queue depth when the request was refused.
+	QueueDepth int
+	// RetryAfter estimates when capacity is likely to free up; clients
+	// should back off at least this long before re-submitting.
+	RetryAfter time.Duration
+}
+
+// Error renders the rejection with its retry hint.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cluster: overloaded (%s, queue depth %d): retry after %v",
+		e.Reason, e.QueueDepth, e.RetryAfter)
+}
+
+// Is matches the ErrOverloaded class.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }

@@ -149,6 +149,13 @@ type Report struct {
 	PanicsRecovered  int64
 	TransportRetries int64
 	Retried          bool
+	// Serving-tier counters, set by session executions: QueueSeconds is
+	// how long the request waited in the admission queue before a cluster
+	// slot freed, AdmissionClass the scheduling class it was admitted
+	// under ("interactive" or "bulk"; empty on direct engine runs, which
+	// bypass admission).
+	QueueSeconds   float64
+	AdmissionClass string
 	// Streaming-shuffle counters: StreamChunks counts chunk envelopes
 	// delivered through the pipelined path (0 when every exchange ran
 	// materialized), OverlapSeconds the comm/compute overlap the pipeline

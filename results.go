@@ -29,8 +29,13 @@ func newResults(rep Report) *Results {
 }
 
 // Report returns the execution's full report (counters, cost breakdown,
-// plan, cache statistics).
+// plan, cache statistics, and — for session executions — the serving-tier
+// fields QueueSeconds and AdmissionClass).
 func (r *Results) Report() Report { return r.rep }
+
+// QueueSeconds is how long this execution waited in the admission queue
+// before a pool cluster freed (0 when a slot was free on arrival).
+func (r *Results) QueueSeconds() float64 { return r.rep.QueueSeconds }
 
 // Count returns the number of result tuples (available on CountOnly runs
 // too).

@@ -2,16 +2,23 @@ package adj
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
 
+	"adj/internal/admission"
 	"adj/internal/blockcache"
 	"adj/internal/cluster"
 	"adj/internal/engine"
 	"adj/internal/hcube"
 	"adj/internal/relation"
 )
+
+// ErrSessionClosed is the stable error every operation on a closed session
+// returns (Exec, Prepare, Register). errors.Is-able; Close itself stays
+// idempotent and returns nil on repeat calls.
+var ErrSessionClosed = errors.New("adj: session closed")
 
 // defaultTrieStoreBytes is the session trie store's byte budget when
 // Options.TrieStoreBytes is zero.
@@ -34,16 +41,28 @@ type TrieStoreStats = blockcache.StoreStats
 // adopts them directly — zero shuffle traffic and zero shuffle-side trie
 // builds (Report.TrieBuilds == 0 on a warm run).
 //
-// A Session serializes executions (one query runs at a time, like one
-// coordinator driving one cluster); it is safe for concurrent use.
+// A Session is safe for concurrent use and executes concurrently: it owns
+// a small pool of resident clusters (Options.Concurrency), and Exec calls
+// from many goroutines each borrow one exclusively for the duration of
+// their run. Every execution passes the session's admission controller
+// first — a priority queue (interactive before bulk) with a bounded
+// concurrency limiter, per-tenant budgets and load-shed watermarks — so
+// under overload requests fail fast with a typed ErrOverloaded (bulk
+// first) instead of queueing without bound. The trie store is shared by
+// the whole pool, and by every session of a Server (OpenShared), so
+// tenants warm each other's tries.
 type Session struct {
-	mu     sync.Mutex
-	opts   Options
-	clus   *cluster.Cluster
-	store  *blockcache.Store
-	rels   map[string]*registeredRel
-	epochs uint64
-	closed bool
+	mu       sync.Mutex
+	opts     Options
+	pool     chan *cluster.Cluster // buffered; cap == len(clusters)
+	clusters []*cluster.Cluster
+	done     chan struct{} // closed by Close; unblocks pool waiters
+	ctrl     *admission.Controller
+	store    *blockcache.Store
+	srv      *Server // non-nil when opened through a Server
+	rels     map[string]*registeredRel
+	epochs   uint64
+	closed   bool
 }
 
 type registeredRel struct {
@@ -52,15 +71,10 @@ type registeredRel struct {
 	epoch uint64
 }
 
-// Open creates a session: a resident simulated cluster of opts.Workers
-// workers plus the cross-query trie store. Close it when done.
+// Open creates a session: a resident pool of simulated clusters (each of
+// opts.Workers workers), an admission controller sized to the pool, and
+// the cross-query trie store. Close it when done.
 func Open(opts Options) (*Session, error) {
-	if opts.Workers <= 0 {
-		opts.Workers = 4
-	}
-	if opts.Samples <= 0 {
-		opts.Samples = 1000
-	}
 	var store *blockcache.Store
 	switch {
 	case opts.TrieStoreBytes < 0:
@@ -70,24 +84,73 @@ func Open(opts Options) (*Session, error) {
 	default:
 		store = blockcache.NewStore(opts.TrieStoreBytes)
 	}
-	return &Session{
-		opts:  opts,
-		clus:  cluster.New(cluster.Config{N: opts.Workers}),
-		store: store,
-		rels:  make(map[string]*registeredRel),
-	}, nil
+	acfg := opts.Admission
+	if acfg.MaxConcurrent <= 0 {
+		acfg.MaxConcurrent = opts.Concurrency // <= 0 defaults inside the controller
+	}
+	return newSession(opts, store, admission.NewController(acfg), nil), nil
 }
 
-// Close releases the session's cluster. Prepared queries of a closed
-// session fail on Exec.
+// newSession wires the common state behind Open and Server.OpenShared:
+// the cluster pool (Options.Concurrency clusters, defaulting to the
+// controller's concurrency limit so every admitted request finds a free
+// cluster), plus the given store and admission controller.
+func newSession(opts Options, store *blockcache.Store, ctrl *admission.Controller, srv *Server) *Session {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = 1000
+	}
+	size := opts.Concurrency
+	if size <= 0 {
+		size = ctrl.MaxConcurrent()
+	}
+	s := &Session{
+		opts:     opts,
+		pool:     make(chan *cluster.Cluster, size),
+		clusters: make([]*cluster.Cluster, size),
+		done:     make(chan struct{}),
+		ctrl:     ctrl,
+		store:    store,
+		srv:      srv,
+		rels:     make(map[string]*registeredRel),
+	}
+	for i := range s.clusters {
+		s.clusters[i] = cluster.New(cluster.Config{N: opts.Workers})
+		s.pool <- s.clusters[i]
+	}
+	return s
+}
+
+// Close shuts the session down: it marks the session closed (all further
+// Exec/Prepare/Register calls return ErrSessionClosed, and executions
+// queued in admission unblock with it), waits for in-flight executions to
+// hand their clusters back, and releases every cluster. Close is
+// idempotent — repeat calls return nil without re-running teardown.
 func (s *Session) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	return s.clus.Close()
+	close(s.done)
+	s.mu.Unlock()
+	// Collect every pool cluster. In-flight executions return theirs when
+	// they finish; waiters that lost the race see s.done and bail without
+	// taking one, so exactly len(s.clusters) sends remain.
+	var err error
+	for range s.clusters {
+		c := <-s.pool
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if s.srv != nil {
+		s.srv.forget(s)
+	}
+	return err
 }
 
 // Register deposits a relation under name and computes its content
@@ -106,7 +169,7 @@ func (s *Session) Register(name string, rel *Relation) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("adj: session closed")
+		return ErrSessionClosed
 	}
 	s.epochs++
 	reg := &registeredRel{rel: rel, epoch: s.epochs}
@@ -171,7 +234,7 @@ func (s *Session) prepare(engineName string, q Query, graphRel string) (*Prepare
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("adj: session closed")
+		return nil, ErrSessionClosed
 	}
 	rels, _, err := s.bindLocked(p)
 	if err != nil {
@@ -292,6 +355,8 @@ type ExecOption func(*execOpts)
 
 type execOpts struct {
 	countOnly bool
+	class     Class
+	tenant    string
 }
 
 // CountOnly skips result materialization: the Results carry only the count
@@ -301,29 +366,96 @@ func CountOnly() ExecOption {
 	return func(o *execOpts) { o.countOnly = true }
 }
 
-// Exec runs the prepared query on the session's resident workers and
-// returns a streaming, run-aware Results iterator. ctx cancellation is
-// observed promptly at every stage — planning leftovers, phase barriers,
-// the cube scheduler and the Leapfrog inner loops — with no goroutines
-// leaked; the returned error is then ctx.Err().
+// WithClass sets the execution's admission class (default Interactive).
+// Bulk executions are granted after interactive ones and are shed first
+// under overload.
+func WithClass(c Class) ExecOption {
+	return func(o *execOpts) { o.class = c }
+}
+
+// WithTenant charges the execution's shuffle bytes and modeled CPU to the
+// named tenant's decaying budget account; a tenant over budget is refused
+// with ErrOverloaded until the account decays. Unset executions are
+// unaccounted.
+func WithTenant(tenant string) ExecOption {
+	return func(o *execOpts) { o.tenant = tenant }
+}
+
+// Exec runs the prepared query on one of the session's resident clusters
+// and returns a streaming, run-aware Results iterator. Exec is safe — and
+// genuinely parallel — from many goroutines: each call passes admission
+// (priority queue, concurrency limit, tenant budgets; see WithClass /
+// WithTenant), borrows a pool cluster exclusively, and hands it back
+// whatever happens. Under overload the call fails fast with a typed
+// ErrOverloaded (bulk classes first) carrying a retry-after hint; a
+// request whose ctx deadline cannot be met by the estimated queue wait is
+// rejected immediately with context.DeadlineExceeded. ctx cancellation
+// and deadline expiry are observed promptly at every stage — the
+// admission queue, the pool checkout, phase barriers, the cube scheduler
+// and the Leapfrog inner loops — with no goroutines leaked; the returned
+// error is then ctx.Err().
 //
 // Executions over unchanged registered relations go warm: the shuffle is
-// skipped and every block trie is adopted from the session store
-// (Report.TrieBuilds == 0, Report.TrieCacheHits > 0). Executions serialize
-// on the session (one query at a time).
+// skipped and every block trie is adopted from the shared store
+// (Report.TrieBuilds == 0, Report.TrieCacheHits > 0). A shed, expired or
+// failed execution leaves the pool fully healthy and the warm store
+// intact.
 func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results, error) {
-	var eo execOpts
+	eo := execOpts{class: Interactive}
 	for _, o := range opts {
 		o(&eo)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := p.s
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("adj: session closed")
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	ctrl := s.ctrl
+	s.mu.Unlock()
+
+	// Admission: block for a slot (interactive ahead of bulk), or fail
+	// typed — ErrOverloaded on shed, ctx.Err() on cancellation/expiry
+	// while queued, DeadlineExceeded immediately when the deadline is
+	// infeasible. No pool state is touched until a ticket is granted.
+	ticket, err := ctrl.Admit(ctx, admission.Request{Class: eo.class, Tenant: eo.tenant})
+	if err != nil {
+		return nil, err
+	}
+
+	// Borrow a resident cluster. The admission limit normally matches the
+	// pool size, so this is immediate; if the caller configured them apart
+	// the wait stays ctx- and Close-aware.
+	var clus *cluster.Cluster
+	select {
+	case clus = <-s.pool:
+	case <-ctx.Done():
+		ticket.Release(admission.Usage{})
+		return nil, ctx.Err()
+	case <-s.done:
+		ticket.Release(admission.Usage{})
+		return nil, ErrSessionClosed
+	}
+	var usage admission.Usage
+	defer func() {
+		// Exactly-once hand-back: the cluster to the pool (Close's drain
+		// counts on it) and the slot to the controller, charged with what
+		// the run consumed (zero on failure).
+		s.pool <- clus
+		ticket.Release(usage)
+	}()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
 	}
 	rels, sigs, err := s.bindLocked(p)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 
@@ -331,37 +463,44 @@ func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results,
 	// inputs' content, so a warm hit routes straight to the interpreter —
 	// zero sampling, zero planning. A key mismatch (a relation was
 	// re-registered with different content) replans here and charges the
-	// replanning time to this execution's Optimization phase.
+	// replanning time to this execution's Optimization phase. Replanning
+	// holds s.mu, so concurrent executions of the same prepared query
+	// replan once and the rest adopt the refreshed plan.
 	var replanSeconds float64
 	if key := s.planKeyLocked(p); key != p.planKey {
 		pl, err := engine.Prepare(p.engineName, p.q, rels, s.opts.toConfig())
 		if err != nil {
+			s.mu.Unlock()
 			return nil, err
 		}
 		p.plan, p.planKey = pl, key
 		replanSeconds = pl.Seconds
 	}
+	plan := p.plan
+	store := s.store
+	sessOpts := s.opts
+	s.mu.Unlock()
 
-	cfg := s.opts.toConfig()
+	cfg := sessOpts.toConfig()
 	cfg.CollectOutput = !eo.countOnly
 	cfg.Ctx = ctx
-	cfg.Cluster = s.clus
-	cfg.Prepared = p.plan
-	if s.store != nil {
-		cfg.Reuse = &hcube.Reuse{Store: s.store, Sigs: sigs}
+	cfg.Cluster = clus
+	cfg.Prepared = plan
+	if store != nil {
+		cfg.Reuse = &hcube.Reuse{Store: store, Sigs: sigs}
 	}
 
 	// Fail-safe execution: any failure — a typed transport error, a
 	// recovered worker panic, a cancellation, even a coordinator-side panic
-	// caught by the guard — leaves the session fully usable. The engine's
-	// release hook already drains per-run worker state; the extra ResetRun
-	// here covers panics that unwound past it. The session-level trie store
-	// is untouched either way, so a warm data set stays warm across a
-	// failed execution.
+	// caught by the guard — leaves the borrowed cluster fully usable for
+	// the pool's next execution. The engine's release hook already drains
+	// per-run worker state; the extra ResetRun here covers panics that
+	// unwound past it. The shared trie store is untouched either way, so a
+	// warm data set stays warm across a failed execution.
 	rep, err := runGuarded(p.run, p.q, rels, cfg)
 	if err != nil {
-		s.clus.ResetRun()
-		if s.opts.Retry && cluster.IsTransient(err) && ctx.Err() == nil {
+		clus.ResetRun()
+		if sessOpts.Retry && cluster.IsTransient(err) && ctx.Err() == nil {
 			// Transient transport failure and the caller opted in: re-run
 			// once on the reset workers. The re-run's report is marked so
 			// callers can count degraded executions.
@@ -369,7 +508,7 @@ func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results,
 			if err == nil {
 				rep.Retried = true
 			} else {
-				s.clus.ResetRun()
+				clus.ResetRun()
 			}
 		}
 		if err != nil {
@@ -377,8 +516,20 @@ func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results,
 		}
 	}
 	rep.Optimization += replanSeconds
+	rep.QueueSeconds = ticket.QueueSeconds()
+	rep.AdmissionClass = ticket.Class().String()
+	usage = admission.Usage{
+		Bytes:      rep.BytesShuffled,
+		CPUSeconds: rep.Computation + rep.PreComputing,
+	}
 	return newResults(rep), nil
 }
+
+// AdmissionStats snapshots the session's admission controller: queue
+// depth, in-flight executions, admitted/shed/rejected counters, latency
+// EWMAs and per-tenant budget consumption. Sessions of a Server share one
+// controller; its server-wide view is Server.Stats.
+func (s *Session) AdmissionStats() AdmissionStats { return s.ctrl.Stats() }
 
 // runGuarded executes an engine run with coordinator-side panic
 // containment: worker-body panics are already recovered by the cluster

@@ -11,14 +11,22 @@ import (
 )
 
 // withFaultTransport swaps a session's resident cluster for one whose
-// transport is wrapped in the fault injector (the session owns its cluster,
-// so this is the seam fault tests use). The returned transport's rules can
-// be re-armed or healed between executions with SetRules.
+// transport is wrapped in the fault injector (the session owns its
+// clusters, so this is the seam fault tests use). These tests open their
+// sessions with the default pool of one cluster; the swap checks it out of
+// the pool and returns the replacement through it. The returned
+// transport's rules can be re-armed or healed between executions with
+// SetRules.
 func withFaultTransport(t *testing.T, s *Session, seed int64, rules ...faultinject.Rule) *faultinject.Transport {
 	t.Helper()
+	if len(s.clusters) != 1 {
+		t.Fatalf("withFaultTransport wants a single-cluster session, got pool of %d", len(s.clusters))
+	}
 	tr := faultinject.Wrap(cluster.NewLocalTransport(s.opts.Workers), seed, rules...)
-	s.clus.Close()
-	s.clus = cluster.New(cluster.Config{N: s.opts.Workers, Transport: tr})
+	old := <-s.pool
+	old.Close()
+	s.clusters[0] = cluster.New(cluster.Config{N: s.opts.Workers, Transport: tr})
+	s.pool <- s.clusters[0]
 	return tr
 }
 
@@ -117,7 +125,7 @@ func TestSessionSurvivesWorkerPanicWarmStore(t *testing.T) {
 		t.Fatal("cold exec built no tries (test premise broken)")
 	}
 
-	s.clus.SetPanicHook(func(phase string, workerID int) {
+	s.clusters[0].SetPanicHook(func(phase string, workerID int) {
 		if workerID == 1 {
 			panic("injected crash")
 		}
@@ -130,7 +138,7 @@ func TestSessionSurvivesWorkerPanicWarmStore(t *testing.T) {
 		t.Fatal("panics must not classify transient (Retry must not re-run them)")
 	}
 
-	s.clus.SetPanicHook(nil)
+	s.clusters[0].SetPanicHook(nil)
 	warm, err := pq.Exec(context.Background(), CountOnly())
 	if err != nil {
 		t.Fatalf("exec after panic: %v", err)
@@ -238,11 +246,11 @@ func TestSessionCoordinatorPanicContained(t *testing.T) {
 	}
 
 	// Worker-side panic through the full session stack: typed, contained.
-	s.clus.SetPanicHook(func(string, int) { panic("boom") })
+	s.clusters[0].SetPanicHook(func(string, int) { panic("boom") })
 	if _, err := pq.Exec(context.Background(), CountOnly()); !errors.Is(err, ErrWorkerPanic) {
 		t.Fatalf("want ErrWorkerPanic, got %v", err)
 	}
-	s.clus.SetPanicHook(nil)
+	s.clusters[0].SetPanicHook(nil)
 	if _, err := pq.Exec(context.Background(), CountOnly()); err != nil {
 		t.Fatalf("session wedged after contained panic: %v", err)
 	}
