@@ -1,0 +1,82 @@
+// Command adjlint is ADJ's project-specific static analysis gate. It runs
+// the internal/analyzers suite (ctxflow, errwrap, lockdiscipline,
+// pooldiscipline, phasevocab — see internal/analyzers/README.md) over the
+// packages matching the given patterns (default ./...) and exits non-zero
+// if any invariant is violated.
+//
+// Usage:
+//
+//	adjlint [-run name,name] [-list] [packages...]
+//
+// Findings print to stdout as file:line:col: analyzer: message. Load and
+// per-analyzer timings print to stderr so CI logs keep the gate's cost
+// visible. False positives are suppressed in place with
+// //adjlint:ignore directives, never by weakening the analyzers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"adj/internal/analyzers"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzer subset to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	as, err := analyzers.ByName(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adjlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	t0 := time.Now()
+	pkgs, err := analyzers.LoadPackages(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adjlint:", err)
+		os.Exit(2)
+	}
+	loadSecs := time.Since(t0).Seconds()
+
+	diags, seconds, err := analyzers.Run(pkgs, as)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adjlint:", err)
+		os.Exit(2)
+	}
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+
+	names := make([]string, 0, len(seconds))
+	for n := range seconds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "adjlint: %d packages loaded in %.2fs\n", len(pkgs), loadSecs)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "adjlint: %-16s %8.3fs\n", n, seconds[n])
+	}
+
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "adjlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1311,11 +1311,11 @@ func benchServingWorkload(q hypergraph.Query, edges *relation.Relation, workers 
 			case errors.Is(err, adj.ErrOverloaded):
 				var oe *adj.OverloadError
 				if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
-					badErr.Store(fmt.Errorf("serving: shed without a usable retry hint: %v", err))
+					badErr.Store(fmt.Errorf("serving: shed without a usable retry hint: %w", err))
 				}
 				shed.Add(1)
 			default:
-				badErr.Store(fmt.Errorf("serving: bulk exec failed with a non-overload error: %v", err))
+				badErr.Store(fmt.Errorf("serving: bulk exec failed with a non-overload error: %w", err))
 			}
 		}()
 	}
@@ -1325,7 +1325,7 @@ func benchServingWorkload(q hypergraph.Query, edges *relation.Relation, workers 
 			defer wg.Done()
 			res, err := pq.Exec(context.Background(), adj.CountOnly(), adj.WithTenant("inter"))
 			if err != nil {
-				badErr.Store(fmt.Errorf("serving: interactive exec rejected during bulk flood: %v", err))
+				badErr.Store(fmt.Errorf("serving: interactive exec rejected during bulk flood: %w", err))
 				return
 			}
 			ns := int64(res.QueueSeconds() * float64(time.Second))

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -34,8 +36,11 @@ func main() {
 		}
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cfg := experiments.Config{
 		Scale: *scale, Workers: *workers, Samples: *samples, Seed: *seed, Budget: *budget,
+		Ctx: ctx,
 	}
 
 	run := func(id string, fn func(experiments.Config) (experiments.Result, error)) {

@@ -1,0 +1,84 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a field", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+
+	sub, err := ByName("ctxflow, errwrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "ctxflow" || sub[1].Name != "errwrap" {
+		t.Fatalf("ByName subset = %v", sub)
+	}
+
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName should reject unknown analyzer names")
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	//adjlint:ignore ctxflow legacy shim
+	a()
+	b() //adjlint:ignore all migration in flight
+	c() //adjlint:ignore errwrap,phasevocab two at once
+	d()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ignores := collectIgnores(fset, []*ast.File{f})
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"ctxflow", 5, true},    // directive on the line above a()
+		{"errwrap", 5, false},   // different analyzer, not suppressed
+		{"errwrap", 6, true},    // trailing "all" on b()'s own line
+		{"ctxflow", 6, true},    // "all" covers every analyzer
+		{"ctxflow", 7, true},    // "all" on the line above also covers c()
+		{"errwrap", 7, true},    // comma list, first entry
+		{"phasevocab", 7, true}, // comma list, second entry
+		{"ctxflow", 8, false},   // line-7 comma list does not name ctxflow
+		{"errwrap", 8, true},    // a trailing directive covers the next line too
+		{"errwrap", 9, false},   // out of range
+	}
+	for _, c := range cases {
+		if got := ignores.matches(c.analyzer, at(c.line)); got != c.want {
+			t.Errorf("matches(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package analyzertest is a miniature analysistest: it runs one analyzer
+// over a fixture package under testdata/src/<name> and checks the
+// diagnostics against `// want "regexp"` comments in the fixtures.
+//
+// Conventions (a strict subset of golang.org/x/tools's analysistest, so
+// fixtures stay portable if the dependency ever becomes available):
+//
+//   - A `// want "re"` comment expects exactly one diagnostic on its line
+//     whose message matches the regexp. Several expectations on one line
+//     are written `// want "re1" "re2"`.
+//   - Lines without a want comment must produce no diagnostics.
+//   - //adjlint:ignore directives in fixtures are honored, so suppression
+//     behavior is testable: a suppressed line carries no want comment.
+//
+// Fixture packages import only the standard library; project shapes
+// (plan.Op, cluster.Metrics, ...) are matched by type name, so fixtures
+// model them with local types and load fast.
+package analyzertest
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"adj/internal/analyzers"
+)
+
+// One file set and source importer for the whole test binary: the first
+// fixture pays for type-checking the stdlib packages it imports, the rest
+// reuse them.
+var (
+	loadMu sync.Mutex
+	fset   = token.NewFileSet()
+	imp    types.Importer
+)
+
+// Run loads testdata/src/<name>, applies the analyzer, and reports any
+// mismatch against the fixtures' want comments as test errors.
+func Run(t *testing.T, name string, a *analyzers.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixtures in %s", dir)
+	}
+
+	loadMu.Lock()
+	if imp == nil {
+		imp = importer.ForCompiler(fset, "source", nil)
+	}
+	pkg, err := analyzers.CheckFiles(fset, imp, name, files)
+	loadMu.Unlock()
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", name, err)
+	}
+
+	diags, _, err := analyzers.Run([]*analyzers.Package{pkg}, []*analyzers.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !consumeWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a want comment. The comment text
+// after "want" is a sequence of Go-quoted strings.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func collectWants(t *testing.T, pkg *analyzers.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, pos.Filename, pos.Line, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// splitQuoted parses a run of adjacent Go string literals:  "a" "b" "c".
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: malformed want clause near %q (expected quoted regexp)", file, line, s)
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s:%d: unterminated want regexp in %q", file, line, s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want literal %q: %v", file, line, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+func consumeWant(wants []*want, d analyzers.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

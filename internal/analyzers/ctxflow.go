@@ -1,0 +1,178 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces PR 5's cancellation contract: context flows end-to-end
+// from Session.Exec through the cluster, engine and leapfrog layers, so a
+// caller's cancel or deadline lands everywhere. Three rules:
+//
+//  1. No context.Background()/context.TODO() outside package main (and
+//     tests, which the driver does not analyze): a fresh root context in
+//     library code severs the cancellation chain.
+//  2. Inside a function that already has a context.Context parameter,
+//     passing context.Background() anywhere is doubly wrong — the right
+//     context is one identifier away.
+//  3. A function that accepts a context.Context but never uses it, while
+//     calling a callee that accepts one, silently drops cancellation at
+//     that hop.
+//
+// Deliberate roots (nil-ctx compat guards, legacy interface shims) carry
+// an //adjlint:ignore ctxflow directive with the reason.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context must be threaded end-to-end; no new root contexts outside package main",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		checkCtxRoots(pass, file)
+		funcScopeWalk(file, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			if lit == nil && decl != nil {
+				checkUnusedCtxParam(pass, decl)
+			}
+		})
+	}
+	return nil
+}
+
+// checkCtxRoots flags context.Background()/TODO() calls (rules 1 and 2).
+// A stack of enclosing function types distinguishes rule 2 (some enclosing
+// function already has a ctx parameter in scope) from rule 1.
+func checkCtxRoots(pass *Pass, file *ast.File) {
+	type frame struct {
+		ctxParam string // name of the context parameter, "" if none
+	}
+	var stack []frame
+
+	pushFieldList := func(params *ast.FieldList) frame {
+		f := frame{}
+		if params == nil {
+			return f
+		}
+		for _, p := range params.List {
+			if t, ok := pass.TypesInfo.Types[p.Type]; ok && isContextType(t.Type) {
+				name := "ctx"
+				if len(p.Names) > 0 {
+					name = p.Names[0].Name
+				}
+				f.ctxParam = name
+			}
+		}
+		return f
+	}
+	enclosingCtx := func() string {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].ctxParam != "" && stack[i].ctxParam != "_" {
+				return stack[i].ctxParam
+			}
+		}
+		return ""
+	}
+
+	visit := func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			stack = append(stack, pushFieldList(x.Type.Params))
+		case *ast.FuncLit:
+			stack = append(stack, pushFieldList(x.Type.Params))
+		case *ast.CallExpr:
+			obj := calleeObj(pass.TypesInfo, x)
+			name := ""
+			if isPkgFunc(obj, "context", "Background") {
+				name = "context.Background"
+			} else if isPkgFunc(obj, "context", "TODO") {
+				name = "context.TODO"
+			}
+			if name != "" {
+				if ctx := enclosingCtx(); ctx != "" {
+					pass.Reportf(x.Pos(), "%s() inside a function with context parameter %q: pass %s through instead of starting a new root", name, ctx, ctx)
+				} else {
+					pass.Reportf(x.Pos(), "%s() outside package main drops the caller's cancellation; accept and thread a context.Context", name)
+				}
+			}
+		}
+		return true
+	}
+	leave := func(n ast.Node) {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			stack = stack[:len(stack)-1]
+		}
+	}
+	astInspectWithLeave(file, visit, leave)
+}
+
+// checkUnusedCtxParam implements rule 3 for declared functions.
+func checkUnusedCtxParam(pass *Pass, decl *ast.FuncDecl) {
+	if decl.Type.Params == nil || decl.Body == nil {
+		return
+	}
+	var ctxIdent *ast.Ident
+	var ctxObj types.Object
+	for _, p := range decl.Type.Params.List {
+		if t, ok := pass.TypesInfo.Types[p.Type]; ok && isContextType(t.Type) {
+			for _, name := range p.Names {
+				if name.Name == "_" {
+					continue
+				}
+				ctxIdent = name
+				ctxObj = pass.TypesInfo.Defs[name]
+			}
+		}
+	}
+	if ctxIdent == nil || ctxObj == nil {
+		return
+	}
+	used := false
+	var ctxCallee types.Object
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[x] == ctxObj {
+				used = true
+			}
+		case *ast.CallExpr:
+			if ctxCallee == nil {
+				if obj := calleeObj(pass.TypesInfo, x); obj != nil {
+					if sig, ok := obj.Type().(*types.Signature); ok &&
+						sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+						ctxCallee = obj
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !used && ctxCallee != nil {
+		pass.Reportf(ctxIdent.Pos(), "context parameter %q is never used, but %s accepts a context — cancellation is dropped at this hop", ctxIdent.Name, ctxCallee.Name())
+	}
+}
+
+// astInspectWithLeave is ast.Inspect with a post-order callback: leave is
+// invoked for every node after its children, in LIFO order.
+func astInspectWithLeave(root ast.Node, visit func(ast.Node) bool, leave func(ast.Node)) {
+	var nodes []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			top := nodes[len(nodes)-1]
+			nodes = nodes[:len(nodes)-1]
+			leave(top)
+			return true
+		}
+		if !visit(n) {
+			return false
+		}
+		nodes = append(nodes, n)
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"adj/internal/analyzers"
+	"adj/internal/analyzers/analyzertest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, "ctxflow", analyzers.CtxFlow)
+}
+
+func TestCtxFlowMainPackageExempt(t *testing.T) {
+	analyzertest.Run(t, "ctxflow_main", analyzers.CtxFlow)
+}

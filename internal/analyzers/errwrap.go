@@ -1,0 +1,116 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces PR 6's typed error taxonomy across boundaries: every
+// error that crosses a package boundary must stay classifiable with
+// errors.Is / errors.As. Two rules:
+//
+//  1. fmt.Errorf with an error argument must wrap it with %w. Formatting
+//     an error with %v or %s flattens it to text: the taxonomy sentinel
+//     underneath (ErrTransport, ErrOverloaded, context.Canceled, ...)
+//     becomes unreachable and retry/shed classification silently breaks.
+//  2. Sentinel errors are compared with errors.Is, never == or != —
+//     the phase-wrapping the cluster runtime applies ("phase X worker Y:
+//     ...: %w") makes direct comparison always false. The canonical
+//     `func (e *T) Is(target error) bool { return target == ErrX }`
+//     method is the one place == is the correct operator and is exempt.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "errors crossing boundaries must wrap with %w and be compared via errors.Is",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Ranges of canonical Is-method bodies, where target == ErrX is
+		// the contract rather than a bug.
+		var isMethodRanges [][2]token.Pos
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Is" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+				continue
+			}
+			if isErrorType(sig.Params().At(0).Type()) {
+				isMethodRanges = append(isMethodRanges, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		inIsMethod := func(pos token.Pos) bool {
+			for _, r := range isMethodRanges {
+				if r[0] <= pos && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			case *ast.BinaryExpr:
+				if (x.Op == token.EQL || x.Op == token.NEQ) && !inIsMethod(x.Pos()) {
+					checkSentinelCompare(pass, x)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose format consumes an error
+// argument through any verb but %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.TypesInfo, call)
+	if !isPkgFunc(obj, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	wraps := strings.Count(strings.ReplaceAll(format, "%%", ""), "%w")
+	errArgs := 0
+	for _, arg := range call.Args[1:] {
+		if at, ok := pass.TypesInfo.Types[arg]; ok && isErrorType(at.Type) {
+			errArgs++
+		}
+	}
+	if errArgs > wraps {
+		pass.Reportf(call.Pos(), "fmt.Errorf formats an error value without %%w: the typed taxonomy underneath is lost to errors.Is/errors.As — wrap with %%w")
+	}
+}
+
+// checkSentinelCompare flags ==/!= between two non-nil error operands.
+func checkSentinelCompare(pass *Pass, cmp *ast.BinaryExpr) {
+	if isNilExpr(cmp.X) || isNilExpr(cmp.Y) {
+		return
+	}
+	xt, xok := pass.TypesInfo.Types[cmp.X]
+	yt, yok := pass.TypesInfo.Types[cmp.Y]
+	if !xok || !yok || !isErrorType(xt.Type) || !isErrorType(yt.Type) {
+		return
+	}
+	pass.Reportf(cmp.Pos(), "error compared with %s: wrapped errors (phase wrapping, %%w chains) never compare equal — use errors.Is", cmp.Op)
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"adj/internal/analyzers"
+	"adj/internal/analyzers/analyzertest"
+)
+
+func TestErrWrap(t *testing.T) {
+	analyzertest.Run(t, "errwrap", analyzers.ErrWrap)
+}

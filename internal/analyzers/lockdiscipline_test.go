@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"adj/internal/analyzers"
+	"adj/internal/analyzers/analyzertest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analyzertest.Run(t, "lockdiscipline", analyzers.LockDiscipline)
+}

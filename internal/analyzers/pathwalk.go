@@ -1,0 +1,379 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// heldKind is the state of one tracked resource (a locked mutex, a pooled
+// object) on the current path.
+type heldKind uint8
+
+const (
+	heldDirect   heldKind = iota // acquired; must be released before return
+	heldDeferred                 // a defer releases it at function exit
+)
+
+// pathState is the per-path resource state. Keys are canonical receiver
+// strings (recvString); unknown marks keys the merge logic gave up on —
+// no further findings are reported for them (conservative toward silence,
+// never toward false positives).
+type pathState struct {
+	held    map[string]heldKind
+	unknown map[string]bool
+}
+
+func newPathState() *pathState {
+	return &pathState{held: map[string]heldKind{}, unknown: map[string]bool{}}
+}
+
+func (s *pathState) clone() *pathState {
+	c := newPathState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.unknown {
+		c.unknown[k] = true
+	}
+	return c
+}
+
+// directHeld lists keys that are acquired with no deferred release, i.e.
+// the ones an early return would leak.
+func (s *pathState) directHeld() []string {
+	var out []string
+	for k, v := range s.held {
+		if v == heldDirect && !s.unknown[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// anyHeld lists all live keys (direct or defer-released) — the set a
+// blocking operation would block under.
+func (s *pathState) anyHeld() []string {
+	var out []string
+	for k := range s.held {
+		if !s.unknown[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// pathHooks configures a walk. classify and deferredRelease identify the
+// analyzer's acquire/release operations; the at* hooks receive findings.
+type pathHooks struct {
+	// classify scans one simple statement (no nested statements) and
+	// returns the resource keys it acquires and releases.
+	classify func(stmt ast.Stmt) (acquires, releases []keyAt)
+	// deferredRelease returns the keys a defer statement releases at
+	// function exit (directly or through an immediate closure).
+	deferredRelease func(d *ast.DeferStmt) []keyAt
+	// atStmt is called for every visited statement with the current state,
+	// before classification — the blocking-operation inspection point.
+	atStmt func(stmt ast.Stmt, st *pathState)
+	// atSelect is called for select statements (atStmt is not).
+	atSelect func(sel *ast.SelectStmt, st *pathState)
+	// atReturn is called at each return with the keys still held directly.
+	atReturn func(ret *ast.ReturnStmt, leaked []string, st *pathState)
+}
+
+// keyAt is a resource key with the position of the operation on it.
+type keyAt struct {
+	key string
+	pos token.Pos
+}
+
+// walkPaths runs the hooks over body with branch-sensitive resource
+// tracking: if/else and switch/select arms are analyzed independently and
+// merged (disagreeing arms mark the key unknown), loops that change a
+// key's state mark it unknown, and a terminated arm (return, panic,
+// branch) drops out of the merge.
+func walkPaths(body *ast.BlockStmt, hooks *pathHooks) {
+	st := newPathState()
+	processStmts(body.List, st, hooks)
+}
+
+// processStmts runs a statement list; true means the path terminated.
+func processStmts(list []ast.Stmt, st *pathState, hooks *pathHooks) bool {
+	for _, s := range list {
+		if processStmt(s, st, hooks) {
+			return true
+		}
+	}
+	return false
+}
+
+func applyClassify(s ast.Stmt, st *pathState, hooks *pathHooks) {
+	if hooks.classify == nil {
+		return
+	}
+	acq, rel := hooks.classify(s)
+	for _, k := range acq {
+		if !st.unknown[k.key] {
+			st.held[k.key] = heldDirect
+		}
+	}
+	for _, k := range rel {
+		delete(st.held, k.key)
+	}
+}
+
+func processStmt(s ast.Stmt, st *pathState, hooks *pathHooks) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if hooks.atStmt != nil {
+			hooks.atStmt(s, st)
+		}
+		applyClassify(s, st, hooks)
+		// panic terminates the path; deferred releases still run.
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+		return false
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		if hooks.atStmt != nil {
+			hooks.atStmt(s, st)
+		}
+		applyClassify(s, st, hooks)
+		return false
+
+	case *ast.DeferStmt:
+		if hooks.deferredRelease != nil {
+			for _, k := range hooks.deferredRelease(x) {
+				if _, ok := st.held[k.key]; ok && !st.unknown[k.key] {
+					st.held[k.key] = heldDeferred
+				} else if !st.unknown[k.key] {
+					// Defer scheduled before (or without) the acquire —
+					// record it so a later acquire is still covered.
+					st.held[k.key] = heldDeferred
+				}
+			}
+		}
+		return false
+
+	case *ast.ReturnStmt:
+		if hooks.atStmt != nil {
+			hooks.atStmt(s, st)
+		}
+		if hooks.atReturn != nil {
+			hooks.atReturn(x, st.directHeld(), st)
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing region; treat as path
+		// exit for merge purposes (conservative: no findings reported).
+		return true
+
+	case *ast.BlockStmt:
+		return processStmts(x.List, st, hooks)
+
+	case *ast.LabeledStmt:
+		return processStmt(x.Stmt, st, hooks)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			processStmt(x.Init, st, hooks)
+		}
+		if hooks.atStmt != nil {
+			hooks.atStmt(s, st) // inspects only the condition (see exprsOf)
+		}
+		thenSt := st.clone()
+		thenTerm := processStmts(x.Body.List, thenSt, hooks)
+		elseSt := st.clone()
+		elseTerm := false
+		if x.Else != nil {
+			elseTerm = processStmt(x.Else, elseSt, hooks)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			mergeInto(st, thenSt, elseSt)
+		}
+		return false
+
+	case *ast.ForStmt, *ast.RangeStmt:
+		if hooks.atStmt != nil {
+			hooks.atStmt(s, st)
+		}
+		var body *ast.BlockStmt
+		if f, ok := x.(*ast.ForStmt); ok {
+			if f.Init != nil {
+				processStmt(f.Init, st, hooks)
+			}
+			body = f.Body
+		} else {
+			body = x.(*ast.RangeStmt).Body
+		}
+		loopSt := st.clone()
+		processStmts(body.List, loopSt, hooks)
+		// The body may run zero or many times: any key whose state the
+		// body changed becomes unknown.
+		for k, v := range loopSt.held {
+			if pv, ok := st.held[k]; !ok || pv != v {
+				st.unknown[k] = true
+			}
+		}
+		for k := range st.held {
+			if _, ok := loopSt.held[k]; !ok {
+				st.unknown[k] = true
+			}
+		}
+		return false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		if hooks.atStmt != nil {
+			hooks.atStmt(s, st)
+		}
+		var bodyList []ast.Stmt
+		hasDefault := false
+		if sw, ok := x.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				processStmt(sw.Init, st, hooks)
+			}
+			bodyList = sw.Body.List
+		} else {
+			ts := x.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				processStmt(ts.Init, st, hooks)
+			}
+			bodyList = ts.Body.List
+		}
+		var arms []*pathState
+		allTerm := true
+		for _, cl := range bodyList {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			armSt := st.clone()
+			if !processStmts(cc.Body, armSt, hooks) {
+				arms = append(arms, armSt)
+				allTerm = false
+			}
+		}
+		if !hasDefault {
+			// No default: the switch may match nothing and fall through
+			// with the entry state.
+			arms = append(arms, st.clone())
+			allTerm = false
+		}
+		if allTerm {
+			return true
+		}
+		mergeInto(st, arms...)
+		return false
+
+	case *ast.SelectStmt:
+		if hooks.atSelect != nil {
+			hooks.atSelect(x, st)
+		}
+		var arms []*pathState
+		allTerm := len(x.Body.List) > 0
+		for _, cl := range x.Body.List {
+			cc := cl.(*ast.CommClause)
+			armSt := st.clone()
+			if cc.Comm != nil {
+				// The comm op is the select's own blocking mechanism —
+				// atSelect already judged it; only classify its effects.
+				applyClassify(cc.Comm, armSt, hooks)
+			}
+			if !processStmts(cc.Body, armSt, hooks) {
+				arms = append(arms, armSt)
+				allTerm = false
+			}
+		}
+		if allTerm {
+			return true
+		}
+		mergeInto(st, arms...)
+		return false
+
+	case *ast.GoStmt:
+		// A new goroutine does not run under the caller's locks; its body
+		// (a FuncLit) is analyzed as its own scope by funcScopeWalk.
+		return false
+
+	default:
+		return false
+	}
+}
+
+// mergeInto folds the fall-through arm states into st: keys on which all
+// arms agree keep that state; disagreements become unknown.
+func mergeInto(st *pathState, arms ...*pathState) {
+	if len(arms) == 0 {
+		return
+	}
+	merged := newPathState()
+	for k := range arms[0].held {
+		merged.held[k] = arms[0].held[k]
+	}
+	for _, a := range arms {
+		for k := range a.unknown {
+			merged.unknown[k] = true
+		}
+	}
+	for _, a := range arms[1:] {
+		for k, v := range merged.held {
+			av, ok := a.held[k]
+			if !ok || av != v {
+				merged.unknown[k] = true
+				delete(merged.held, k)
+			}
+		}
+		for k := range a.held {
+			if _, ok := merged.held[k]; !ok {
+				merged.unknown[k] = true
+			}
+		}
+	}
+	st.held = merged.held
+	for k := range merged.unknown {
+		st.unknown[k] = true
+	}
+}
+
+// exprsOf returns the expressions a statement evaluates directly — the
+// inspection surface for blocking-operation checks. Nested statement
+// bodies are excluded (the walker visits them itself).
+func exprsOf(s ast.Stmt) []ast.Expr {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{x.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, x.Rhs...), x.Lhs...)
+	case *ast.ReturnStmt:
+		return x.Results
+	case *ast.IfStmt:
+		return []ast.Expr{x.Cond}
+	case *ast.ForStmt:
+		if x.Cond != nil {
+			return []ast.Expr{x.Cond}
+		}
+	case *ast.RangeStmt:
+		return []ast.Expr{x.X}
+	case *ast.SwitchStmt:
+		if x.Tag != nil {
+			return []ast.Expr{x.Tag}
+		}
+	case *ast.SendStmt:
+		return []ast.Expr{x.Chan, x.Value}
+	case *ast.IncDecStmt:
+		return []ast.Expr{x.X}
+	case *ast.DeferStmt:
+		return []ast.Expr{x.Call}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolDiscipline enforces the buffer-reuse contract around the codec and
+// shuffle scratch pools (encScratch, the trie wide-row pools). Two rules:
+//
+//  1. Every sync.Pool.Get must be matched by a Put on all paths through
+//     the function. A path that returns early without Put does not crash —
+//     it silently degrades the pool to an allocator, which is exactly the
+//     regression the PR 8 chunked-encode benchmarks exist to catch.
+//     Objects that escape the function (returned, or handed whole to
+//     another function, as getWide does) transfer ownership and are not
+//     tracked.
+//  2. Pooled buffers are reset before Put: a Put whose argument is a
+//     *[]T must be preceded by a `*x = ...` truncation (the `*sp =
+//     buf[:0]` idiom). Returning a grown buffer un-truncated pins its
+//     backing array forever; returning one with stale contents is a
+//     correctness bug waiting for the next Get.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "sync.Pool.Get must be matched by Put on all paths; pooled buffers reset before Put",
+	Run:  runPoolDiscipline,
+}
+
+func runPoolDiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		funcScopeWalk(file, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			checkPoolPaths(pass, body)
+			// The reset check is position-insensitive and scans the whole
+			// declaration (closures included, via ast.Inspect), so it runs
+			// once per FuncDecl: a Put inside a deferred closure is paired
+			// with a reset in the enclosing loop, the chunked-encoder shape.
+			if lit == nil {
+				checkPoolReset(pass, body)
+			}
+		})
+	}
+	return nil
+}
+
+// poolCallKey returns the pool receiver key of a Get/Put call on a
+// sync.Pool-typed receiver, or "".
+func poolCallKey(pass *Pass, call *ast.CallExpr, name string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isPoolType(tv.Type) {
+		return ""
+	}
+	return recvString(sel.X)
+}
+
+// escapedPools returns the pool keys whose Get results escape the
+// function: the variable a Get is assigned to appears in a return
+// statement or is passed bare to a call other than a Put. Such Gets
+// transfer ownership (the getWide/putWide split) and are exempt from
+// path matching.
+func escapedPools(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	// Variable object -> pool key, for each `v := pool.Get()...` binding.
+	getVars := map[types.Object]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		// RHS may wrap Get in a type assertion: pool.Get().(*[]byte).
+		var key string
+		ast.Inspect(as.Rhs[0], func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && key == "" {
+				if k := poolCallKey(pass, call, "Get"); k != "" {
+					key = k
+				}
+			}
+			return true
+		})
+		if key == "" {
+			return true
+		}
+		var obj types.Object
+		if as.Tok == token.DEFINE {
+			obj = pass.TypesInfo.Defs[id]
+		} else {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			getVars[obj] = key
+		}
+		return true
+	})
+	if len(getVars) == 0 {
+		return nil
+	}
+
+	escaped := map[string]bool{}
+	isGetVar := func(e ast.Expr) (string, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		k, ok := getVars[pass.TypesInfo.Uses[id]]
+		return k, ok
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if k, ok := isGetVar(r); ok {
+					escaped[k] = true
+				}
+			}
+		case *ast.CallExpr:
+			// Passing the object whole to any callee but Put hands
+			// ownership over; deref uses (*sp, len(*sp)) do not.
+			if poolCallKey(pass, x, "Put") != "" {
+				return true
+			}
+			for _, arg := range x.Args {
+				if k, ok := isGetVar(arg); ok {
+					escaped[k] = true
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+func checkPoolPaths(pass *Pass, body *ast.BlockStmt) {
+	escaped := escapedPools(pass, body)
+	hooks := &pathHooks{
+		classify: func(s ast.Stmt) (acq, rel []keyAt) {
+			for _, e := range exprsOf(s) {
+				scanCalls(e, func(call *ast.CallExpr) {
+					if k := poolCallKey(pass, call, "Get"); k != "" && !escaped[k] {
+						acq = append(acq, keyAt{k, call.Pos()})
+					}
+					if k := poolCallKey(pass, call, "Put"); k != "" {
+						rel = append(rel, keyAt{k, call.Pos()})
+					}
+				})
+			}
+			return acq, rel
+		},
+		deferredRelease: func(d *ast.DeferStmt) []keyAt {
+			var keys []keyAt
+			if k := poolCallKey(pass, d.Call, "Put"); k != "" {
+				keys = append(keys, keyAt{k, d.Pos()})
+			}
+			// defer func() { pool.Put(sp) }() — the chunked-encoder form.
+			if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if k := poolCallKey(pass, call, "Put"); k != "" {
+							keys = append(keys, keyAt{k, d.Pos()})
+						}
+					}
+					return true
+				})
+			}
+			return keys
+		},
+		atReturn: func(ret *ast.ReturnStmt, leaked []string, st *pathState) {
+			for _, k := range leaked {
+				pass.Reportf(ret.Pos(), "return without %s.Put: this path leaks the pooled object and degrades the pool to an allocator", k)
+			}
+		},
+	}
+	walkPaths(body, hooks)
+}
+
+// checkPoolReset flags Put calls whose *[]T argument is never reset with a
+// `*x = ...` assignment anywhere in the function (rule 2). The check is
+// deliberately position-insensitive: the chunked encoder resets inside a
+// loop and Puts from a defer, which is fine.
+func checkPoolReset(pass *Pass, body *ast.BlockStmt) {
+	// Objects appearing as the target of a `*x = ...` assignment.
+	resetObjs := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			star, ok := ast.Unparen(lhs).(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(star.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					resetObjs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || poolCallKey(pass, call, "Put") == "" || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || resetObjs[obj] {
+			return true
+		}
+		// Only pointer-to-slice arguments carry the truncation contract.
+		ptr, ok := obj.Type().(*types.Pointer)
+		if !ok {
+			return true
+		}
+		if _, ok := ptr.Elem().Underlying().(*types.Slice); !ok {
+			return true
+		}
+		pass.Reportf(call.Pos(), "pooled buffer %s put back without reset: truncate first (*%s = (*%s)[:0]) so stale contents and grown capacity don't leak to the next Get", id.Name, id.Name, id.Name)
+		return true
+	})
+}

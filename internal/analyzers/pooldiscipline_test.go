@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"adj/internal/analyzers"
+	"adj/internal/analyzers/analyzertest"
+)
+
+func TestPoolDiscipline(t *testing.T) {
+	analyzertest.Run(t, "pooldiscipline", analyzers.PoolDiscipline)
+}

@@ -1,0 +1,56 @@
+// Fixtures for the ctxflow analyzer: context must thread end-to-end.
+package ctxflow
+
+import "context"
+
+func doWork(ctx context.Context, n int) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	_ = n
+	return nil
+}
+
+func threaded(ctx context.Context) error {
+	return doWork(ctx, 1) // ok: ctx flows through
+}
+
+func freshRoot() {
+	ctx := context.Background() // want "outside package main drops the caller's cancellation"
+	_ = ctx
+}
+
+func todoRoot() error {
+	return doWork(context.TODO(), 1) // want "outside package main"
+}
+
+func shadowedRoot(ctx context.Context) error { // want "never used"
+	return doWork(context.Background(), 2) // want "pass ctx through instead of starting a new root"
+}
+
+func dropped(ctx context.Context) error { // want "context parameter \"ctx\" is never used"
+	return doWork(nil, 3)
+}
+
+func compatShim() error {
+	//adjlint:ignore ctxflow one-shot shim keeps a deliberate root
+	return doWork(context.Background(), 4)
+}
+
+func blankParam(_ context.Context) error {
+	return doWork(context.TODO(), 5) // want "outside package main"
+}
+
+func launcher(ctx context.Context) func() error {
+	return func() error {
+		return doWork(ctx, 6) // ok: closure inherits ctx
+	}
+}
+
+func closureRoot(ctx context.Context) func() error { // want "never used"
+	return func() error {
+		return doWork(context.Background(), 7) // want "pass ctx through"
+	}
+}

@@ -1,0 +1,16 @@
+// Fixture: package main is the one place new context roots belong.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: main owns the root
+	if err := run(ctx); err != nil {
+		panic(err)
+	}
+}
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}

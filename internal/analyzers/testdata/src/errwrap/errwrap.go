@@ -1,0 +1,59 @@
+// Fixtures for the errwrap analyzer: the typed error taxonomy must
+// survive boundary crossings.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrTransport = errors.New("transport failure")
+
+func wrapGood(err error) error {
+	return fmt.Errorf("phase shuffle: %w", err) // ok
+}
+
+func wrapBadVerb(err error) error {
+	return fmt.Errorf("phase shuffle: %v", err) // want "without %w"
+}
+
+func wrapBadString(err error) error {
+	return fmt.Errorf("worker %d: %s", 3, err) // want "without %w"
+}
+
+func wrapPartial(a, b error) error {
+	return fmt.Errorf("join: %w (after %v)", a, b) // want "without %w"
+}
+
+func wrapNonError(err error) error {
+	return fmt.Errorf("attempt %d: %w", 2, err) // ok: the int is not an error
+}
+
+func compareEq(err error) bool {
+	return err == ErrTransport // want "use errors.Is"
+}
+
+func compareNeq(err error) bool {
+	return err != ErrTransport // want "use errors.Is"
+}
+
+func compareNil(err error) bool {
+	return err == nil // ok: nil check, not sentinel comparison
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrTransport) // ok
+}
+
+func suppressed(err error) bool {
+	//adjlint:ignore errwrap err comes from a layer that never wraps
+	return err == ErrTransport
+}
+
+type transportError struct{ msg string }
+
+func (e *transportError) Error() string { return e.msg }
+
+// Is is the canonical taxonomy hook: == against the sentinel is the
+// contract here, not a bug, and the analyzer exempts it.
+func (e *transportError) Is(target error) bool { return target == ErrTransport }

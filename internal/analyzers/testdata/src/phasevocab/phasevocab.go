@@ -1,0 +1,59 @@
+// Fixtures for the phasevocab analyzer: phase-name literals come from the
+// fixed vocabulary. The Op/Metrics/Cluster shapes are matched by type
+// name, so local models stand in for the real packages.
+package phasevocab
+
+type Op struct {
+	Kind  int
+	Phase string
+}
+
+type Metrics struct{}
+
+func (m *Metrics) Phase(name string) *Metrics { return m }
+
+type Cluster struct{}
+
+func (c *Cluster) Parallel(phase string, fn func() error) error { return nil }
+func (c *Cluster) Exchange(phase string) error                  { return nil }
+func (c *Cluster) StreamExchange(phase string) error            { return nil }
+
+const legacyPhase = "hcube"
+
+func good(c *Cluster, m *Metrics) {
+	_ = Op{Phase: "precompute"}
+	_ = Op{Phase: "precompute/canon"}
+	_ = Op{Phase: "round0"}
+	_ = Op{Phase: "join"}
+	_ = Op{Phase: legacyPhase} // ok: named constants define vocabulary deliberately
+	m.Phase("shuffle")
+	m.Phase("sample/reduce")
+	_ = c.Parallel("tries", nil)
+	_ = c.Exchange("shuffle")
+	_ = c.StreamExchange("emit")
+}
+
+func bad(c *Cluster, m *Metrics) {
+	_ = Op{Phase: "shufle"}       // want "outside the vocabulary"
+	m.Phase("Join")               // want "outside the vocabulary"
+	_ = c.Parallel("warmup", nil) // want "outside the vocabulary"
+	_ = c.Exchange("x")           // want "outside the vocabulary"
+}
+
+func suppressed(m *Metrics) {
+	//adjlint:ignore phasevocab migration shim keeps the pre-rename bucket
+	m.Phase("hcube")
+}
+
+func computed(c *Cluster, phase string) {
+	_ = c.Exchange(phase)          // ok: computed names are the caller's problem
+	_ = c.Exchange(phase + "/sub") // ok: not a literal
+}
+
+type other struct{}
+
+func (o *other) Phase(name string) {}
+
+func unrelated(o *other) {
+	o.Phase("whatever") // ok: not the Metrics type
+}

@@ -1,0 +1,107 @@
+// Fixtures for the pooldiscipline analyzer: Get/Put pairing on all paths
+// and reset-before-Put for slice scratch.
+package pooldiscipline
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBad = errors.New("bad")
+
+var scratch = sync.Pool{
+	New: func() any {
+		s := make([]byte, 0, 64)
+		return &s
+	},
+}
+
+func goodDefer() int {
+	sp := scratch.Get().(*[]byte)
+	defer func() {
+		*sp = (*sp)[:0]
+		scratch.Put(sp)
+	}()
+	buf := append(*sp, 1, 2, 3)
+	return len(buf)
+}
+
+func goodLoopReset(n int) int {
+	sp := scratch.Get().(*[]byte)
+	defer func() { scratch.Put(sp) }() // ok: reset happens in the loop below
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := append((*sp)[:0], byte(i))
+		total += len(buf)
+		*sp = buf[:0]
+	}
+	return total
+}
+
+func goodInline(n int) []byte {
+	sp := scratch.Get().(*[]byte)
+	buf := append((*sp)[:0], make([]byte, n)...)
+	out := append([]byte(nil), buf...)
+	*sp = buf[:0]
+	scratch.Put(sp)
+	return out
+}
+
+func leakOnError(fail bool) error {
+	sp := scratch.Get().(*[]byte)
+	if fail {
+		return errBad // want "return without scratch.Put"
+	}
+	*sp = (*sp)[:0]
+	scratch.Put(sp)
+	return nil
+}
+
+func noReset() {
+	sp := scratch.Get().(*[]byte)
+	buf := append(*sp, 1)
+	_ = buf
+	scratch.Put(sp) // want "put back without reset"
+}
+
+func getBuf() *[]byte {
+	sp := scratch.Get().(*[]byte)
+	return sp // ok: ownership transfers to the caller
+}
+
+func putBuf(sp *[]byte) {
+	*sp = (*sp)[:0]
+	scratch.Put(sp) // ok: the Put half of a get/put helper pair
+}
+
+func handOff() {
+	sp := scratch.Get().(*[]byte)
+	consume(sp) // ok: ownership handed to consume
+}
+
+func consume(sp *[]byte) {
+	*sp = (*sp)[:0]
+	scratch.Put(sp)
+}
+
+func suppressedLeak(fail bool) error {
+	sp := scratch.Get().(*[]byte)
+	if fail {
+		//adjlint:ignore pooldiscipline the caller reclaims the buffer via Finalize
+		return errBad
+	}
+	*sp = (*sp)[:0]
+	scratch.Put(sp)
+	return nil
+}
+
+type node struct{ next *node }
+
+var nodePool = sync.Pool{
+	New: func() any { return new(node) },
+}
+
+func recycle(n *node) {
+	n.next = nil
+	nodePool.Put(n) // ok: not a slice buffer, no truncation contract
+}

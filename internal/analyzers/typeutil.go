@@ -1,0 +1,131 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeObj resolves the function or method object a call invokes, or nil
+// for indirect calls through function values and type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fn]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call (pkg.Func).
+		if obj := info.Uses[fn.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// namedType unwraps pointers and returns the named type underneath, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (or *t) is the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}
+
+// typeNameIs reports whether t (or *t) is a named type with the given
+// bare name, regardless of package. Project-shape matching (plan.Op,
+// cluster.Cluster, cluster.Metrics) is name-based so the analyzertest
+// fixtures can model the shapes with local types.
+func typeNameIs(t types.Type, name string) bool {
+	n := namedType(t)
+	return n != nil && n.Obj() != nil && n.Obj().Name() == name
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is assignable to the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Identical(t, errorType)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// isMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// isPoolType reports whether t (or *t) is sync.Pool.
+func isPoolType(t types.Type) bool {
+	return isNamed(t, "sync", "Pool")
+}
+
+// recvString renders the receiver expression of a selector call (the "x"
+// of x.Lock()) as a stable key for matching Lock/Unlock and Get/Put pairs
+// within one function. Purely syntactic: two textually identical
+// expressions are treated as the same lock/pool, which is exactly the
+// discipline the codebase follows (s.mu.Lock / s.mu.Unlock).
+func recvString(e ast.Expr) string {
+	return types.ExprString(ast.Unparen(e))
+}
+
+// funcScopeWalk visits every function body in the file — declarations and
+// function literals — calling fn with the body and the enclosing
+// *ast.FuncDecl (nil for literals not inside a declaration... the decl of
+// the lexically innermost enclosing function is passed). Function literal
+// bodies are NOT revisited when fn walks its own body; each body is
+// delivered exactly once.
+func funcScopeWalk(file *ast.File, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	var decl *ast.FuncDecl
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			decl = x
+			if x.Body != nil {
+				fn(x, nil, x.Body)
+			}
+		case *ast.FuncLit:
+			fn(decl, x, x.Body)
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}

@@ -225,6 +225,7 @@ func New(cfg Config) *Cluster {
 		transp:   cfg.Transport,
 		parallel: !cfg.Sequential,
 	}
+	//adjlint:ignore ctxflow constructor default: every execution re-installs its own context via SetContext
 	c.SetContext(context.Background())
 	for i := 0; i < cfg.N; i++ {
 		c.Workers = append(c.Workers, newWorker(i, cfg.N))
@@ -248,6 +249,7 @@ func (c *Cluster) Close() error {
 // context; re-installing (the next run) re-arms it.
 func (c *Cluster) SetContext(ctx context.Context) {
 	if ctx == nil {
+		//adjlint:ignore ctxflow documented nil-reset: SetContext(nil) restores the uncancellable default
 		ctx = context.Background()
 	}
 	if c.cancelRun != nil {

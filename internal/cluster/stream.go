@@ -98,6 +98,7 @@ func (c *Cluster) streamedExchange(phase string, st StreamTransport,
 			prodDur[i] = time.Since(ts)
 			ms.inner.Close()
 			if err != nil {
+				//adjlint:ignore errwrap identity dedup against the recorded abort cause, not classification
 				if tracker.abort(es, err) || err != tracker.cause() {
 					prodErrs[i] = err
 				}
@@ -114,6 +115,7 @@ func (c *Cluster) streamedExchange(phase string, st StreamTransport,
 			})
 			consDur[i] = time.Since(ts)
 			if err != nil {
+				//adjlint:ignore errwrap identity dedup against the recorded abort cause, not classification
 				if tracker.abort(es, err) || err != tracker.cause() {
 					consErrs[i] = err
 				}

@@ -182,6 +182,7 @@ func (t *TCPTransport) DialStats() int64 { return t.dials.Load() }
 
 // Route performs one exchange without context plumbing (Transport compat).
 func (t *TCPTransport) Route(bySender [][]Envelope) ([][]Envelope, error) {
+	//adjlint:ignore ctxflow legacy Transport.Route has no context parameter to thread
 	return t.RouteExchange(context.Background(), "", bySender)
 }
 

@@ -268,6 +268,7 @@ func ctxOf(cfg Config) context.Context {
 	if cfg.Ctx != nil {
 		return cfg.Ctx
 	}
+	//adjlint:ignore ctxflow nil-Ctx compat default: one-shot runs are uncancellable by design
 	return context.Background()
 }
 

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +35,18 @@ type Config struct {
 	// Budget caps per-run intermediate work; exceeded runs are reported as
 	// failures, like the paper's 12-hour/OOM bars. Default 30M units.
 	Budget int64
+	// Ctx cancels in-flight experiment executions. cmd/experiments passes
+	// its root context; nil falls back to an uncancellable run.
+	Ctx context.Context
+}
+
+// ctx returns the run's context, never nil.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	//adjlint:ignore ctxflow nil-Ctx compat default mirrors engine.ctxOf
+	return context.Background()
 }
 
 func (c Config) withDefaults() Config {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -220,5 +222,18 @@ func TestByIDAndIDs(t *testing.T) {
 	}
 	if ByID("nope") != nil {
 		t.Fatal("unknown id should be nil")
+	}
+}
+
+// Regression for the ctxflow finding in sessionReuseRow: the harness used
+// to hardwire context.Background() into Exec, so an interrupted
+// cmd/experiments run kept executing. Config.Ctx must reach the session.
+func TestSessionReuseHonorsCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := tinyCfg()
+	cfg.Ctx = ctx
+	if _, err := SessionReuse(cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SessionReuse with a cancelled ctx: err = %v, want context.Canceled in the chain", err)
 	}
 }

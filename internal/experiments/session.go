@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -60,7 +59,7 @@ func sessionReuseRow(cfg Config, qn string, edges *adj.Relation) (Row, error) {
 	var count int64 = -1
 	for exec := 0; exec < 3; exec++ {
 		t0 := time.Now()
-		r, err := pq.Exec(context.Background(), adj.CountOnly())
+		r, err := pq.Exec(cfg.ctx(), adj.CountOnly())
 		if err != nil {
 			return Row{}, fmt.Errorf("%s exec %d: %w", qn, exec, err)
 		}

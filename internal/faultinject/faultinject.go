@@ -168,6 +168,7 @@ func (t *Transport) Close() error { return t.inner.Close() }
 
 // Route implements cluster.Transport (no phase context).
 func (t *Transport) Route(bySender [][]cluster.Envelope) ([][]cluster.Envelope, error) {
+	//adjlint:ignore ctxflow legacy Transport.Route has no context parameter to thread
 	return t.RouteExchange(context.Background(), "", bySender)
 }
 

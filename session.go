@@ -406,6 +406,7 @@ func (p *PreparedQuery) Exec(ctx context.Context, opts ...ExecOption) (*Results,
 		o(&eo)
 	}
 	if ctx == nil {
+		//adjlint:ignore ctxflow nil-ctx compat guard: callers without a context get an uncancellable run
 		ctx = context.Background()
 	}
 	s := p.s
@@ -560,6 +561,7 @@ func (p *PreparedQuery) execOneShot(opts Options) (Report, error) {
 	if !opts.CollectOutput {
 		eo = append(eo, CountOnly())
 	}
+	//adjlint:ignore ctxflow one-shot compat shim: the legacy Run surface has no context to thread
 	res, err := p.Exec(context.Background(), eo...)
 	if err != nil {
 		return Report{}, err
